@@ -1,0 +1,38 @@
+//! Feature-extraction throughput: the per-candidate cost inside every
+//! recommendation and every pre-sampling pass.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rrc_bench::setup::{prepare, RunOptions};
+use rrc_datagen::DatasetKind;
+use rrc_features::{FeatureContext, FeaturePipeline};
+use rrc_sequence::{UserId, WindowState};
+
+fn bench_features(c: &mut Criterion) {
+    let opts = RunOptions::fast();
+    let exp = prepare(DatasetKind::Gowalla, &opts);
+    let user = UserId(0);
+    let window = WindowState::warmed(opts.window, exp.split.train.sequence(user).events());
+    let ctx = FeatureContext {
+        window: &window,
+        stats: &exp.stats,
+    };
+    let pipeline = FeaturePipeline::standard();
+    let candidates = window.eligible_candidates(opts.omega);
+    assert!(!candidates.is_empty());
+
+    let mut group = c.benchmark_group("feature_extraction");
+    group.throughput(Throughput::Elements(candidates.len() as u64));
+    group.bench_function("standard_pipeline_window_candidates", |b| {
+        let mut buf = Vec::with_capacity(4);
+        b.iter(|| {
+            for &v in &candidates {
+                pipeline.extract_into(&ctx, v, &mut buf);
+                std::hint::black_box(&buf);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Per-instance online recommendation latency of every method — the
+//! microbenchmark behind Fig. 13.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrc_bench::setup::{prepare, RunOptions};
+use rrc_bench::zoo::ModelZoo;
+use rrc_datagen::DatasetKind;
+use rrc_features::RecContext;
+use rrc_sequence::{UserId, WindowState};
+
+fn bench_recommend(c: &mut Criterion) {
+    let opts = RunOptions::fast();
+    let exp = prepare(DatasetKind::Gowalla, &opts);
+    let zoo = ModelZoo::full(&exp, &opts);
+
+    // One representative query context: a user with a full window.
+    let user = UserId(0);
+    let window = WindowState::warmed(opts.window, exp.split.train.sequence(user).events());
+    let ctx = RecContext {
+        user,
+        window: &window,
+        stats: &exp.stats,
+        omega: opts.omega,
+    };
+
+    let mut group = c.benchmark_group("recommend_top10");
+    for (name, rec) in zoo.iter() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ctx, |b, ctx| {
+            b.iter(|| std::hint::black_box(rec.recommend(ctx, 10)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_recommend
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Substrate throughput: the offline costs behind §5.6 — Cox fitting,
+//! STREC fitting, DYRC likelihood training, and workload generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rrc_baselines::{DyrcConfig, DyrcTrainer};
+use rrc_bench::setup::{prepare, RunOptions};
+use rrc_datagen::{DatasetKind, GeneratorConfig, Zipf};
+use rrc_strec::{LassoConfig, StrecClassifier};
+use rrc_survival::{gap_observations, CoxConfig, CoxModel};
+
+fn bench_substrates(c: &mut Criterion) {
+    let opts = RunOptions::fast();
+    let exp = prepare(DatasetKind::Gowalla, &opts);
+
+    // Cox proportional hazards: observation extraction + Newton fit.
+    let observations = gap_observations(&exp.split.train, &exp.stats, opts.window);
+    let mut group = c.benchmark_group("survival");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(observations.len() as u64));
+    group.bench_function("gap_extraction", |b| {
+        b.iter(|| {
+            std::hint::black_box(gap_observations(
+                &exp.split.train,
+                &exp.stats,
+                opts.window,
+            ))
+        })
+    });
+    group.bench_function("cox_newton_fit", |b| {
+        b.iter(|| std::hint::black_box(CoxModel::fit(&observations, &CoxConfig::default())))
+    });
+    group.finish();
+
+    // STREC: feature extraction + Lasso fit.
+    let mut group = c.benchmark_group("strec");
+    group.sample_size(10);
+    group.bench_function("fit_classifier", |b| {
+        b.iter(|| {
+            std::hint::black_box(StrecClassifier::fit(
+                &exp.split.train,
+                &exp.stats,
+                opts.window,
+                &LassoConfig {
+                    epochs: 50,
+                    ..LassoConfig::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+
+    // DYRC: choice-event extraction + likelihood ascent.
+    let mut group = c.benchmark_group("dyrc");
+    group.sample_size(10);
+    group.bench_function("train_mixed_weights", |b| {
+        let trainer = DyrcTrainer::new(DyrcConfig {
+            window: opts.window,
+            omega: opts.omega,
+            epochs: 20,
+            ..DyrcConfig::default()
+        });
+        b.iter(|| std::hint::black_box(trainer.train(&exp.split.train, &exp.stats)))
+    });
+    group.finish();
+
+    // Workload generation.
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    let config = GeneratorConfig::tiny().with_users(16);
+    group.bench_function("generate_tiny_16_users", |b| {
+        b.iter(|| std::hint::black_box(config.generate()))
+    });
+    let zipf = Zipf::new(10_000, 1.0);
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("zipf_sample_1k", |b| {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1000 {
+                acc += zipf.sample(&mut rng);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Training throughput: TS-PPR SGD sweeps and the convergence check
+//! (the cost profile behind Fig. 12 / §5.6).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rrc_bench::setup::{prepare, RunOptions};
+use rrc_bench::zoo::{build_training_set, tsppr_config};
+use rrc_core::TsPprTrainer;
+use rrc_datagen::DatasetKind;
+use rrc_features::FeaturePipeline;
+
+fn bench_training(c: &mut Criterion) {
+    let opts = RunOptions::fast();
+    let exp = prepare(DatasetKind::Gowalla, &opts);
+    let training = build_training_set(&exp, &opts, &FeaturePipeline::standard());
+
+    let mut group = c.benchmark_group("tsppr_training");
+    group.throughput(Throughput::Elements(training.num_quadruples() as u64));
+    group.sample_size(10);
+    group.bench_function("one_sweep", |b| {
+        // One full sweep of |D| SGD steps, no convergence checks.
+        let mut cfg = tsppr_config(&exp, &opts);
+        cfg.max_sweeps = 1;
+        cfg.convergence_eps = 0.0; // never converge early
+        cfg.check_interval_fraction = 1.0;
+        let trainer = TsPprTrainer::new(cfg);
+        b.iter(|| std::hint::black_box(trainer.train(&training)));
+    });
+    group.finish();
+
+    let mut sampling = c.benchmark_group("training_set_build");
+    sampling.sample_size(10);
+    sampling.bench_function("presample_and_features", |b| {
+        b.iter(|| {
+            std::hint::black_box(build_training_set(
+                &exp,
+                &opts,
+                &FeaturePipeline::standard(),
+            ))
+        });
+    });
+    sampling.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

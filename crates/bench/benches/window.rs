@@ -1,0 +1,43 @@
+//! Window-maintenance throughput: the O(1)-amortised push and the
+//! candidate-enumeration cost that bound every walker in the workspace.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rrc_bench::setup::{prepare, RunOptions};
+use rrc_datagen::DatasetKind;
+use rrc_sequence::{UserId, WindowState};
+
+fn bench_window(c: &mut Criterion) {
+    let opts = RunOptions::fast();
+    let exp = prepare(DatasetKind::Gowalla, &opts);
+    let events = exp.split.train.sequence(UserId(0)).events().to_vec();
+
+    let mut group = c.benchmark_group("window");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("push_stream", |b| {
+        b.iter(|| {
+            let mut w = WindowState::new(opts.window);
+            for &item in &events {
+                w.push(item);
+            }
+            std::hint::black_box(w.len())
+        });
+    });
+
+    let warmed = WindowState::warmed(opts.window, &events);
+    group.bench_function("eligible_candidates", |b| {
+        b.iter(|| std::hint::black_box(warmed.eligible_candidates(opts.omega)));
+    });
+    group.bench_function("membership_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &item in events.iter().take(200) {
+                acc += warmed.count(item);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_window);
+criterion_main!(benches);

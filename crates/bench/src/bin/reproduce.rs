@@ -1,0 +1,140 @@
+//! Reproduce the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p rrc-bench --bin reproduce -- all
+//! cargo run --release -p rrc-bench --bin reproduce -- fig5 table3 --fast
+//! cargo run --release -p rrc-bench --bin reproduce -- fig9 --scale-gowalla 0.05
+//! ```
+
+use rrc_bench::experiments::{self, accuracy, ALL_EXPERIMENTS};
+use rrc_bench::setup::RunOptions;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [EXPERIMENT ...] [OPTIONS]\n\n\
+         experiments: all, table2, fig4, fig5, fig6, table3, fig7, fig8, fig9,\n\
+         \x20            fig10, fig11, fig12, fig13, table5\n\n\
+         options:\n\
+         \x20 --fast                 reduced scale & grids (smoke-test mode)\n\
+         \x20 --scale-gowalla <f>    Gowalla-like preset scale (default 0.02)\n\
+         \x20 --scale-lastfm <f>     Last.fm-like preset scale (default 0.05)\n\
+         \x20 --window <n>           window capacity |W| (default 100)\n\
+         \x20 --omega <n>            minimum gap Ω (default 10)\n\
+         \x20 --s <n>                negatives per positive S (default 10)\n\
+         \x20 --k <n>                latent dimension K (default 40)\n\
+         \x20 --sweeps <n>           TS-PPR sweep cap (default 40)\n\
+         \x20 --threads <n>          evaluation threads (default: all cores)\n\
+         \x20 --seed <n>             base RNG seed"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (Vec<String>, RunOptions) {
+    let mut names = Vec::new();
+    let mut opts = RunOptions::default();
+    let mut args = std::env::args().skip(1).peekable();
+    let mut fast = false;
+    let mut overrides: Vec<(String, String)> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                let value = args.next().unwrap_or_else(|| usage());
+                overrides.push((flag.to_string(), value));
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if fast {
+        opts = RunOptions::fast();
+    }
+    for (flag, value) in overrides {
+        let parse_f = || value.parse::<f64>().unwrap_or_else(|_| usage());
+        let parse_u = || value.parse::<usize>().unwrap_or_else(|_| usage());
+        match flag.as_str() {
+            "--scale-gowalla" => opts.scale_gowalla = parse_f(),
+            "--scale-lastfm" => opts.scale_lastfm = parse_f(),
+            "--window" => opts.window = parse_u(),
+            "--omega" => opts.omega = parse_u(),
+            "--s" => opts.s = parse_u(),
+            "--k" => opts.k = parse_u(),
+            "--sweeps" => opts.max_sweeps = parse_u(),
+            "--threads" => opts.threads = parse_u(),
+            "--seed" => opts.seed = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if names.is_empty() {
+        usage();
+    }
+    (names, opts)
+}
+
+fn main() {
+    let (names, opts) = parse_args();
+    eprintln!(
+        "# options: scale(gowalla)={}, scale(lastfm)={}, |W|={}, Ω={}, S={}, K={}, sweeps={}, threads={}",
+        opts.scale_gowalla,
+        opts.scale_lastfm,
+        opts.window,
+        opts.omega,
+        opts.s,
+        opts.k,
+        opts.max_sweeps,
+        opts.threads
+    );
+
+    let expanded: Vec<String> = if names.iter().any(|n| n == "all") {
+        // "all" covers every paper table/figure; extra experiment names on
+        // the command line (ablation, mixture, ci, ...) are appended.
+        let mut list: Vec<String> = ALL_EXPERIMENTS
+            .iter()
+            .map(|s| s.to_string())
+            .chain(std::iter::once("table5".to_string()))
+            .collect();
+        for n in &names {
+            if n != "all" && !list.contains(n) {
+                list.push(n.clone());
+            }
+        }
+        list
+    } else {
+        names
+    };
+
+    // `all` computes the expensive accuracy comparison once and renders
+    // fig5 / fig6 / table3 from it.
+    let accuracy_bundle = ["fig5", "fig6", "table3"];
+    let wants_bundle = expanded
+        .iter()
+        .filter(|n| accuracy_bundle.contains(&n.as_str()))
+        .count();
+    let shared = if wants_bundle >= 2 {
+        eprintln!("# computing shared accuracy comparison (fig5/fig6/table3)...");
+        Some(accuracy::run_comparison(&opts))
+    } else {
+        None
+    };
+
+    for name in &expanded {
+        let started = std::time::Instant::now();
+        let output = match (name.as_str(), &shared) {
+            ("fig5", Some(c)) => Some(accuracy::render_fig5(c, &opts)),
+            ("fig6", Some(c)) => Some(accuracy::render_fig6(c, &opts)),
+            ("table3", Some(c)) => Some(accuracy::render_table3(c)),
+            _ => experiments::run(name, &opts),
+        };
+        match output {
+            Some(text) => {
+                println!("{}", "=".repeat(78));
+                println!("{text}");
+                eprintln!("# {name} finished in {:.1}s", started.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment: {name}");
+                usage();
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Calibration helper: train TS-PPR with explicit hyper-parameters and
+//! print its accuracy next to the strongest baselines. Used while matching
+//! the paper's result shapes; kept as a development tool.
+//!
+//! ```sh
+//! cargo run --release -p rrc-bench --bin tune -- gowalla --sweeps 40 --k 40 --alpha 0.05
+//! ```
+
+use rrc_bench::setup::{prepare, RunOptions};
+use rrc_bench::zoo::{build_training_set, tsppr_config};
+use rrc_baselines::{DyrcConfig, DyrcRecommender, DyrcTrainer, PopRecommender, RandomRecommender, RecencyRecommender};
+use rrc_core::{TsPprRecommender, TsPprTrainer};
+use rrc_datagen::DatasetKind;
+use rrc_eval::{evaluate_multi, EvalConfig};
+use rrc_features::FeaturePipeline;
+
+fn main() {
+    let mut opts = RunOptions::fast();
+    let mut kind = DatasetKind::Gowalla;
+    let mut alpha = 0.05;
+    let mut min_sweeps = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "gowalla" => kind = DatasetKind::Gowalla,
+            "lastfm" => kind = DatasetKind::Lastfm,
+            "--sweeps" => opts.max_sweeps = args.next().unwrap().parse().unwrap(),
+            "--min-sweeps" => min_sweeps = Some(args.next().unwrap().parse().unwrap()),
+            "--k" => opts.k = args.next().unwrap().parse().unwrap(),
+            "--s" => opts.s = args.next().unwrap().parse().unwrap(),
+            "--alpha" => alpha = args.next().unwrap().parse().unwrap(),
+            "--scale" => {
+                let v: f64 = args.next().unwrap().parse().unwrap();
+                opts.scale_gowalla = v;
+                opts.scale_lastfm = v;
+            }
+            "--window" => opts.window = args.next().unwrap().parse().unwrap(),
+            "--omega" => opts.omega = args.next().unwrap().parse().unwrap(),
+            "--seed" => opts.seed = args.next().unwrap().parse().unwrap(),
+            other => panic!("unknown arg {other}"),
+        }
+    }
+    let exp = prepare(kind, &opts);
+    eprintln!(
+        "[{kind}] {} users, {} events",
+        exp.data.num_users(),
+        exp.data.total_consumptions()
+    );
+    let cfg = EvalConfig {
+        window: opts.window,
+        omega: opts.omega,
+    };
+    let ns = [1, 5, 10];
+
+    let t0 = std::time::Instant::now();
+    let training = build_training_set(&exp, &opts, &FeaturePipeline::standard());
+    let mut tc = tsppr_config(&exp, &opts).with_alpha(alpha);
+    if let Some(m) = min_sweeps {
+        tc.min_sweeps = m;
+    }
+    let (model, report) = TsPprTrainer::new(tc).train(&training);
+    eprintln!(
+        "TS-PPR: |D|={} steps={} converged={} r̃={:.3} ({:.1}s)",
+        training.num_quadruples(),
+        report.steps,
+        report.converged,
+        report.final_r_tilde(),
+        t0.elapsed().as_secs_f64()
+    );
+    let tsppr = TsPprRecommender::new(model, FeaturePipeline::standard());
+
+    let dyrc = DyrcRecommender::new(
+        DyrcTrainer::new(DyrcConfig {
+            window: opts.window,
+            omega: opts.omega,
+            ..DyrcConfig::default()
+        })
+        .train(&exp.split.train, &exp.stats),
+    );
+    eprintln!("DYRC weights: {:?}", dyrc.model());
+
+    for (name, rec) in [
+        ("TS-PPR", &tsppr as &dyn rrc_features::Recommender),
+        ("DYRC", &dyrc),
+        ("Pop", &PopRecommender),
+        ("Recency", &RecencyRecommender),
+        ("Random", &RandomRecommender::default()),
+    ] {
+        let r = evaluate_multi(rec, &exp.split, &exp.stats, &cfg, &ns);
+        println!(
+            "{:<8} MaAP {:.4} {:.4} {:.4} | MiAP {:.4} {:.4} {:.4}",
+            name,
+            r[0].maap(),
+            r[1].maap(),
+            r[2].maap(),
+            r[0].miap(),
+            r[1].miap(),
+            r[2].miap()
+        );
+    }
+}

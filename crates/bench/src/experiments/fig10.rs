@@ -1,0 +1,59 @@
+//! Fig. 10: sensitivity to the negative-sample count S (at Ω = 10 and 20).
+
+use crate::setup::{prepare, RunOptions};
+use crate::zoo::tsppr_config;
+use rrc_core::{TsPprRecommender, TsPprTrainer};
+use rrc_datagen::DatasetKind;
+use rrc_eval::{evaluate_multi_parallel, format_table, EvalConfig};
+use rrc_features::{FeaturePipeline, SamplingConfig, TrainingSet};
+
+const SS: [usize; 6] = [5, 10, 15, 20, 25, 30];
+const OMEGAS: [usize; 2] = [10, 20];
+
+/// Render MaAP@10/MiAP@10 as S varies, for two Ω settings.
+pub fn run(opts: &RunOptions) -> String {
+    let mut out = format!("Fig. 10 — sensitivity of the negative sample number S (K={})\n", opts.k);
+    for kind in [DatasetKind::Gowalla, DatasetKind::Lastfm] {
+        let exp = prepare(kind, opts);
+        for &omega in &OMEGAS {
+            let omega = omega.min(opts.window - 1);
+            let cfg = EvalConfig {
+                window: opts.window,
+                omega,
+            };
+            let mut rows = Vec::new();
+            for &s in &SS {
+                let training = TrainingSet::build(
+                    &exp.split.train,
+                    &exp.stats,
+                    &FeaturePipeline::standard(),
+                    &SamplingConfig {
+                        window: opts.window,
+                        omega,
+                        negatives_per_positive: s,
+                        seed: opts.seed ^ 0x5A,
+                    },
+                );
+                let (model, _) = TsPprTrainer::new(tsppr_config(&exp, opts)).train(&training);
+                let rec = TsPprRecommender::new(model, FeaturePipeline::standard());
+                let r = evaluate_multi_parallel(
+                    &rec, &exp.split, &exp.stats, &cfg, &[10], opts.threads,
+                );
+                rows.push(vec![
+                    s.to_string(),
+                    format!("{:.4}", r[0].maap()),
+                    format!("{:.4}", r[0].miap()),
+                ]);
+            }
+            out.push_str(&format!(
+                "\n[{kind}, Ω={omega}]\n{}",
+                format_table(&["S", "MaAP@10", "MiAP@10"], &rows)
+            ));
+        }
+    }
+    out.push_str(
+        "\n(Paper shape: a slight upward trend with S on Gowalla, flat on Lastfm —\n\
+         extra negatives add little once the candidate pool is exhausted.)\n",
+    );
+    out
+}

@@ -1,0 +1,95 @@
+//! Fig. 11: sensitivity to the minimum gap Ω (at S = 10 and 20).
+//!
+//! Interpretation note: raising Ω shrinks the candidate set `|W| − Ω`, so
+//! *every* method's absolute precision tends to rise mechanically — Random
+//! most of all. The paper's Gowalla-specific finding is that TS-PPR's
+//! *advantage* comes from recent repeats (strong recency effect): with
+//! remote repeats only, it degrades toward the field. We therefore report
+//! Random alongside TS-PPR and the ratio between them; the paper's
+//! crossover shows as the Gowalla ratio falling with Ω faster than
+//! Lastfm's.
+
+use crate::setup::{prepare, RunOptions};
+use crate::zoo::tsppr_config;
+use rrc_baselines::RandomRecommender;
+use rrc_core::{TsPprRecommender, TsPprTrainer};
+use rrc_datagen::DatasetKind;
+use rrc_eval::{evaluate_multi_parallel, format_table, EvalConfig};
+use rrc_features::{FeaturePipeline, SamplingConfig, TrainingSet};
+
+const OMEGAS: [usize; 5] = [5, 10, 20, 30, 40];
+const SS: [usize; 2] = [10, 20];
+
+/// Render MaAP@10/MiAP@10 as Ω varies, for two S settings, with the Random
+/// reference and the TS-PPR/Random ratio. Both training and evaluation use
+/// the same Ω (the paper's protocol).
+pub fn run(opts: &RunOptions) -> String {
+    let mut out = format!("Fig. 11 — sensitivity of the minimum gap Ω (K={})\n", opts.k);
+    for kind in [DatasetKind::Gowalla, DatasetKind::Lastfm] {
+        let exp = prepare(kind, opts);
+        for &s in &SS {
+            let mut rows = Vec::new();
+            for &omega in &OMEGAS {
+                if omega >= opts.window {
+                    continue;
+                }
+                let cfg = EvalConfig {
+                    window: opts.window,
+                    omega,
+                };
+                let training = TrainingSet::build(
+                    &exp.split.train,
+                    &exp.stats,
+                    &FeaturePipeline::standard(),
+                    &SamplingConfig {
+                        window: opts.window,
+                        omega,
+                        negatives_per_positive: s,
+                        seed: opts.seed ^ 0x5A,
+                    },
+                );
+                let (model, _) = TsPprTrainer::new(tsppr_config(&exp, opts)).train(&training);
+                let rec = TsPprRecommender::new(model, FeaturePipeline::standard());
+                let r = evaluate_multi_parallel(
+                    &rec, &exp.split, &exp.stats, &cfg, &[10], opts.threads,
+                );
+                let rnd = evaluate_multi_parallel(
+                    &RandomRecommender::default(),
+                    &exp.split,
+                    &exp.stats,
+                    &cfg,
+                    &[10],
+                    opts.threads,
+                );
+                let ratio = if rnd[0].maap() > 0.0 {
+                    r[0].maap() / rnd[0].maap()
+                } else {
+                    0.0
+                };
+                rows.push(vec![
+                    omega.to_string(),
+                    format!("{:.4}", r[0].maap()),
+                    format!("{:.4}", r[0].miap()),
+                    format!("{:.4}", rnd[0].maap()),
+                    format!("{:.2}", ratio),
+                ]);
+            }
+            out.push_str(&format!(
+                "\n[{kind}, S={s}]\n{}",
+                format_table(
+                    &["Ω", "MaAP@10", "MiAP@10", "Random@10", "TS-PPR/Random"],
+                    &rows
+                )
+            ));
+        }
+    }
+    out.push_str(
+        "\n(Paper shape: on Gowalla accuracy decreases with Ω — recent repeats are\n\
+         the recency-predictable, easy ones — while on Lastfm it increases with the\n\
+         shrinking candidate set. In this synthetic substrate the candidate-set\n\
+         shrinkage dominates both presets' absolute curves; the paper's contrast\n\
+         survives in the normalized column: TS-PPR's advantage over Random falls\n\
+         sharply with Ω on Gowalla-like data. See EXPERIMENTS.md.)\n",
+    );
+    out
+}

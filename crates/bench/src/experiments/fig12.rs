@@ -1,0 +1,42 @@
+//! Fig. 12: convergence of the SGD parameter inference — the r̃ trace.
+
+use crate::setup::{prepare, RunOptions};
+use crate::zoo::{build_training_set, tsppr_config};
+use rrc_core::TsPprTrainer;
+use rrc_datagen::DatasetKind;
+use rrc_features::FeaturePipeline;
+
+/// Render the small-batch mean-margin trace per convergence check.
+pub fn run(opts: &RunOptions) -> String {
+    let mut out = format!(
+        "Fig. 12 — model convergence: small-batch r̃ per check (S={}, Ω={}, Δr̃ ≤ 1e-3)\n",
+        opts.s, opts.omega
+    );
+    for kind in [DatasetKind::Gowalla, DatasetKind::Lastfm] {
+        let exp = prepare(kind, opts);
+        let training = build_training_set(&exp, opts, &FeaturePipeline::standard());
+        let (_, report) = TsPprTrainer::new(tsppr_config(&exp, opts)).train(&training);
+        out.push_str(&format!(
+            "\n[{kind}] |D| = {}, steps = {}, converged = {}\n",
+            training.num_quadruples(),
+            report.steps,
+            report.converged
+        ));
+        out.push_str(&format!("{:>10} {:>10} {:>10}\n", "step", "r̃", "nll"));
+        // Subsample long traces to ~25 evenly-spaced points (plus the last).
+        let stride = (report.checks.len() / 25).max(1);
+        for (i, c) in report.checks.iter().enumerate() {
+            if i % stride == 0 || i + 1 == report.checks.len() {
+                out.push_str(&format!(
+                    "{:>10} {:>10.4} {:>10.4}\n",
+                    c.step, c.r_tilde, c.nll
+                ));
+            }
+        }
+    }
+    out.push_str(
+        "\n(Paper shape: r̃ rises and flattens; the converged r̃ is higher on Gowalla\n\
+         than Lastfm — positives are easier to separate — matching the accuracy gap.)\n",
+    );
+    out
+}

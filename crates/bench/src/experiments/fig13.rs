@@ -1,0 +1,55 @@
+//! Fig. 13: average online recommendation time of a single instance.
+
+use crate::setup::{prepare, RunOptions};
+use crate::zoo::ModelZoo;
+use rrc_datagen::DatasetKind;
+use rrc_eval::{format_table, measure_latency, EvalConfig};
+
+/// Instances to time per (dataset, method); three trials are averaged as in
+/// the paper.
+const INSTANCES: usize = 1000;
+const TRIALS: usize = 3;
+
+/// Render mean per-instance latency (ms) per method and dataset.
+pub fn run(opts: &RunOptions) -> String {
+    let mut out = format!(
+        "Fig. 13 — average online recommendation time per instance, {} instances × {} trials\n",
+        INSTANCES, TRIALS
+    );
+    let cfg = EvalConfig {
+        window: opts.window,
+        omega: opts.omega,
+    };
+    for kind in [DatasetKind::Gowalla, DatasetKind::Lastfm] {
+        let exp = prepare(kind, opts);
+        let zoo = ModelZoo::full(&exp, opts);
+        let mut rows = Vec::new();
+        for (name, rec) in zoo.iter() {
+            let mut total_ms = 0.0;
+            for _ in 0..TRIALS {
+                let report = measure_latency(rec, &exp.split, &exp.stats, &cfg, 10, INSTANCES);
+                total_ms += report.mean_millis();
+            }
+            let mean_ms = total_ms / TRIALS as f64;
+            rows.push(vec![
+                name.to_string(),
+                format!("{mean_ms:.4}"),
+                format!("{:.1}", mean_ms.max(1e-9).log10()),
+            ]);
+        }
+        out.push_str(&format!(
+            "\n[{kind}]\n{}",
+            format_table(&["method", "mean ms/instance", "log10(ms)"], &rows)
+        ));
+    }
+    out.push_str(
+        "\n(Paper shape: Random/Pop/DYRC cheapest; FPMC medium; TS-PPR above the\n\
+         simple baselines; Survival slowest because it recomputes its return-time\n\
+         covariate by scanning the user's whole history per candidate — an\n\
+         O(|S_u|)-per-score cost. At this synthetic scale (|S_u| ≈ 300-1500) that\n\
+         shows as a few-to-tens× gap; at the paper's sequence lengths (up to ~10⁵\n\
+         events/user on Lastfm, through Python lifelines) the same asymmetry is\n\
+         the 2-4 orders of magnitude the paper reports.)\n",
+    );
+    out
+}

@@ -1,0 +1,47 @@
+//! Fig. 4: distributions of repeat consumption by the rank of the
+//! reconsumed item in the time window, per behavioral feature.
+
+use crate::setup::{prepare, RunOptions};
+use rrc_datagen::DatasetKind;
+use rrc_features::{rank_distributions, FeaturePipeline};
+
+/// Render per-feature rank histograms (the paper plots counts on a log
+/// y-axis; we print the head of each histogram plus summary steepness).
+pub fn run(opts: &RunOptions) -> String {
+    let mut out = format!(
+        "Fig. 4 — rank of the reconsumed item in the window per feature (|W|={}, Ω={})\n",
+        opts.window, opts.omega
+    );
+    let pipeline = FeaturePipeline::standard();
+    for kind in [DatasetKind::Gowalla, DatasetKind::Lastfm] {
+        let exp = prepare(kind, opts);
+        let hists = rank_distributions(
+            &exp.data,
+            &exp.stats,
+            &pipeline,
+            opts.window,
+            opts.omega,
+        );
+        out.push_str(&format!("\n[{kind}]\n"));
+        out.push_str(&format!(
+            "{:<8} {:>10} {:>10} {:>9}  head of histogram (ranks 1..10)\n",
+            "feature", "events", "mean-rank", "top-1%"
+        ));
+        for h in &hists {
+            let head: Vec<String> = h.counts.iter().take(10).map(|c| c.to_string()).collect();
+            out.push_str(&format!(
+                "{:<8} {:>10} {:>10.2} {:>8.1}%  [{}]\n",
+                h.feature,
+                h.total(),
+                h.mean_rank(),
+                h.top_k_fraction(1) * 100.0,
+                head.join(", ")
+            ));
+        }
+    }
+    out.push_str(
+        "\n(Paper shape: decaying curves — people reconsume items that rank high on\n\
+         each feature — with Gowalla steeper than Lastfm; compare mean-rank columns.)\n",
+    );
+    out
+}

@@ -1,0 +1,57 @@
+//! Fig. 8: sensitivity to the regularisation parameters λ and γ.
+
+use crate::setup::{prepare, RunOptions};
+use crate::zoo::{build_training_set, tsppr_config};
+use rrc_core::{TsPprRecommender, TsPprTrainer};
+use rrc_datagen::DatasetKind;
+use rrc_eval::{evaluate_multi_parallel, format_table, EvalConfig};
+use rrc_features::FeaturePipeline;
+
+const GRID: [f64; 5] = [1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
+/// Render MaAP@10/MiAP@10 sweeps over λ (with γ at default) and over γ
+/// (with λ at default).
+pub fn run(opts: &RunOptions) -> String {
+    let mut out = format!(
+        "Fig. 8 — influence of regularization parameters λ and γ (K={}, S={}, Ω={})\n",
+        opts.k, opts.s, opts.omega
+    );
+    for kind in [DatasetKind::Gowalla, DatasetKind::Lastfm] {
+        let exp = prepare(kind, opts);
+        let training = build_training_set(&exp, opts, &FeaturePipeline::standard());
+        let cfg = EvalConfig {
+            window: opts.window,
+            omega: opts.omega,
+        };
+        let base = tsppr_config(&exp, opts);
+        for (param, is_lambda) in [("λ", true), ("γ", false)] {
+            let mut rows = Vec::new();
+            for &v in &GRID {
+                let config = if is_lambda {
+                    base.clone().with_regularization(v, base.gamma)
+                } else {
+                    base.clone().with_regularization(base.lambda, v)
+                };
+                let (model, _) = TsPprTrainer::new(config).train(&training);
+                let rec = TsPprRecommender::new(model, FeaturePipeline::standard());
+                let r = evaluate_multi_parallel(
+                    &rec, &exp.split, &exp.stats, &cfg, &[10], opts.threads,
+                );
+                rows.push(vec![
+                    format!("{v:e}"),
+                    format!("{:.4}", r[0].maap()),
+                    format!("{:.4}", r[0].miap()),
+                ]);
+            }
+            out.push_str(&format!(
+                "\n[{kind}] sweep over {param}\n{}",
+                format_table(&[param, "MaAP@10", "MiAP@10"], &rows)
+            ));
+        }
+    }
+    out.push_str(
+        "\n(Paper shape: accuracy degrades at large λ/γ — underfitting — with the\n\
+         Gowalla drop sharper than Lastfm's; optimum γ exceeds optimum λ.)\n",
+    );
+    out
+}

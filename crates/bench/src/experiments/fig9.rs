@@ -1,0 +1,48 @@
+//! Fig. 9: sensitivity to the latent feature space dimension K.
+
+use crate::setup::{prepare, RunOptions};
+use crate::zoo::{build_training_set, tsppr_config};
+use rrc_core::{TsPprRecommender, TsPprTrainer};
+use rrc_datagen::DatasetKind;
+use rrc_eval::{evaluate_multi_parallel, format_table, EvalConfig};
+use rrc_features::FeaturePipeline;
+
+const KS: [usize; 6] = [5, 10, 20, 40, 60, 80];
+
+/// Render MaAP@10/MiAP@10 as K varies.
+pub fn run(opts: &RunOptions) -> String {
+    let mut out = format!(
+        "Fig. 9 — sensitivity of the latent dimension K (S={}, Ω={})\n",
+        opts.s, opts.omega
+    );
+    for kind in [DatasetKind::Gowalla, DatasetKind::Lastfm] {
+        let exp = prepare(kind, opts);
+        let training = build_training_set(&exp, opts, &FeaturePipeline::standard());
+        let cfg = EvalConfig {
+            window: opts.window,
+            omega: opts.omega,
+        };
+        let mut rows = Vec::new();
+        for &k in &KS {
+            let config = tsppr_config(&exp, opts).with_k(k);
+            let (model, _) = TsPprTrainer::new(config).train(&training);
+            let rec = TsPprRecommender::new(model, FeaturePipeline::standard());
+            let r =
+                evaluate_multi_parallel(&rec, &exp.split, &exp.stats, &cfg, &[10], opts.threads);
+            rows.push(vec![
+                k.to_string(),
+                format!("{:.4}", r[0].maap()),
+                format!("{:.4}", r[0].miap()),
+            ]);
+        }
+        out.push_str(&format!(
+            "\n[{kind}]\n{}",
+            format_table(&["K", "MaAP@10", "MiAP@10"], &rows)
+        ));
+    }
+    out.push_str(
+        "\n(Paper shape: accuracy rises with K and saturates around K = 40, more\n\
+         visibly on Gowalla than Lastfm.)\n",
+    );
+    out
+}

@@ -1,0 +1,52 @@
+//! One module per reproduced table/figure. Every experiment returns its
+//! rendered report as a `String` (the `reproduce` binary prints it).
+
+pub mod ablation;
+pub mod accuracy;
+pub mod ci;
+pub mod mixture;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig4;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fig10;
+pub mod table2;
+pub mod table5;
+
+use crate::setup::RunOptions;
+
+/// The canonical Top-N values of the paper.
+pub const TOP_NS: [usize; 3] = [1, 5, 10];
+
+/// All experiment names, in paper order.
+pub const ALL_EXPERIMENTS: [&str; 12] = [
+    "table2", "fig4", "fig5", "fig6", "table3", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13",
+];
+
+/// Run one experiment by name (`fig5`, `table3`, ...), returning the
+/// rendered report. `table5` is also accepted.
+pub fn run(name: &str, opts: &RunOptions) -> Option<String> {
+    Some(match name {
+        "table2" => table2::run(opts),
+        "fig4" => fig4::run(opts),
+        "fig5" => accuracy::run_fig5(opts),
+        "fig6" => accuracy::run_fig6(opts),
+        "table3" => accuracy::run_table3(opts),
+        "fig7" => fig7::run(opts),
+        "fig8" => fig8::run(opts),
+        "fig9" => fig9::run(opts),
+        "fig10" => fig10::run(opts),
+        "fig11" => fig11::run(opts),
+        "fig12" => fig12::run(opts),
+        "fig13" => fig13::run(opts),
+        "table5" => table5::run(opts),
+        "ablation" => ablation::run(opts),
+        "mixture" => mixture::run(opts),
+        "ci" => ci::run(opts),
+        _ => return None,
+    })
+}

@@ -1,0 +1,16 @@
+//! Experiment drivers reproducing every table and figure of the paper's
+//! evaluation (§5). See DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+//!
+//! The `reproduce` binary (this crate's `src/bin/reproduce.rs`) dispatches
+//! to [`experiments`]; the Criterion benches under `benches/` measure the
+//! timing-sensitive pieces (per-instance recommendation latency — Fig. 13's
+//! measurement — plus training-step, feature-extraction, and
+//! window-maintenance throughput).
+
+pub mod experiments;
+pub mod setup;
+pub mod zoo;
+
+pub use setup::{prepare, ExperimentData, RunOptions};
+pub use zoo::ModelZoo;

@@ -1,0 +1,110 @@
+//! Shared experiment setup: dataset preparation and run-wide options.
+
+use rrc_datagen::{DatasetKind, GeneratorConfig};
+use rrc_features::TrainStats;
+use rrc_sequence::{Dataset, SplitDataset};
+
+/// Options shared by every experiment run. Defaults reproduce the paper's
+/// settings (Table 4: `|W| = 100`, `Ω = 10`, `S = 10`, `K = 40`) at a
+/// laptop-friendly data scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Scale factor for the Gowalla-like preset.
+    pub scale_gowalla: f64,
+    /// Scale factor for the Last.fm-like preset.
+    pub scale_lastfm: f64,
+    /// Window capacity `|W|`.
+    pub window: usize,
+    /// Minimum gap Ω.
+    pub omega: usize,
+    /// Negatives per positive `S`.
+    pub s: usize,
+    /// Latent dimension `K`.
+    pub k: usize,
+    /// TS-PPR sweep cap.
+    pub max_sweeps: usize,
+    /// Threads for parallel evaluation.
+    pub threads: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            scale_gowalla: 0.02,
+            scale_lastfm: 0.05,
+            window: 100,
+            omega: 10,
+            s: 10,
+            k: 40,
+            max_sweeps: 60,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            seed: 20170419, // ICDE 2017
+
+        }
+    }
+}
+
+impl RunOptions {
+    /// A reduced configuration for smoke tests and `--fast` runs.
+    pub fn fast() -> Self {
+        RunOptions {
+            scale_gowalla: 0.006,
+            scale_lastfm: 0.02,
+            window: 50,
+            omega: 5,
+            s: 5,
+            k: 16,
+            max_sweeps: 15,
+            ..Self::default()
+        }
+    }
+}
+
+/// A prepared dataset: generated, filtered (`|S_u| × 70% ≥ |W|`), split
+/// 70/30, with training statistics computed.
+pub struct ExperimentData {
+    /// Which preset this is.
+    pub kind: DatasetKind,
+    /// The full filtered dataset.
+    pub data: Dataset,
+    /// The per-user 70/30 split.
+    pub split: SplitDataset,
+    /// Training-split statistics.
+    pub stats: TrainStats,
+}
+
+/// Generate + filter + split + compute stats for one preset.
+pub fn prepare(kind: DatasetKind, opts: &RunOptions) -> ExperimentData {
+    let config = match kind {
+        DatasetKind::Gowalla => GeneratorConfig::gowalla_like(opts.scale_gowalla),
+        DatasetKind::Lastfm => GeneratorConfig::lastfm_like(opts.scale_lastfm),
+        DatasetKind::Custom => GeneratorConfig::tiny(),
+    }
+    .with_seed(opts.seed ^ kind_seed(kind));
+    let raw = config.generate();
+    let data = raw.filter_min_train_len(0.7, opts.window);
+    assert!(
+        data.num_users() > 0,
+        "filter removed every user; lower --window or raise --scale"
+    );
+    let split = data.split(0.7);
+    let stats = TrainStats::compute(&split.train, opts.window);
+    ExperimentData {
+        kind,
+        data,
+        split,
+        stats,
+    }
+}
+
+fn kind_seed(kind: DatasetKind) -> u64 {
+    match kind {
+        DatasetKind::Gowalla => 0xA0,
+        DatasetKind::Lastfm => 0x1F,
+        DatasetKind::Custom => 0xCC,
+    }
+}

@@ -1,0 +1,168 @@
+//! Model zoo: trains every method in the paper's comparison on a prepared
+//! dataset.
+
+use crate::setup::{ExperimentData, RunOptions};
+use rrc_baselines::{
+    DyrcConfig, DyrcRecommender, DyrcTrainer, FpmcConfig, FpmcRecommender, FpmcTrainer,
+    PopRecommender, RandomRecommender, RecencyRecommender,
+};
+use rrc_core::{TsPprConfig, TsPprRecommender, TsPprTrainer, TrainReport};
+use rrc_datagen::DatasetKind;
+use rrc_features::{FeaturePipeline, Recommender, SamplingConfig, TrainingSet};
+use rrc_survival::{CoxConfig, SurvivalRecommender};
+
+/// All trained methods, in the paper's presentation order.
+pub struct ModelZoo {
+    methods: Vec<(String, Box<dyn Recommender + Sync>)>,
+}
+
+impl ModelZoo {
+    /// Train the full comparison (Random, Pop, Recency, FPMC, Survival,
+    /// DYRC, TS-PPR) on the prepared data.
+    pub fn full(exp: &ExperimentData, opts: &RunOptions) -> Self {
+        let mut methods: Vec<(String, Box<dyn Recommender + Sync>)> = vec![
+            ("Random".into(), Box::new(RandomRecommender::default())),
+            ("Pop".into(), Box::new(PopRecommender)),
+            ("Recency".into(), Box::new(RecencyRecommender)),
+        ];
+
+        let fpmc = FpmcTrainer::new(FpmcConfig {
+            window: opts.window,
+            omega: opts.omega,
+            negatives_per_positive: opts.s,
+            k: opts.k.min(16),
+            max_sweeps: opts.max_sweeps.min(15),
+            seed: opts.seed ^ 0xF,
+            ..FpmcConfig::new(exp.data.num_users(), exp.data.num_items())
+        })
+        .train(&exp.split.train);
+        methods.push(("FPMC".into(), Box::new(FpmcRecommender::new(fpmc))));
+
+        match SurvivalRecommender::fit(
+            &exp.split.train,
+            &exp.stats,
+            opts.window,
+            &CoxConfig::default(),
+        ) {
+            Ok(s) => methods.push(("Survival".into(), Box::new(s))),
+            Err(e) => eprintln!("warning: Survival baseline skipped: {e}"),
+        }
+
+        let dyrc = DyrcTrainer::new(DyrcConfig {
+            window: opts.window,
+            omega: opts.omega,
+            ..DyrcConfig::default()
+        })
+        .train(&exp.split.train, &exp.stats);
+        methods.push(("DYRC".into(), Box::new(DyrcRecommender::new(dyrc))));
+
+        let (tsppr, _) = train_tsppr(exp, opts, &FeaturePipeline::standard());
+        methods.push(("TS-PPR".into(), Box::new(tsppr)));
+
+        ModelZoo { methods }
+    }
+
+    /// Iterate `(name, recommender)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &(dyn Recommender + Sync))> {
+        self.methods
+            .iter()
+            .map(|(n, r)| (n.as_str(), r.as_ref() as &(dyn Recommender + Sync)))
+    }
+
+    /// Number of methods.
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Whether the zoo is empty (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+}
+
+/// Build a training set with the run's sampling parameters and an extra
+/// seed component (for multi-seed replication experiments).
+pub fn build_training_set_with_pipeline_seed(
+    exp: &ExperimentData,
+    opts: &RunOptions,
+    pipeline: &FeaturePipeline,
+    rep: u64,
+) -> TrainingSet {
+    TrainingSet::build(
+        &exp.split.train,
+        &exp.stats,
+        pipeline,
+        &SamplingConfig {
+            window: opts.window,
+            omega: opts.omega,
+            negatives_per_positive: opts.s,
+            seed: opts.seed ^ 0x5A ^ (rep.wrapping_mul(0x9E37)),
+        },
+    )
+}
+
+/// Build a training set with the run's sampling parameters.
+pub fn build_training_set(
+    exp: &ExperimentData,
+    opts: &RunOptions,
+    pipeline: &FeaturePipeline,
+) -> TrainingSet {
+    TrainingSet::build(
+        &exp.split.train,
+        &exp.stats,
+        pipeline,
+        &SamplingConfig {
+            window: opts.window,
+            omega: opts.omega,
+            negatives_per_positive: opts.s,
+            seed: opts.seed ^ 0x5A,
+        },
+    )
+}
+
+/// TS-PPR configuration for a dataset, honouring the paper's Table 4
+/// regularisation defaults per preset.
+pub fn tsppr_config(exp: &ExperimentData, opts: &RunOptions) -> TsPprConfig {
+    let base = match exp.kind {
+        DatasetKind::Lastfm => {
+            TsPprConfig::lastfm_defaults(exp.data.num_users(), exp.data.num_items())
+        }
+        _ => TsPprConfig::gowalla_defaults(exp.data.num_users(), exp.data.num_items()),
+    };
+    let mut cfg = base
+        .with_k(opts.k)
+        .with_max_sweeps(opts.max_sweeps)
+        .with_seed(opts.seed ^ 0x75);
+    // At experiment scale |D| is far smaller than the paper's millions of
+    // quadruples, so insist on substantial training before the Δr̃ stop may
+    // fire (see TsPprConfig::min_sweeps).
+    cfg.min_sweeps = opts.max_sweeps / 2;
+    cfg
+}
+
+/// Train TS-PPR with an arbitrary feature pipeline (the Fig. 7 ablations
+/// pass `FeaturePipeline::standard().without(..)`).
+pub fn train_tsppr(
+    exp: &ExperimentData,
+    opts: &RunOptions,
+    pipeline: &FeaturePipeline,
+) -> (TsPprRecommender, TrainReport) {
+    let training = build_training_set(exp, opts, pipeline);
+    let (model, report) = TsPprTrainer::new(tsppr_config(exp, opts)).train(&training);
+    // Rebuild an identical pipeline for serving (pipelines are not Clone
+    // because they hold trait objects; the standard features are stateless).
+    let serving = clone_pipeline(pipeline);
+    (TsPprRecommender::new(model, serving), report)
+}
+
+/// Rebuild a pipeline consisting of standard features (by name).
+pub fn clone_pipeline(pipeline: &FeaturePipeline) -> FeaturePipeline {
+    let mut p = FeaturePipeline::standard();
+    for name in ["IP", "IR", "RE", "DF"] {
+        if !pipeline.names().contains(&name) {
+            p = p.without(name);
+        }
+    }
+    assert_eq!(p.names(), pipeline.names(), "non-standard pipeline");
+    p
+}

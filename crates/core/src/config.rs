@@ -1,0 +1,178 @@
+//! TS-PPR hyper-parameters (Table 4 of the paper).
+
+/// Configuration of the TS-PPR model and its SGD trainer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsPprConfig {
+    /// Number of users (rows of `U`, one `A_u` each).
+    pub num_users: usize,
+    /// Number of items (rows of `V`).
+    pub num_items: usize,
+    /// Latent dimension `K` (paper default 40).
+    pub k: usize,
+    /// Regularisation λ on the transform matrices `A_u`.
+    pub lambda: f64,
+    /// Regularisation γ on the latent factors `U`, `V`.
+    pub gamma: f64,
+    /// SGD learning rate α (the paper does not report a value; 0.05 is
+    /// stable across both presets).
+    pub alpha: f64,
+    /// Hard cap on SGD steps, expressed in sweeps of `|D|` draws each.
+    pub max_sweeps: usize,
+    /// Minimum sweeps before the convergence check may fire. The paper's
+    /// `Δr̃ ≤ ε` criterion assumes a very large `|D|` (millions of
+    /// quadruples), where `|D|/10` steps is substantial training; at small
+    /// `|D|` the early between-check progress is tiny and the raw criterion
+    /// stops almost immediately, so we require this much training first.
+    pub min_sweeps: usize,
+    /// Convergence threshold on `|Δr̃|` between checks (paper: `10⁻³`).
+    pub convergence_eps: f64,
+    /// Fraction of quadruples in the convergence small batch (paper: each
+    /// user's first 10%).
+    pub check_fraction: f64,
+    /// Steps between convergence checks, as a fraction of `|D|` (paper:
+    /// every `|D|/10` draws).
+    pub check_interval_fraction: f64,
+    /// RNG seed for initialisation and draw order.
+    pub seed: u64,
+    /// Fix every `A_u` to the identity matrix instead of learning it — the
+    /// paper's suggested simplification when `K = F` (§4.2.1 case 2). The
+    /// trainer asserts `K == F` when this is set.
+    pub identity_transform: bool,
+}
+
+impl TsPprConfig {
+    /// Paper defaults shared by both datasets: `K = 40`, `S`/`Ω` handled by
+    /// the sampler, convergence at `Δr̃ ≤ 10⁻³`.
+    pub fn new(num_users: usize, num_items: usize) -> Self {
+        TsPprConfig {
+            num_users,
+            num_items,
+            k: 40,
+            lambda: 0.01,
+            gamma: 0.05,
+            alpha: 0.05,
+            max_sweeps: 60,
+            min_sweeps: 5,
+            convergence_eps: 1e-3,
+            check_fraction: 0.1,
+            check_interval_fraction: 0.1,
+            seed: 0x7599,
+            identity_transform: false,
+        }
+    }
+
+    /// Table 4, Gowalla column: `λ = 0.01`, `γ = 0.05`, `K = 40`.
+    pub fn gowalla_defaults(num_users: usize, num_items: usize) -> Self {
+        Self::new(num_users, num_items)
+    }
+
+    /// Table 4, Last.fm column: `λ = 0.001`, `γ = 0.1`, `K = 40`.
+    pub fn lastfm_defaults(num_users: usize, num_items: usize) -> Self {
+        TsPprConfig {
+            lambda: 0.001,
+            gamma: 0.1,
+            ..Self::new(num_users, num_items)
+        }
+    }
+
+    /// Builder-style latent dimension.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Builder-style regularisation parameters.
+    pub fn with_regularization(mut self, lambda: f64, gamma: f64) -> Self {
+        self.lambda = lambda;
+        self.gamma = gamma;
+        self
+    }
+
+    /// Builder-style learning rate.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Builder-style seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style sweep cap.
+    pub fn with_max_sweeps(mut self, max_sweeps: usize) -> Self {
+        self.max_sweeps = max_sweeps;
+        self
+    }
+
+    /// Builder-style identity-transform flag (requires `K = F` at train
+    /// time).
+    pub fn with_identity_transform(mut self, identity: bool) -> Self {
+        self.identity_transform = identity;
+        self
+    }
+
+    /// Validate invariants; called by the trainer.
+    pub fn validate(&self) {
+        assert!(self.num_users > 0, "num_users must be positive");
+        assert!(self.num_items > 0, "num_items must be positive");
+        assert!(self.k > 0, "latent dimension K must be positive");
+        assert!(self.lambda >= 0.0 && self.lambda.is_finite(), "lambda must be >= 0");
+        assert!(self.gamma >= 0.0 && self.gamma.is_finite(), "gamma must be >= 0");
+        assert!(self.alpha > 0.0 && self.alpha.is_finite(), "alpha must be > 0");
+        assert!(
+            (0.0..=1.0).contains(&self.check_fraction),
+            "check_fraction must be in [0, 1]"
+        );
+        assert!(
+            self.check_interval_fraction > 0.0 && self.check_interval_fraction <= 1.0,
+            "check_interval_fraction must be in (0, 1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_4() {
+        let g = TsPprConfig::gowalla_defaults(10, 20);
+        assert_eq!(g.k, 40);
+        assert_eq!(g.lambda, 0.01);
+        assert_eq!(g.gamma, 0.05);
+        let l = TsPprConfig::lastfm_defaults(10, 20);
+        assert_eq!(l.lambda, 0.001);
+        assert_eq!(l.gamma, 0.1);
+        assert_eq!(l.k, 40);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = TsPprConfig::new(5, 6)
+            .with_k(8)
+            .with_regularization(0.1, 0.2)
+            .with_alpha(0.01)
+            .with_seed(3)
+            .with_max_sweeps(2);
+        assert_eq!(c.k, 8);
+        assert_eq!((c.lambda, c.gamma), (0.1, 0.2));
+        assert_eq!(c.alpha, 0.01);
+        assert_eq!(c.seed, 3);
+        assert_eq!(c.max_sweeps, 2);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be positive")]
+    fn zero_k_invalid() {
+        TsPprConfig::new(1, 1).with_k(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be > 0")]
+    fn zero_alpha_invalid() {
+        TsPprConfig::new(1, 1).with_alpha(0.0).validate();
+    }
+}

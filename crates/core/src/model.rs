@@ -1,0 +1,266 @@
+//! The TS-PPR model state: latent factors `U`, `V` and the per-user
+//! transforms `A_u`.
+
+use rrc_linalg::{DMatrix, GaussianSampler};
+use rrc_sequence::{ItemId, UserId};
+
+/// A (possibly trained) TS-PPR model.
+///
+/// `U` and `V` are stored as row-major matrices (`num_users × K`,
+/// `num_items × K`) so a user/item factor is a contiguous row; each user's
+/// `A_u` is a `K × F` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsPprModel {
+    k: usize,
+    f_dim: usize,
+    u: DMatrix,
+    v: DMatrix,
+    a: Vec<DMatrix>,
+}
+
+impl TsPprModel {
+    /// Initialise per Algorithm 1: `U, V ~ N(0, γI)`, `A_u ~ N(0, λI)`
+    /// (standard deviations `√γ`, `√λ`).
+    pub fn init<R: rand::Rng + ?Sized>(
+        rng: &mut R,
+        num_users: usize,
+        num_items: usize,
+        k: usize,
+        f_dim: usize,
+        gamma: f64,
+        lambda: f64,
+    ) -> Self {
+        assert!(k > 0 && f_dim > 0, "K and F must be positive");
+        let mut factor_init = GaussianSampler::new(0.0, gamma.max(0.0).sqrt());
+        let mut transform_init = GaussianSampler::new(0.0, lambda.max(0.0).sqrt());
+        TsPprModel {
+            k,
+            f_dim,
+            u: factor_init.sample_matrix(rng, num_users, k),
+            v: factor_init.sample_matrix(rng, num_items, k),
+            a: (0..num_users)
+                .map(|_| transform_init.sample_matrix(rng, k, f_dim))
+                .collect(),
+        }
+    }
+
+    /// Build from explicit parts (used by [`crate::persist`]).
+    pub fn from_parts(k: usize, f_dim: usize, u: DMatrix, v: DMatrix, a: Vec<DMatrix>) -> Self {
+        assert_eq!(u.cols(), k, "U has wrong latent dimension");
+        assert_eq!(v.cols(), k, "V has wrong latent dimension");
+        assert_eq!(a.len(), u.rows(), "one A_u per user required");
+        for m in &a {
+            assert_eq!((m.rows(), m.cols()), (k, f_dim), "A_u has wrong shape");
+        }
+        TsPprModel { k, f_dim, u, v, a }
+    }
+
+    /// Latent dimension `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Observable feature dimension `F`.
+    pub fn f_dim(&self) -> usize {
+        self.f_dim
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.u.rows()
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.v.rows()
+    }
+
+    /// Borrow user `u`'s latent factor.
+    #[inline]
+    pub fn user_factor(&self, user: UserId) -> &[f64] {
+        self.u.row(user.index())
+    }
+
+    /// Borrow item `v`'s latent factor.
+    #[inline]
+    pub fn item_factor(&self, item: ItemId) -> &[f64] {
+        self.v.row(item.index())
+    }
+
+    /// Borrow user `u`'s transform `A_u`.
+    #[inline]
+    pub fn transform(&self, user: UserId) -> &DMatrix {
+        &self.a[user.index()]
+    }
+
+    /// Mutable access for the trainer: `(u_row, v_row, A_u)` cannot be
+    /// borrowed separately through `&mut self`, so the trainer goes through
+    /// these dedicated accessors one update at a time.
+    #[inline]
+    pub(crate) fn user_factor_mut(&mut self, user: UserId) -> &mut [f64] {
+        self.u.row_mut(user.index())
+    }
+
+    #[inline]
+    pub(crate) fn item_factor_mut(&mut self, item: ItemId) -> &mut [f64] {
+        self.v.row_mut(item.index())
+    }
+
+    #[inline]
+    pub(crate) fn transform_mut(&mut self, user: UserId) -> &mut DMatrix {
+        &mut self.a[user.index()]
+    }
+
+    /// Static preference `uᵀv` (Eq. 1) — the time-insensitive part.
+    pub fn score_static(&self, user: UserId, item: ItemId) -> f64 {
+        dot(self.user_factor(user), self.item_factor(item))
+    }
+
+    /// Full time-sensitive preference `r_uvt = uᵀ(v + A_u f)` (Eq. 5).
+    ///
+    /// # Panics
+    /// Panics (debug) if `f.len() != f_dim`.
+    pub fn score(&self, user: UserId, item: ItemId, f: &[f64]) -> f64 {
+        debug_assert_eq!(f.len(), self.f_dim, "feature dimension mismatch");
+        let u = self.user_factor(user);
+        let v = self.item_factor(item);
+        let a = self.transform(user);
+        // uᵀv + uᵀ(A f), computed without allocating: Σ_r u_r (v_r + (A f)_r).
+        let mut acc = 0.0;
+        for r in 0..self.k {
+            let af = dot(a.row(r), f);
+            acc += u[r] * (v[r] + af);
+        }
+        acc
+    }
+
+    /// The pairwise margin `r_{uv_it} − r_{uv_jt}` for a quadruple — the
+    /// quantity whose sigmoid the training objective maximises. Computed
+    /// directly from the factored form of Eq. 6 (one pass, no allocation).
+    pub fn margin(
+        &self,
+        user: UserId,
+        pos: ItemId,
+        neg: ItemId,
+        f_pos: &[f64],
+        f_neg: &[f64],
+    ) -> f64 {
+        debug_assert_eq!(f_pos.len(), self.f_dim);
+        debug_assert_eq!(f_neg.len(), self.f_dim);
+        let u = self.user_factor(user);
+        let vi = self.item_factor(pos);
+        let vj = self.item_factor(neg);
+        let a = self.transform(user);
+        let mut acc = 0.0;
+        for r in 0..self.k {
+            let arow = a.row(r);
+            let mut adf = 0.0;
+            for c in 0..self.f_dim {
+                adf += arow[c] * (f_pos[c] - f_neg[c]);
+            }
+            acc += u[r] * (vi[r] - vj[r] + adf);
+        }
+        acc
+    }
+
+    /// Squared Frobenius norms `(‖U‖², ‖V‖², Σ_u ‖A_u‖²)` — the
+    /// regularisation terms of Eq. 7, exposed for objective reporting.
+    pub fn norms(&self) -> (f64, f64, f64) {
+        (
+            self.u.frobenius_norm_sq(),
+            self.v.frobenius_norm_sq(),
+            self.a.iter().map(|m| m.frobenius_norm_sq()).sum(),
+        )
+    }
+
+    /// True iff every parameter is finite — asserted by the trainer after
+    /// each convergence check.
+    pub fn is_finite(&self) -> bool {
+        self.u.is_finite() && self.v.is_finite() && self.a.iter().all(|m| m.is_finite())
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> TsPprModel {
+        let mut rng = StdRng::seed_from_u64(1);
+        TsPprModel::init(&mut rng, 3, 5, 4, 2, 0.05, 0.01)
+    }
+
+    #[test]
+    fn shapes() {
+        let m = model();
+        assert_eq!(m.k(), 4);
+        assert_eq!(m.f_dim(), 2);
+        assert_eq!(m.num_users(), 3);
+        assert_eq!(m.num_items(), 5);
+        assert_eq!(m.user_factor(UserId(0)).len(), 4);
+        assert_eq!(m.item_factor(ItemId(4)).len(), 4);
+        assert_eq!(m.transform(UserId(2)).rows(), 4);
+        assert_eq!(m.transform(UserId(2)).cols(), 2);
+        assert!(m.is_finite());
+    }
+
+    #[test]
+    fn score_decomposes_into_static_plus_dynamic() {
+        let m = model();
+        let u = UserId(1);
+        let v = ItemId(2);
+        // With a zero feature vector the dynamic term vanishes.
+        assert!((m.score(u, v, &[0.0, 0.0]) - m.score_static(u, v)).abs() < 1e-12);
+        // With features, score = static + uᵀ(A f).
+        let f = [0.3, 0.7];
+        let af = m.transform(u).matvec(&f);
+        let dynamic = dot(m.user_factor(u), af.as_slice());
+        assert!((m.score(u, v, &f) - (m.score_static(u, v) + dynamic)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_equals_score_difference() {
+        let m = model();
+        let u = UserId(0);
+        let (vi, vj) = (ItemId(1), ItemId(3));
+        let fi = [0.2, 0.9];
+        let fj = [0.5, 0.1];
+        let direct = m.margin(u, vi, vj, &fi, &fj);
+        let via_scores = m.score(u, vi, &fi) - m.score(u, vj, &fj);
+        assert!((direct - via_scores).abs() < 1e-12);
+    }
+
+    #[test]
+    fn init_variance_tracks_gamma_lambda() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = TsPprModel::init(&mut rng, 200, 200, 20, 4, 0.25, 0.04);
+        // Empirical variance of U entries ≈ γ = 0.25.
+        let (u2, _, a2) = m.norms();
+        let u_var = u2 / (200.0 * 20.0);
+        assert!((u_var - 0.25).abs() < 0.03, "u_var={u_var}");
+        let a_var = a2 / (200.0 * 20.0 * 4.0);
+        assert!((a_var - 0.04).abs() < 0.01, "a_var={a_var}");
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = TsPprModel::init(&mut StdRng::seed_from_u64(3), 2, 2, 3, 2, 0.1, 0.1);
+        let b = TsPprModel::init(&mut StdRng::seed_from_u64(3), 2, 2, 3, 2, 0.1, 0.1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one A_u per user")]
+    fn from_parts_validates() {
+        let u = DMatrix::zeros(2, 3);
+        let v = DMatrix::zeros(4, 3);
+        TsPprModel::from_parts(3, 2, u, v, vec![DMatrix::zeros(3, 2)]);
+    }
+}

@@ -1,0 +1,367 @@
+//! Online serving layer for TS-PPR.
+//!
+//! The RRC problem is defined over a *live* window (§3), and the paper's
+//! motivation calls for "fast online algorithms". [`OnlineTsPpr`] keeps one
+//! [`WindowState`] per user, serves Top-N repeat recommendations at any
+//! moment, and — optionally — keeps learning: every observed eligible
+//! repeat becomes fresh pairwise SGD steps against negatives sampled from
+//! the live window (the online continuation of Algorithm 1).
+
+use crate::model::TsPprModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrc_features::{FeatureContext, FeaturePipeline, RecContext, TrainStats};
+use rrc_linalg::sigmoid;
+use rrc_sequence::{classify, ConsumptionKind, Dataset, ItemId, UserId, WindowState};
+
+/// Online-update settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Window capacity `|W|`.
+    pub window: usize,
+    /// Minimum gap Ω.
+    pub omega: usize,
+    /// Negatives sampled per observed eligible repeat (0 disables online
+    /// learning — the model is then frozen and only the windows advance).
+    pub negatives_per_event: usize,
+    /// SGD learning rate for online steps.
+    pub alpha: f64,
+    /// Regularisation on factors for online steps.
+    pub gamma: f64,
+    /// Regularisation on transforms for online steps.
+    pub lambda: f64,
+    /// RNG seed for negative sampling.
+    pub seed: u64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            window: 100,
+            omega: 10,
+            negatives_per_event: 5,
+            alpha: 0.01, // gentler than offline training: each event is seen once
+            gamma: 0.05,
+            lambda: 0.01,
+            seed: 0x0411e,
+        }
+    }
+}
+
+/// A live recommender: model + per-user window registry + online updates.
+pub struct OnlineTsPpr {
+    model: TsPprModel,
+    pipeline: FeaturePipeline,
+    stats: TrainStats,
+    config: OnlineConfig,
+    windows: Vec<WindowState>,
+    rng: StdRng,
+    events_observed: u64,
+    online_updates: u64,
+}
+
+impl OnlineTsPpr {
+    /// Start serving from a trained model. Windows begin empty; warm them
+    /// with [`OnlineTsPpr::warm_from`] or by replaying history through
+    /// [`OnlineTsPpr::observe`].
+    pub fn new(
+        model: TsPprModel,
+        pipeline: FeaturePipeline,
+        stats: TrainStats,
+        config: OnlineConfig,
+    ) -> Self {
+        assert!(config.omega < config.window, "omega must be < window");
+        assert_eq!(
+            model.f_dim(),
+            pipeline.len(),
+            "pipeline dimension must match the model"
+        );
+        let num_users = model.num_users();
+        OnlineTsPpr {
+            rng: StdRng::seed_from_u64(config.seed),
+            windows: (0..num_users)
+                .map(|_| WindowState::new(config.window))
+                .collect(),
+            model,
+            pipeline,
+            stats,
+            config,
+            events_observed: 0,
+            online_updates: 0,
+        }
+    }
+
+    /// Warm every user's window from their (training) history without
+    /// triggering online updates.
+    pub fn warm_from(&mut self, history: &Dataset) {
+        assert_eq!(
+            history.num_users(),
+            self.windows.len(),
+            "history must cover the same users"
+        );
+        for (user, seq) in history.iter() {
+            let w = &mut self.windows[user.index()];
+            for &item in seq.events() {
+                w.push(item);
+            }
+        }
+    }
+
+    /// The user's live window.
+    pub fn window(&self, user: UserId) -> &WindowState {
+        &self.windows[user.index()]
+    }
+
+    /// Borrow the (possibly online-updated) model.
+    pub fn model(&self) -> &TsPprModel {
+        &self.model
+    }
+
+    /// Events consumed via [`OnlineTsPpr::observe`].
+    pub fn events_observed(&self) -> u64 {
+        self.events_observed
+    }
+
+    /// Online SGD steps taken so far.
+    pub fn online_updates(&self) -> u64 {
+        self.online_updates
+    }
+
+    /// Top-N repeat recommendations for `user` right now.
+    pub fn recommend(&self, user: UserId, n: usize) -> Vec<ItemId> {
+        let window = &self.windows[user.index()];
+        let ctx = RecContext {
+            user,
+            window,
+            stats: &self.stats,
+            omega: self.config.omega,
+        };
+        let fctx = FeatureContext {
+            window,
+            stats: &self.stats,
+        };
+        let mut fbuf = Vec::with_capacity(self.pipeline.len());
+        let mut scored: Vec<(f64, ItemId)> = ctx
+            .candidates()
+            .into_iter()
+            .map(|v| {
+                self.pipeline.extract_into(&fctx, v, &mut fbuf);
+                (self.model.score(user, v, &fbuf), v)
+            })
+            .collect();
+        rrc_features::recommend::top_n(&mut scored, n)
+    }
+
+    /// Ingest one consumption event: advances the user's window, and — when
+    /// the event is an eligible repeat and online learning is enabled —
+    /// takes pairwise SGD steps against freshly-sampled window negatives.
+    /// Returns the event's classification.
+    pub fn observe(&mut self, user: UserId, item: ItemId) -> ConsumptionKind {
+        let kind = classify(&self.windows[user.index()], item, self.config.omega);
+        if kind == ConsumptionKind::EligibleRepeat && self.config.negatives_per_event > 0 {
+            self.online_step(user, item);
+        }
+        self.windows[user.index()].push(item);
+        self.events_observed += 1;
+        kind
+    }
+
+    /// One online learning round for an observed eligible repeat.
+    fn online_step(&mut self, user: UserId, pos: ItemId) {
+        let cfg = self.config;
+        // Sample negatives from the current eligible candidates.
+        let window = &self.windows[user.index()];
+        let mut candidates = window.eligible_candidates(cfg.omega);
+        candidates.retain(|&v| v != pos);
+        if candidates.is_empty() {
+            return;
+        }
+        let fctx = FeatureContext {
+            window,
+            stats: &self.stats,
+        };
+        let f_pos = self.pipeline.extract(&fctx, pos);
+        let s = cfg.negatives_per_event.min(candidates.len());
+        let mut negatives = Vec::with_capacity(s);
+        for k in 0..s {
+            let j = self.rng.gen_range(k..candidates.len());
+            candidates.swap(k, j);
+            let neg = candidates[k];
+            negatives.push((neg, self.pipeline.extract(&fctx, neg)));
+        }
+
+        let kdim = self.model.k();
+        let fdim = self.model.f_dim();
+        let decay_factor = 1.0 - cfg.alpha * cfg.gamma;
+        let decay_transform = 1.0 - cfg.alpha * cfg.lambda;
+        for (neg, f_neg) in negatives {
+            let margin = self.model.margin(user, pos, neg, &f_pos, &f_neg);
+            let coef = cfg.alpha * (1.0 - sigmoid(margin));
+            let mut df = vec![0.0; fdim];
+            for c in 0..fdim {
+                df[c] = f_pos[c] - f_neg[c];
+            }
+            let mut grad_u = vec![0.0; kdim];
+            {
+                let a = self.model.transform(user);
+                let vi = self.model.item_factor(pos);
+                let vj = self.model.item_factor(neg);
+                for r in 0..kdim {
+                    let adf: f64 = a.row(r).iter().zip(&df).map(|(x, y)| x * y).sum();
+                    grad_u[r] = vi[r] - vj[r] + adf;
+                }
+            }
+            let u_old = self.model.user_factor(user).to_vec();
+            {
+                let u = self.model.user_factor_mut(user);
+                for r in 0..kdim {
+                    u[r] = decay_factor * u[r] + coef * grad_u[r];
+                }
+            }
+            {
+                let vi = self.model.item_factor_mut(pos);
+                for r in 0..kdim {
+                    vi[r] = decay_factor * vi[r] + coef * u_old[r];
+                }
+            }
+            {
+                let vj = self.model.item_factor_mut(neg);
+                for r in 0..kdim {
+                    vj[r] = decay_factor * vj[r] - coef * u_old[r];
+                }
+            }
+            {
+                let a = self.model.transform_mut(user);
+                a.scale(decay_transform);
+                a.rank1_update(coef, &u_old, &df);
+            }
+            self.online_updates += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TsPprConfig;
+    use crate::train::TsPprTrainer;
+    use rrc_datagen::GeneratorConfig;
+    use rrc_features::{SamplingConfig, TrainingSet};
+
+    fn serving_fixture(negatives_per_event: usize) -> (OnlineTsPpr, Dataset, Vec<Vec<ItemId>>) {
+        let data = GeneratorConfig::tiny().with_seed(51).generate();
+        let split = data.split(0.7);
+        let stats = TrainStats::compute(&split.train, 30);
+        let pipeline = FeaturePipeline::standard();
+        let training = TrainingSet::build(
+            &split.train,
+            &stats,
+            &pipeline,
+            &SamplingConfig {
+                window: 30,
+                omega: 5,
+                negatives_per_positive: 5,
+                seed: 2,
+            },
+        );
+        let (model, _) = TsPprTrainer::new(
+            TsPprConfig::new(data.num_users(), data.num_items())
+                .with_k(8)
+                .with_max_sweeps(10),
+        )
+        .train(&training);
+        let mut online = OnlineTsPpr::new(
+            model,
+            FeaturePipeline::standard(),
+            stats,
+            OnlineConfig {
+                window: 30,
+                omega: 5,
+                negatives_per_event,
+                ..OnlineConfig::default()
+            },
+        );
+        online.warm_from(&split.train);
+        let tests: Vec<Vec<ItemId>> = split.test.iter().map(|s| s.events().to_vec()).collect();
+        (online, split.train, tests)
+    }
+
+    #[test]
+    fn windows_track_observed_events() {
+        let (mut online, train, tests) = serving_fixture(0);
+        let user = UserId(0);
+        let before_time = online.window(user).time();
+        assert_eq!(before_time, train.sequence(user).len());
+        for &item in &tests[0] {
+            online.observe(user, item);
+        }
+        assert_eq!(
+            online.window(user).time(),
+            before_time + tests[0].len()
+        );
+        assert_eq!(online.events_observed(), tests[0].len() as u64);
+        // Frozen model: no updates.
+        assert_eq!(online.online_updates(), 0);
+    }
+
+    #[test]
+    fn recommendations_come_from_eligible_candidates() {
+        let (online, _, _) = serving_fixture(0);
+        for u in 0..3u32 {
+            let user = UserId(u);
+            let list = online.recommend(user, 5);
+            let eligible = online.window(user).eligible_candidates(5);
+            for v in &list {
+                assert!(eligible.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn online_learning_takes_steps_and_stays_finite() {
+        let (mut online, _, tests) = serving_fixture(3);
+        let frozen_model = online.model().clone();
+        for (u, events) in tests.iter().enumerate() {
+            for &item in events {
+                online.observe(UserId(u as u32), item);
+            }
+        }
+        assert!(online.online_updates() > 0, "no online steps happened");
+        assert!(online.model().is_finite());
+        assert_ne!(online.model(), &frozen_model, "model should have moved");
+    }
+
+    #[test]
+    fn online_classification_matches_offline_scan() {
+        let (mut online, train, tests) = serving_fixture(0);
+        let user = UserId(1);
+        // Replaying the test suffix through observe() must classify exactly
+        // as a RepeatScan continuing from the warmed window.
+        let warmed = WindowState::warmed(30, train.sequence(user).events());
+        let scan = rrc_sequence::RepeatScan::with_window(&tests[user.index()], warmed, 5);
+        let expected: Vec<ConsumptionKind> = scan.map(|e| e.kind).collect();
+        let got: Vec<ConsumptionKind> = tests[user.index()]
+            .iter()
+            .map(|&item| online.observe(user, item))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "omega must be < window")]
+    fn invalid_config_rejected() {
+        let (online, _, _) = serving_fixture(0);
+        let model = online.model().clone();
+        let stats = TrainStats::compute(&Dataset::new(vec![], 60), 30);
+        let _ = OnlineTsPpr::new(
+            model,
+            FeaturePipeline::standard(),
+            stats,
+            OnlineConfig {
+                window: 10,
+                omega: 10,
+                ..OnlineConfig::default()
+            },
+        );
+    }
+}

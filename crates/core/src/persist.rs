@@ -1,0 +1,243 @@
+//! Model persistence in a small self-describing text format.
+//!
+//! The format is line-oriented and versioned:
+//!
+//! ```text
+//! tsppr-model v1
+//! k 40
+//! f 4
+//! users 2
+//! items 3
+//! U
+//! <one whitespace-separated row per user>
+//! V
+//! <one row per item>
+//! A 0
+//! <K rows of F values>
+//! A 1
+//! ...
+//! ```
+//!
+//! Floats are written with full round-trip precision. A hand-rolled format
+//! (rather than serde) keeps the workspace inside the pre-approved
+//! dependency list; see DESIGN.md.
+
+use crate::model::TsPprModel;
+use rrc_linalg::DMatrix;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from loading a persisted model.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the file, with a human-readable description.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn format_err(msg: impl Into<String>) -> PersistError {
+    PersistError::Format(msg.into())
+}
+
+/// Serialise a model to any writer.
+pub fn save<W: Write>(model: &TsPprModel, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "tsppr-model v1")?;
+    writeln!(w, "k {}", model.k())?;
+    writeln!(w, "f {}", model.f_dim())?;
+    writeln!(w, "users {}", model.num_users())?;
+    writeln!(w, "items {}", model.num_items())?;
+    writeln!(w, "U")?;
+    for u in 0..model.num_users() {
+        write_row(&mut w, model.user_factor(rrc_sequence::UserId(u as u32)))?;
+    }
+    writeln!(w, "V")?;
+    for v in 0..model.num_items() {
+        write_row(&mut w, model.item_factor(rrc_sequence::ItemId(v as u32)))?;
+    }
+    for u in 0..model.num_users() {
+        writeln!(w, "A {u}")?;
+        let a = model.transform(rrc_sequence::UserId(u as u32));
+        for r in 0..a.rows() {
+            write_row(&mut w, a.row(r))?;
+        }
+    }
+    w.flush()
+}
+
+fn write_row<W: Write>(w: &mut W, row: &[f64]) -> io::Result<()> {
+    for (i, x) in row.iter().enumerate() {
+        if i > 0 {
+            write!(w, " ")?;
+        }
+        // `{:?}` on f64 produces the shortest string that round-trips.
+        write!(w, "{x:?}")?;
+    }
+    writeln!(w)
+}
+
+/// Deserialise a model from any reader.
+pub fn load<R: BufRead>(reader: R) -> Result<TsPprModel, PersistError> {
+    let mut lines = reader.lines();
+    let mut next = |what: &str| -> Result<String, PersistError> {
+        lines
+            .next()
+            .ok_or_else(|| format_err(format!("unexpected EOF, wanted {what}")))?
+            .map_err(PersistError::Io)
+    };
+
+    let header = next("header")?;
+    if header.trim() != "tsppr-model v1" {
+        return Err(format_err(format!("bad header {header:?}")));
+    }
+    let k = parse_kv(&next("k")?, "k")?;
+    let f = parse_kv(&next("f")?, "f")?;
+    let users = parse_kv(&next("users")?, "users")?;
+    let items = parse_kv(&next("items")?, "items")?;
+
+    expect_tag(&next("U")?, "U")?;
+    let u = read_matrix(&mut next, users, k, "U")?;
+    expect_tag(&next("V")?, "V")?;
+    let v = read_matrix(&mut next, items, k, "V")?;
+
+    let mut a = Vec::with_capacity(users);
+    for ui in 0..users {
+        let tag = next("A tag")?;
+        if tag.trim() != format!("A {ui}") {
+            return Err(format_err(format!("expected 'A {ui}', found {tag:?}")));
+        }
+        a.push(read_matrix(&mut next, k, f, "A")?);
+    }
+    Ok(TsPprModel::from_parts(k, f, u, v, a))
+}
+
+fn parse_kv(line: &str, key: &str) -> Result<usize, PersistError> {
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some(k), Some(v), None) if k == key => v
+            .parse()
+            .map_err(|_| format_err(format!("bad value in {line:?}"))),
+        _ => Err(format_err(format!("expected '{key} <n>', found {line:?}"))),
+    }
+}
+
+fn expect_tag(line: &str, tag: &str) -> Result<(), PersistError> {
+    if line.trim() == tag {
+        Ok(())
+    } else {
+        Err(format_err(format!("expected {tag:?}, found {line:?}")))
+    }
+}
+
+fn read_matrix(
+    next: &mut impl FnMut(&str) -> Result<String, PersistError>,
+    rows: usize,
+    cols: usize,
+    what: &str,
+) -> Result<DMatrix, PersistError> {
+    let mut data = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        let line = next(what)?;
+        let mut count = 0;
+        for tok in line.split_whitespace() {
+            let x: f64 = tok
+                .parse()
+                .map_err(|_| format_err(format!("bad float {tok:?} in {what} row {r}")))?;
+            data.push(x);
+            count += 1;
+        }
+        if count != cols {
+            return Err(format_err(format!(
+                "{what} row {r} has {count} values, expected {cols}"
+            )));
+        }
+    }
+    Ok(DMatrix::from_vec(rows, cols, data))
+}
+
+/// Save to a file path.
+pub fn save_to_path<P: AsRef<Path>>(model: &TsPprModel, path: P) -> io::Result<()> {
+    save(model, File::create(path)?)
+}
+
+/// Load from a file path.
+pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<TsPprModel, PersistError> {
+    load(BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> TsPprModel {
+        TsPprModel::init(&mut StdRng::seed_from_u64(4), 3, 5, 4, 2, 0.05, 0.01)
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let m = model();
+        let mut buf = Vec::new();
+        save(&m, &mut buf).unwrap();
+        let loaded = load(buf.as_slice()).unwrap();
+        assert_eq!(m, loaded);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = load("not-a-model\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let m = model();
+        let mut buf = Vec::new();
+        save(&m, &mut buf).unwrap();
+        let cut = buf.len() / 2;
+        let err = load(&buf[..cut]).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupted_float_rejected() {
+        let m = model();
+        let mut buf = Vec::new();
+        save(&m, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap().replacen("0.", "0.x", 1);
+        let err = load(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("rrc_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        let m = model();
+        save_to_path(&m, &path).unwrap();
+        let loaded = load_from_path(&path).unwrap();
+        assert_eq!(m, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,367 @@
+//! The SGD trainer of Algorithm 1 with the paper's small-batch `Δr̃`
+//! convergence check (§5.6.1).
+
+use crate::config::TsPprConfig;
+use crate::model::TsPprModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrc_features::TrainingSet;
+use rrc_linalg::{ln_sigmoid, sigmoid};
+
+/// One convergence-check measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergencePoint {
+    /// SGD step at which the check ran.
+    pub step: usize,
+    /// Mean pairwise margin `r̃` over the small batch — the paper's
+    /// convergence statistic (Fig. 12's y-axis).
+    pub r_tilde: f64,
+    /// Mean `−ln σ(margin)` over the small batch (the data term of Eq. 7),
+    /// for loss-curve diagnostics.
+    pub nll: f64,
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Total SGD steps performed.
+    pub steps: usize,
+    /// Whether `|Δr̃| ≤ ε` was reached before the sweep cap.
+    pub converged: bool,
+    /// The `r̃` trace, one point per check — reproduces Fig. 12.
+    pub checks: Vec<ConvergencePoint>,
+}
+
+impl TrainReport {
+    /// The final `r̃`, or 0 if no check ran.
+    pub fn final_r_tilde(&self) -> f64 {
+        self.checks.last().map_or(0.0, |c| c.r_tilde)
+    }
+}
+
+/// SGD trainer for [`TsPprModel`].
+#[derive(Debug, Clone)]
+pub struct TsPprTrainer {
+    config: TsPprConfig,
+}
+
+impl TsPprTrainer {
+    /// Create a trainer; the configuration is validated here.
+    pub fn new(config: TsPprConfig) -> Self {
+        config.validate();
+        TsPprTrainer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TsPprConfig {
+        &self.config
+    }
+
+    /// Run Algorithm 1 on a pre-sampled training set and return the trained
+    /// model with its convergence trace.
+    ///
+    /// An empty training set returns the freshly-initialised model and an
+    /// empty report (nothing to learn from).
+    pub fn train(&self, training: &TrainingSet) -> (TsPprModel, TrainReport) {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut model = TsPprModel::init(
+            &mut rng,
+            cfg.num_users,
+            cfg.num_items,
+            cfg.k,
+            training.f_dim().max(1),
+            cfg.gamma,
+            cfg.lambda,
+        );
+        let mut report = TrainReport {
+            steps: 0,
+            converged: false,
+            checks: Vec::new(),
+        };
+        if training.is_empty() {
+            return (model, report);
+        }
+        if cfg.identity_transform {
+            assert_eq!(
+                cfg.k,
+                training.f_dim(),
+                "identity_transform requires K == F (§4.2.1 case 2)"
+            );
+            for u in 0..cfg.num_users {
+                *model.transform_mut(rrc_sequence::UserId(u as u32)) =
+                    rrc_linalg::DMatrix::identity(cfg.k);
+            }
+        }
+
+        let d = training.num_quadruples();
+        let check_interval = ((d as f64 * cfg.check_interval_fraction) as usize).max(1);
+        let max_steps = cfg.max_sweeps.saturating_mul(d).max(check_interval);
+        let min_steps = cfg.min_sweeps.saturating_mul(d).min(max_steps);
+        let small_batch = training.small_batch(cfg.check_fraction);
+
+        // Reused per-step scratch buffers.
+        let k = cfg.k;
+        let f_dim = training.f_dim();
+        let mut u_old = vec![0.0; k];
+        let mut grad_u = vec![0.0; k];
+        let mut df = vec![0.0; f_dim];
+
+        let decay_factor = 1.0 - cfg.alpha * cfg.gamma;
+        let decay_transform = 1.0 - cfg.alpha * cfg.lambda;
+        let mut prev_r_tilde: Option<f64> = None;
+
+        for step in 1..=max_steps {
+            let q = training
+                .sample(&mut rng)
+                .expect("non-empty training set always samples");
+
+            // Margin and the common coefficient α(1 − p(v_i >_ut v_j)).
+            let margin = model.margin(q.user, q.pos, q.neg, q.f_pos, q.f_neg);
+            let coef = cfg.alpha * (1.0 - sigmoid(margin));
+
+            // df = f_i − f_j; grad_u = (v_i − v_j) + A_u df   (Eq. 12).
+            for ((d, &fp), &fn_) in df.iter_mut().zip(q.f_pos).zip(q.f_neg) {
+                *d = fp - fn_;
+            }
+            {
+                let a = model.transform(q.user);
+                let vi = model.item_factor(q.pos);
+                let vj = model.item_factor(q.neg);
+                for r in 0..k {
+                    grad_u[r] = vi[r] - vj[r] + dot(a.row(r), &df);
+                }
+                u_old.copy_from_slice(model.user_factor(q.user));
+            }
+
+            // u ← (1 − αγ)u + coef · grad_u   (line 6).
+            {
+                let u = model.user_factor_mut(q.user);
+                for r in 0..k {
+                    u[r] = decay_factor * u[r] + coef * grad_u[r];
+                }
+            }
+            // v_i ← (1 − αγ)v_i + coef · u    (line 7, Eq. 13).
+            {
+                let vi = model.item_factor_mut(q.pos);
+                for r in 0..k {
+                    vi[r] = decay_factor * vi[r] + coef * u_old[r];
+                }
+            }
+            // v_j ← (1 − αγ)v_j − coef · u    (line 8, Eq. 14).
+            {
+                let vj = model.item_factor_mut(q.neg);
+                for r in 0..k {
+                    vj[r] = decay_factor * vj[r] - coef * u_old[r];
+                }
+            }
+            // A_u ← (1 − αλ)A_u + coef · u ⊗ df  (line 9, Eq. 15); frozen
+            // to I under the identity-transform simplification.
+            if !cfg.identity_transform {
+                let a = model.transform_mut(q.user);
+                a.scale(decay_transform);
+                a.rank1_update(coef, &u_old, &df);
+            }
+
+            report.steps = step;
+            if step % check_interval == 0 {
+                let (r_tilde, nll) = batch_statistics(&model, &small_batch);
+                report.checks.push(ConvergencePoint {
+                    step,
+                    r_tilde,
+                    nll,
+                });
+                debug_assert!(model.is_finite(), "parameters diverged at step {step}");
+                if let Some(prev) = prev_r_tilde {
+                    if step >= min_steps && (r_tilde - prev).abs() <= cfg.convergence_eps {
+                        report.converged = true;
+                        break;
+                    }
+                }
+                prev_r_tilde = Some(r_tilde);
+            }
+        }
+        (model, report)
+    }
+}
+
+/// Mean margin `r̃` and mean `−ln σ(margin)` over a batch of quadruples.
+fn batch_statistics(model: &TsPprModel, batch: &[rrc_features::Quadruple<'_>]) -> (f64, f64) {
+    if batch.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sum_margin = 0.0;
+    let mut sum_nll = 0.0;
+    for q in batch {
+        let m = model.margin(q.user, q.pos, q.neg, q.f_pos, q.f_neg);
+        sum_margin += m;
+        sum_nll -= ln_sigmoid(m);
+    }
+    let n = batch.len() as f64;
+    (sum_margin / n, sum_nll / n)
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrc_datagen::GeneratorConfig;
+    use rrc_features::{FeaturePipeline, SamplingConfig, TrainStats, TrainingSet};
+    use rrc_sequence::Dataset;
+
+    fn fixture() -> (Dataset, TrainStats, TrainingSet) {
+        let data = GeneratorConfig::tiny().with_seed(11).generate();
+        let stats = TrainStats::compute(&data, 30);
+        let pipeline = FeaturePipeline::standard();
+        let sampling = SamplingConfig {
+            window: 30,
+            omega: 5,
+            negatives_per_positive: 5,
+            seed: 3,
+        };
+        let training = TrainingSet::build(&data, &stats, &pipeline, &sampling);
+        (data, stats, training)
+    }
+
+    fn config(data: &Dataset) -> TsPprConfig {
+        TsPprConfig::new(data.num_users(), data.num_items())
+            .with_k(8)
+            .with_max_sweeps(20)
+            .with_seed(5)
+    }
+
+    #[test]
+    fn training_increases_r_tilde() {
+        let (data, _, training) = fixture();
+        assert!(!training.is_empty());
+        let (_, report) = TsPprTrainer::new(config(&data)).train(&training);
+        assert!(report.checks.len() >= 2, "expected multiple checks");
+        let first = report.checks.first().unwrap().r_tilde;
+        let last = report.final_r_tilde();
+        assert!(
+            last > first,
+            "r̃ should increase during training: {first} → {last}"
+        );
+        // Positive margin after training: positives beat negatives on
+        // average.
+        assert!(last > 0.0, "final r̃ = {last}");
+    }
+
+    #[test]
+    fn nll_decreases() {
+        let (data, _, training) = fixture();
+        let (_, report) = TsPprTrainer::new(config(&data)).train(&training);
+        let first = report.checks.first().unwrap().nll;
+        let last = report.checks.last().unwrap().nll;
+        assert!(last < first, "nll should decrease: {first} → {last}");
+        assert!(last < std::f64::consts::LN_2, "below chance-level loss");
+    }
+
+    #[test]
+    fn trained_model_is_finite_and_deterministic() {
+        let (data, _, training) = fixture();
+        let (m1, r1) = TsPprTrainer::new(config(&data)).train(&training);
+        let (m2, r2) = TsPprTrainer::new(config(&data)).train(&training);
+        assert!(m1.is_finite());
+        assert_eq!(m1, m2);
+        assert_eq!(r1.steps, r2.steps);
+    }
+
+    #[test]
+    fn different_seed_different_model() {
+        let (data, _, training) = fixture();
+        let (m1, _) = TsPprTrainer::new(config(&data)).train(&training);
+        let (m2, _) = TsPprTrainer::new(config(&data).with_seed(77)).train(&training);
+        assert_ne!(m1, m2);
+    }
+
+    #[test]
+    fn empty_training_set_returns_initial_model() {
+        let data = Dataset::new(
+            vec![rrc_sequence::Sequence::from_raw(vec![0, 1, 2])],
+            3,
+        );
+        let stats = TrainStats::compute(&data, 10);
+        let training = TrainingSet::build(
+            &data,
+            &stats,
+            &FeaturePipeline::standard(),
+            &SamplingConfig {
+                window: 10,
+                omega: 2,
+                negatives_per_positive: 3,
+                seed: 0,
+            },
+        );
+        assert!(training.is_empty());
+        let (model, report) = TsPprTrainer::new(config(&data)).train(&training);
+        assert_eq!(report.steps, 0);
+        assert!(!report.converged);
+        assert!(report.checks.is_empty());
+        assert!(model.is_finite());
+    }
+
+    #[test]
+    fn identity_transform_freezes_a_matrices() {
+        let (data, _, training) = fixture();
+        let cfg = config(&data).with_k(4).with_identity_transform(true);
+        let (model, _) = TsPprTrainer::new(cfg).train(&training);
+        let eye = rrc_linalg::DMatrix::identity(4);
+        for u in 0..data.num_users() {
+            assert_eq!(
+                model.transform(rrc_sequence::UserId(u as u32)),
+                &eye,
+                "A_u must remain the identity"
+            );
+        }
+        // The model still learns: positive mean margin on training data.
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        for q in training.iter_quadruples() {
+            sum += model.margin(q.user, q.pos, q.neg, q.f_pos, q.f_neg);
+            n += 1.0;
+        }
+        assert!(sum / n > 0.0, "identity-transform model failed to learn");
+    }
+
+    #[test]
+    #[should_panic(expected = "identity_transform requires K == F")]
+    fn identity_transform_requires_k_eq_f() {
+        let (data, _, training) = fixture();
+        let cfg = config(&data).with_k(8).with_identity_transform(true);
+        let _ = TsPprTrainer::new(cfg).train(&training);
+    }
+
+    #[test]
+    fn convergence_stops_before_sweep_cap() {
+        let (data, _, training) = fixture();
+        // A generous epsilon forces early convergence.
+        let mut cfg = config(&data);
+        cfg.convergence_eps = 10.0;
+        cfg.min_sweeps = 0;
+        let (_, report) = TsPprTrainer::new(cfg).train(&training);
+        assert!(report.converged);
+        assert_eq!(report.checks.len(), 2); // converges at the 2nd check
+    }
+
+    #[test]
+    fn trained_margin_separates_on_training_quadruples() {
+        let (data, _, training) = fixture();
+        let (model, _) = TsPprTrainer::new(config(&data)).train(&training);
+        let mut wins = 0usize;
+        let mut total = 0usize;
+        for q in training.iter_quadruples() {
+            if model.margin(q.user, q.pos, q.neg, q.f_pos, q.f_neg) > 0.0 {
+                wins += 1;
+            }
+            total += 1;
+        }
+        let acc = wins as f64 / total as f64;
+        assert!(acc > 0.7, "pairwise training accuracy {acc}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the TS-PPR model and persistence.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrc_core::{persist, TsPprModel};
+use rrc_sequence::{ItemId, UserId};
+
+fn model_strategy() -> impl Strategy<Value = TsPprModel> {
+    (1usize..5, 1usize..6, 1usize..8, 1usize..5, 0u64..1000).prop_map(
+        |(users, items, k, f, seed)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            TsPprModel::init(&mut rng, users, items, k, f, 0.1, 0.05)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn margin_equals_score_difference(model in model_strategy(), fa in 0.0f64..1.0, fb in 0.0f64..1.0) {
+        let user = UserId(0);
+        let pos = ItemId(0);
+        let neg = ItemId((model.num_items() - 1) as u32);
+        let f_pos = vec![fa; model.f_dim()];
+        let f_neg = vec![fb; model.f_dim()];
+        let margin = model.margin(user, pos, neg, &f_pos, &f_neg);
+        let diff = model.score(user, pos, &f_pos) - model.score(user, neg, &f_neg);
+        prop_assert!((margin - diff).abs() <= 1e-9 * (1.0 + diff.abs()));
+    }
+
+    #[test]
+    fn margin_is_antisymmetric(model in model_strategy(), fa in 0.0f64..1.0, fb in 0.0f64..1.0) {
+        if model.num_items() < 2 {
+            return Ok(());
+        }
+        let user = UserId((model.num_users() - 1) as u32);
+        let a = ItemId(0);
+        let b = ItemId(1);
+        let f_a = vec![fa; model.f_dim()];
+        let f_b = vec![fb; model.f_dim()];
+        let ab = model.margin(user, a, b, &f_a, &f_b);
+        let ba = model.margin(user, b, a, &f_b, &f_a);
+        prop_assert!((ab + ba).abs() <= 1e-9 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn zero_features_reduce_to_static_score(model in model_strategy()) {
+        let user = UserId(0);
+        let item = ItemId(0);
+        let zero = vec![0.0; model.f_dim()];
+        let s = model.score(user, item, &zero);
+        prop_assert!((s - model.score_static(user, item)).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn score_is_linear_in_features(model in model_strategy(), f1 in 0.0f64..1.0, f2 in 0.0f64..1.0) {
+        // score(f1 + f2) - score(0) == (score(f1) - score(0)) + (score(f2) - score(0))
+        let user = UserId(0);
+        let item = ItemId(0);
+        let base = model.score_static(user, item);
+        let v1 = vec![f1; model.f_dim()];
+        let v2 = vec![f2; model.f_dim()];
+        let vsum: Vec<f64> = v1.iter().zip(&v2).map(|(a, b)| a + b).collect();
+        let lhs = model.score(user, item, &vsum) - base;
+        let rhs = (model.score(user, item, &v1) - base) + (model.score(user, item, &v2) - base);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn persistence_round_trips_any_model(model in model_strategy()) {
+        let mut buf = Vec::new();
+        persist::save(&model, &mut buf).unwrap();
+        let loaded = persist::load(buf.as_slice()).unwrap();
+        prop_assert_eq!(model, loaded);
+    }
+
+    #[test]
+    fn norms_are_nonnegative_and_finite(model in model_strategy()) {
+        let (u2, v2, a2) = model.norms();
+        prop_assert!(u2 >= 0.0 && u2.is_finite());
+        prop_assert!(v2 >= 0.0 && v2.is_finite());
+        prop_assert!(a2 >= 0.0 && a2.is_finite());
+        prop_assert!(model.is_finite());
+    }
+}

@@ -1,0 +1,248 @@
+//! The event-stream generator.
+
+use crate::config::GeneratorConfig;
+use crate::profile::UserProfile;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrc_sequence::{Dataset, ItemId, Sequence, WindowState};
+
+/// Mix a user index into the master seed (SplitMix64 finaliser) so each
+/// user's stream is deterministic and independent of generation order.
+fn user_seed(master: u64, user: usize) -> u64 {
+    let mut z = master ^ (user as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Intrinsic quality of an item, decreasing in its popularity rank (item id
+/// doubles as rank: id 0 is the head of the Zipf distribution). Normalised
+/// to `(0, 1]`.
+fn intrinsic_quality(item: usize, num_items: usize) -> f64 {
+    1.0 - (1.0 + item as f64).ln() / (1.0 + num_items as f64).ln()
+}
+
+/// Minimum window fill before the repeat process can fire; below this the
+/// user is still "discovering".
+const MIN_WINDOW_FILL: usize = 5;
+
+/// Intrinsic reconsumability of an item in [0, 1]: how inherently
+/// repeatable it is, independent of popularity and of any single user.
+/// Deterministic per (item, dataset seed) via a SplitMix64 hash.
+fn reconsumability(item: usize, master_seed: u64) -> f64 {
+    let mut z = master_seed ^ 0xC0FFEE ^ (item as u64).wrapping_mul(0x2545F4914F6CDD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Generate one user's consumption sequence.
+fn generate_user(
+    rng: &mut StdRng,
+    profile: &UserProfile,
+    config: &GeneratorConfig,
+    zipf: &Zipf,
+    pool_zipf: &Zipf,
+) -> Sequence {
+    let (lo, hi) = config.events_per_user;
+    let len = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+    // Personal pool of items the user returns to for "novel" exploration
+    // and favours when reconsuming. Each pool item gets its *own* affinity
+    // — a per-(user, item) taste that varies within the pool, so the
+    // in-window repeat choice carries a personalised signal that no global
+    // statistic (popularity, recency rank) can express.
+    let pool: Vec<usize> = (0..profile.pool_size.max(1))
+        .map(|_| pool_zipf.sample(rng))
+        .collect();
+    let mut affinities: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for &item in &pool {
+        // Cube a uniform draw: most pool items get a mild bonus, a few get
+        // a dominant one — every user has a small set of true favourites,
+        // which is what makes Top-1 strongly personalised.
+        let u: f64 = rng.gen_range(0.0..=1.0);
+        let a = profile.pool_affinity * u * u * u;
+        affinities
+            .entry(item as u32)
+            .and_modify(|cur| *cur = cur.max(a))
+            .or_insert(a);
+    }
+
+    let mut window = WindowState::new(config.window);
+    let mut events = Vec::with_capacity(len);
+    // Scratch buffers reused across steps.
+    let mut candidates: Vec<ItemId> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+
+    for _ in 0..len {
+        let is_repeat =
+            window.len() >= MIN_WINDOW_FILL && rng.gen::<f64>() < profile.repeat_prob;
+        let item = if is_repeat {
+            candidates.clear();
+            candidates.extend(window.distinct_items());
+            candidates.sort_unstable(); // determinism: HashMap order varies
+            weights.clear();
+            let t = window.time() as f64;
+            let mut max_score = f64::NEG_INFINITY;
+            for &v in &candidates {
+                let last = window.last_seen(v).expect("candidate is in window") as f64;
+                let gap = (t - last).max(1.0);
+                let score = profile.recency_weight / gap
+                    + profile.quality_weight * intrinsic_quality(v.index(), config.num_items)
+                    + profile.familiarity_weight * window.familiarity(v)
+                    + profile.recon_weight * reconsumability(v.index(), config.seed)
+                    + affinities.get(&v.0).copied().unwrap_or(0.0);
+                let s = score / profile.temperature;
+                weights.push(s);
+                max_score = max_score.max(s);
+            }
+            // Softmax sample (max-shifted for stability).
+            let mut total = 0.0;
+            for w in &mut weights {
+                *w = (*w - max_score).exp();
+                total += *w;
+            }
+            let mut u = rng.gen::<f64>() * total;
+            let mut chosen = *candidates.last().expect("window is non-empty");
+            for (v, w) in candidates.iter().zip(weights.iter()) {
+                if u < *w {
+                    chosen = *v;
+                    break;
+                }
+                u -= *w;
+            }
+            chosen
+        } else if rng.gen::<f64>() < profile.global_novel_prob {
+            ItemId(zipf.sample(rng) as u32)
+        } else {
+            ItemId(pool[rng.gen_range(0..pool.len())] as u32)
+        };
+        window.push(item);
+        events.push(item);
+    }
+    Sequence::from_events(events)
+}
+
+/// Generate the full dataset described by `config`.
+pub fn generate(config: &GeneratorConfig) -> Dataset {
+    assert!(config.num_users > 0, "need at least one user");
+    assert!(config.num_items > 0, "need at least one item");
+    let zipf = Zipf::new(config.num_items, config.zipf_exponent);
+    let pool_zipf = Zipf::new(config.num_items, config.pool_zipf_exponent);
+    let mut sequences = Vec::with_capacity(config.num_users);
+    for u in 0..config.num_users {
+        let mut rng = StdRng::seed_from_u64(user_seed(config.seed, u));
+        let profile = config.profiles.sample(&mut rng);
+        sequences.push(generate_user(&mut rng, &profile, config, &zipf, &pool_zipf));
+    }
+    Dataset::new(sequences, config.num_items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrc_sequence::{DatasetStats, RepeatSummary};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = GeneratorConfig::tiny();
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a.num_users(), b.num_users());
+        for (u, seq) in a.iter() {
+            assert_eq!(seq.events(), b.sequence(u).events());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GeneratorConfig::tiny().with_seed(1).generate();
+        let b = GeneratorConfig::tiny().with_seed(2).generate();
+        let same = a
+            .iter()
+            .all(|(u, seq)| seq.events() == b.sequence(u).events());
+        assert!(!same);
+    }
+
+    #[test]
+    fn respects_counts_and_ranges() {
+        let c = GeneratorConfig::tiny();
+        let d = generate(&c);
+        assert_eq!(d.num_users(), c.num_users);
+        assert_eq!(d.num_items(), c.num_items);
+        for (_, seq) in d.iter() {
+            assert!(seq.len() >= c.events_per_user.0);
+            assert!(seq.len() <= c.events_per_user.1);
+        }
+    }
+
+    #[test]
+    fn repeat_fraction_tracks_profile_mean() {
+        // With a high repeat probability the generated repeat fraction
+        // (measured with the generator's own window) should be high.
+        let mut c = GeneratorConfig::tiny().with_seed(7);
+        c.profiles.repeat_prob_mean = 0.8;
+        c.profiles.repeat_prob_spread = 0.05;
+        let d = generate(&c);
+        let stats = DatasetStats::compute(&d, c.window, 1);
+        assert!(
+            stats.repeat_fraction() > 0.55,
+            "repeat fraction {}",
+            stats.repeat_fraction()
+        );
+
+        let mut c2 = GeneratorConfig::tiny().with_seed(7);
+        c2.profiles.repeat_prob_mean = 0.1;
+        c2.profiles.repeat_prob_spread = 0.05;
+        let d2 = generate(&c2);
+        let s2 = DatasetStats::compute(&d2, c2.window, 1);
+        assert!(
+            s2.repeat_fraction() < stats.repeat_fraction(),
+            "low-repeat config should repeat less"
+        );
+    }
+
+    #[test]
+    fn lastfm_preset_is_repeat_heavy() {
+        let c = GeneratorConfig::lastfm_like(0.02).with_users(6);
+        let d = generate(&c);
+        let stats = DatasetStats::compute(&d, c.window, 1);
+        assert!(
+            stats.repeat_fraction() > 0.5,
+            "lastfm-like repeat fraction {}",
+            stats.repeat_fraction()
+        );
+    }
+
+    #[test]
+    fn eligible_repeats_exist_for_training() {
+        // The models need eligible (≥ Ω old) repeats to train on.
+        let c = GeneratorConfig::tiny();
+        let d = generate(&c);
+        let mut eligible = 0;
+        for (_, seq) in d.iter() {
+            eligible += RepeatSummary::of(seq.events(), c.window, 10).eligible_repeat;
+        }
+        assert!(eligible > 50, "only {eligible} eligible repeats generated");
+    }
+
+    #[test]
+    fn intrinsic_quality_is_monotone() {
+        let n = 100;
+        for i in 1..n {
+            assert!(intrinsic_quality(i, n) < intrinsic_quality(i - 1, n));
+        }
+        assert!(intrinsic_quality(0, n) <= 1.0);
+        assert!(intrinsic_quality(n - 1, n) > 0.0);
+    }
+
+    #[test]
+    fn user_seed_spreads() {
+        let s: Vec<u64> = (0..100).map(|u| user_seed(42, u)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100);
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-user behavioural profiles.
+//!
+//! The whole point of TS-PPR's personalised mapping `A_u` is that different
+//! users weight recency, quality, and familiarity differently when they
+//! reconsume. The generator therefore samples an explicit profile per user;
+//! a recommender that learns per-user weights can in principle recover it,
+//! while single-signal baselines (Pop, Recency) cannot.
+
+use rand::Rng;
+
+/// One user's generative parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserProfile {
+    /// Probability that the next consumption is a repeat from the window
+    /// (given the window is non-trivial).
+    pub repeat_prob: f64,
+    /// Weight on the recency signal `1/gap` when choosing what to repeat.
+    pub recency_weight: f64,
+    /// Weight on (log-)item-quality when choosing what to repeat.
+    pub quality_weight: f64,
+    /// Weight on in-window familiarity when choosing what to repeat.
+    pub familiarity_weight: f64,
+    /// Weight on the item's intrinsic *reconsumability* (how inherently
+    /// repeatable the item is — a coffee shop vs. an airport). This is the
+    /// causal channel behind the paper's item-reconsumption-ratio feature,
+    /// whose removal hurts TS-PPR the most (Fig. 7).
+    pub recon_weight: f64,
+    /// Bonus added to the repeat score of items in the user's personal
+    /// pool — stable personal taste that only *personalized* models (the
+    /// static `uᵀv` term of TS-PPR, FPMC's user factors) can capture;
+    /// population-level baselines (Pop, DYRC) cannot.
+    pub pool_affinity: f64,
+    /// Softmax temperature over the combined repeat score; lower is more
+    /// deterministic (steeper rank curves).
+    pub temperature: f64,
+    /// Size of the user's personal item pool for novel consumption.
+    pub pool_size: usize,
+    /// Probability a novel consumption comes from the global Zipf popularity
+    /// rather than the personal pool.
+    pub global_novel_prob: f64,
+}
+
+/// Ranges from which user profiles are drawn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileDistribution {
+    /// Mean repeat probability (per-user value jittered around this).
+    pub repeat_prob_mean: f64,
+    /// Half-width of the uniform jitter on `repeat_prob`.
+    pub repeat_prob_spread: f64,
+    /// Upper bound of the uniform draw for each of the three repeat-score
+    /// weights (lower bound 0) — larger ⇒ steeper, more learnable signal.
+    pub weight_scale: [f64; 3],
+    /// Upper bound of the uniform draw for the personal pool-affinity
+    /// bonus.
+    pub pool_affinity_scale: f64,
+    /// Upper bound of the uniform draw for the reconsumability weight.
+    pub recon_weight_scale: f64,
+    /// Softmax temperature range `[lo, hi]`.
+    pub temperature: (f64, f64),
+    /// Personal pool size.
+    pub pool_size: usize,
+    /// Probability of sampling a novel item globally instead of from the
+    /// personal pool.
+    pub global_novel_prob: f64,
+}
+
+impl ProfileDistribution {
+    /// Draw one user profile.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> UserProfile {
+        let jitter = rng.gen_range(-self.repeat_prob_spread..=self.repeat_prob_spread);
+        let repeat_prob = (self.repeat_prob_mean + jitter).clamp(0.02, 0.98);
+        let (tlo, thi) = self.temperature;
+        UserProfile {
+            repeat_prob,
+            recency_weight: rng.gen_range(0.0..=self.weight_scale[0]),
+            quality_weight: rng.gen_range(0.0..=self.weight_scale[1]),
+            familiarity_weight: rng.gen_range(0.0..=self.weight_scale[2]),
+            recon_weight: rng.gen_range(0.0..=self.recon_weight_scale),
+            pool_affinity: rng.gen_range(0.0..=self.pool_affinity_scale),
+            temperature: rng.gen_range(tlo..=thi),
+            pool_size: self.pool_size,
+            global_novel_prob: self.global_novel_prob,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dist() -> ProfileDistribution {
+        ProfileDistribution {
+            repeat_prob_mean: 0.7,
+            repeat_prob_spread: 0.2,
+            weight_scale: [4.0, 2.0, 3.0],
+            pool_affinity_scale: 2.0,
+            recon_weight_scale: 2.0,
+            temperature: (0.5, 1.5),
+            pool_size: 30,
+            global_novel_prob: 0.4,
+        }
+    }
+
+    #[test]
+    fn sampled_profiles_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = dist();
+        for _ in 0..1000 {
+            let p = d.sample(&mut rng);
+            assert!((0.02..=0.98).contains(&p.repeat_prob));
+            assert!((0.5..=0.7 + 0.2 + 1e-9).contains(&p.repeat_prob) || p.repeat_prob < 0.5);
+            assert!((0.0..=4.0).contains(&p.recency_weight));
+            assert!((0.0..=2.0).contains(&p.quality_weight));
+            assert!((0.0..=3.0).contains(&p.familiarity_weight));
+            assert!((0.5..=1.5).contains(&p.temperature));
+            assert!((0.0..=2.0).contains(&p.pool_affinity));
+            assert!((0.0..=2.0).contains(&p.recon_weight));
+            assert_eq!(p.pool_size, 30);
+        }
+    }
+
+    #[test]
+    fn profiles_are_heterogeneous() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = dist();
+        let a = d.sample(&mut rng);
+        let b = d.sample(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let d = dist();
+        let a = d.sample(&mut StdRng::seed_from_u64(9));
+        let b = d.sample(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,135 @@
+//! A deterministic Zipf sampler over ranks `0..n`.
+
+use rand::Rng;
+
+/// Samples ranks with probability `P(k) ∝ 1 / (k+1)^s` via a precomputed
+/// CDF and binary search (O(log n) per draw, O(n) setup).
+///
+/// Item popularity in implicit-feedback logs is famously heavy-tailed; the
+/// generator draws novel consumptions from this distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `n` ranks with exponent `s ≥ 0` (`s = 0` is
+    /// uniform).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True iff there is exactly one rank (always sampled).
+    pub fn is_empty(&self) -> bool {
+        false // construction requires n > 0
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index with cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.2);
+        let sum: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        let z = Zipf::new(50, 1.0);
+        for k in 1..50 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_respect_support_and_skew() {
+        let z = Zipf::new(20, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 20];
+        for _ in 0..50_000 {
+            let k = z.sample(&mut rng);
+            assert!(k < 20);
+            counts[k] += 1;
+        }
+        // Rank 0 should dominate rank 10 decisively under s = 1.5.
+        assert!(counts[0] > counts[10] * 5, "counts: {counts:?}");
+        // Empirical mass of rank 0 within 2% of pmf.
+        let emp = counts[0] as f64 / 50_000.0;
+        assert!((emp - z.pmf(0)).abs() < 0.02);
+    }
+
+    #[test]
+    fn singleton_always_samples_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_support_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests for the workload generator.
+
+use proptest::prelude::*;
+use rrc_datagen::{GeneratorConfig, Zipf};
+use rrc_sequence::DatasetStats;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_datasets_are_structurally_valid(seed in 0u64..10_000) {
+        let cfg = GeneratorConfig::tiny()
+            .with_seed(seed)
+            .with_users(5)
+            .with_events_per_user(40, 80);
+        let d = cfg.generate();
+        prop_assert_eq!(d.num_users(), 5);
+        prop_assert_eq!(d.num_items(), cfg.num_items);
+        for (_, seq) in d.iter() {
+            prop_assert!(seq.len() >= 40 && seq.len() <= 80);
+            for &item in seq.events() {
+                prop_assert!(item.index() < cfg.num_items);
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_probability_orders_repeat_fractions(seed in 0u64..300) {
+        let mut low = GeneratorConfig::tiny().with_seed(seed).with_users(6);
+        low.profiles.repeat_prob_mean = 0.15;
+        low.profiles.repeat_prob_spread = 0.05;
+        let mut high = low.clone();
+        high.profiles.repeat_prob_mean = 0.85;
+        let ld = low.generate();
+        let hd = high.generate();
+        let lf = DatasetStats::compute(&ld, low.window, 1).repeat_fraction();
+        let hf = DatasetStats::compute(&hd, high.window, 1).repeat_fraction();
+        prop_assert!(hf > lf, "high {hf} <= low {lf}");
+    }
+
+    #[test]
+    fn zipf_pmf_is_a_distribution(n in 1usize..200, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s);
+        let sum: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for k in 1..n {
+            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+        prop_assert_eq!(z.pmf(n), 0.0);
+    }
+
+    #[test]
+    fn zipf_samples_in_support(n in 1usize..50, s in 0.0f64..2.5, seed in 0u64..100) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Bootstrap confidence intervals for the accuracy metrics.
+//!
+//! The paper reports point estimates; for a production-quality harness we
+//! also want uncertainty. Users are the natural resampling unit (their
+//! walks are independent given the trained model), so we bootstrap over
+//! per-user outcomes: resample users with replacement, recompute
+//! MaAP/MiAP, and report percentile intervals.
+
+use crate::metrics::EvalResult;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether the interval contains a value.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lower..=self.upper).contains(&x)
+    }
+}
+
+/// Bootstrap intervals for one evaluation result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapResult {
+    /// Interval for MaAP.
+    pub maap: ConfidenceInterval,
+    /// Interval for MiAP.
+    pub miap: ConfidenceInterval,
+    /// Resamples drawn.
+    pub resamples: usize,
+}
+
+/// Percentile-bootstrap the MaAP/MiAP of `result` over users.
+///
+/// `confidence` is the two-sided level (e.g. 0.95); `resamples` ≥ 100 is
+/// recommended. Deterministic for a fixed seed.
+pub fn bootstrap_metrics(
+    result: &EvalResult,
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> BootstrapResult {
+    assert!(resamples > 0, "need at least one resample");
+    assert!(
+        (0.0..1.0).contains(&confidence) && confidence > 0.0,
+        "confidence must be in (0, 1)"
+    );
+    let users = &result.per_user;
+    let n = users.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut maaps = Vec::with_capacity(resamples);
+    let mut miaps = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut hits = 0u64;
+        let mut opp = 0u64;
+        let mut prec_sum = 0.0;
+        let mut prec_n = 0usize;
+        for _ in 0..n {
+            let u = &users[rng.gen_range(0..n)];
+            hits += u.hits;
+            opp += u.opportunities;
+            if let Some(p) = u.precision() {
+                prec_sum += p;
+                prec_n += 1;
+            }
+        }
+        maaps.push(if opp == 0 { 0.0 } else { hits as f64 / opp as f64 });
+        miaps.push(if prec_n == 0 {
+            0.0
+        } else {
+            prec_sum / prec_n as f64
+        });
+    }
+    BootstrapResult {
+        maap: percentile_interval(result.maap(), &mut maaps, confidence),
+        miap: percentile_interval(result.miap(), &mut miaps, confidence),
+        resamples,
+    }
+}
+
+fn percentile_interval(
+    estimate: f64,
+    samples: &mut [f64],
+    confidence: f64,
+) -> ConfidenceInterval {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((samples.len() as f64 * alpha).floor() as usize).min(samples.len() - 1);
+    let hi_idx = ((samples.len() as f64 * (1.0 - alpha)).ceil() as usize)
+        .saturating_sub(1)
+        .min(samples.len() - 1);
+    ConfidenceInterval {
+        estimate,
+        lower: samples[lo_idx],
+        upper: samples[hi_idx],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::UserOutcome;
+
+    fn result(per_user: Vec<(u64, u64)>) -> EvalResult {
+        EvalResult {
+            top_n: 5,
+            per_user: per_user
+                .into_iter()
+                .map(|(hits, opportunities)| UserOutcome {
+                    hits,
+                    opportunities,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn interval_brackets_estimate_for_homogeneous_users() {
+        // All users identical → every resample gives the same metric.
+        let r = result(vec![(5, 10); 20]);
+        let b = bootstrap_metrics(&r, 200, 0.95, 1);
+        assert_eq!(b.maap.lower, 0.5);
+        assert_eq!(b.maap.upper, 0.5);
+        assert_eq!(b.maap.estimate, 0.5);
+        assert!(b.maap.contains(0.5));
+        assert_eq!(b.maap.width(), 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_users_give_nonzero_width() {
+        let r = result(vec![(10, 10), (0, 10), (5, 10), (2, 10), (9, 10)]);
+        let b = bootstrap_metrics(&r, 500, 0.9, 2);
+        assert!(b.maap.width() > 0.0);
+        assert!(b.maap.contains(r.maap()), "{:?} vs {}", b.maap, r.maap());
+        assert!(b.miap.contains(r.miap()));
+        assert!(b.maap.lower >= 0.0 && b.maap.upper <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let r = result(vec![(3, 9), (1, 4), (7, 8)]);
+        let a = bootstrap_metrics(&r, 100, 0.95, 42);
+        let b = bootstrap_metrics(&r, 100, 0.95, 42);
+        assert_eq!(a, b);
+        let c = bootstrap_metrics(&r, 100, 0.95, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn higher_confidence_widens_interval() {
+        let r = result(vec![(10, 10), (0, 10), (5, 10), (2, 10), (9, 10), (4, 10)]);
+        let narrow = bootstrap_metrics(&r, 1000, 0.5, 7);
+        let wide = bootstrap_metrics(&r, 1000, 0.99, 7);
+        assert!(wide.maap.width() >= narrow.maap.width());
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in")]
+    fn bad_confidence_rejected() {
+        let r = result(vec![(1, 2)]);
+        bootstrap_metrics(&r, 10, 1.5, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The accuracy metrics of §5.3: per-user precision, MaAP, MiAP.
+
+/// One user's evaluation outcome: how many recommendation lists were
+/// generated for them and how many contained the reconsumed item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UserOutcome {
+    /// Correct recommendation lists (numerator of Eq. 22).
+    pub hits: u64,
+    /// Recommendation opportunities (denominator of Eq. 22).
+    pub opportunities: u64,
+}
+
+impl UserOutcome {
+    /// The per-user precision `P(u)`; `None` when the user had no
+    /// opportunities (such users are excluded from MiAP, mirroring the
+    /// paper's evaluation over users who have repeats in their test split).
+    pub fn precision(&self) -> Option<f64> {
+        if self.opportunities == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / self.opportunities as f64)
+        }
+    }
+}
+
+/// Aggregated evaluation result at one recommendation-list length `N`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// The `N` in Top-N.
+    pub top_n: usize,
+    /// Per-user outcomes (indexed by dense user id).
+    pub per_user: Vec<UserOutcome>,
+}
+
+impl EvalResult {
+    /// Macro average precision (Eq. 23): pooled hits over pooled
+    /// opportunities.
+    pub fn maap(&self) -> f64 {
+        let hits: u64 = self.per_user.iter().map(|u| u.hits).sum();
+        let opp: u64 = self.per_user.iter().map(|u| u.opportunities).sum();
+        if opp == 0 {
+            0.0
+        } else {
+            hits as f64 / opp as f64
+        }
+    }
+
+    /// Micro average precision (Eq. 24): mean of per-user precisions over
+    /// users with at least one opportunity.
+    pub fn miap(&self) -> f64 {
+        let precisions: Vec<f64> = self
+            .per_user
+            .iter()
+            .filter_map(|u| u.precision())
+            .collect();
+        if precisions.is_empty() {
+            0.0
+        } else {
+            precisions.iter().sum::<f64>() / precisions.len() as f64
+        }
+    }
+
+    /// Total recommendation opportunities.
+    pub fn opportunities(&self) -> u64 {
+        self.per_user.iter().map(|u| u.opportunities).sum()
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.per_user.iter().map(|u| u.hits).sum()
+    }
+
+    /// Users with at least one opportunity.
+    pub fn users_evaluated(&self) -> usize {
+        self.per_user
+            .iter()
+            .filter(|u| u.opportunities > 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_handles_empty() {
+        assert_eq!(UserOutcome::default().precision(), None);
+        let u = UserOutcome {
+            hits: 1,
+            opportunities: 4,
+        };
+        assert_eq!(u.precision(), Some(0.25));
+    }
+
+    #[test]
+    fn maap_pools_miap_averages() {
+        // User A: 9/10; user B: 0/1. MaAP = 9/11; MiAP = (0.9 + 0)/2.
+        let r = EvalResult {
+            top_n: 5,
+            per_user: vec![
+                UserOutcome {
+                    hits: 9,
+                    opportunities: 10,
+                },
+                UserOutcome {
+                    hits: 0,
+                    opportunities: 1,
+                },
+            ],
+        };
+        assert!((r.maap() - 9.0 / 11.0).abs() < 1e-12);
+        assert!((r.miap() - 0.45).abs() < 1e-12);
+        assert_eq!(r.hits(), 9);
+        assert_eq!(r.opportunities(), 11);
+        assert_eq!(r.users_evaluated(), 2);
+    }
+
+    #[test]
+    fn users_without_opportunities_do_not_dilute_miap() {
+        let r = EvalResult {
+            top_n: 1,
+            per_user: vec![
+                UserOutcome {
+                    hits: 2,
+                    opportunities: 2,
+                },
+                UserOutcome::default(), // never evaluated
+            ],
+        };
+        assert_eq!(r.miap(), 1.0);
+        assert_eq!(r.users_evaluated(), 1);
+    }
+
+    #[test]
+    fn empty_result_is_zero() {
+        let r = EvalResult {
+            top_n: 10,
+            per_user: vec![],
+        };
+        assert_eq!(r.maap(), 0.0);
+        assert_eq!(r.miap(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_separates_maap_from_miap() {
+        // A heavy user with poor precision drags MaAP below MiAP.
+        let r = EvalResult {
+            top_n: 5,
+            per_user: vec![
+                UserOutcome {
+                    hits: 10,
+                    opportunities: 100,
+                }, // 0.1, heavy
+                UserOutcome {
+                    hits: 9,
+                    opportunities: 10,
+                }, // 0.9, light
+            ],
+        };
+        assert!(r.maap() < r.miap());
+    }
+}

@@ -1,0 +1,291 @@
+//! Novel-item evaluation and the unified repeat/novel pipeline — the
+//! paper's §4.3 application and its stated future work ("mixing the results
+//! of recommendations for both novel consumption and repeat consumption").
+
+use crate::harness::EvalConfig;
+use crate::metrics::{EvalResult, UserOutcome};
+use rrc_features::{RecContext, Recommender, TrainStats};
+use rrc_sequence::{ItemId, SplitDataset, UserId, WindowState};
+use rrc_strec::{StrecClassifier, StrecFeatureState};
+
+/// Top-`n` over the *unseen* item universe (the classical novel-item
+/// candidate set `V − {v : v ∈ S_u}`).
+fn recommend_novel<R: Recommender + ?Sized>(
+    rec: &R,
+    ctx: &RecContext<'_>,
+    seen: &[bool],
+    n: usize,
+) -> Vec<ItemId> {
+    let mut scored: Vec<(f64, ItemId)> = (0..seen.len() as u32)
+        .map(ItemId)
+        .filter(|v| !seen[v.index()])
+        .map(|v| (rec.score(ctx, v), v))
+        .collect();
+    rrc_features::recommend::top_n(&mut scored, n)
+}
+
+/// Evaluate a recommender on **novel** consumptions: for each first-time
+/// consumption in the test suffix, a Top-N list over the user's unseen
+/// items is scored against the actually-consumed item.
+pub fn evaluate_novel<R: Recommender + ?Sized>(
+    rec: &R,
+    split: &SplitDataset,
+    stats: &TrainStats,
+    cfg: &EvalConfig,
+    ns: &[usize],
+) -> Vec<EvalResult> {
+    assert!(!ns.is_empty(), "at least one N required");
+    let max_n = ns.iter().copied().max().unwrap_or(0);
+    let num_items = split.train.num_items();
+    let mut per_n: Vec<Vec<UserOutcome>> = ns.iter().map(|_| Vec::new()).collect();
+
+    for u in 0..split.num_users() {
+        let user = UserId(u as u32);
+        let train_events = split.train.sequence(user).events();
+        let mut window = WindowState::warmed(cfg.window, train_events);
+        let mut seen = vec![false; num_items];
+        for &item in train_events {
+            seen[item.index()] = true;
+        }
+        let mut outcomes = vec![UserOutcome::default(); ns.len()];
+        for &item in split.test_sequence(user).events() {
+            if !seen[item.index()] {
+                let ctx = RecContext {
+                    user,
+                    window: &window,
+                    stats,
+                    omega: cfg.omega,
+                };
+                let list = recommend_novel(rec, &ctx, &seen, max_n);
+                let hit_rank = list.iter().position(|&v| v == item);
+                for (slot, &n) in outcomes.iter_mut().zip(ns) {
+                    slot.opportunities += 1;
+                    if matches!(hit_rank, Some(r) if r < n) {
+                        slot.hits += 1;
+                    }
+                }
+                seen[item.index()] = true;
+            }
+            window.push(item);
+        }
+        for (bucket, o) in per_n.iter_mut().zip(outcomes) {
+            bucket.push(o);
+        }
+    }
+    ns.iter()
+        .zip(per_n)
+        .map(|(&n, per_user)| EvalResult { top_n: n, per_user })
+        .collect()
+}
+
+/// Unified next-item evaluation over **all** test events: STREC routes each
+/// step to the repeat recommender (eligible window candidates) or the novel
+/// recommender (unseen items). This is the mixture the paper's conclusion
+/// sketches as future work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnifiedResult {
+    /// Accuracy results per requested `N`, over every routable test event.
+    pub results: Vec<EvalResult>,
+    /// How many events were routed to the repeat recommender.
+    pub routed_repeat: u64,
+    /// How many events were routed to the novel recommender.
+    pub routed_novel: u64,
+}
+
+/// Run the unified pipeline with the default 0.5 routing threshold.
+pub fn evaluate_unified<RR, NR>(
+    gate: &StrecClassifier,
+    repeat_rec: &RR,
+    novel_rec: &NR,
+    split: &SplitDataset,
+    stats: &TrainStats,
+    cfg: &EvalConfig,
+    ns: &[usize],
+) -> UnifiedResult
+where
+    RR: Recommender + ?Sized,
+    NR: Recommender + ?Sized,
+{
+    evaluate_unified_with_threshold(gate, repeat_rec, novel_rec, split, stats, cfg, ns, 0.5)
+}
+
+/// Run the unified pipeline routing at an explicit gate threshold. With
+/// heavily repeat-dominated data (the normal regime) a threshold at the
+/// training base rate routes only *above-average* repeat propensities to
+/// the repeat arm.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_unified_with_threshold<RR, NR>(
+    gate: &StrecClassifier,
+    repeat_rec: &RR,
+    novel_rec: &NR,
+    split: &SplitDataset,
+    stats: &TrainStats,
+    cfg: &EvalConfig,
+    ns: &[usize],
+    threshold: f64,
+) -> UnifiedResult
+where
+    RR: Recommender + ?Sized,
+    NR: Recommender + ?Sized,
+{
+    assert!(!ns.is_empty(), "at least one N required");
+    let max_n = ns.iter().copied().max().unwrap_or(0);
+    let num_items = split.train.num_items();
+    let mut per_n: Vec<Vec<UserOutcome>> = ns.iter().map(|_| Vec::new()).collect();
+    let mut routed_repeat = 0u64;
+    let mut routed_novel = 0u64;
+
+    for u in 0..split.num_users() {
+        let user = UserId(u as u32);
+        let train_events = split.train.sequence(user).events();
+        let mut window = WindowState::warmed(cfg.window, train_events);
+        let mut seen = vec![false; num_items];
+        for &item in train_events {
+            seen[item.index()] = true;
+        }
+        let mut state = StrecFeatureState::default();
+        {
+            let mut warm = WindowState::new(cfg.window);
+            for (step, &item) in train_events.iter().enumerate() {
+                state.observe(step, warm.contains(item));
+                warm.push(item);
+            }
+        }
+        let mut outcomes = vec![UserOutcome::default(); ns.len()];
+        for &item in split.test_sequence(user).events() {
+            if !window.is_empty() {
+                let ctx = RecContext {
+                    user,
+                    window: &window,
+                    stats,
+                    omega: cfg.omega,
+                };
+                let predict_repeat =
+                    gate.predict_with_threshold(&window, stats, &state, threshold);
+                let list = if predict_repeat {
+                    routed_repeat += 1;
+                    repeat_rec.recommend(&ctx, max_n)
+                } else {
+                    routed_novel += 1;
+                    recommend_novel(novel_rec, &ctx, &seen, max_n)
+                };
+                // Score against the actual consumption whatever it was —
+                // the unified pipeline is judged on the true next item.
+                let hit_rank = list.iter().position(|&v| v == item);
+                for (slot, &n) in outcomes.iter_mut().zip(ns) {
+                    slot.opportunities += 1;
+                    if matches!(hit_rank, Some(r) if r < n) {
+                        slot.hits += 1;
+                    }
+                }
+            }
+            state.observe(window.time(), window.contains(item));
+            seen[item.index()] = true;
+            window.push(item);
+        }
+        for (bucket, o) in per_n.iter_mut().zip(outcomes) {
+            bucket.push(o);
+        }
+    }
+    UnifiedResult {
+        results: ns
+            .iter()
+            .zip(per_n)
+            .map(|(&n, per_user)| EvalResult { top_n: n, per_user })
+            .collect(),
+        routed_repeat,
+        routed_novel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrc_sequence::{Dataset, Sequence};
+    use rrc_strec::LassoConfig;
+
+    struct ByQuality;
+    impl Recommender for ByQuality {
+        fn name(&self) -> &str {
+            "by-quality"
+        }
+        fn score(&self, ctx: &RecContext<'_>, item: ItemId) -> f64 {
+            ctx.stats.quality(item)
+        }
+    }
+
+    fn fixture() -> (SplitDataset, TrainStats) {
+        let train_seqs: Vec<Sequence> = (0..3)
+            .map(|u| Sequence::from_raw((0..50).map(|i| ((i + u) % 6) as u32).collect()))
+            .collect();
+        let test_seqs: Vec<Sequence> = (0..3)
+            .map(|u| {
+                // Mix of repeats (0..6) and novel items (6..10).
+                Sequence::from_raw(
+                    (0..20)
+                        .map(|i| if i % 4 == 0 { 6 + ((i / 4 + u) % 4) as u32 } else { (i % 6) as u32 })
+                        .collect(),
+                )
+            })
+            .collect();
+        let split = SplitDataset {
+            train: Dataset::new(train_seqs, 10),
+            test: test_seqs,
+        };
+        let stats = TrainStats::compute(&split.train, 10);
+        (split, stats)
+    }
+
+    #[test]
+    fn novel_eval_counts_first_time_items_only() {
+        let (split, stats) = fixture();
+        let cfg = EvalConfig {
+            window: 10,
+            omega: 2,
+        };
+        let results = evaluate_novel(&ByQuality, &split, &stats, &cfg, &[1, 4]);
+        // Each user consumes 4 distinct novel items (6..10) once each...
+        // every first occurrence is an opportunity.
+        assert!(results[0].opportunities() > 0);
+        assert_eq!(results[0].opportunities(), results[1].opportunities());
+        // With 4 unseen items and N=4, every list contains the answer.
+        assert_eq!(results[1].maap(), 1.0);
+        assert!(results[0].maap() <= results[1].maap());
+    }
+
+    #[test]
+    fn novel_eval_never_recommends_seen_items() {
+        let (split, stats) = fixture();
+        let user = UserId(0);
+        let window = WindowState::warmed(10, split.train.sequence(user).events());
+        let ctx = RecContext {
+            user,
+            window: &window,
+            stats: &stats,
+            omega: 2,
+        };
+        let mut seen = vec![false; 10];
+        seen[..6].fill(true);
+        let list = recommend_novel(&ByQuality, &ctx, &seen, 10);
+        assert_eq!(list.len(), 4);
+        for v in list {
+            assert!(v.0 >= 6);
+        }
+    }
+
+    #[test]
+    fn unified_pipeline_routes_and_scores() {
+        let (split, stats) = fixture();
+        let gate = StrecClassifier::fit(&split.train, &stats, 10, &LassoConfig::default())
+            .expect("examples exist");
+        let cfg = EvalConfig {
+            window: 10,
+            omega: 2,
+        };
+        let unified = evaluate_unified(&gate, &ByQuality, &ByQuality, &split, &stats, &cfg, &[5]);
+        let total_events: u64 = split.test.iter().map(|s| s.len() as u64).sum();
+        assert_eq!(unified.routed_repeat + unified.routed_novel, total_events);
+        assert_eq!(unified.results[0].opportunities(), total_events);
+        assert!(unified.results[0].maap() > 0.0);
+    }
+}

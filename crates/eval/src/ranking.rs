@@ -1,0 +1,177 @@
+//! Additional ranking metrics beyond the paper's MaAP/MiAP: MRR and nDCG.
+//!
+//! The paper evaluates with average precision only; these are standard
+//! extensions for downstream users who want rank-aware quality (a hit at
+//! rank 1 is worth more than a hit at rank 10). They reuse the same
+//! test-walk protocol as [`crate::harness`].
+
+use crate::harness::EvalConfig;
+use rrc_features::{RecContext, Recommender, TrainStats};
+use rrc_sequence::{classify, ConsumptionKind, SplitDataset, UserId, WindowState};
+
+/// Rank-aware results over all recommendation opportunities.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RankingResult {
+    /// Recommendation opportunities.
+    pub opportunities: u64,
+    /// Σ 1/rank of the consumed item (0 when not in the list).
+    reciprocal_rank_sum: f64,
+    /// Σ 1/log2(rank+1) of the consumed item (0 when not in the list).
+    dcg_sum: f64,
+    /// Hits anywhere in the list.
+    pub hits: u64,
+}
+
+impl RankingResult {
+    /// Mean reciprocal rank.
+    pub fn mrr(&self) -> f64 {
+        if self.opportunities == 0 {
+            0.0
+        } else {
+            self.reciprocal_rank_sum / self.opportunities as f64
+        }
+    }
+
+    /// Mean nDCG. With a single relevant item per opportunity the ideal DCG
+    /// is 1, so nDCG reduces to `1/log2(rank+1)` averaged over
+    /// opportunities.
+    pub fn ndcg(&self) -> f64 {
+        if self.opportunities == 0 {
+            0.0
+        } else {
+            self.dcg_sum / self.opportunities as f64
+        }
+    }
+
+    /// Hit rate (same as MaAP at the evaluated list length).
+    pub fn hit_rate(&self) -> f64 {
+        if self.opportunities == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.opportunities as f64
+        }
+    }
+}
+
+/// Walk the test suffixes and compute rank-aware metrics at list length
+/// `top_n`.
+pub fn evaluate_ranking<R: Recommender + ?Sized>(
+    rec: &R,
+    split: &SplitDataset,
+    stats: &TrainStats,
+    cfg: &EvalConfig,
+    top_n: usize,
+) -> RankingResult {
+    assert!(cfg.omega < cfg.window, "omega must be < window");
+    let mut result = RankingResult::default();
+    for u in 0..split.num_users() {
+        let user = UserId(u as u32);
+        let mut window = WindowState::warmed(cfg.window, split.train.sequence(user).events());
+        for &item in split.test_sequence(user).events() {
+            if classify(&window, item, cfg.omega) == ConsumptionKind::EligibleRepeat {
+                let ctx = RecContext {
+                    user,
+                    window: &window,
+                    stats,
+                    omega: cfg.omega,
+                };
+                let list = rec.recommend(&ctx, top_n);
+                result.opportunities += 1;
+                if let Some(pos) = list.iter().position(|&v| v == item) {
+                    let rank = (pos + 1) as f64;
+                    result.hits += 1;
+                    result.reciprocal_rank_sum += 1.0 / rank;
+                    result.dcg_sum += 1.0 / (rank + 1.0).log2();
+                }
+            }
+            window.push(item);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrc_features::RecContext as Ctx;
+    use rrc_sequence::{Dataset, ItemId, Sequence};
+
+    struct ById;
+    impl Recommender for ById {
+        fn name(&self) -> &str {
+            "by-id"
+        }
+        fn score(&self, _: &Ctx<'_>, item: ItemId) -> f64 {
+            -(item.0 as f64) // ascending ids
+        }
+    }
+
+    fn fixture() -> (SplitDataset, TrainStats) {
+        let split = SplitDataset {
+            train: Dataset::new(
+                vec![Sequence::from_raw(vec![0, 1, 2, 3, 4, 5])],
+                6,
+            ),
+            // Repeats of 1 and 3, both eligible under Ω=2.
+            test: vec![Sequence::from_raw(vec![1, 3])],
+        };
+        let stats = TrainStats::compute(&split.train, 10);
+        (split, stats)
+    }
+
+    #[test]
+    fn mrr_and_ndcg_match_hand_computation() {
+        let (split, stats) = fixture();
+        let cfg = EvalConfig {
+            window: 10,
+            omega: 2,
+        };
+        let r = evaluate_ranking(&ById, &split, &stats, &cfg, 10);
+        assert_eq!(r.opportunities, 2);
+        assert_eq!(r.hits, 2);
+        // Event 1: window has 0..=5, t=6, Ω=2 excludes items at steps >= 4
+        // (4, 5). Candidates [0,1,2,3]; ById ranks ascending: 1 at rank 2.
+        // Event 2: window now 0..=5 + 1 at t=6. Ω excludes steps >= 5: item
+        // 5 and 1(just consumed at 6). Candidates [0,2,3,4]: 3 at rank 3.
+        let expected_mrr = (1.0 / 2.0 + 1.0 / 3.0) / 2.0;
+        assert!((r.mrr() - expected_mrr).abs() < 1e-12, "mrr {}", r.mrr());
+        let expected_ndcg = ((3.0f64).log2().recip() + (4.0f64).log2().recip()) / 2.0;
+        assert!((r.ndcg() - expected_ndcg).abs() < 1e-12);
+        assert_eq!(r.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn misses_contribute_zero() {
+        let (split, stats) = fixture();
+        let cfg = EvalConfig {
+            window: 10,
+            omega: 2,
+        };
+        let r = evaluate_ranking(&ById, &split, &stats, &cfg, 1);
+        // At N=1 neither repeat is the top candidate.
+        assert_eq!(r.hits, 0);
+        assert_eq!(r.mrr(), 0.0);
+        assert_eq!(r.ndcg(), 0.0);
+    }
+
+    #[test]
+    fn empty_result_is_zero() {
+        let r = RankingResult::default();
+        assert_eq!(r.mrr(), 0.0);
+        assert_eq!(r.ndcg(), 0.0);
+        assert_eq!(r.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn mrr_bounded_by_hit_rate() {
+        let (split, stats) = fixture();
+        let cfg = EvalConfig {
+            window: 10,
+            omega: 2,
+        };
+        let r = evaluate_ranking(&ById, &split, &stats, &cfg, 10);
+        assert!(r.mrr() <= r.hit_rate() + 1e-12);
+        assert!(r.ndcg() <= r.hit_rate() + 1e-12);
+        assert!(r.mrr() <= r.ndcg() + 1e-12); // 1/r <= 1/log2(r+1) for r >= 1
+    }
+}

@@ -1,0 +1,100 @@
+//! Plain-text table formatting for experiment reports.
+
+/// Format a value as a percentage with two decimals ("12.34%").
+pub fn percent(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Render an aligned ASCII table. Every row must have `headers.len()`
+/// cells; numeric-looking cells are right-aligned, everything else left.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), cols, "row {i} has {} cells, expected {cols}", r.len());
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let numeric: Vec<bool> = (0..cols)
+        .map(|c| {
+            !rows.is_empty()
+                && rows.iter().all(|r| {
+                    let cell = r[c].trim_end_matches('%');
+                    cell.parse::<f64>().is_ok() || r[c].ends_with("ms") || r[c].is_empty()
+                })
+        })
+        .collect();
+
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!("| {h:<w$} "));
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for r in rows {
+        for ((cell, w), &num) in r.iter().zip(&widths).zip(&numeric) {
+            if num {
+                out.push_str(&format!("| {cell:>w$} "));
+            } else {
+                out.push_str(&format!("| {cell:<w$} "));
+            }
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0.1234), "12.34%");
+        assert_eq!(percent(1.0), "100.00%");
+        assert_eq!(percent(0.0), "0.00%");
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = format_table(
+            &["method", "MaAP@1"],
+            &[
+                vec!["TS-PPR".into(), "0.31".into()],
+                vec!["Pop".into(), "0.17".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        // borders + header + 2 rows = 6 lines.
+        assert_eq!(lines.len(), 6);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{t}");
+        assert!(t.contains("| TS-PPR |"));
+        // Numeric column is right-aligned under its header width.
+        assert!(t.contains("|   0.31 |"), "{t}");
+    }
+
+    #[test]
+    fn empty_rows_render_headers_only() {
+        let t = format_table(&["a"], &[]);
+        assert!(t.contains("| a |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2")]
+    fn ragged_rows_rejected() {
+        format_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

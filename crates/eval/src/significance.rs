@@ -1,0 +1,175 @@
+//! Paired permutation test between two recommenders' per-user outcomes.
+//!
+//! Complements [`crate::bootstrap`]: the bootstrap quantifies each method's
+//! own uncertainty; the permutation test asks whether method A's advantage
+//! over method B on the *same users* could be a fluke. Under the null
+//! hypothesis the two methods are exchangeable per user, so randomly
+//! swapping each user's pair of outcomes must produce differences at least
+//! as large as the observed one about `p` of the time.
+
+use crate::metrics::EvalResult;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a paired permutation test on MaAP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PermutationTest {
+    /// Observed MaAP difference `A − B`.
+    pub observed_diff: f64,
+    /// Two-sided p-value estimate.
+    pub p_value: f64,
+    /// Permutations drawn.
+    pub permutations: usize,
+}
+
+impl PermutationTest {
+    /// Whether the difference is significant at the given level.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Run a paired permutation test on the MaAP difference between two
+/// evaluation results over the same users.
+///
+/// # Panics
+/// Panics if the results cover different user counts or mismatched
+/// opportunity counts (they must come from identical walks).
+pub fn permutation_test(
+    a: &EvalResult,
+    b: &EvalResult,
+    permutations: usize,
+    seed: u64,
+) -> PermutationTest {
+    assert_eq!(
+        a.per_user.len(),
+        b.per_user.len(),
+        "results must cover the same users"
+    );
+    assert!(permutations > 0, "need at least one permutation");
+    for (ua, ub) in a.per_user.iter().zip(&b.per_user) {
+        assert_eq!(
+            ua.opportunities, ub.opportunities,
+            "paired results must share the evaluation walk"
+        );
+    }
+    let total_opp: u64 = a.per_user.iter().map(|u| u.opportunities).sum();
+    if total_opp == 0 {
+        return PermutationTest {
+            observed_diff: 0.0,
+            p_value: 1.0,
+            permutations,
+        };
+    }
+    let maap_diff = |hits_a: u64, hits_b: u64| -> f64 {
+        (hits_a as f64 - hits_b as f64) / total_opp as f64
+    };
+    let hits_a: u64 = a.per_user.iter().map(|u| u.hits).sum();
+    let hits_b: u64 = b.per_user.iter().map(|u| u.hits).sum();
+    let observed = maap_diff(hits_a, hits_b);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut extreme = 0usize;
+    for _ in 0..permutations {
+        let mut ha = 0u64;
+        let mut hb = 0u64;
+        for (ua, ub) in a.per_user.iter().zip(&b.per_user) {
+            if rng.gen::<bool>() {
+                ha += ua.hits;
+                hb += ub.hits;
+            } else {
+                ha += ub.hits;
+                hb += ua.hits;
+            }
+        }
+        if maap_diff(ha, hb).abs() >= observed.abs() - 1e-15 {
+            extreme += 1;
+        }
+    }
+    PermutationTest {
+        observed_diff: observed,
+        // Add-one smoothing keeps the estimate away from an impossible 0.
+        p_value: (extreme + 1) as f64 / (permutations + 1) as f64,
+        permutations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::UserOutcome;
+
+    fn result(pairs: Vec<(u64, u64)>) -> EvalResult {
+        EvalResult {
+            top_n: 10,
+            per_user: pairs
+                .into_iter()
+                .map(|(hits, opportunities)| UserOutcome {
+                    hits,
+                    opportunities,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_results_are_not_significant() {
+        let a = result(vec![(5, 10), (3, 8), (7, 9)]);
+        let t = permutation_test(&a, &a.clone(), 500, 1);
+        assert_eq!(t.observed_diff, 0.0);
+        assert!(t.p_value > 0.99);
+        assert!(!t.significant_at(0.05));
+    }
+
+    #[test]
+    fn consistent_dominance_is_significant() {
+        // A beats B for every one of 40 users.
+        let a = result((0..40).map(|_| (9, 10)).collect());
+        let b = result((0..40).map(|_| (3, 10)).collect());
+        let t = permutation_test(&a, &b, 2000, 2);
+        assert!(t.observed_diff > 0.0);
+        assert!(t.significant_at(0.01), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn tiny_noisy_difference_is_not_significant() {
+        // One user differs by a single hit.
+        let a = result(vec![(5, 10), (5, 10), (5, 10), (6, 10)]);
+        let b = result(vec![(5, 10), (5, 10), (5, 10), (5, 10)]);
+        let t = permutation_test(&a, &b, 2000, 3);
+        assert!(!t.significant_at(0.05), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn empty_opportunities_yield_p_one() {
+        let a = result(vec![(0, 0)]);
+        let b = result(vec![(0, 0)]);
+        let t = permutation_test(&a, &b, 10, 0);
+        assert_eq!(t.p_value, 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = result(vec![(9, 10), (2, 10), (5, 10)]);
+        let b = result(vec![(4, 10), (3, 10), (6, 10)]);
+        let x = permutation_test(&a, &b, 500, 7);
+        let y = permutation_test(&a, &b, 500, 7);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "same users")]
+    fn mismatched_user_counts_rejected() {
+        let a = result(vec![(1, 2)]);
+        let b = result(vec![(1, 2), (0, 1)]);
+        permutation_test(&a, &b, 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the evaluation walk")]
+    fn mismatched_opportunities_rejected() {
+        let a = result(vec![(1, 2)]);
+        let b = result(vec![(1, 3)]);
+        permutation_test(&a, &b, 10, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Online recommendation latency measurement (Fig. 13 of the paper).
+
+use crate::harness::EvalConfig;
+use rrc_features::{RecContext, Recommender, TrainStats};
+use rrc_sequence::{classify, ConsumptionKind, SplitDataset, UserId, WindowState};
+use std::time::{Duration, Instant};
+
+/// Latency statistics over measured recommendation instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyReport {
+    /// Instances measured.
+    pub instances: usize,
+    /// Total wall time across instances.
+    pub total: Duration,
+}
+
+impl LatencyReport {
+    /// Mean per-instance latency; zero if nothing was measured.
+    pub fn mean(&self) -> Duration {
+        if self.instances == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.instances as u32
+        }
+    }
+
+    /// Mean latency in milliseconds (the unit of Fig. 13).
+    pub fn mean_millis(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.total.as_secs_f64() * 1e3 / self.instances as f64
+        }
+    }
+}
+
+/// Walk the test suffixes exactly as the accuracy harness does, but time
+/// each `recommend` call, stopping after `max_instances` measurements.
+pub fn measure_latency<R: Recommender + ?Sized>(
+    rec: &R,
+    split: &SplitDataset,
+    stats: &TrainStats,
+    cfg: &EvalConfig,
+    top_n: usize,
+    max_instances: usize,
+) -> LatencyReport {
+    let mut report = LatencyReport {
+        instances: 0,
+        total: Duration::ZERO,
+    };
+    'users: for u in 0..split.num_users() {
+        let user = UserId(u as u32);
+        let mut window = WindowState::warmed(cfg.window, split.train.sequence(user).events());
+        for &item in split.test_sequence(user).events() {
+            if classify(&window, item, cfg.omega) == ConsumptionKind::EligibleRepeat {
+                let ctx = RecContext {
+                    user,
+                    window: &window,
+                    stats,
+                    omega: cfg.omega,
+                };
+                let start = Instant::now();
+                let list = rec.recommend(&ctx, top_n);
+                let elapsed = start.elapsed();
+                std::hint::black_box(&list);
+                report.total += elapsed;
+                report.instances += 1;
+                if report.instances >= max_instances {
+                    break 'users;
+                }
+            }
+            window.push(item);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrc_sequence::{Dataset, ItemId, Sequence};
+
+    struct Fast;
+    impl Recommender for Fast {
+        fn name(&self) -> &str {
+            "fast"
+        }
+        fn score(&self, _: &RecContext<'_>, item: ItemId) -> f64 {
+            item.0 as f64
+        }
+    }
+
+    struct Slow;
+    impl Recommender for Slow {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn score(&self, _: &RecContext<'_>, item: ItemId) -> f64 {
+            // Busy-work proportional to nothing useful: the point is only
+            // to be measurably slower than `Fast`.
+            let mut acc = item.0 as f64;
+            for i in 0..20_000 {
+                acc = (acc + i as f64).sin();
+            }
+            acc
+        }
+    }
+
+    fn fixture() -> (SplitDataset, TrainStats) {
+        let split = SplitDataset {
+            train: Dataset::new(
+                vec![Sequence::from_raw((0..40).map(|i| i % 6).collect())],
+                6,
+            ),
+            test: vec![Sequence::from_raw((0..20).map(|i| (i * 5) % 6).collect())],
+        };
+        let stats = TrainStats::compute(&split.train, 10);
+        (split, stats)
+    }
+
+    #[test]
+    fn measures_instances_up_to_cap() {
+        let (split, stats) = fixture();
+        let cfg = EvalConfig {
+            window: 10,
+            omega: 2,
+        };
+        let full = measure_latency(&Fast, &split, &stats, &cfg, 5, usize::MAX);
+        assert!(full.instances > 0);
+        let capped = measure_latency(&Fast, &split, &stats, &cfg, 5, 2);
+        assert_eq!(capped.instances, 2.min(full.instances));
+    }
+
+    #[test]
+    fn slower_recommender_measures_slower() {
+        let (split, stats) = fixture();
+        let cfg = EvalConfig {
+            window: 10,
+            omega: 2,
+        };
+        let fast = measure_latency(&Fast, &split, &stats, &cfg, 5, 20);
+        let slow = measure_latency(&Slow, &split, &stats, &cfg, 5, 20);
+        assert!(
+            slow.mean() > fast.mean(),
+            "slow {:?} <= fast {:?}",
+            slow.mean(),
+            fast.mean()
+        );
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = LatencyReport {
+            instances: 0,
+            total: Duration::ZERO,
+        };
+        assert_eq!(r.mean(), Duration::ZERO);
+        assert_eq!(r.mean_millis(), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! The [`Recommender`] trait implemented by every model in the workspace.
+
+use crate::train_stats::TrainStats;
+use rrc_sequence::{ItemId, UserId, WindowState};
+
+/// The context available when a recommendation is requested: which user,
+/// their window state as of the current time, the training statistics, and
+/// the minimum gap Ω.
+#[derive(Debug, Clone, Copy)]
+pub struct RecContext<'a> {
+    /// The active user.
+    pub user: UserId,
+    /// The user's window `W_{u,t-1}`; `window.time()` is the current `t`.
+    pub window: &'a WindowState,
+    /// Static statistics from the training split.
+    pub stats: &'a TrainStats,
+    /// Minimum gap Ω: items consumed within the last Ω steps are never
+    /// recommended (§5.1).
+    pub omega: usize,
+}
+
+impl<'a> RecContext<'a> {
+    /// The eligible candidate set for this request (in-window, at least Ω
+    /// steps old), sorted by item id.
+    pub fn candidates(&self) -> Vec<ItemId> {
+        self.window.eligible_candidates(self.omega)
+    }
+}
+
+/// A repeat-consumption recommender.
+///
+/// Implementations provide a scoring function; the default `recommend`
+/// ranks the eligible candidates by score (descending), breaking ties by
+/// item id for determinism, and returns the top `n`.
+pub trait Recommender {
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &str;
+
+    /// Preference score of `item` for the context's user at the current
+    /// time — the model's `r_uvt`. Higher is better. Only called for items
+    /// in the eligible candidate set.
+    fn score(&self, ctx: &RecContext<'_>, item: ItemId) -> f64;
+
+    /// Top-`n` recommendation list over the eligible candidates.
+    fn recommend(&self, ctx: &RecContext<'_>, n: usize) -> Vec<ItemId> {
+        let mut scored: Vec<(f64, ItemId)> = ctx
+            .candidates()
+            .into_iter()
+            .map(|v| (self.score(ctx, v), v))
+            .collect();
+        top_n(&mut scored, n)
+    }
+}
+
+/// Select the `n` highest-scoring items, ties broken by ascending item id.
+/// Exposed for recommenders that build their own scored lists.
+pub fn top_n(scored: &mut [(f64, ItemId)], n: usize) -> Vec<ItemId> {
+    scored.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    scored.iter().take(n).map(|&(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrc_sequence::{Dataset, Sequence};
+
+    struct ById;
+    impl Recommender for ById {
+        fn name(&self) -> &str {
+            "by-id"
+        }
+        fn score(&self, _: &RecContext<'_>, item: ItemId) -> f64 {
+            item.0 as f64
+        }
+    }
+
+    fn fixture() -> (TrainStats, WindowState) {
+        let d = Dataset::new(vec![Sequence::from_raw(vec![0, 1, 2, 3, 4])], 8);
+        let stats = TrainStats::compute(&d, 10);
+        // t = 8 after warm-up; items 0..=4 seen at steps 0..=4.
+        let window = WindowState::warmed(10, &[0, 1, 2, 3, 4, 5, 6, 7].map(ItemId));
+        (stats, window)
+    }
+
+    #[test]
+    fn candidates_respect_omega() {
+        let (stats, window) = fixture();
+        let ctx = RecContext {
+            user: UserId(0),
+            window: &window,
+            stats: &stats,
+            omega: 3,
+        };
+        // t = 8, Ω = 3 → steps >= 5 excluded: items 5, 6, 7 out.
+        assert_eq!(
+            ctx.candidates(),
+            vec![ItemId(0), ItemId(1), ItemId(2), ItemId(3), ItemId(4)]
+        );
+    }
+
+    #[test]
+    fn default_recommend_ranks_by_score() {
+        let (stats, window) = fixture();
+        let ctx = RecContext {
+            user: UserId(0),
+            window: &window,
+            stats: &stats,
+            omega: 3,
+        };
+        let top = ById.recommend(&ctx, 3);
+        assert_eq!(top, vec![ItemId(4), ItemId(3), ItemId(2)]);
+        // Asking for more than exist returns all candidates.
+        assert_eq!(ById.recommend(&ctx, 100).len(), 5);
+    }
+
+    #[test]
+    fn top_n_breaks_ties_by_item_id() {
+        let mut scored = vec![
+            (1.0, ItemId(9)),
+            (1.0, ItemId(2)),
+            (2.0, ItemId(5)),
+            (1.0, ItemId(4)),
+        ];
+        assert_eq!(
+            top_n(&mut scored, 3),
+            vec![ItemId(5), ItemId(2), ItemId(4)]
+        );
+    }
+
+    #[test]
+    fn top_n_handles_nan_scores_without_panicking() {
+        let mut scored = vec![(f64::NAN, ItemId(1)), (1.0, ItemId(2))];
+        let out = top_n(&mut scored, 2);
+        assert_eq!(out.len(), 2);
+    }
+}

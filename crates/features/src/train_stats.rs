@@ -1,0 +1,197 @@
+//! Static per-item statistics computed once over the training split.
+
+use rrc_sequence::{Dataset, ItemId, WindowState};
+
+/// Training-set statistics backing the static features and several
+/// baselines:
+///
+/// * `frequency[v]` — `n_v`, the number of training consumptions of `v`;
+/// * `quality[v]` — `q̄_v`, min–max-normalised `ln(1 + n_v)` (Eqs. 16–17);
+/// * `recon_ratio[v]` — `r_v`, the fraction of `v`'s training observations
+///   that were repeats w.r.t. the window (Eq. 18).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainStats {
+    window_capacity: usize,
+    frequency: Vec<u64>,
+    quality: Vec<f64>,
+    recon_ratio: Vec<f64>,
+    total_events: u64,
+}
+
+impl TrainStats {
+    /// Compute statistics from a training dataset. `window_capacity` is the
+    /// `|W|` used to decide which observations count as repeats in Eq. 18.
+    pub fn compute(train: &Dataset, window_capacity: usize) -> Self {
+        let n = train.num_items();
+        let mut frequency = vec![0u64; n];
+        let mut repeats = vec![0u64; n];
+        let mut total_events = 0u64;
+
+        for (_, seq) in train.iter() {
+            let mut window = WindowState::new(window_capacity);
+            for &item in seq.events() {
+                frequency[item.index()] += 1;
+                if window.contains(item) {
+                    repeats[item.index()] += 1;
+                }
+                window.push(item);
+                total_events += 1;
+            }
+        }
+
+        // Eq. 16: q_v = ln(1 + n_v); Eq. 17: min-max normalise over items
+        // observed in training. Unobserved items keep quality 0.
+        let mut quality: Vec<f64> = frequency.iter().map(|&f| (1.0 + f as f64).ln()).collect();
+        rrc_linalg_min_max(&mut quality);
+
+        let recon_ratio = frequency
+            .iter()
+            .zip(repeats.iter())
+            .map(|(&f, &r)| if f == 0 { 0.0 } else { r as f64 / f as f64 })
+            .collect();
+
+        TrainStats {
+            window_capacity,
+            frequency,
+            quality,
+            recon_ratio,
+            total_events,
+        }
+    }
+
+    /// The `|W|` these statistics were computed with.
+    pub fn window_capacity(&self) -> usize {
+        self.window_capacity
+    }
+
+    /// Number of items in the id space.
+    pub fn num_items(&self) -> usize {
+        self.frequency.len()
+    }
+
+    /// Total training events.
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Raw training frequency `n_v`.
+    #[inline]
+    pub fn frequency(&self, item: ItemId) -> u64 {
+        self.frequency[item.index()]
+    }
+
+    /// Normalised item quality `q̄_v ∈ [0, 1]` (Eqs. 16–17).
+    #[inline]
+    pub fn quality(&self, item: ItemId) -> f64 {
+        self.quality[item.index()]
+    }
+
+    /// Unnormalised popularity score `ln(1 + n_v)` — the **Pop** baseline's
+    /// ranking key.
+    #[inline]
+    pub fn log_popularity(&self, item: ItemId) -> f64 {
+        (1.0 + self.frequency[item.index()] as f64).ln()
+    }
+
+    /// Item reconsumption ratio `r_v ∈ [0, 1]` (Eq. 18).
+    #[inline]
+    pub fn recon_ratio(&self, item: ItemId) -> f64 {
+        self.recon_ratio[item.index()]
+    }
+}
+
+/// Local min–max normalisation (kept here so this crate does not depend on
+/// `rrc-linalg`; the semantics match `rrc_linalg::min_max_normalize`).
+fn rrc_linalg_min_max(values: &mut [f64]) {
+    if values.is_empty() {
+        return;
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let range = max - min;
+    if range <= 0.0 {
+        values.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    values.iter_mut().for_each(|v| *v = (*v - min) / range);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrc_sequence::Sequence;
+
+    fn dataset() -> Dataset {
+        Dataset::new(
+            vec![
+                // user 0: 0 is consumed 3x (2 repeats with W=5), 1 once.
+                Sequence::from_raw(vec![0, 1, 0, 0]),
+                // user 1: 2 twice (1 repeat), 0 once more.
+                Sequence::from_raw(vec![2, 2, 0]),
+            ],
+            4,
+        )
+    }
+
+    #[test]
+    fn frequency_counts() {
+        let s = TrainStats::compute(&dataset(), 5);
+        assert_eq!(s.frequency(ItemId(0)), 4);
+        assert_eq!(s.frequency(ItemId(1)), 1);
+        assert_eq!(s.frequency(ItemId(2)), 2);
+        assert_eq!(s.frequency(ItemId(3)), 0);
+        assert_eq!(s.total_events(), 7);
+        assert_eq!(s.num_items(), 4);
+    }
+
+    #[test]
+    fn quality_is_normalised_and_monotone_in_frequency() {
+        let s = TrainStats::compute(&dataset(), 5);
+        assert_eq!(s.quality(ItemId(0)), 1.0); // most frequent
+        assert_eq!(s.quality(ItemId(3)), 0.0); // unobserved
+        assert!(s.quality(ItemId(2)) > s.quality(ItemId(1)));
+        assert!(s.quality(ItemId(2)) < s.quality(ItemId(0)));
+    }
+
+    #[test]
+    fn recon_ratio_matches_hand_count() {
+        let s = TrainStats::compute(&dataset(), 5);
+        // item 0: 4 observations; repeats at u0:t2, u0:t3 → 2/4.
+        assert!((s.recon_ratio(ItemId(0)) - 0.5).abs() < 1e-12);
+        // item 1: single observation, never repeated.
+        assert_eq!(s.recon_ratio(ItemId(1)), 0.0);
+        // item 2: 2 observations, 1 repeat.
+        assert!((s.recon_ratio(ItemId(2)) - 0.5).abs() < 1e-12);
+        // unobserved item.
+        assert_eq!(s.recon_ratio(ItemId(3)), 0.0);
+    }
+
+    #[test]
+    fn recon_ratio_respects_window_capacity() {
+        // 0 . . 0 with window 2: the second 0 is out of the window → not a
+        // repeat under W=2, but a repeat under W=5.
+        let d = Dataset::new(vec![Sequence::from_raw(vec![0, 1, 2, 0])], 3);
+        let narrow = TrainStats::compute(&d, 2);
+        let wide = TrainStats::compute(&d, 5);
+        assert_eq!(narrow.recon_ratio(ItemId(0)), 0.0);
+        assert_eq!(wide.recon_ratio(ItemId(0)), 0.5);
+    }
+
+    #[test]
+    fn log_popularity_unnormalised() {
+        let s = TrainStats::compute(&dataset(), 5);
+        assert!((s.log_popularity(ItemId(0)) - (5.0f64).ln()).abs() < 1e-12);
+        assert!((s.log_popularity(ItemId(3)) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_frequencies_normalise_to_zero() {
+        let d = Dataset::new(
+            vec![Sequence::from_raw(vec![0]), Sequence::from_raw(vec![1])],
+            2,
+        );
+        let s = TrainStats::compute(&d, 5);
+        assert_eq!(s.quality(ItemId(0)), 0.0);
+        assert_eq!(s.quality(ItemId(1)), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Minimal dense linear algebra substrate for the `repeat-rec` workspace.
+//!
+//! The Rust recommender-system / numerical ecosystem is thin, so every model
+//! in this workspace (TS-PPR, FPMC, Cox proportional hazards, STREC) is built
+//! on this small, dependency-free kernel instead of an external BLAS:
+//!
+//! * [`DVector`] — an owned dense `f64` vector with the handful of BLAS-1
+//!   operations the trainers need (`dot`, `axpy`, `scale`, norms).
+//! * [`DMatrix`] — a row-major dense matrix with `matvec`, rank-1 updates
+//!   (the `u ⊗ (f_i − f_j)` update of Eq. 15 in the paper), and Frobenius
+//!   norms.
+//! * [`solve`] — LU with partial pivoting and Cholesky, used by the
+//!   Newton–Raphson step of the Cox model and by STREC's IRLS variant.
+//! * [`rng`] — deterministic Gaussian sampling (Box–Muller over any
+//!   `rand::Rng`), used for the `N(0, σ²)` initialisation of latent factors.
+//! * [`math`] — numerically-stable scalar helpers (`sigmoid`,
+//!   `ln_sigmoid`, `logsumexp`).
+//! * [`stats`] — summary statistics and min–max normalisation (Eq. 17).
+//!
+//! All operations are `f64`; the matrices involved are small (K×F with K, F
+//! at most a few hundred), so clarity and determinism are preferred over
+//! SIMD.
+
+pub mod math;
+pub mod matrix;
+pub mod rng;
+pub mod solve;
+pub mod stats;
+pub mod tensor;
+pub mod vector;
+
+pub use math::{ln_sigmoid, logsumexp, sigmoid};
+pub use matrix::DMatrix;
+pub use rng::GaussianSampler;
+pub use solve::{cholesky_solve, lu_solve, SolveError};
+pub use stats::{min_max_normalize, Summary};
+pub use tensor::Tensor3;
+pub use vector::DVector;

@@ -1,0 +1,122 @@
+//! Numerically-stable scalar helpers shared by all trainers.
+
+/// Logistic sigmoid `σ(x) = 1 / (1 + e^{-x})`.
+///
+/// Implemented in the branchy, overflow-free form: for large negative `x`,
+/// the naive expression `1/(1+e^{-x})` would compute `e^{-x} = inf`;
+/// evaluating `e^{x}/(1+e^{x})` on that branch keeps every intermediate
+/// finite.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `ln σ(x)` computed without ever forming `σ(x)` (which underflows to 0 for
+/// `x ≲ -745` and would give `ln 0 = -inf` when the true value is just a
+/// very negative finite number).
+#[inline]
+pub fn ln_sigmoid(x: f64) -> f64 {
+    // ln σ(x) = -ln(1 + e^{-x}) = x - ln(1 + e^{x})
+    if x >= 0.0 {
+        -(-x).exp().ln_1p()
+    } else {
+        x - x.exp().ln_1p()
+    }
+}
+
+/// `ln Σ e^{x_i}` with the usual max-shift trick. Returns `-inf` for an
+/// empty slice (the log of an empty sum).
+pub fn logsumexp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() && m < 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let s: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Clamp a value into `[lo, hi]`. `f64::clamp` panics on NaN bounds; this is
+/// a thin wrapper kept for call-site readability in the trainers.
+#[inline]
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi);
+    x.max(lo).min(hi)
+}
+
+/// Relative difference `|a - b| / max(1, |a|, |b|)`, the convergence test
+/// used by the iterative solvers.
+#[inline]
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / 1.0_f64.max(a.abs()).max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn sigmoid_midpoint_and_symmetry() {
+        assert!(close(sigmoid(0.0), 0.5, 1e-15));
+        for &x in &[0.1, 1.0, 3.5, 10.0, 50.0] {
+            assert!(close(sigmoid(x) + sigmoid(-x), 1.0, 1e-12), "x={x}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_extremes_are_finite_and_saturate() {
+        assert!(close(sigmoid(1000.0), 1.0, 1e-12));
+        assert!(close(sigmoid(-1000.0), 0.0, 1e-12));
+        assert!(sigmoid(-1000.0) >= 0.0);
+    }
+
+    #[test]
+    fn ln_sigmoid_matches_naive_in_safe_range() {
+        for &x in &[-20.0, -3.0, -0.5, 0.0, 0.5, 3.0, 20.0] {
+            let naive = sigmoid(x).ln();
+            assert!(close(ln_sigmoid(x), naive, 1e-12), "x={x}");
+        }
+    }
+
+    #[test]
+    fn ln_sigmoid_is_finite_where_naive_underflows() {
+        let x = -800.0;
+        assert!(sigmoid(x).ln().is_infinite());
+        assert!(close(ln_sigmoid(x), x, 1e-9)); // ln σ(x) ≈ x for x ≪ 0
+    }
+
+    #[test]
+    fn logsumexp_basic() {
+        let xs = [0.0, 0.0];
+        assert!(close(logsumexp(&xs), 2.0_f64.ln(), 1e-12));
+        assert!(logsumexp(&[]).is_infinite());
+        // Shift invariance: lse(x + c) = lse(x) + c.
+        let base = [1.0, 2.0, 3.0];
+        let shifted: Vec<f64> = base.iter().map(|x| x + 100.0).collect();
+        assert!(close(logsumexp(&shifted), logsumexp(&base) + 100.0, 1e-9));
+    }
+
+    #[test]
+    fn logsumexp_handles_large_inputs() {
+        let v = logsumexp(&[1000.0, 1000.0]);
+        assert!(close(v, 1000.0 + 2.0_f64.ln(), 1e-9));
+    }
+
+    #[test]
+    fn clamp_and_rel_diff() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.25, 0.0, 1.0), 0.25);
+        assert!(close(rel_diff(1.0, 1.0), 0.0, 1e-15));
+        assert!(close(rel_diff(200.0, 100.0), 0.5, 1e-15));
+        assert!(close(rel_diff(0.001, 0.002), 0.001, 1e-15)); // denominator floors at 1
+    }
+}

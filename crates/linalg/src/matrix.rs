@@ -1,0 +1,308 @@
+//! Row-major dense matrix with the operations the TS-PPR and Cox trainers
+//! need: `matvec`, rank-1 (outer product) updates, and Frobenius norms.
+
+// Index loops in this module mirror the summation indices of the
+// underlying math; iterator rewrites obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
+
+use crate::vector::DVector;
+use std::fmt;
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// The per-user feature-transform matrix `A_u` of the paper (a `K × F` map
+/// from observable behavioral space to latent preference space) is a
+/// `DMatrix`, and the SGD step of Eq. 15,
+/// `A_u ← (1-αλ)A_u + α(1-p)·u ⊗ (f_i − f_j)`, maps to
+/// [`DMatrix::scale`] + [`DMatrix::rank1_update`].
+#[derive(Clone, PartialEq)]
+pub struct DMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMatrix {
+    /// A zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix of size `n × n` (the paper's suggested `A_u = I`
+    /// simplification when `K = F`).
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: shape mismatch");
+        DMatrix { rows, cols, data }
+    }
+
+    /// Build from nested rows (convenience for tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        DMatrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `y = self · x` (matrix–vector product).
+    ///
+    /// # Panics
+    /// Panics if `x.dim() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> DVector {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = DVector::zeros(self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// `y = selfᵀ · x` (transposed matrix–vector product) without forming
+    /// the transpose.
+    pub fn matvec_t(&self, x: &[f64]) -> DVector {
+        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
+        let mut y = DVector::zeros(self.cols);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let xi = x[i];
+            for (yj, a) in y.iter_mut().zip(row.iter()) {
+                *yj += xi * a;
+            }
+        }
+        y
+    }
+
+    /// Rank-1 update `self += alpha * (u ⊗ v)` where `u` is a `rows`-vector
+    /// and `v` a `cols`-vector. This is exactly the `A_u` gradient step of
+    /// Eq. 15 in the paper.
+    pub fn rank1_update(&mut self, alpha: f64, u: &[f64], v: &[f64]) {
+        assert_eq!(u.len(), self.rows, "rank1_update: row dim mismatch");
+        assert_eq!(v.len(), self.cols, "rank1_update: col dim mismatch");
+        for i in 0..self.rows {
+            let ui = alpha * u[i];
+            let row = self.row_mut(i);
+            for (r, vj) in row.iter_mut().zip(v.iter()) {
+                *r += ui * vj;
+            }
+        }
+    }
+
+    /// `self *= alpha` (used for the `(1-αλ)` weight-decay factor).
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Frobenius norm `‖·‖_F`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.frobenius_norm_sq().sqrt()
+    }
+
+    /// Squared Frobenius norm — the regularisation term `‖A_u‖_F²` of Eq. 7.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum()
+    }
+
+    /// True iff every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|a| a.is_finite())
+    }
+
+    /// Borrow the raw row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix–matrix product `self · other`.
+    pub fn matmul(&self, other: &DMatrix) -> DMatrix {
+        assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
+        let mut out = DMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, b) in out_row.iter_mut().zip(orow.iter()) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DMatrix {
+        let mut out = DMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for DMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let i3 = DMatrix::identity(3);
+        let x = [1.0, -2.0, 3.0];
+        assert_eq!(i3.matvec(&x).as_slice(), &x);
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let m = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let y = m.matvec(&[1.0, 1.0]);
+        assert_eq!(y.as_slice(), &[3.0, 7.0, 11.0]);
+        let yt = m.matvec_t(&[1.0, 0.0, 1.0]);
+        assert_eq!(yt.as_slice(), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn rank1_update_matches_outer_product() {
+        let mut m = DMatrix::zeros(2, 3);
+        m.rank1_update(2.0, &[1.0, -1.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(0), &[2.0, 4.0, 6.0]);
+        assert_eq!(m.row(1), &[-2.0, -4.0, -6.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = DMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert_eq!(m.frobenius_norm(), 5.0);
+        assert_eq!(m.frobenius_norm_sq(), 25.0);
+    }
+
+    #[test]
+    fn scale_applies_uniformly() {
+        let mut m = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.scale(0.5);
+        assert_eq!(m.as_slice(), &[0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[2.0, 1.0]);
+        assert_eq!(c.row(1), &[4.0, 3.0]);
+        let at = a.transpose();
+        assert_eq!(at.row(0), &[1.0, 3.0]);
+        assert_eq!(at.row(1), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_equals_explicit_transpose_matvec() {
+        let m = DMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = [0.5, -1.5];
+        let via_t = m.transpose().matvec(&x);
+        let direct = m.matvec_t(&x);
+        assert_eq!(via_t.as_slice(), direct.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_wrong_dim_panics() {
+        let m = DMatrix::zeros(2, 2);
+        let _ = m.matvec(&[1.0]);
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut m = DMatrix::zeros(2, 2);
+        m[(0, 1)] = 9.0;
+        assert_eq!(m[(0, 1)], 9.0);
+        assert_eq!(m.row(0), &[0.0, 9.0]);
+    }
+}

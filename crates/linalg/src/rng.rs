@@ -1,0 +1,119 @@
+//! Deterministic Gaussian sampling for latent-factor initialisation.
+//!
+//! Algorithm 1 of the paper initialises `A_u ~ N(0, λI)` and
+//! `U, V ~ N(0, γI)`. The `rand` crate ships only uniform distributions in
+//! its core; the normal distribution lives in the separate `rand_distr`
+//! crate, which we avoid by implementing the (polar) Box–Muller transform
+//! here.
+
+use crate::{DMatrix, DVector};
+use rand::Rng;
+
+/// Draws `N(mean, std²)` samples from any [`rand::Rng`] via the polar
+/// Box–Muller (Marsaglia) method, caching the spare deviate so consecutive
+/// draws cost one transform per two samples.
+#[derive(Debug, Clone)]
+pub struct GaussianSampler {
+    mean: f64,
+    std: f64,
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// A sampler for `N(mean, std²)`.
+    ///
+    /// # Panics
+    /// Panics if `std` is negative or non-finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(std >= 0.0 && std.is_finite(), "std must be finite and >= 0");
+        GaussianSampler { mean, std, spare: None }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return self.mean + self.std * z;
+        }
+        // Classic Box–Muller: loop-free (terminates for any RNG, even a
+        // degenerate one), two deviates per transform.
+        let u1: f64 = rng.gen(); // [0, 1)
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * (1.0 - u1).ln()).sqrt(); // 1-u1 ∈ (0, 1] keeps ln finite
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        self.mean + self.std * r * theta.cos()
+    }
+
+    /// Fill a fresh vector of dimension `n` with samples.
+    pub fn sample_vector<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize) -> DVector {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Fill a fresh `rows × cols` matrix with samples.
+    pub fn sample_matrix<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        rows: usize,
+        cols: usize,
+    ) -> DMatrix {
+        let data = (0..rows * cols).map(|_| self.sample(rng)).collect();
+        DMatrix::from_vec(rows, cols, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match_requested_distribution() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut g = GaussianSampler::new(2.0, 0.5);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.01, "mean={mean}");
+        assert!((var - 0.25).abs() < 0.01, "var={var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = GaussianSampler::standard();
+        let mut b = GaussianSampler::standard();
+        let va = a.sample_vector(&mut StdRng::seed_from_u64(7), 16);
+        let vb = b.sample_vector(&mut StdRng::seed_from_u64(7), 16);
+        assert_eq!(va.as_slice(), vb.as_slice());
+    }
+
+    #[test]
+    fn zero_std_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut g = GaussianSampler::new(3.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(g.sample(&mut rng), 3.0);
+        }
+    }
+
+    #[test]
+    fn matrix_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = GaussianSampler::standard().sample_matrix(&mut rng, 3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "std must be finite")]
+    fn negative_std_panics() {
+        let _ = GaussianSampler::new(0.0, -1.0);
+    }
+}

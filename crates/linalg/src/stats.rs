@@ -1,0 +1,182 @@
+//! Summary statistics and normalisation helpers.
+
+/// Five-number-ish summary of a sample: count, mean, variance, min, max.
+///
+/// Produced in one pass with Welford's algorithm so it is safe on long
+/// streams (no catastrophic cancellation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary; `mean`/`var` of an empty summary are 0 and
+    /// `min`/`max` are `NaN`.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::NAN,
+            max: f64::NAN,
+        }
+    }
+
+    /// Summarise a slice.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+        if self.count == 1 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum (NaN when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum (NaN when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Min–max normalise `values` in place into `[0, 1]` (Eq. 17 of the paper:
+/// `q̄ = (q - q_min) / (q_max - q_min)`).
+///
+/// When all values are equal the denominator is zero; the paper's feature
+/// is then uninformative and we map everything to `0.0` (rather than NaN).
+pub fn min_max_normalize(values: &mut [f64]) {
+    if values.is_empty() {
+        return;
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let range = max - min;
+    if range <= 0.0 {
+        for v in values.iter_mut() {
+            *v = 0.0;
+        }
+        return;
+    }
+    for v in values.iter_mut() {
+        *v = (*v - min) / range;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.variance(), 1.25);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        let e = Summary::new();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.variance(), 0.0);
+        assert!(e.min().is_nan());
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean(), 7.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 7.0);
+        assert_eq!(s.max(), 7.0);
+    }
+
+    #[test]
+    fn welford_is_stable_with_large_offset() {
+        // Same spread around two very different offsets — variance must match.
+        let a = Summary::of(&[1e9 + 1.0, 1e9 + 2.0, 1e9 + 3.0]);
+        let b = Summary::of(&[1.0, 2.0, 3.0]);
+        assert!((a.variance() - b.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_basic() {
+        let mut v = vec![2.0, 4.0, 6.0];
+        min_max_normalize(&mut v);
+        assert_eq!(v, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn normalize_constant_input_maps_to_zero() {
+        let mut v = vec![3.0, 3.0, 3.0];
+        min_max_normalize(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_empty_is_noop() {
+        let mut v: Vec<f64> = vec![];
+        min_max_normalize(&mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn normalize_output_in_unit_interval() {
+        let mut v = vec![-5.0, 0.0, 17.0, 3.0];
+        min_max_normalize(&mut v);
+        assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[2], 1.0);
+    }
+}

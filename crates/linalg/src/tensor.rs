@@ -1,0 +1,335 @@
+//! A dense rank-3 tensor with mode products — the substrate for Tucker
+//! decomposition.
+//!
+//! The paper describes FPMC as "the Tucker Decomposition on a
+//! {user-item-item} transition tensor" (§5.2); the general Tucker form
+//! scores an entry as
+//!
+//! ```text
+//! x̂(u, i, l) = Σ_{a,b,c} G[a,b,c] · U[u,a] · V[i,b] · W[l,c]
+//! ```
+//!
+//! with a small core `G`. [`Tensor3`] stores the core (or any small dense
+//! rank-3 array) and provides the contraction above plus mode-wise partial
+//! contractions for gradient computation.
+
+// Index loops in this module mirror the summation indices of the
+// underlying math; iterator rewrites obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
+
+use crate::DMatrix;
+
+/// A dense rank-3 tensor of shape `(d0, d1, d2)`, row-major in the last
+/// index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor3 {
+    d0: usize,
+    d1: usize,
+    d2: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor3 {
+    /// A zero tensor.
+    pub fn zeros(d0: usize, d1: usize, d2: usize) -> Self {
+        Tensor3 {
+            d0,
+            d1,
+            d2,
+            data: vec![0.0; d0 * d1 * d2],
+        }
+    }
+
+    /// The superdiagonal identity-like core of size `(k, k, k)` — plugging
+    /// it into the Tucker contraction recovers the CP/pairwise special
+    /// case.
+    pub fn superdiagonal(k: usize) -> Self {
+        let mut t = Self::zeros(k, k, k);
+        for a in 0..k {
+            t[(a, a, a)] = 1.0;
+        }
+        t
+    }
+
+    /// Build from a raw vector (row-major: index = (a·d1 + b)·d2 + c).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != d0 * d1 * d2`.
+    pub fn from_vec(d0: usize, d1: usize, d2: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), d0 * d1 * d2, "tensor shape mismatch");
+        Tensor3 { d0, d1, d2, data }
+    }
+
+    /// Shape `(d0, d1, d2)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.d0, self.d1, self.d2)
+    }
+
+    #[inline]
+    fn idx(&self, a: usize, b: usize, c: usize) -> usize {
+        debug_assert!(a < self.d0 && b < self.d1 && c < self.d2);
+        (a * self.d1 + b) * self.d2 + c
+    }
+
+    /// Full trilinear contraction `Σ G[a,b,c]·x[a]·y[b]·z[c]`.
+    pub fn contract(&self, x: &[f64], y: &[f64], z: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.d0, "mode-0 dimension mismatch");
+        assert_eq!(y.len(), self.d1, "mode-1 dimension mismatch");
+        assert_eq!(z.len(), self.d2, "mode-2 dimension mismatch");
+        let mut acc = 0.0;
+        for a in 0..self.d0 {
+            if x[a] == 0.0 {
+                continue;
+            }
+            let mut inner = 0.0;
+            for b in 0..self.d1 {
+                if y[b] == 0.0 {
+                    continue;
+                }
+                let base = (a * self.d1 + b) * self.d2;
+                let mut row_acc = 0.0;
+                for (c, &zc) in z.iter().enumerate() {
+                    row_acc += self.data[base + c] * zc;
+                }
+                inner += y[b] * row_acc;
+            }
+            acc += x[a] * inner;
+        }
+        acc
+    }
+
+    /// Partial contraction over modes 1 and 2: returns the vector
+    /// `g[a] = Σ_{b,c} G[a,b,c]·y[b]·z[c]` — the gradient of
+    /// [`Self::contract`] with respect to `x`.
+    pub fn contract_mode0(&self, y: &[f64], z: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.d1);
+        assert_eq!(z.len(), self.d2);
+        (0..self.d0)
+            .map(|a| {
+                let mut acc = 0.0;
+                for b in 0..self.d1 {
+                    let base = (a * self.d1 + b) * self.d2;
+                    let mut row = 0.0;
+                    for (c, &zc) in z.iter().enumerate() {
+                        row += self.data[base + c] * zc;
+                    }
+                    acc += y[b] * row;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Partial contraction gradient w.r.t. `y`:
+    /// `g[b] = Σ_{a,c} G[a,b,c]·x[a]·z[c]`.
+    pub fn contract_mode1(&self, x: &[f64], z: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.d0);
+        assert_eq!(z.len(), self.d2);
+        let mut out = vec![0.0; self.d1];
+        for a in 0..self.d0 {
+            if x[a] == 0.0 {
+                continue;
+            }
+            for (b, o) in out.iter_mut().enumerate() {
+                let base = (a * self.d1 + b) * self.d2;
+                let mut row = 0.0;
+                for (c, &zc) in z.iter().enumerate() {
+                    row += self.data[base + c] * zc;
+                }
+                *o += x[a] * row;
+            }
+        }
+        out
+    }
+
+    /// Partial contraction gradient w.r.t. `z`:
+    /// `g[c] = Σ_{a,b} G[a,b,c]·x[a]·y[b]`.
+    pub fn contract_mode2(&self, x: &[f64], y: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.d0);
+        assert_eq!(y.len(), self.d1);
+        let mut out = vec![0.0; self.d2];
+        for a in 0..self.d0 {
+            if x[a] == 0.0 {
+                continue;
+            }
+            for b in 0..self.d1 {
+                let w = x[a] * y[b];
+                if w == 0.0 {
+                    continue;
+                }
+                let base = (a * self.d1 + b) * self.d2;
+                for (c, o) in out.iter_mut().enumerate() {
+                    *o += w * self.data[base + c];
+                }
+            }
+        }
+        out
+    }
+
+    /// Rank-1 update `G += α · x ⊗ y ⊗ z` — the SGD step on the core.
+    pub fn rank1_update(&mut self, alpha: f64, x: &[f64], y: &[f64], z: &[f64]) {
+        assert_eq!(x.len(), self.d0);
+        assert_eq!(y.len(), self.d1);
+        assert_eq!(z.len(), self.d2);
+        for a in 0..self.d0 {
+            let xa = alpha * x[a];
+            if xa == 0.0 {
+                continue;
+            }
+            for b in 0..self.d1 {
+                let w = xa * y[b];
+                let base = (a * self.d1 + b) * self.d2;
+                for (c, &zc) in z.iter().enumerate() {
+                    self.data[base + c] += w * zc;
+                }
+            }
+        }
+    }
+
+    /// `G *= alpha` (weight decay).
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Mode-0 unfolding as a `(d0, d1·d2)` matrix (for diagnostics).
+    pub fn unfold0(&self) -> DMatrix {
+        DMatrix::from_vec(self.d0, self.d1 * self.d2, self.data.clone())
+    }
+
+    /// True iff every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl std::ops::Index<(usize, usize, usize)> for Tensor3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (a, b, c): (usize, usize, usize)) -> &f64 {
+        &self.data[self.idx(a, b, c)]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize, usize)> for Tensor3 {
+    #[inline]
+    fn index_mut(&mut self, (a, b, c): (usize, usize, usize)) -> &mut f64 {
+        let i = self.idx(a, b, c);
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Tensor3 {
+        // G[a,b,c] = a + 10b + 100c over shape (2, 2, 2).
+        let mut t = Tensor3::zeros(2, 2, 2);
+        for a in 0..2 {
+            for b in 0..2 {
+                for c in 0..2 {
+                    t[(a, b, c)] = a as f64 + 10.0 * b as f64 + 100.0 * c as f64;
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let t = small();
+        assert_eq!(t[(1, 0, 1)], 101.0);
+        assert_eq!(t[(0, 1, 0)], 10.0);
+        assert_eq!(t.shape(), (2, 2, 2));
+    }
+
+    #[test]
+    fn contract_matches_naive_sum() {
+        let t = small();
+        let x = [0.5, 2.0];
+        let y = [1.0, -1.0];
+        let z = [3.0, 0.25];
+        let mut naive = 0.0;
+        for a in 0..2 {
+            for b in 0..2 {
+                for c in 0..2 {
+                    naive += t[(a, b, c)] * x[a] * y[b] * z[c];
+                }
+            }
+        }
+        assert!((t.contract(&x, &y, &z) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_contractions_are_gradients() {
+        // d/dx contract = contract_mode0, checked by finite differences.
+        let t = small();
+        let x = [0.3, -0.7];
+        let y = [0.2, 1.1];
+        let z = [-0.5, 0.9];
+        let g0 = t.contract_mode0(&y, &z);
+        let g1 = t.contract_mode1(&x, &z);
+        let g2 = t.contract_mode2(&x, &y);
+        let eps = 1e-6;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += eps;
+            let fd = (t.contract(&xp, &y, &z) - t.contract(&x, &y, &z)) / eps;
+            assert!((g0[i] - fd).abs() < 1e-5, "mode0[{i}]");
+            let mut yp = y;
+            yp[i] += eps;
+            let fd = (t.contract(&x, &yp, &z) - t.contract(&x, &y, &z)) / eps;
+            assert!((g1[i] - fd).abs() < 1e-5, "mode1[{i}]");
+            let mut zp = z;
+            zp[i] += eps;
+            let fd = (t.contract(&x, &y, &zp) - t.contract(&x, &y, &z)) / eps;
+            assert!((g2[i] - fd).abs() < 1e-5, "mode2[{i}]");
+        }
+    }
+
+    #[test]
+    fn superdiagonal_recovers_cp_form() {
+        let t = Tensor3::superdiagonal(3);
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0];
+        let z = [7.0, 8.0, 9.0];
+        let cp: f64 = (0..3).map(|i| x[i] * y[i] * z[i]).sum();
+        assert!((t.contract(&x, &y, &z) - cp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank1_update_and_scale() {
+        let mut t = Tensor3::zeros(2, 2, 2);
+        t.rank1_update(2.0, &[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]);
+        assert_eq!(t[(0, 1, 0)], 2.0);
+        assert_eq!(t[(0, 1, 1)], 2.0);
+        assert_eq!(t[(1, 1, 1)], 0.0);
+        assert_eq!(t.frobenius_norm_sq(), 8.0);
+        t.scale(0.5);
+        assert_eq!(t[(0, 1, 0)], 1.0);
+        assert!(t.is_finite());
+    }
+
+    #[test]
+    fn unfold_shape() {
+        let t = small();
+        let m = t.unfold0();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m[(1, 3)], t[(1, 1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn contract_dim_mismatch_panics() {
+        let t = Tensor3::zeros(2, 2, 2);
+        t.contract(&[1.0], &[1.0, 1.0], &[1.0, 1.0]);
+    }
+}

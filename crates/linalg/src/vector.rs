@@ -1,0 +1,247 @@
+//! Owned dense `f64` vector with the BLAS-1 operations the trainers need.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut, Index, IndexMut};
+
+/// A dense, heap-allocated `f64` vector.
+///
+/// This is a deliberate thin wrapper over `Vec<f64>` (it derefs to `[f64]`)
+/// so that model code reads like the paper's equations:
+///
+/// ```
+/// use rrc_linalg::DVector;
+/// let u = DVector::from(vec![1.0, 2.0]);
+/// let v = DVector::from(vec![3.0, -1.0]);
+/// assert_eq!(u.dot(&v), 1.0); // uᵀv
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct DVector(Vec<f64>);
+
+impl DVector {
+    /// A zero vector of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        DVector(vec![0.0; n])
+    }
+
+    /// A vector filled with `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        DVector(vec![value; n])
+    }
+
+    /// Dimension of the vector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Inner product `selfᵀ other`.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    #[inline]
+    pub fn dot(&self, other: &Self) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dot: dimension mismatch");
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// `self += alpha * other` (the BLAS `axpy`).
+    #[inline]
+    pub fn axpy(&mut self, alpha: f64, other: &Self) {
+        assert_eq!(self.dim(), other.dim(), "axpy: dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self *= alpha`.
+    #[inline]
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.0 {
+            *a *= alpha;
+        }
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean norm — cheaper when only comparisons are needed.
+    pub fn norm_sq(&self) -> f64 {
+        self.0.iter().map(|a| a * a).sum()
+    }
+
+    /// L1 norm `Σ|x_i|` (used by the Lasso penalty in STREC).
+    pub fn norm_l1(&self) -> f64 {
+        self.0.iter().map(|a| a.abs()).sum()
+    }
+
+    /// Element-wise difference `self - other` as a new vector.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert_eq!(self.dim(), other.dim(), "sub: dimension mismatch");
+        DVector(
+            self.0
+                .iter()
+                .zip(other.0.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        )
+    }
+
+    /// Element-wise sum `self + other` as a new vector.
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!(self.dim(), other.dim(), "add: dimension mismatch");
+        DVector(
+            self.0
+                .iter()
+                .zip(other.0.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
+    }
+
+    /// True iff every component is finite (no NaN/±inf). The trainers assert
+    /// this in debug builds after each SGD step.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|a| a.is_finite())
+    }
+
+    /// Borrow the underlying slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Mutably borrow the underlying slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Consume into the underlying `Vec`.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.0
+    }
+}
+
+impl From<Vec<f64>> for DVector {
+    fn from(v: Vec<f64>) -> Self {
+        DVector(v)
+    }
+}
+
+impl From<&[f64]> for DVector {
+    fn from(v: &[f64]) -> Self {
+        DVector(v.to_vec())
+    }
+}
+
+impl FromIterator<f64> for DVector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        DVector(iter.into_iter().collect())
+    }
+}
+
+impl Deref for DVector {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+impl DerefMut for DVector {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+}
+
+impl Index<usize> for DVector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for DVector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl fmt::Debug for DVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DVector{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let z = DVector::zeros(3);
+        assert_eq!(z.dim(), 3);
+        assert_eq!(z.as_slice(), &[0.0, 0.0, 0.0]);
+        let f = DVector::filled(2, 1.5);
+        assert_eq!(f.as_slice(), &[1.5, 1.5]);
+        let c: DVector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(c.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot_axpy_scale() {
+        let mut a = DVector::from(vec![1.0, 2.0, 3.0]);
+        let b = DVector::from(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+        a.axpy(2.0, &b); // a = [9, 12, 15]
+        assert_eq!(a.as_slice(), &[9.0, 12.0, 15.0]);
+        a.scale(1.0 / 3.0);
+        assert_eq!(a.as_slice(), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let v = DVector::from(vec![3.0, -4.0]);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_sq(), 25.0);
+        assert_eq!(v.norm_l1(), 7.0);
+    }
+
+    #[test]
+    fn add_sub() {
+        let a = DVector::from(vec![1.0, 2.0]);
+        let b = DVector::from(vec![0.5, -0.5]);
+        assert_eq!(a.sub(&b).as_slice(), &[0.5, 2.5]);
+        assert_eq!(a.add(&b).as_slice(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(DVector::from(vec![1.0, -2.0]).is_finite());
+        assert!(!DVector::from(vec![f64::NAN]).is_finite());
+        assert!(!DVector::from(vec![f64::INFINITY]).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_dimension_mismatch_panics() {
+        let a = DVector::zeros(2);
+        let b = DVector::zeros(3);
+        let _ = a.dot(&b);
+    }
+
+    #[test]
+    fn indexing_and_deref() {
+        let mut v = DVector::zeros(2);
+        v[1] = 7.0;
+        assert_eq!(v[1], 7.0);
+        assert_eq!(v.iter().sum::<f64>(), 7.0); // Deref to slice
+    }
+}

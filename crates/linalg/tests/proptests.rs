@@ -1,0 +1,166 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use rrc_linalg::{
+    cholesky_solve, ln_sigmoid, logsumexp, lu_solve, min_max_normalize, sigmoid, DMatrix, DVector,
+    Summary,
+};
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1e6f64..1e6).prop_filter("finite", |x| x.is_finite())
+}
+
+fn vec_of(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(finite_f64(), n)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in vec_of(8), b in vec_of(8)) {
+        let va = DVector::from(a);
+        let vb = DVector::from(b);
+        let ab = va.dot(&vb);
+        let ba = vb.dot(&va);
+        prop_assert!((ab - ba).abs() <= 1e-6 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in vec_of(6), b in vec_of(6), alpha in -100.0f64..100.0) {
+        let va = DVector::from(a);
+        let mut scaled = va.clone();
+        scaled.scale(alpha);
+        let vb = DVector::from(b);
+        let lhs = scaled.dot(&vb);
+        let rhs = alpha * va.dot(&vb);
+        prop_assert!((lhs - rhs).abs() <= 1e-4 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn axpy_matches_manual_loop(a in vec_of(5), b in vec_of(5), alpha in -10.0f64..10.0) {
+        let mut v = DVector::from(a.clone());
+        v.axpy(alpha, &DVector::from(b.clone()));
+        for i in 0..5 {
+            let expect = a[i] + alpha * b[i];
+            prop_assert!((v[i] - expect).abs() <= 1e-9 * (1.0 + expect.abs()));
+        }
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in vec_of(8), b in vec_of(8)) {
+        let va = DVector::from(a);
+        let vb = DVector::from(b);
+        let lhs = va.dot(&vb).abs();
+        let rhs = va.norm() * vb.norm();
+        prop_assert!(lhs <= rhs * (1.0 + 1e-9) + 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality(a in vec_of(8), b in vec_of(8)) {
+        let va = DVector::from(a);
+        let vb = DVector::from(b);
+        prop_assert!(va.add(&vb).norm() <= va.norm() + vb.norm() + 1e-6);
+    }
+
+    #[test]
+    fn matvec_is_linear(data in vec_of(12), x in vec_of(4), y in vec_of(4)) {
+        let m = DMatrix::from_vec(3, 4, data);
+        let vx = DVector::from(x.clone());
+        let vy = DVector::from(y.clone());
+        let sum = vx.add(&vy);
+        let lhs = m.matvec(&sum);
+        let rhs = m.matvec(&vx).add(&m.matvec(&vy));
+        for i in 0..3 {
+            prop_assert!((lhs[i] - rhs[i]).abs() <= 1e-4 * (1.0 + rhs[i].abs()));
+        }
+    }
+
+    #[test]
+    fn rank1_update_changes_frobenius_as_expected(
+        u in prop::collection::vec(-10.0f64..10.0, 3),
+        v in prop::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        // Starting from zero, after a rank-1 update the Frobenius norm is
+        // exactly |alpha| * ||u|| * ||v||.
+        let mut m = DMatrix::zeros(3, 4);
+        m.rank1_update(2.0, &u, &v);
+        let nu = DVector::from(u).norm();
+        let nv = DVector::from(v).norm();
+        let expect = 2.0 * nu * nv;
+        prop_assert!((m.frobenius_norm() - expect).abs() <= 1e-6 * (1.0 + expect));
+    }
+
+    #[test]
+    fn lu_solution_satisfies_system(seed_vals in prop::collection::vec(-5.0f64..5.0, 16), b in prop::collection::vec(-10.0f64..10.0, 4)) {
+        // Diagonally dominate the matrix so it is never singular.
+        let mut m = DMatrix::from_vec(4, 4, seed_vals);
+        for i in 0..4 {
+            let row_sum: f64 = m.row(i).iter().map(|x| x.abs()).sum();
+            m[(i, i)] = row_sum + 1.0;
+        }
+        let x = lu_solve(&m, &b).unwrap();
+        let ax = m.matvec(&x);
+        for i in 0..4 {
+            prop_assert!((ax[i] - b[i]).abs() <= 1e-6 * (1.0 + b[i].abs()));
+        }
+    }
+
+    #[test]
+    fn cholesky_agrees_with_lu(seed_vals in prop::collection::vec(-3.0f64..3.0, 9), b in prop::collection::vec(-5.0f64..5.0, 3)) {
+        // Build an SPD matrix A = G Gᵀ + I.
+        let g = DMatrix::from_vec(3, 3, seed_vals);
+        let mut a = g.matmul(&g.transpose());
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let x1 = lu_solve(&a, &b).unwrap();
+        let x2 = cholesky_solve(&a, &b).unwrap();
+        for i in 0..3 {
+            prop_assert!((x1[i] - x2[i]).abs() <= 1e-6 * (1.0 + x1[i].abs()));
+        }
+    }
+
+    #[test]
+    fn sigmoid_in_unit_interval(x in -1e6f64..1e6) {
+        let s = sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn sigmoid_monotone(x in -100.0f64..100.0, dx in 0.001f64..10.0) {
+        prop_assert!(sigmoid(x + dx) >= sigmoid(x));
+    }
+
+    #[test]
+    fn ln_sigmoid_is_log_of_sigmoid(x in -30.0f64..30.0) {
+        let lhs = ln_sigmoid(x);
+        let rhs = sigmoid(x).ln();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn logsumexp_bounds(xs in prop::collection::vec(-100.0f64..100.0, 1..20)) {
+        // max(x) <= lse(x) <= max(x) + ln(n)
+        let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let lse = logsumexp(&xs);
+        prop_assert!(lse >= m - 1e-9);
+        prop_assert!(lse <= m + (xs.len() as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn normalize_is_idempotent_on_range(mut v in prop::collection::vec(-1e3f64..1e3, 2..50)) {
+        min_max_normalize(&mut v);
+        let mut w = v.clone();
+        min_max_normalize(&mut w);
+        for (a, b) in v.iter().zip(w.iter()) {
+            prop_assert!((a - b).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn summary_mean_within_min_max(v in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+        let s = Summary::of(&v);
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+    }
+}

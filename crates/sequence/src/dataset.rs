@@ -1,0 +1,290 @@
+//! Datasets: all users' consumption sequences, with the paper's filtering
+//! and train/test split.
+
+use crate::ids::{ItemId, UserId};
+use crate::sequence::Sequence;
+use std::collections::HashMap;
+
+/// A collection of per-user consumption sequences over a dense item space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    sequences: Vec<Sequence>,
+    num_items: usize,
+}
+
+impl Dataset {
+    /// Build from per-user sequences. `num_items` is the size of the item id
+    /// space; every event must reference an item `< num_items`.
+    ///
+    /// # Panics
+    /// Panics if any event's item id is out of range.
+    pub fn new(sequences: Vec<Sequence>, num_items: usize) -> Self {
+        for (u, seq) in sequences.iter().enumerate() {
+            for &item in seq.events() {
+                assert!(
+                    item.index() < num_items,
+                    "item {item} in user u{u}'s sequence exceeds num_items={num_items}"
+                );
+            }
+        }
+        Dataset {
+            sequences,
+            num_items,
+        }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Size of the item id space.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// One user's sequence.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range.
+    pub fn sequence(&self, user: UserId) -> &Sequence {
+        &self.sequences[user.index()]
+    }
+
+    /// All sequences, indexed by dense user id.
+    pub fn sequences(&self) -> &[Sequence] {
+        &self.sequences
+    }
+
+    /// Iterate `(UserId, &Sequence)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, &Sequence)> {
+        self.sequences
+            .iter()
+            .enumerate()
+            .map(|(u, s)| (UserId(u as u32), s))
+    }
+
+    /// Total number of consumption events across all users.
+    pub fn total_consumptions(&self) -> usize {
+        self.sequences.iter().map(|s| s.len()).sum()
+    }
+
+    /// Number of distinct items actually consumed (≤ `num_items`).
+    pub fn distinct_items_consumed(&self) -> usize {
+        let mut seen = vec![false; self.num_items];
+        for seq in &self.sequences {
+            for &item in seq.events() {
+                seen[item.index()] = true;
+            }
+        }
+        seen.iter().filter(|&&b| b).count()
+    }
+
+    /// Keep only users whose training share can seed a full window:
+    /// `|S_u| × train_frac ≥ min_train_len` (the paper's
+    /// `|S_u| × 70% ≥ 100` filter, §5.1). User ids are re-densified.
+    pub fn filter_min_train_len(&self, train_frac: f64, min_train_len: usize) -> Dataset {
+        let kept: Vec<Sequence> = self
+            .sequences
+            .iter()
+            .filter(|s| (s.len() as f64 * train_frac).floor() as usize >= min_train_len)
+            .cloned()
+            .collect();
+        Dataset {
+            sequences: kept,
+            num_items: self.num_items,
+        }
+    }
+
+    /// Split every user's sequence into a training prefix (`train_frac` of
+    /// events) and a test suffix, per the paper's per-user 70/30 protocol.
+    pub fn split(&self, train_frac: f64) -> SplitDataset {
+        let mut train = Vec::with_capacity(self.sequences.len());
+        let mut test = Vec::with_capacity(self.sequences.len());
+        for seq in &self.sequences {
+            let (tr, te) = seq.split_at_fraction(train_frac);
+            train.push(Sequence::from_events(tr.to_vec()));
+            test.push(Sequence::from_events(te.to_vec()));
+        }
+        SplitDataset {
+            train: Dataset {
+                sequences: train,
+                num_items: self.num_items,
+            },
+            test,
+        }
+    }
+}
+
+/// A per-user train/test split. `test[u]` is the held-out suffix of the
+/// user whose training sequence is `train.sequence(UserId(u))`.
+#[derive(Debug, Clone)]
+pub struct SplitDataset {
+    /// Training prefixes, one per user.
+    pub train: Dataset,
+    /// Test suffixes, parallel to `train`'s user indexing.
+    pub test: Vec<Sequence>,
+}
+
+impl SplitDataset {
+    /// Number of users (identical in train and test).
+    pub fn num_users(&self) -> usize {
+        self.train.num_users()
+    }
+
+    /// The test suffix for one user.
+    pub fn test_sequence(&self, user: UserId) -> &Sequence {
+        &self.test[user.index()]
+    }
+}
+
+/// Accumulates raw `(user, item)` events (with arbitrary sparse ids, in time
+/// order per user) and produces a [`Dataset`] with dense ids.
+///
+/// Raw ids are mapped to dense indices in first-appearance order, which
+/// makes builds deterministic for a fixed event order.
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    user_map: HashMap<u64, u32>,
+    item_map: HashMap<u64, u32>,
+    sequences: Vec<Sequence>,
+}
+
+impl DatasetBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one consumption event. Events for the same user must arrive in
+    /// time-ascending order (the builder preserves arrival order).
+    pub fn push_event(&mut self, raw_user: u64, raw_item: u64) {
+        let next_user = self.user_map.len() as u32;
+        let user = *self.user_map.entry(raw_user).or_insert(next_user);
+        if user as usize == self.sequences.len() {
+            self.sequences.push(Sequence::new());
+        }
+        let next_item = self.item_map.len() as u32;
+        let item = *self.item_map.entry(raw_item).or_insert(next_item);
+        self.sequences[user as usize].push(ItemId(item));
+    }
+
+    /// Number of events accumulated so far.
+    pub fn num_events(&self) -> usize {
+        self.sequences.iter().map(|s| s.len()).sum()
+    }
+
+    /// The dense id assigned to a raw user id, if seen.
+    pub fn dense_user(&self, raw_user: u64) -> Option<UserId> {
+        self.user_map.get(&raw_user).map(|&u| UserId(u))
+    }
+
+    /// The dense id assigned to a raw item id, if seen.
+    pub fn dense_item(&self, raw_item: u64) -> Option<ItemId> {
+        self.item_map.get(&raw_item).map(|&i| ItemId(i))
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Dataset {
+        let num_items = self.item_map.len();
+        Dataset {
+            sequences: self.sequences,
+            num_items,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dataset() -> Dataset {
+        Dataset::new(
+            vec![
+                Sequence::from_raw(vec![0, 1, 0, 2]),
+                Sequence::from_raw(vec![2, 2]),
+                Sequence::from_raw(vec![3]),
+            ],
+            4,
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = small_dataset();
+        assert_eq!(d.num_users(), 3);
+        assert_eq!(d.num_items(), 4);
+        assert_eq!(d.total_consumptions(), 7);
+        assert_eq!(d.sequence(UserId(1)).len(), 2);
+        assert_eq!(d.distinct_items_consumed(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds num_items")]
+    fn out_of_range_item_rejected() {
+        Dataset::new(vec![Sequence::from_raw(vec![5])], 3);
+    }
+
+    #[test]
+    fn filter_keeps_long_sequences() {
+        let d = Dataset::new(
+            vec![
+                Sequence::from_raw((0..10).map(|i| i % 3).collect()),
+                Sequence::from_raw(vec![0, 1]),
+            ],
+            3,
+        );
+        // train_frac 0.7: user 0 has floor(7.0)=7 >= 5, user 1 has 1 < 5.
+        let f = d.filter_min_train_len(0.7, 5);
+        assert_eq!(f.num_users(), 1);
+        assert_eq!(f.sequence(UserId(0)).len(), 10);
+        assert_eq!(f.num_items(), 3); // item space unchanged
+    }
+
+    #[test]
+    fn split_is_per_user_prefix_suffix() {
+        let d = small_dataset();
+        let split = d.split(0.5);
+        assert_eq!(split.num_users(), 3);
+        assert_eq!(split.train.sequence(UserId(0)).len(), 2);
+        assert_eq!(split.test_sequence(UserId(0)).len(), 2);
+        // Concatenation recovers the original.
+        let mut recovered = split.train.sequence(UserId(0)).events().to_vec();
+        recovered.extend_from_slice(split.test_sequence(UserId(0)).events());
+        assert_eq!(recovered, d.sequence(UserId(0)).events());
+        // User with 1 event: floor(0.5) = 0 train, 1 test.
+        assert_eq!(split.train.sequence(UserId(2)).len(), 0);
+        assert_eq!(split.test_sequence(UserId(2)).len(), 1);
+    }
+
+    #[test]
+    fn builder_densifies_in_first_appearance_order() {
+        let mut b = DatasetBuilder::new();
+        b.push_event(1000, 77);
+        b.push_event(5, 88);
+        b.push_event(1000, 77);
+        b.push_event(1000, 99);
+        assert_eq!(b.num_events(), 4);
+        assert_eq!(b.dense_user(1000), Some(UserId(0)));
+        assert_eq!(b.dense_user(5), Some(UserId(1)));
+        assert_eq!(b.dense_item(77), Some(ItemId(0)));
+        assert_eq!(b.dense_item(88), Some(ItemId(1)));
+        assert_eq!(b.dense_item(99), Some(ItemId(2)));
+        assert_eq!(b.dense_user(42), None);
+        let d = b.build();
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.num_items(), 3);
+        assert_eq!(d.sequence(UserId(0)).events(), &[ItemId(0), ItemId(0), ItemId(2)]);
+        assert_eq!(d.sequence(UserId(1)).events(), &[ItemId(1)]);
+    }
+
+    #[test]
+    fn iter_pairs_users_with_sequences() {
+        let d = small_dataset();
+        let pairs: Vec<(UserId, usize)> = d.iter().map(|(u, s)| (u, s.len())).collect();
+        assert_eq!(
+            pairs,
+            vec![(UserId(0), 4), (UserId(1), 2), (UserId(2), 1)]
+        );
+    }
+}

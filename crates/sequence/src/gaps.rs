@@ -1,0 +1,141 @@
+//! Inter-consumption gap statistics.
+//!
+//! §3 of the paper: "In real applications, we can set an ideal time window
+//! length `|W|` based on the general gap between adjacent consumption
+//! behaviors." This module measures that distribution and recommends a
+//! window size from it.
+
+use crate::dataset::Dataset;
+use crate::ids::ItemId;
+use std::collections::HashMap;
+
+/// Histogram of gaps between consecutive consumptions of the same item by
+/// the same user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GapHistogram {
+    /// `counts[g]` = number of observed gaps of exactly `g` steps
+    /// (`g ≥ 1`; index 0 is unused and always 0).
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl GapHistogram {
+    /// Measure every user–item gap in the dataset. Gaps longer than
+    /// `max_gap` are clamped into the final bucket.
+    pub fn compute(data: &Dataset, max_gap: usize) -> Self {
+        assert!(max_gap >= 1, "max_gap must be at least 1");
+        let mut counts = vec![0u64; max_gap + 1];
+        let mut total = 0u64;
+        for (_, seq) in data.iter() {
+            let mut last: HashMap<ItemId, usize> = HashMap::new();
+            for (t, &item) in seq.events().iter().enumerate() {
+                if let Some(prev) = last.insert(item, t) {
+                    let gap = (t - prev).min(max_gap);
+                    counts[gap] += 1;
+                    total += 1;
+                }
+            }
+        }
+        GapHistogram { counts, total }
+    }
+
+    /// Number of measured gaps.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of gaps of exactly `g` (clamped at construction).
+    pub fn count(&self, g: usize) -> u64 {
+        self.counts.get(g).copied().unwrap_or(0)
+    }
+
+    /// Mean gap length.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(g, &c)| g as f64 * c as f64)
+            .sum();
+        weighted / self.total as f64
+    }
+
+    /// The smallest gap `g` such that at least `q` of the probability mass
+    /// lies at gaps `≤ g`. Returns `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<usize> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (g, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(g);
+            }
+        }
+        Some(self.counts.len() - 1)
+    }
+
+    /// A window-size recommendation per §3: large enough to cover the given
+    /// fraction of observed reconsumption gaps (default practice: 0.8–0.9).
+    pub fn recommended_window(&self, coverage: f64) -> Option<usize> {
+        self.quantile(coverage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::Sequence;
+
+    fn data() -> Dataset {
+        // Item 0 gaps: 2, 4; item 1 gap: 2.
+        Dataset::new(vec![Sequence::from_raw(vec![0, 1, 0, 1, 3, 2, 0])], 4)
+    }
+
+    #[test]
+    fn counts_and_mean() {
+        let h = GapHistogram::compute(&data(), 50);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.count(3), 0);
+        assert!((h.mean() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_long_gaps() {
+        let h = GapHistogram::compute(&data(), 3);
+        assert_eq!(h.count(3), 1); // the gap of 4 clamps to 3
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn quantiles() {
+        let h = GapHistogram::compute(&data(), 50);
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(1.0), Some(4));
+        assert_eq!(h.quantile(0.0), Some(0)); // ceil(0) = 0 gaps needed
+        assert_eq!(h.recommended_window(0.9), Some(4));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(vec![Sequence::from_raw(vec![0, 1])], 2);
+        let h = GapHistogram::compute(&d, 10);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_gap")]
+    fn zero_max_gap_rejected() {
+        GapHistogram::compute(&data(), 0);
+    }
+}

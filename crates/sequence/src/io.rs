@@ -1,0 +1,146 @@
+//! Plain-text event-log I/O.
+//!
+//! The format is the lowest common denominator for implicit-feedback logs
+//! (both the Gowalla check-in dump and the Last.fm 1K listening log reduce
+//! to it after sorting by user and timestamp): one event per line,
+//!
+//! ```text
+//! <user-id> <item-id>
+//! ```
+//!
+//! separated by any ASCII whitespace, `#`-prefixed comment lines and blank
+//! lines ignored. Events must already be in time-ascending order within
+//! each user (the natural order of a timestamp-sorted dump).
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use std::io::{self, BufRead, Write};
+
+/// Errors from reading an event log.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line (wrong field count or non-integer field), with its
+    /// 1-based line number.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "io error: {e}"),
+            ReadError::Parse { line, content } => {
+                write!(f, "malformed event on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read a `user item` event log into a [`Dataset`] (ids densified in
+/// first-appearance order).
+pub fn read_events<R: BufRead>(reader: R) -> Result<Dataset, ReadError> {
+    let mut builder = DatasetBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let (user, item) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(u), Some(i), None) => (u, i),
+            _ => {
+                return Err(ReadError::Parse {
+                    line: idx + 1,
+                    content: line.clone(),
+                })
+            }
+        };
+        let user: u64 = user.parse().map_err(|_| ReadError::Parse {
+            line: idx + 1,
+            content: line.clone(),
+        })?;
+        let item: u64 = item.parse().map_err(|_| ReadError::Parse {
+            line: idx + 1,
+            content: line.clone(),
+        })?;
+        builder.push_event(user, item);
+    }
+    Ok(builder.build())
+}
+
+/// Write a dataset back out as a `user item` event log (dense ids), user by
+/// user in time order. Round-trips through [`read_events`].
+pub fn write_events<W: Write>(dataset: &Dataset, mut writer: W) -> io::Result<()> {
+    for (user, seq) in dataset.iter() {
+        for &item in seq.events() {
+            writeln!(writer, "{}\t{}", user.0, item.0)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ItemId, UserId};
+    use std::io::Cursor;
+
+    #[test]
+    fn read_basic_log() {
+        let log = "10 100\n10 200\n20 100\n10 100\n";
+        let d = read_events(Cursor::new(log)).unwrap();
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.num_items(), 2);
+        assert_eq!(
+            d.sequence(UserId(0)).events(),
+            &[ItemId(0), ItemId(1), ItemId(0)]
+        );
+        assert_eq!(d.sequence(UserId(1)).events(), &[ItemId(0)]);
+    }
+
+    #[test]
+    fn comments_blanks_and_tabs_accepted() {
+        let log = "# a comment\n\n1\t5\n  2   6  \n";
+        let d = read_events(Cursor::new(log)).unwrap();
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.total_consumptions(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let log = "1 2\nnot-a-number 3\n";
+        match read_events(Cursor::new(log)) {
+            Err(ReadError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_field_count_rejected() {
+        assert!(read_events(Cursor::new("1 2 3\n")).is_err());
+        assert!(read_events(Cursor::new("1\n")).is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let log = "3 9\n3 8\n4 9\n3 9\n";
+        let d = read_events(Cursor::new(log)).unwrap();
+        let mut out = Vec::new();
+        write_events(&d, &mut out).unwrap();
+        let d2 = read_events(Cursor::new(out)).unwrap();
+        assert_eq!(d.num_users(), d2.num_users());
+        assert_eq!(d.num_items(), d2.num_items());
+        for (u, seq) in d.iter() {
+            assert_eq!(seq.events(), d2.sequence(u).events());
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! One user's time-ascending consumption sequence `S_u`.
+
+use crate::ids::ItemId;
+
+/// A consumption sequence: an ordered list of item consumptions where
+/// repetition may (and usually does) occur. Position in the list is the
+/// paper's discrete "time" `t`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sequence {
+    events: Vec<ItemId>,
+}
+
+impl Sequence {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        Sequence { events: Vec::new() }
+    }
+
+    /// Build from a vector of item ids.
+    pub fn from_events(events: Vec<ItemId>) -> Self {
+        Sequence { events }
+    }
+
+    /// Build from raw `u32` item indices (test/dataset-generation helper).
+    pub fn from_raw(raw: Vec<u32>) -> Self {
+        Sequence {
+            events: raw.into_iter().map(ItemId).collect(),
+        }
+    }
+
+    /// Append one consumption at the next time step.
+    pub fn push(&mut self, item: ItemId) {
+        self.events.push(item);
+    }
+
+    /// Number of consumption events `|S_u|`.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff the sequence holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The consumption at time step `t` (0-based), if any.
+    pub fn get(&self, t: usize) -> Option<ItemId> {
+        self.events.get(t).copied()
+    }
+
+    /// Borrow all events in time order.
+    pub fn events(&self) -> &[ItemId] {
+        &self.events
+    }
+
+    /// The `prefix_len` earliest events (used for the train part of a
+    /// split). Clamped to the sequence length.
+    pub fn prefix(&self, prefix_len: usize) -> &[ItemId] {
+        &self.events[..prefix_len.min(self.events.len())]
+    }
+
+    /// The events from `start` onward (the test part of a split).
+    pub fn suffix(&self, start: usize) -> &[ItemId] {
+        &self.events[start.min(self.events.len())..]
+    }
+
+    /// Number of *distinct* items consumed.
+    pub fn distinct_items(&self) -> usize {
+        let mut seen: Vec<ItemId> = self.events.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Split at `train_frac` into (train, test) event slices; the train part
+    /// gets `floor(len * train_frac)` events, matching the paper's
+    /// "each user's 70% consumption sequence for training".
+    pub fn split_at_fraction(&self, train_frac: f64) -> (&[ItemId], &[ItemId]) {
+        assert!(
+            (0.0..=1.0).contains(&train_frac),
+            "train_frac must be in [0, 1]"
+        );
+        let cut = (self.events.len() as f64 * train_frac).floor() as usize;
+        self.events.split_at(cut)
+    }
+}
+
+impl FromIterator<ItemId> for Sequence {
+    fn from_iter<I: IntoIterator<Item = ItemId>>(iter: I) -> Self {
+        Sequence {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Sequence {
+    type Item = ItemId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ItemId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut s = Sequence::new();
+        assert!(s.is_empty());
+        s.push(ItemId(5));
+        s.push(ItemId(3));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), Some(ItemId(5)));
+        assert_eq!(s.get(1), Some(ItemId(3)));
+        assert_eq!(s.get(2), None);
+    }
+
+    #[test]
+    fn distinct_counts_unique_items() {
+        let s = Sequence::from_raw(vec![1, 2, 1, 1, 3, 2]);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.distinct_items(), 3);
+    }
+
+    #[test]
+    fn split_at_fraction_uses_floor() {
+        let s = Sequence::from_raw(vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let (train, test) = s.split_at_fraction(0.7);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        // 70% of 9 = 6.3 → 6
+        let s9 = Sequence::from_raw((0..9).collect());
+        let (tr, te) = s9.split_at_fraction(0.7);
+        assert_eq!(tr.len(), 6);
+        assert_eq!(te.len(), 3);
+    }
+
+    #[test]
+    fn split_extremes() {
+        let s = Sequence::from_raw(vec![1, 2, 3]);
+        let (a, b) = s.split_at_fraction(0.0);
+        assert!(a.is_empty());
+        assert_eq!(b.len(), 3);
+        let (c, d) = s.split_at_fraction(1.0);
+        assert_eq!(c.len(), 3);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "train_frac")]
+    fn split_rejects_out_of_range() {
+        Sequence::from_raw(vec![1]).split_at_fraction(1.5);
+    }
+
+    #[test]
+    fn prefix_suffix_clamped() {
+        let s = Sequence::from_raw(vec![1, 2, 3]);
+        assert_eq!(s.prefix(2), &[ItemId(1), ItemId(2)]);
+        assert_eq!(s.prefix(99).len(), 3);
+        assert_eq!(s.suffix(2), &[ItemId(3)]);
+        assert!(s.suffix(99).is_empty());
+    }
+
+    #[test]
+    fn iteration() {
+        let s = Sequence::from_raw(vec![4, 5]);
+        let collected: Vec<ItemId> = (&s).into_iter().collect();
+        assert_eq!(collected, vec![ItemId(4), ItemId(5)]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Dataset-level statistics — the numbers behind Table 2 of the paper and
+//! the repeat-behaviour fractions quoted in its introduction.
+
+use crate::dataset::Dataset;
+use crate::repeat::RepeatSummary;
+
+/// Summary statistics of a dataset under a given window/Ω configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Number of users.
+    pub users: usize,
+    /// Number of distinct items consumed.
+    pub items: usize,
+    /// Total consumption events.
+    pub consumptions: usize,
+    /// Events classified as repeats (recent or eligible) w.r.t. the window.
+    pub repeats: usize,
+    /// Events classified as eligible repeats (at least Ω steps old).
+    pub eligible_repeats: usize,
+    /// Mean sequence length.
+    pub mean_sequence_len: f64,
+    /// Maximum sequence length.
+    pub max_sequence_len: usize,
+    /// Minimum sequence length.
+    pub min_sequence_len: usize,
+}
+
+impl DatasetStats {
+    /// Compute statistics by scanning every user's sequence with a fresh
+    /// window of the given capacity.
+    pub fn compute(dataset: &Dataset, window_capacity: usize, omega: usize) -> Self {
+        let mut repeats = 0;
+        let mut eligible = 0;
+        let mut max_len = 0;
+        let mut min_len = usize::MAX;
+        for seq in dataset.sequences() {
+            let s = RepeatSummary::of(seq.events(), window_capacity, omega);
+            repeats += s.recent_repeat + s.eligible_repeat;
+            eligible += s.eligible_repeat;
+            max_len = max_len.max(seq.len());
+            min_len = min_len.min(seq.len());
+        }
+        let users = dataset.num_users();
+        let consumptions = dataset.total_consumptions();
+        DatasetStats {
+            users,
+            items: dataset.distinct_items_consumed(),
+            consumptions,
+            repeats,
+            eligible_repeats: eligible,
+            mean_sequence_len: if users == 0 {
+                0.0
+            } else {
+                consumptions as f64 / users as f64
+            },
+            max_sequence_len: max_len,
+            min_sequence_len: if users == 0 { 0 } else { min_len },
+        }
+    }
+
+    /// Fraction of all events that are repeats of any kind.
+    pub fn repeat_fraction(&self) -> f64 {
+        if self.consumptions == 0 {
+            0.0
+        } else {
+            self.repeats as f64 / self.consumptions as f64
+        }
+    }
+
+    /// Fraction of all events that are eligible repeats.
+    pub fn eligible_fraction(&self) -> f64 {
+        if self.consumptions == 0 {
+            0.0
+        } else {
+            self.eligible_repeats as f64 / self.consumptions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::Sequence;
+
+    #[test]
+    fn stats_of_small_dataset() {
+        let d = Dataset::new(
+            vec![
+                Sequence::from_raw(vec![0, 1, 0, 1, 0]),
+                Sequence::from_raw(vec![2, 2, 2]),
+            ],
+            3,
+        );
+        let s = DatasetStats::compute(&d, 4, 1);
+        assert_eq!(s.users, 2);
+        assert_eq!(s.items, 3);
+        assert_eq!(s.consumptions, 8);
+        assert_eq!(s.mean_sequence_len, 4.0);
+        assert_eq!(s.max_sequence_len, 5);
+        assert_eq!(s.min_sequence_len, 3);
+        // user 0: events at t>=2 are repeats with gap 2 > Ω=1 → eligible (3 of them)
+        // user 1: gaps of 1 → recent repeats (2 of them)
+        assert_eq!(s.repeats, 5);
+        assert_eq!(s.eligible_repeats, 3);
+        assert!((s.repeat_fraction() - 5.0 / 8.0).abs() < 1e-12);
+        assert!((s.eligible_fraction() - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_dataset() {
+        let d = Dataset::new(vec![], 0);
+        let s = DatasetStats::compute(&d, 4, 1);
+        assert_eq!(s.users, 0);
+        assert_eq!(s.repeat_fraction(), 0.0);
+        assert_eq!(s.mean_sequence_len, 0.0);
+        assert_eq!(s.min_sequence_len, 0);
+    }
+}

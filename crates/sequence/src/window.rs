@@ -1,0 +1,322 @@
+//! The sliding time window `W_{ut}` of Definition 1, maintained
+//! incrementally.
+//!
+//! Every model in the workspace walks consumption sequences while asking the
+//! same queries at each step — "is this item in the window?", "how many
+//! times?", "when was it last consumed?", "which window items are at least Ω
+//! steps old?" — so this structure keeps:
+//!
+//! * a ring buffer of the last `capacity` events (the window contents),
+//! * a multiplicity map over the window (for O(1) membership / counts, and
+//!   the dynamic-familiarity feature of Eq. 21),
+//! * a *global* last-seen map over the whole pushed history (for the
+//!   recency features of Eqs. 19–20, which look back past the window).
+//!
+//! `push` is O(1) amortised; all queries are O(1) except candidate
+//! enumeration, which is O(distinct items in window).
+
+use crate::ids::ItemId;
+use std::collections::{HashMap, VecDeque};
+
+/// An incrementally-maintained time window over a consumption stream.
+#[derive(Debug, Clone)]
+pub struct WindowState {
+    capacity: usize,
+    buf: VecDeque<ItemId>,
+    counts: HashMap<ItemId, u32>,
+    last_seen: HashMap<ItemId, usize>,
+    t: usize,
+}
+
+impl WindowState {
+    /// A new empty window of the given capacity `|W|`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` (a zero-length window makes every event
+    /// novel and the RRC problem vacuous).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        WindowState {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            counts: HashMap::new(),
+            last_seen: HashMap::new(),
+            t: 0,
+        }
+    }
+
+    /// Push the consumption at the current time step and advance time.
+    pub fn push(&mut self, item: ItemId) {
+        if self.buf.len() == self.capacity {
+            let evicted = self.buf.pop_front().expect("non-empty at capacity");
+            match self.counts.get_mut(&evicted) {
+                Some(c) if *c > 1 => *c -= 1,
+                _ => {
+                    self.counts.remove(&evicted);
+                }
+            }
+        }
+        self.buf.push_back(item);
+        *self.counts.entry(item).or_insert(0) += 1;
+        self.last_seen.insert(item, self.t);
+        self.t += 1;
+    }
+
+    /// The current time step: the number of events pushed so far. The window
+    /// at this point is `W_{u, t-1}` in the paper's notation — the context
+    /// for predicting the *next* consumption `x_t`.
+    #[inline]
+    pub fn time(&self) -> usize {
+        self.t
+    }
+
+    /// Number of events currently inside the window (≤ capacity).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff no events have been pushed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity `|W|`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True iff `item` occurs in the current window.
+    #[inline]
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.counts.contains_key(&item)
+    }
+
+    /// Multiplicity of `item` in the current window (0 if absent) — the
+    /// numerator of the dynamic-familiarity feature.
+    #[inline]
+    pub fn count(&self, item: ItemId) -> u32 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// The time step of the user's most recent consumption of `item`
+    /// anywhere in the pushed history (not just the window), or `None` if
+    /// never consumed. This is `l_ut(v)` of Eq. 19.
+    #[inline]
+    pub fn last_seen(&self, item: ItemId) -> Option<usize> {
+        self.last_seen.get(&item).copied()
+    }
+
+    /// True iff `item` was consumed within the last `omega` pushed events,
+    /// i.e. at a step `≥ t − omega`.
+    #[inline]
+    pub fn in_last(&self, item: ItemId, omega: usize) -> bool {
+        match self.last_seen(item) {
+            Some(step) => step + omega >= self.t,
+            None => false,
+        }
+    }
+
+    /// Iterate over the distinct items currently in the window (arbitrary
+    /// order).
+    pub fn distinct_items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.counts.keys().copied()
+    }
+
+    /// Number of distinct items currently in the window.
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The *eligible* reconsumption candidates at the current time: distinct
+    /// window items whose most recent consumption is at least `omega` steps
+    /// old. These are exactly the items the RRC problem may recommend
+    /// (§4.2.2 / §5.1: items in the last Ω steps are excluded as trivial).
+    ///
+    /// The result is sorted by item id for determinism.
+    pub fn eligible_candidates(&self, omega: usize) -> Vec<ItemId> {
+        let mut out: Vec<ItemId> = self
+            .counts
+            .keys()
+            .copied()
+            .filter(|&v| !self.in_last(v, omega))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The window contents, oldest to newest.
+    pub fn events(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Dynamic familiarity `m_vt = |{x ∈ W_ut : x = v}| / |W_ut|` (Eq. 21).
+    /// Returns 0 for an empty window.
+    pub fn familiarity(&self, item: ItemId) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            self.count(item) as f64 / self.buf.len() as f64
+        }
+    }
+
+    /// Reset to an empty window at time 0, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.counts.clear();
+        self.last_seen.clear();
+        self.t = 0;
+    }
+
+    /// Warm-start a window by pushing an event slice (e.g. the tail of a
+    /// training sequence before walking the test sequence).
+    pub fn warmed(capacity: usize, history: &[ItemId]) -> Self {
+        let mut w = Self::new(capacity);
+        for &item in history {
+            w.push(item);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push_all(w: &mut WindowState, items: &[u32]) {
+        for &i in items {
+            w.push(ItemId(i));
+        }
+    }
+
+    #[test]
+    fn membership_and_counts_track_window() {
+        let mut w = WindowState::new(3);
+        push_all(&mut w, &[1, 2, 1]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.count(ItemId(1)), 2);
+        assert_eq!(w.count(ItemId(2)), 1);
+        // Pushing a 4th event evicts the oldest (item 1).
+        w.push(ItemId(3));
+        assert_eq!(w.count(ItemId(1)), 1);
+        assert!(w.contains(ItemId(3)));
+        // Evict again: the remaining 1 goes... window is [1,3] + push → [1,3,x]
+        push_all(&mut w, &[4]); // window [1, 3, 4]
+        push_all(&mut w, &[5]); // window [3, 4, 5]
+        assert!(!w.contains(ItemId(1)));
+        assert_eq!(w.count(ItemId(1)), 0);
+    }
+
+    #[test]
+    fn time_advances_per_push() {
+        let mut w = WindowState::new(2);
+        assert_eq!(w.time(), 0);
+        push_all(&mut w, &[9, 9, 9]);
+        assert_eq!(w.time(), 3);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn last_seen_survives_eviction() {
+        let mut w = WindowState::new(2);
+        push_all(&mut w, &[7, 1, 2]); // 7 evicted from window at t=2
+        assert!(!w.contains(ItemId(7)));
+        assert_eq!(w.last_seen(ItemId(7)), Some(0)); // but history remembers
+        assert_eq!(w.last_seen(ItemId(2)), Some(2));
+        assert_eq!(w.last_seen(ItemId(99)), None);
+    }
+
+    #[test]
+    fn last_seen_updates_on_reconsumption() {
+        let mut w = WindowState::new(5);
+        push_all(&mut w, &[4, 1, 4]);
+        assert_eq!(w.last_seen(ItemId(4)), Some(2));
+    }
+
+    #[test]
+    fn in_last_checks_omega_recency() {
+        let mut w = WindowState::new(10);
+        push_all(&mut w, &[1, 2, 3, 4, 5]); // t = 5
+        // item 1 last seen at step 0: in last 5 steps (0 + 5 >= 5) but not last 4.
+        assert!(w.in_last(ItemId(1), 5));
+        assert!(!w.in_last(ItemId(1), 4));
+        assert!(w.in_last(ItemId(5), 1));
+        assert!(!w.in_last(ItemId(42), 100));
+    }
+
+    #[test]
+    fn eligible_candidates_exclude_recent_and_evicted() {
+        let mut w = WindowState::new(4);
+        push_all(&mut w, &[10, 11, 12, 13, 14]); // window [11,12,13,14], t=5
+        // omega = 2 excludes items seen at steps >= 3 (13 @3, 14 @4).
+        let c = w.eligible_candidates(2);
+        assert_eq!(c, vec![ItemId(11), ItemId(12)]);
+        // 10 is out of the window entirely.
+        assert!(!c.contains(&ItemId(10)));
+        // omega = 0 admits everything in the window.
+        assert_eq!(w.eligible_candidates(0).len(), 4);
+        // omega >= t excludes everything.
+        assert!(w.eligible_candidates(5).is_empty());
+    }
+
+    #[test]
+    fn eligible_candidates_deduplicate() {
+        let mut w = WindowState::new(6);
+        push_all(&mut w, &[1, 1, 1, 2, 3, 9]); // t=6
+        let c = w.eligible_candidates(3);
+        // 1 last seen at step 2 (2+3 >= 6 is false) → eligible once.
+        assert_eq!(c, vec![ItemId(1)]);
+    }
+
+    #[test]
+    fn familiarity_fraction() {
+        let mut w = WindowState::new(4);
+        assert_eq!(w.familiarity(ItemId(1)), 0.0);
+        push_all(&mut w, &[1, 1, 2, 3]);
+        assert_eq!(w.familiarity(ItemId(1)), 0.5);
+        assert_eq!(w.familiarity(ItemId(3)), 0.25);
+        assert_eq!(w.familiarity(ItemId(9)), 0.0);
+    }
+
+    #[test]
+    fn warmed_equals_manual_pushes() {
+        let history: Vec<ItemId> = [3u32, 1, 4, 1, 5].iter().map(|&i| ItemId(i)).collect();
+        let w1 = WindowState::warmed(3, &history);
+        let mut w2 = WindowState::new(3);
+        for &i in &history {
+            w2.push(i);
+        }
+        assert_eq!(w1.time(), w2.time());
+        assert_eq!(
+            w1.events().collect::<Vec<_>>(),
+            w2.events().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut w = WindowState::new(3);
+        push_all(&mut w, &[1, 2]);
+        w.clear();
+        assert_eq!(w.time(), 0);
+        assert!(w.is_empty());
+        assert_eq!(w.last_seen(ItemId(1)), None);
+        assert_eq!(w.capacity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        WindowState::new(0);
+    }
+
+    #[test]
+    fn events_are_oldest_to_newest() {
+        let mut w = WindowState::new(3);
+        push_all(&mut w, &[5, 6, 7, 8]);
+        let ev: Vec<u32> = w.events().map(|i| i.0).collect();
+        assert_eq!(ev, vec![6, 7, 8]);
+    }
+}

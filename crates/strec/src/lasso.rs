@@ -1,0 +1,237 @@
+//! L1-regularised logistic regression fitted by proximal gradient descent
+//! (ISTA) — the "linear Lasso method" of the original STREC paper.
+
+use rrc_linalg::sigmoid;
+
+/// Trainer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LassoConfig {
+    /// L1 penalty strength on the weights (the bias is never penalised).
+    pub l1: f64,
+    /// Gradient step size.
+    pub learning_rate: f64,
+    /// Full-batch epochs.
+    pub epochs: usize,
+    /// Early-stop tolerance on the loss change per epoch.
+    pub tol: f64,
+}
+
+impl Default for LassoConfig {
+    fn default() -> Self {
+        LassoConfig {
+            l1: 1e-4,
+            learning_rate: 0.5,
+            epochs: 500,
+            tol: 1e-9,
+        }
+    }
+}
+
+/// A fitted L1 logistic model: `P(y = 1 | x) = σ(wᵀx + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LassoLogistic {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LassoLogistic {
+    /// Fit on `(xs, ys)` examples.
+    ///
+    /// # Panics
+    /// Panics on empty data, ragged feature vectors, or mismatched lengths.
+    pub fn fit(xs: &[Vec<f64>], ys: &[bool], config: &LassoConfig) -> Self {
+        assert!(!xs.is_empty(), "need at least one example");
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        let p = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == p), "ragged feature vectors");
+
+        let n = xs.len() as f64;
+        let mut w = vec![0.0; p];
+        let mut b = 0.0;
+        let mut prev_loss = f64::INFINITY;
+        for _ in 0..config.epochs {
+            // Full-batch gradient of the mean logistic loss.
+            let mut gw = vec![0.0; p];
+            let mut gb = 0.0;
+            let mut loss = 0.0;
+            for (x, &y) in xs.iter().zip(ys.iter()) {
+                let z: f64 = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
+                let pred = sigmoid(z);
+                let target = if y { 1.0 } else { 0.0 };
+                let err = pred - target;
+                for (g, xi) in gw.iter_mut().zip(x) {
+                    *g += err * xi;
+                }
+                gb += err;
+                loss -= if y {
+                    rrc_linalg::ln_sigmoid(z)
+                } else {
+                    rrc_linalg::ln_sigmoid(-z)
+                };
+            }
+            loss /= n;
+            loss += config.l1 * w.iter().map(|v| v.abs()).sum::<f64>();
+
+            // Gradient step + soft-threshold prox on the weights.
+            let lr = config.learning_rate;
+            let thresh = lr * config.l1;
+            for (wi, g) in w.iter_mut().zip(gw.iter()) {
+                let stepped = *wi - lr * g / n;
+                *wi = soft_threshold(stepped, thresh);
+            }
+            b -= lr * gb / n;
+
+            if (prev_loss - loss).abs() < config.tol {
+                break;
+            }
+            prev_loss = loss;
+        }
+        LassoLogistic { weights: w, bias: b }
+    }
+
+    /// The fitted weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// `P(y = 1 | x)`.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature dimension mismatch");
+        let z: f64 = self
+            .weights
+            .iter()
+            .zip(x)
+            .map(|(w, xi)| w * xi)
+            .sum::<f64>()
+            + self.bias;
+        sigmoid(z)
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+
+    /// Fraction of examples classified correctly.
+    pub fn accuracy(&self, xs: &[Vec<f64>], ys: &[bool]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let correct = xs
+            .iter()
+            .zip(ys)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / xs.len() as f64
+    }
+
+    /// Number of exactly-zero weights (the sparsity the Lasso buys).
+    pub fn num_zero_weights(&self) -> usize {
+        self.weights.iter().filter(|w| **w == 0.0).count()
+    }
+}
+
+#[inline]
+fn soft_threshold(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn separable_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        // y = 1 iff x0 + noise > 0.5; x1 is pure noise.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let x0: f64 = rng.gen_range(0.0..1.0);
+            let x1: f64 = rng.gen_range(0.0..1.0);
+            xs.push(vec![x0, x1]);
+            ys.push(x0 + rng.gen_range(-0.05..0.05) > 0.5);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_separable_problem() {
+        let (xs, ys) = separable_data(2000, 1);
+        let model = LassoLogistic::fit(&xs, &ys, &LassoConfig::default());
+        assert!(model.accuracy(&xs, &ys) > 0.9);
+        // The informative weight is positive and dominates the noise weight.
+        assert!(model.weights()[0] > 0.0);
+        assert!(model.weights()[0].abs() > model.weights()[1].abs());
+    }
+
+    #[test]
+    fn strong_l1_zeroes_noise_weight() {
+        let (xs, ys) = separable_data(2000, 2);
+        let cfg = LassoConfig {
+            l1: 0.05,
+            ..LassoConfig::default()
+        };
+        let model = LassoLogistic::fit(&xs, &ys, &cfg);
+        assert_eq!(model.weights()[1], 0.0, "weights: {:?}", model.weights());
+        assert!(model.num_zero_weights() >= 1);
+        // The informative feature survives.
+        assert!(model.weights()[0] > 0.0);
+    }
+
+    #[test]
+    fn extreme_l1_zeroes_everything() {
+        let (xs, ys) = separable_data(200, 3);
+        let cfg = LassoConfig {
+            l1: 100.0,
+            ..LassoConfig::default()
+        };
+        let model = LassoLogistic::fit(&xs, &ys, &cfg);
+        assert_eq!(model.num_zero_weights(), 2);
+        // Bias alone: predicts the majority class everywhere.
+        let p = model.predict_proba(&[0.9, 0.9]);
+        let q = model.predict_proba(&[0.1, 0.1]);
+        assert!((p - q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_labels_learn_bias_only() {
+        let xs = vec![vec![0.2], vec![0.8], vec![0.5]];
+        let ys = vec![true, true, true];
+        let model = LassoLogistic::fit(&xs, &ys, &LassoConfig::default());
+        assert!(model.predict_proba(&[0.5]) > 0.9);
+        assert_eq!(model.accuracy(&xs, &ys), 1.0);
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(1.0, 0.3), 0.7);
+        assert_eq!(soft_threshold(-1.0, 0.3), -0.7);
+        assert_eq!(soft_threshold(0.2, 0.3), 0.0);
+        assert_eq!(soft_threshold(-0.2, 0.3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one example")]
+    fn empty_data_rejected() {
+        LassoLogistic::fit(&[], &[], &LassoConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        LassoLogistic::fit(&[vec![1.0]], &[true, false], &LassoConfig::default());
+    }
+}

@@ -1,0 +1,29 @@
+//! **STREC** — Short-Term REConsumption prediction (Chen, Wang & Wang,
+//! AAAI 2015), the companion problem to RRC (§5.7 of the paper).
+//!
+//! STREC answers the *switch* question: given the current window, will the
+//! next consumption be a repeat (`x_{t+1} ∈ W_{ut}`) or a novel item? The
+//! reproduced paper combines this classifier with TS-PPR to form a holistic
+//! pipeline (Table 5): STREC gates which time steps get an RRC
+//! recommendation.
+//!
+//! The original linear model's feature definitions are paraphrased here
+//! (see DESIGN.md) as four window-level aggregates:
+//!
+//! 1. window concentration `1 − distinct/|W|` — how repetitive the recent
+//!    stream already is;
+//! 2. count-weighted mean item reconsumption ratio of the window;
+//! 3. recency of the last repeat event `1/(t − t_last_repeat)`;
+//! 4. count-weighted mean item quality of the window.
+//!
+//! The classifier is an L1-regularised (Lasso) logistic model fitted by
+//! proximal gradient descent ([`lasso`]), matching the original paper's
+//! "linear Lasso method".
+
+pub mod features;
+pub mod lasso;
+pub mod model;
+
+pub use features::{strec_examples, window_features, StrecFeatureState, STREC_FEATURE_NAMES};
+pub use lasso::{LassoConfig, LassoLogistic};
+pub use model::StrecClassifier;

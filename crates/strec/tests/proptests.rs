@@ -1,0 +1,86 @@
+//! Property-based tests for the STREC classifier stack.
+
+use proptest::prelude::*;
+use rrc_features::TrainStats;
+use rrc_sequence::{Dataset, ItemId, Sequence, WindowState};
+use rrc_strec::{
+    strec_examples, window_features, LassoConfig, LassoLogistic, StrecFeatureState,
+};
+
+fn event_stream() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..10, 5..120)
+}
+
+proptest! {
+    #[test]
+    fn features_always_bounded(events in event_stream()) {
+        let d = Dataset::new(vec![Sequence::from_raw(events.clone())], 10);
+        let stats = TrainStats::compute(&d, 15);
+        let mut w = WindowState::new(15);
+        let mut state = StrecFeatureState::default();
+        for (step, &e) in events.iter().enumerate() {
+            let f = window_features(&w, &stats, &state);
+            prop_assert_eq!(f.len(), 4);
+            for v in &f {
+                prop_assert!((0.0..=1.0).contains(v), "feature {} out of range", v);
+                prop_assert!(v.is_finite());
+            }
+            state.observe(step, w.contains(ItemId(e)));
+            w.push(ItemId(e));
+        }
+    }
+
+    #[test]
+    fn example_count_is_len_minus_one_per_user(
+        lens in prop::collection::vec(2usize..50, 1..5)
+    ) {
+        let seqs: Vec<Sequence> = lens
+            .iter()
+            .map(|&n| Sequence::from_raw((0..n as u32).map(|i| i % 6).collect()))
+            .collect();
+        let d = Dataset::new(seqs, 6);
+        let stats = TrainStats::compute(&d, 15);
+        let (xs, ys) = strec_examples(&d, &stats, 15);
+        let expected: usize = lens.iter().map(|&n| n - 1).sum();
+        prop_assert_eq!(xs.len(), expected);
+        prop_assert_eq!(ys.len(), expected);
+    }
+
+    #[test]
+    fn lasso_probabilities_bounded(
+        xs in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 5..40),
+        label_bits in prop::collection::vec(any::<bool>(), 40),
+    ) {
+        let ys: Vec<bool> = label_bits.iter().copied().take(xs.len()).collect();
+        prop_assume!(xs.len() == ys.len());
+        let model = LassoLogistic::fit(&xs, &ys, &LassoConfig {
+            epochs: 50,
+            ..LassoConfig::default()
+        });
+        for x in &xs {
+            let p = model.predict_proba(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p.is_finite());
+        }
+        let acc = model.accuracy(&xs, &ys);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn stronger_l1_never_decreases_sparsity_much(
+        seed in 0u64..100,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let ys: Vec<bool> = xs.iter().map(|x| x[0] > 0.5).collect();
+        let weak = LassoLogistic::fit(&xs, &ys, &LassoConfig { l1: 1e-6, ..Default::default() });
+        let strong = LassoLogistic::fit(&xs, &ys, &LassoConfig { l1: 0.2, ..Default::default() });
+        prop_assert!(strong.num_zero_weights() >= weak.num_zero_weights());
+        // The L1 norm shrinks under the stronger penalty.
+        let norm = |m: &LassoLogistic| m.weights().iter().map(|w| w.abs()).sum::<f64>();
+        prop_assert!(norm(&strong) <= norm(&weak) + 1e-9);
+    }
+}

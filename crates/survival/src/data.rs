@@ -1,0 +1,227 @@
+//! Conversion of consumption sequences into survival observations.
+//!
+//! For every user–item pair, the gap between two consecutive consumptions
+//! is an observed **event** (the user returned after `duration` steps); the
+//! open gap from the last consumption to the end of the training sequence
+//! is **right-censored**. Covariates are measured at the *start* of each
+//! gap — the moment from which the return time is being predicted.
+
+use rrc_features::TrainStats;
+use rrc_sequence::{Dataset, ItemId, WindowState};
+use std::collections::HashMap;
+
+/// Names of the four covariates, in vector order.
+pub const COVARIATE_NAMES: [&str; 4] = ["quality", "recon_ratio", "familiarity", "twart"];
+
+/// One survival observation: a (possibly censored) gap with its covariates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapObservation {
+    /// Gap length in consumption steps (> 0).
+    pub duration: f64,
+    /// True for an observed return, false for a censored trailing gap.
+    pub event: bool,
+    /// Covariates at the gap start: `[quality, recon_ratio, familiarity,
+    /// twart]` where `twart` is the inverse time-weighted average return
+    /// time of the user–item pair so far (0 when fewer than two prior
+    /// consumptions).
+    pub covariates: Vec<f64>,
+}
+
+/// Per-(user, item) incremental state while walking a sequence.
+#[derive(Debug, Clone)]
+struct PairState {
+    last_step: usize,
+    /// Covariates captured at `last_step`, pending the gap closing.
+    pending: Vec<f64>,
+    /// Incremental time-weighted average return time: Σ wᵢ gᵢ and Σ wᵢ with
+    /// wᵢ = i + 1 (later gaps weigh more).
+    weighted_gap_sum: f64,
+    weight_sum: f64,
+    gaps_seen: usize,
+}
+
+/// Inverse time-weighted average return time, mapped into `(0, 1]`; 0 when
+/// no gaps have been observed yet.
+fn twart_covariate(state: &PairState) -> f64 {
+    if state.gaps_seen == 0 {
+        0.0
+    } else {
+        let avg = state.weighted_gap_sum / state.weight_sum;
+        1.0 / (1.0 + avg)
+    }
+}
+
+/// Extract gap observations from every user's training sequence.
+pub fn gap_observations(
+    train: &Dataset,
+    stats: &TrainStats,
+    window_capacity: usize,
+) -> Vec<GapObservation> {
+    let mut out = Vec::new();
+    for (_, seq) in train.iter() {
+        let mut window = WindowState::new(window_capacity);
+        let mut pairs: HashMap<ItemId, PairState> = HashMap::new();
+        for (step, &item) in seq.events().iter().enumerate() {
+            if let Some(state) = pairs.get_mut(&item) {
+                let gap = (step - state.last_step) as f64;
+                out.push(GapObservation {
+                    duration: gap,
+                    event: true,
+                    covariates: state.pending.clone(),
+                });
+                state.gaps_seen += 1;
+                let w = state.gaps_seen as f64;
+                state.weighted_gap_sum += w * gap;
+                state.weight_sum += w;
+                state.last_step = step;
+            } else {
+                pairs.insert(
+                    item,
+                    PairState {
+                        last_step: step,
+                        pending: Vec::new(),
+                        weighted_gap_sum: 0.0,
+                        weight_sum: 0.0,
+                        gaps_seen: 0,
+                    },
+                );
+            }
+            window.push(item);
+            // Capture the covariates *after* this consumption: they describe
+            // the state from which the next gap starts.
+            let state = pairs.get_mut(&item).expect("just inserted or updated");
+            state.pending = vec![
+                stats.quality(item),
+                stats.recon_ratio(item),
+                window.familiarity(item),
+                twart_covariate(state),
+            ];
+        }
+        // Trailing open gaps are censored at the end of the sequence.
+        let end = seq.len();
+        for (_, state) in pairs {
+            let gap = (end - state.last_step) as f64;
+            if gap > 0.0 {
+                out.push(GapObservation {
+                    duration: gap,
+                    event: false,
+                    covariates: state.pending,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Covariates of `item` for a *live* recommendation query, recomputing the
+/// time-weighted average return time by scanning the user's full training
+/// history — the expensive online step the paper's Fig. 13 measures.
+pub fn live_covariates(
+    history: &[ItemId],
+    item: ItemId,
+    stats: &TrainStats,
+    window: &WindowState,
+) -> Vec<f64> {
+    // Full scan of the history for this item's consumption steps.
+    let mut last: Option<usize> = None;
+    let mut weighted = 0.0;
+    let mut weight = 0.0;
+    let mut gaps = 0usize;
+    for (step, &x) in history.iter().enumerate() {
+        if x == item {
+            if let Some(prev) = last {
+                gaps += 1;
+                let w = gaps as f64;
+                weighted += w * (step - prev) as f64;
+                weight += w;
+            }
+            last = Some(step);
+        }
+    }
+    let twart = if gaps == 0 {
+        0.0
+    } else {
+        1.0 / (1.0 + weighted / weight)
+    };
+    vec![
+        stats.quality(item),
+        stats.recon_ratio(item),
+        window.familiarity(item),
+        twart,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrc_sequence::Sequence;
+
+    fn fixture() -> (Dataset, TrainStats) {
+        // User 0: item 0 at steps 0, 2, 5; item 1 at step 1; item 2 at 3, 4.
+        let d = Dataset::new(vec![Sequence::from_raw(vec![0, 1, 0, 2, 2, 0])], 3);
+        let stats = TrainStats::compute(&d, 10);
+        (d, stats)
+    }
+
+    #[test]
+    fn events_and_censoring_counts() {
+        let (d, stats) = fixture();
+        let obs = gap_observations(&d, &stats, 10);
+        let events: Vec<&GapObservation> = obs.iter().filter(|o| o.event).collect();
+        let censored: Vec<&GapObservation> = obs.iter().filter(|o| !o.event).collect();
+        // Closed gaps: 0→(2,3 steps), 2→(1 step) = 3 events.
+        assert_eq!(events.len(), 3);
+        // Censored: item 1 (from step 1), item 2 (from 4), item 0 (from 5)... but
+        // item 0's last consumption is the final event: gap = 6-5 = 1 > 0.
+        assert_eq!(censored.len(), 3);
+        let mut durations: Vec<f64> = events.iter().map(|o| o.duration).collect();
+        durations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(durations, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn covariates_have_expected_shape_and_range() {
+        let (d, stats) = fixture();
+        let obs = gap_observations(&d, &stats, 10);
+        for o in &obs {
+            assert_eq!(o.covariates.len(), COVARIATE_NAMES.len());
+            for (c, name) in o.covariates.iter().zip(COVARIATE_NAMES) {
+                assert!((0.0..=1.0).contains(c), "{name}={c}");
+            }
+            assert!(o.duration > 0.0);
+        }
+    }
+
+    #[test]
+    fn twart_appears_after_second_gap() {
+        // Item 0 consumed at 0, 2, 5: the observation for the gap starting
+        // at step 2 has one prior gap (length 2) → twart = 1/(1+2).
+        let (d, stats) = fixture();
+        let obs = gap_observations(&d, &stats, 10);
+        let second_gap_of_0 = obs
+            .iter().find(|o| o.event && o.duration == 3.0)
+            .expect("gap of 3 exists");
+        assert!((second_gap_of_0.covariates[3] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn live_covariates_match_extraction_semantics() {
+        let (d, stats) = fixture();
+        let history = d.sequence(rrc_sequence::UserId(0)).events();
+        let window = WindowState::warmed(10, history);
+        let cov = live_covariates(history, ItemId(0), &stats, &window);
+        assert_eq!(cov.len(), 4);
+        // Item 0 gaps: 2 then 3 → weighted avg = (1·2 + 2·3)/3 = 8/3.
+        assert!((cov[3] - 1.0 / (1.0 + 8.0 / 3.0)).abs() < 1e-12);
+        // Never-consumed item: twart 0.
+        let cov1 = live_covariates(history, ItemId(1), &stats, &window);
+        assert_eq!(cov1[3], 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_observations() {
+        let d = Dataset::new(vec![], 0);
+        let stats = TrainStats::compute(&d, 10);
+        assert!(gap_observations(&d, &stats, 10).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! The Kaplan–Meier product-limit estimator of the survival function.
+
+/// A fitted Kaplan–Meier curve: step function `S(t)` over event times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KaplanMeier {
+    /// Distinct event times, ascending.
+    times: Vec<f64>,
+    /// `S(t)` immediately after each event time.
+    survival: Vec<f64>,
+}
+
+impl KaplanMeier {
+    /// Fit from `(duration, event)` observations; `event = false` marks a
+    /// right-censored observation.
+    ///
+    /// # Panics
+    /// Panics if any duration is negative or non-finite.
+    pub fn fit(observations: &[(f64, bool)]) -> Self {
+        for &(d, _) in observations {
+            assert!(d >= 0.0 && d.is_finite(), "durations must be finite and >= 0");
+        }
+        let mut sorted: Vec<(f64, bool)> = observations.to_vec();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite durations"));
+
+        let mut times = Vec::new();
+        let mut survival = Vec::new();
+        let n = sorted.len();
+        let mut at_risk = n as f64;
+        let mut s = 1.0;
+        let mut i = 0;
+        while i < n {
+            let t = sorted[i].0;
+            let mut deaths = 0.0;
+            let mut leaving = 0.0;
+            while i < n && sorted[i].0 == t {
+                if sorted[i].1 {
+                    deaths += 1.0;
+                }
+                leaving += 1.0;
+                i += 1;
+            }
+            if deaths > 0.0 {
+                s *= 1.0 - deaths / at_risk;
+                times.push(t);
+                survival.push(s);
+            }
+            at_risk -= leaving;
+        }
+        KaplanMeier { times, survival }
+    }
+
+    /// `S(t)`: the estimated probability of surviving beyond `t`.
+    pub fn survival_at(&self, t: f64) -> f64 {
+        // Last event time <= t.
+        match self
+            .times
+            .partition_point(|&et| et <= t)
+            .checked_sub(1)
+        {
+            None => 1.0,
+            Some(idx) => self.survival[idx],
+        }
+    }
+
+    /// The estimated median survival time, if the curve crosses 0.5.
+    pub fn median(&self) -> Option<f64> {
+        self.times
+            .iter()
+            .zip(self.survival.iter())
+            .find(|(_, &s)| s <= 0.5)
+            .map(|(&t, _)| t)
+    }
+
+    /// The event times with their survival values (for plotting).
+    pub fn curve(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times
+            .iter()
+            .copied()
+            .zip(self.survival.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_censoring_matches_empirical_distribution() {
+        // Events at 1, 2, 3, 4: S(t) steps down by 1/4 each.
+        let obs = [(1.0, true), (2.0, true), (3.0, true), (4.0, true)];
+        let km = KaplanMeier::fit(&obs);
+        assert!((km.survival_at(0.5) - 1.0).abs() < 1e-12);
+        assert!((km.survival_at(1.0) - 0.75).abs() < 1e-12);
+        assert!((km.survival_at(2.5) - 0.5).abs() < 1e-12);
+        assert!((km.survival_at(10.0) - 0.0).abs() < 1e-12);
+        assert_eq!(km.median(), Some(2.0));
+    }
+
+    #[test]
+    fn censoring_reduces_risk_set_without_stepping() {
+        // Classic example: events at 1 and 3, censored at 2.
+        let obs = [(1.0, true), (2.0, false), (3.0, true)];
+        let km = KaplanMeier::fit(&obs);
+        // After t=1: 1 - 1/3 = 2/3. After t=3: risk set is 1 → S = 0.
+        assert!((km.survival_at(1.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((km.survival_at(2.5) - 2.0 / 3.0).abs() < 1e-12); // censor: no step
+        assert!((km.survival_at(3.5) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_events_handled_together() {
+        let obs = [(2.0, true), (2.0, true), (5.0, true), (5.0, false)];
+        let km = KaplanMeier::fit(&obs);
+        // t=2: 1 - 2/4 = 0.5; t=5: one death among 2 at risk → 0.25.
+        assert!((km.survival_at(2.0) - 0.5).abs() < 1e-12);
+        assert!((km.survival_at(5.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_censored_gives_flat_curve() {
+        let obs = [(1.0, false), (2.0, false)];
+        let km = KaplanMeier::fit(&obs);
+        assert_eq!(km.survival_at(100.0), 1.0);
+        assert_eq!(km.median(), None);
+        assert_eq!(km.curve().count(), 0);
+    }
+
+    #[test]
+    fn empty_input_is_trivial() {
+        let km = KaplanMeier::fit(&[]);
+        assert_eq!(km.survival_at(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "durations must be finite")]
+    fn negative_duration_rejected() {
+        KaplanMeier::fit(&[(-1.0, true)]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Parametric survival models: Exponential and Weibull, fitted by maximum
+//! likelihood on (possibly censored) durations.
+//!
+//! The hazard-based return-time literature the Survival baseline comes from
+//! (Kapoor et al., KDD 2014) compares the Cox model against parametric
+//! fits; these complete the substrate and serve as smoke references in
+//! tests (a Weibull with shape 1 must agree with the Exponential).
+
+/// A fitted Exponential survival model `S(t) = exp(−λt)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Maximum-likelihood fit from `(duration, event)` observations: with
+    /// censoring, `λ̂ = #events / Σ durations` (censored spells contribute
+    /// exposure but no event).
+    ///
+    /// Returns `None` when there are no events or no positive exposure.
+    pub fn fit(observations: &[(f64, bool)]) -> Option<Self> {
+        let events = observations.iter().filter(|o| o.1).count() as f64;
+        let exposure: f64 = observations.iter().map(|o| o.0).sum();
+        if events == 0.0 || exposure <= 0.0 {
+            return None;
+        }
+        Some(Exponential {
+            rate: events / exposure,
+        })
+    }
+
+    /// The fitted rate λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Survival probability `S(t)`.
+    pub fn survival(&self, t: f64) -> f64 {
+        (-self.rate * t).exp()
+    }
+
+    /// Mean time to event `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// A fitted Weibull survival model `S(t) = exp(−(t/λ)^k)` with shape `k`
+/// and scale `λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Maximum-likelihood fit by Newton iteration on the profile likelihood
+    /// of the shape parameter (the scale has a closed form given the
+    /// shape). Handles right-censoring. Returns `None` on degenerate input
+    /// (no events, non-positive durations).
+    pub fn fit(observations: &[(f64, bool)]) -> Option<Self> {
+        let n_events = observations.iter().filter(|o| o.1).count();
+        if n_events == 0 || observations.iter().any(|o| o.0 <= 0.0) {
+            return None;
+        }
+        // Profile score in k (see e.g. Lawless 2003 §5.2):
+        //   g(k) = Σ_all t^k ln t / Σ_all t^k − 1/k − (1/d) Σ_events ln t = 0
+        let d = n_events as f64;
+        let mean_event_log: f64 = observations
+            .iter()
+            .filter(|o| o.1)
+            .map(|o| o.0.ln())
+            .sum::<f64>()
+            / d;
+        let mut k = 1.0_f64;
+        for _ in 0..100 {
+            let mut s0 = 0.0;
+            let mut s1 = 0.0;
+            let mut s2 = 0.0;
+            for &(t, _) in observations {
+                let tk = t.powf(k);
+                let lt = t.ln();
+                s0 += tk;
+                s1 += tk * lt;
+                s2 += tk * lt * lt;
+            }
+            let g = s1 / s0 - 1.0 / k - mean_event_log;
+            let gp = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+            if gp.abs() < 1e-30 {
+                break;
+            }
+            let step = g / gp;
+            let next = (k - step).max(1e-6);
+            if (next - k).abs() < 1e-12 {
+                k = next;
+                break;
+            }
+            k = next;
+        }
+        if !k.is_finite() || k <= 0.0 {
+            return None;
+        }
+        // Closed-form scale given shape.
+        let sum_tk: f64 = observations.iter().map(|o| o.0.powf(k)).sum();
+        let scale = (sum_tk / d).powf(1.0 / k);
+        Some(Weibull { shape: k, scale })
+    }
+
+    /// The fitted shape `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The fitted scale `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Survival probability `S(t)`.
+    pub fn survival(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 1.0;
+        }
+        (-(t / self.scale).powf(self.shape)).exp()
+    }
+
+    /// Hazard `h(t) = (k/λ)(t/λ)^{k−1}` — increasing for `k > 1`,
+    /// decreasing for `k < 1`.
+    pub fn hazard(&self, t: f64) -> f64 {
+        (self.shape / self.scale) * (t / self.scale).powf(self.shape - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
+        -(1.0 - rng.gen::<f64>()).ln() / rate
+    }
+
+    #[test]
+    fn exponential_recovers_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs: Vec<(f64, bool)> = (0..20_000).map(|_| (exp_sample(&mut rng, 0.5), true)).collect();
+        let m = Exponential::fit(&obs).unwrap();
+        assert!((m.rate() - 0.5).abs() < 0.02, "rate {}", m.rate());
+        assert!((m.mean() - 2.0).abs() < 0.1);
+        assert!((m.survival(0.0) - 1.0).abs() < 1e-12);
+        assert!(m.survival(1.0) < 1.0);
+    }
+
+    #[test]
+    fn exponential_censoring_is_unbiased() {
+        // Censor at a horizon: the estimator stays consistent.
+        let mut rng = StdRng::seed_from_u64(2);
+        let horizon = 3.0;
+        let obs: Vec<(f64, bool)> = (0..20_000)
+            .map(|_| {
+                let t = exp_sample(&mut rng, 0.7);
+                if t > horizon {
+                    (horizon, false)
+                } else {
+                    (t, true)
+                }
+            })
+            .collect();
+        let m = Exponential::fit(&obs).unwrap();
+        assert!((m.rate() - 0.7).abs() < 0.03, "rate {}", m.rate());
+    }
+
+    #[test]
+    fn weibull_recovers_shape_and_scale() {
+        // Inverse-CDF sample from Weibull(k=2, λ=3).
+        let mut rng = StdRng::seed_from_u64(3);
+        let obs: Vec<(f64, bool)> = (0..20_000)
+            .map(|_| {
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                (3.0 * (-u.ln()).powf(0.5), true)
+            })
+            .collect();
+        let m = Weibull::fit(&obs).unwrap();
+        assert!((m.shape() - 2.0).abs() < 0.05, "shape {}", m.shape());
+        assert!((m.scale() - 3.0).abs() < 0.05, "scale {}", m.scale());
+        // Increasing hazard for k > 1.
+        assert!(m.hazard(2.0) > m.hazard(1.0));
+    }
+
+    #[test]
+    fn weibull_with_unit_shape_matches_exponential() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let obs: Vec<(f64, bool)> = (0..20_000).map(|_| (exp_sample(&mut rng, 0.4), true)).collect();
+        let w = Weibull::fit(&obs).unwrap();
+        let e = Exponential::fit(&obs).unwrap();
+        assert!((w.shape() - 1.0).abs() < 0.03, "shape {}", w.shape());
+        assert!((w.scale() - e.mean()).abs() < 0.1);
+        for t in [0.5, 1.0, 2.0] {
+            assert!((w.survival(t) - e.survival(t)).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(Exponential::fit(&[]).is_none());
+        assert!(Exponential::fit(&[(1.0, false)]).is_none());
+        assert!(Weibull::fit(&[(0.0, true)]).is_none());
+        assert!(Weibull::fit(&[(1.0, false)]).is_none());
+    }
+}

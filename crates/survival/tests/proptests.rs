@@ -1,0 +1,86 @@
+//! Property-based tests for the survival substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrc_survival::{CoxConfig, CoxModel, GapObservation, KaplanMeier};
+
+fn observations() -> impl Strategy<Value = Vec<(f64, bool)>> {
+    prop::collection::vec(((0.01f64..50.0), any::<bool>()), 1..60)
+}
+
+proptest! {
+    #[test]
+    fn km_survival_is_monotone_nonincreasing(obs in observations()) {
+        let km = KaplanMeier::fit(&obs);
+        let mut prev = 1.0;
+        for t in 0..60 {
+            let s = km.survival_at(t as f64);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!(s <= prev + 1e-12);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn km_no_events_before_first_duration(obs in observations()) {
+        let min = obs.iter().map(|o| o.0).fold(f64::INFINITY, f64::min);
+        let km = KaplanMeier::fit(&obs);
+        prop_assert_eq!(km.survival_at(min * 0.5), 1.0);
+    }
+
+    #[test]
+    fn cox_baseline_hazard_monotone(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<GapObservation> = (0..80)
+            .map(|_| {
+                let x: f64 = rng.gen_range(-1.0..1.0);
+                GapObservation {
+                    duration: rng.gen_range(0.1..20.0),
+                    event: rng.gen_bool(0.8),
+                    covariates: vec![x],
+                }
+            })
+            .collect();
+        if !data.iter().any(|o| o.event) {
+            return Ok(()); // NoEvents is a legal rejection
+        }
+        let model = CoxModel::fit(&data, &CoxConfig::default()).unwrap();
+        let mut prev = 0.0;
+        for t in 0..25 {
+            let h = model.baseline_cumulative_hazard(t as f64);
+            prop_assert!(h >= prev - 1e-12);
+            prop_assert!(h.is_finite());
+            prev = h;
+        }
+        // Survival in [0, 1] and decreasing in t for any covariates.
+        for &x in &[-0.5, 0.0, 0.5] {
+            let mut sprev = 1.0;
+            for t in 0..25 {
+                let s = model.survival(t as f64, &[x]);
+                prop_assert!((0.0..=1.0).contains(&s));
+                prop_assert!(s <= sprev + 1e-12);
+                sprev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn cox_hazard_ratio_is_linear_in_beta(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<GapObservation> = (0..60)
+            .map(|_| GapObservation {
+                duration: rng.gen_range(0.1..10.0),
+                event: true,
+                covariates: vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+            })
+            .collect();
+        let model = CoxModel::fit(&data, &CoxConfig::default()).unwrap();
+        let a = [0.3, -0.7];
+        let b = [0.1, 0.2];
+        let sum = [0.4, -0.5];
+        let lhs = model.log_hazard_ratio(&sum);
+        let rhs = model.log_hazard_ratio(&a) + model.log_hazard_ratio(&b);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+}

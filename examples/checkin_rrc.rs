@@ -1,0 +1,94 @@
+//! Check-in scenario (the paper's Gowalla motivation): a location-based
+//! service recommending places to *revisit*. Trains every method in the
+//! paper's comparison and prints a Fig. 5-style accuracy table.
+//!
+//! ```sh
+//! cargo run --release --example checkin_rrc
+//! ```
+
+use repeat_rec::eval::format_table;
+use repeat_rec::prelude::*;
+
+fn main() {
+    let window = 100;
+    let omega = 10;
+    let data = GeneratorConfig::gowalla_like(0.012).with_seed(5).generate();
+    let data = data.filter_min_train_len(0.7, window);
+    let split = data.split(0.7);
+    let stats = TrainStats::compute(&split.train, window);
+    println!(
+        "check-in log: {} users, {} venues, {} check-ins",
+        data.num_users(),
+        data.num_items(),
+        data.total_consumptions()
+    );
+
+    let cfg = EvalConfig { window, omega };
+    let ns = [1, 5, 10];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut add = |name: &str, rec: &dyn Recommender| {
+        let res = evaluate_multi(rec, &split, &stats, &cfg, &ns);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4}", res[0].maap()),
+            format!("{:.4}", res[1].maap()),
+            format!("{:.4}", res[2].maap()),
+            format!("{:.4}", res[2].miap()),
+        ]);
+    };
+
+    add("Random", &RandomRecommender::default());
+    add("Pop", &PopRecommender);
+    add("Recency", &RecencyRecommender);
+
+    let dyrc = DyrcTrainer::new(DyrcConfig {
+        window,
+        omega,
+        ..DyrcConfig::default()
+    })
+    .train(&split.train, &stats);
+    add("DYRC", &DyrcRecommender::new(dyrc));
+
+    let fpmc = FpmcTrainer::new(FpmcConfig {
+        window,
+        omega,
+        k: 16,
+        max_sweeps: 10,
+        ..FpmcConfig::new(data.num_users(), data.num_items())
+    })
+    .train(&split.train);
+    add("FPMC", &FpmcRecommender::new(fpmc));
+
+    match SurvivalRecommender::fit(&split.train, &stats, window, &CoxConfig::default()) {
+        Ok(survival) => add("Survival", &survival),
+        Err(e) => eprintln!("survival baseline skipped: {e}"),
+    }
+
+    let pipeline = FeaturePipeline::standard();
+    let training = TrainingSet::build(
+        &split.train,
+        &stats,
+        &pipeline,
+        &SamplingConfig {
+            window,
+            omega,
+            negatives_per_positive: 10,
+            seed: 11,
+        },
+    );
+    let (model, _) = TsPprTrainer::new(
+        TsPprConfig::gowalla_defaults(data.num_users(), data.num_items())
+            .with_k(16)
+            .with_max_sweeps(20),
+    )
+    .train(&training);
+    add("TS-PPR", &TsPprRecommender::new(model, FeaturePipeline::standard()));
+
+    println!(
+        "\n{}",
+        format_table(
+            &["method", "MaAP@1", "MaAP@5", "MaAP@10", "MiAP@10"],
+            &rows
+        )
+    );
+}

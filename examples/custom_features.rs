@@ -1,0 +1,109 @@
+//! Extending the feature pipeline (§4.4: "more domain-specific features can
+//! also be appended to the vector representation of behavioral features").
+//!
+//! Adds a "session position" feature to the standard four and compares the
+//! resulting TS-PPR model against the stock one, plus the paper's Fig. 7
+//! single-feature ablations.
+//!
+//! ```sh
+//! cargo run --release --example custom_features
+//! ```
+
+use repeat_rec::features::{Feature, FeatureContext};
+use repeat_rec::prelude::*;
+
+/// A toy domain feature: how deep into the (synthetic) session the user is,
+/// proxied by window fill. In a real deployment this could be time of day,
+/// distance to a venue, genre similarity, etc.
+struct SessionDepth;
+
+impl Feature for SessionDepth {
+    fn name(&self) -> &'static str {
+        "SESSION"
+    }
+    fn value(&self, ctx: &FeatureContext<'_>, _item: ItemId) -> f64 {
+        ctx.window.len() as f64 / ctx.window.capacity() as f64
+    }
+}
+
+fn train_and_score(
+    label: &str,
+    build: impl Fn() -> FeaturePipeline,
+    split: &SplitDataset,
+    stats: &TrainStats,
+    window: usize,
+    omega: usize,
+) -> (String, f64) {
+    let pipeline = build();
+    let training = TrainingSet::build(
+        &split.train,
+        stats,
+        &pipeline,
+        &SamplingConfig {
+            window,
+            omega,
+            negatives_per_positive: 10,
+            seed: 2,
+        },
+    );
+    let (model, _) = TsPprTrainer::new(
+        TsPprConfig::new(split.train.num_users(), split.train.num_items())
+            .with_k(16)
+            .with_max_sweeps(15),
+    )
+    .train(&training);
+    let rec = TsPprRecommender::new(model, build());
+    let res = evaluate(&rec, split, stats, &EvalConfig { window, omega }, 10);
+    (label.to_string(), res.maap())
+}
+
+fn main() {
+    let window = 100;
+    let omega = 10;
+    let data = GeneratorConfig::gowalla_like(0.008).with_seed(31).generate();
+    let data = data.filter_min_train_len(0.7, window);
+    let split = data.split(0.7);
+    let stats = TrainStats::compute(&split.train, window);
+    println!(
+        "dataset: {} users, {} events\n",
+        data.num_users(),
+        data.total_consumptions()
+    );
+
+    let mut results = Vec::new();
+    results.push(train_and_score(
+        "All (IP+IR+RE+DF)",
+        FeaturePipeline::standard,
+        &split,
+        &stats,
+        window,
+        omega,
+    ));
+    for removed in ["IP", "IR", "RE", "DF"] {
+        results.push(train_and_score(
+            &format!("-{removed}"),
+            || FeaturePipeline::standard().without(removed),
+            &split,
+            &stats,
+            window,
+            omega,
+        ));
+    }
+    results.push(train_and_score(
+        "All + SESSION (custom)",
+        || FeaturePipeline::standard().with(SessionDepth),
+        &split,
+        &stats,
+        window,
+        omega,
+    ));
+
+    println!("{:<24} {:>8}", "feature set", "MaAP@10");
+    for (label, maap) in &results {
+        println!("{label:<24} {maap:>8.4}");
+    }
+    println!(
+        "\n(The Fig. 7 finding — removing IR hurts most — should be visible\n\
+         above; the custom feature demonstrates pipeline extensibility.)"
+    );
+}

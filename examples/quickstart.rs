@@ -1,0 +1,88 @@
+//! Quickstart: train TS-PPR on a synthetic check-in log and compare it with
+//! the Pop and Random baselines on held-out data.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use repeat_rec::prelude::*;
+
+fn main() {
+    // -- 1. Data ------------------------------------------------------------
+    // A small Gowalla-like check-in log (synthetic; see DESIGN.md). Swap in
+    // your own log with `repeat_rec::sequence::io::read_events`.
+    let window = 100;
+    let omega = 10;
+    let data = GeneratorConfig::gowalla_like(0.01).with_seed(42).generate();
+    let data = data.filter_min_train_len(0.7, window);
+    let split = data.split(0.7);
+    println!(
+        "dataset: {} users, {} items, {} events",
+        data.num_users(),
+        data.num_items(),
+        data.total_consumptions()
+    );
+
+    // -- 2. Features and training quadruples ---------------------------------
+    let stats = TrainStats::compute(&split.train, window);
+    let pipeline = FeaturePipeline::standard();
+    let sampling = SamplingConfig {
+        window,
+        omega,
+        negatives_per_positive: 10,
+        seed: 7,
+    };
+    let training = TrainingSet::build(&split.train, &stats, &pipeline, &sampling);
+    println!(
+        "training set: {} positives, {} quadruples",
+        training.num_positives(),
+        training.num_quadruples()
+    );
+
+    // -- 3. Train TS-PPR ------------------------------------------------------
+    let config = TsPprConfig::gowalla_defaults(data.num_users(), data.num_items())
+        .with_k(16)
+        .with_max_sweeps(20)
+        .with_seed(1);
+    let (model, report) = TsPprTrainer::new(config).train(&training);
+    println!(
+        "trained: {} SGD steps, converged = {}, final r̃ = {:.4}",
+        report.steps,
+        report.converged,
+        report.final_r_tilde()
+    );
+    let tsppr = TsPprRecommender::new(model, FeaturePipeline::standard());
+
+    // -- 4. Evaluate against the baselines ------------------------------------
+    let cfg = EvalConfig { window, omega };
+    let ns = [1, 5, 10];
+    println!("\n{:<10} {:>8} {:>8} {:>8}", "method", "MaAP@1", "MaAP@5", "MaAP@10");
+    for (name, results) in [
+        ("TS-PPR", evaluate_multi(&tsppr, &split, &stats, &cfg, &ns)),
+        ("Pop", evaluate_multi(&PopRecommender, &split, &stats, &cfg, &ns)),
+        (
+            "Random",
+            evaluate_multi(&RandomRecommender::default(), &split, &stats, &cfg, &ns),
+        ),
+    ] {
+        println!(
+            "{:<10} {:>8.4} {:>8.4} {:>8.4}",
+            name,
+            results[0].maap(),
+            results[1].maap(),
+            results[2].maap()
+        );
+    }
+
+    // -- 5. A live recommendation ---------------------------------------------
+    let user = UserId(0);
+    let window_state = WindowState::warmed(window, split.train.sequence(user).events());
+    let ctx = RecContext {
+        user,
+        window: &window_state,
+        stats: &stats,
+        omega,
+    };
+    let top = tsppr.recommend(&ctx, 5);
+    println!("\nTop-5 repeat recommendations for {user}: {top:?}");
+}

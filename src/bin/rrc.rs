@@ -1,0 +1,244 @@
+//! `rrc` — command-line interface for repeat-consumption recommendation on
+//! plain `user<TAB>item` event logs.
+//!
+//! ```sh
+//! rrc generate --preset gowalla --scale 0.01 --output events.tsv
+//! rrc stats    --input events.tsv
+//! rrc train    --input events.tsv --model model.txt
+//! rrc evaluate --input events.tsv --model model.txt --top 10
+//! rrc recommend --input events.tsv --model model.txt --user 0 --top 5
+//! ```
+
+use repeat_rec::core::persist;
+use repeat_rec::prelude::*;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rrc <COMMAND> [OPTIONS]\n\n\
+         commands:\n\
+         \x20 generate   synthesize an event log        (--preset gowalla|lastfm|tiny --scale F --seed N --output FILE)\n\
+         \x20 stats      dataset statistics             (--input FILE [--window N --omega N])\n\
+         \x20 train      train TS-PPR on the 70% prefix (--input FILE --model FILE [--window N --omega N --s N --k N --sweeps N --seed N])\n\
+         \x20 evaluate   MaAP/MiAP on the 30% suffix    (--input FILE --model FILE [--window N --omega N --top N])\n\
+         \x20 recommend  top-N for one user's history   (--input FILE --model FILE --user DENSE_ID [--window N --omega N --top N])"
+    );
+    exit(2);
+}
+
+struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut argv = std::env::args().skip(1);
+        let command = argv.next().unwrap_or_else(|| usage());
+        let mut flags = HashMap::new();
+        let mut argv = argv.peekable();
+        while let Some(flag) = argv.next() {
+            if !flag.starts_with("--") {
+                eprintln!("unexpected argument {flag:?}");
+                usage();
+            }
+            let value = argv.next().unwrap_or_else(|| usage());
+            flags.insert(flag.trim_start_matches("--").to_string(), value);
+        }
+        Args { command, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    fn require(&self, key: &str) -> &str {
+        self.get(key).unwrap_or_else(|| {
+            eprintln!("missing required option --{key}");
+            usage();
+        })
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{key}: {v:?}");
+                usage();
+            }),
+        }
+    }
+}
+
+fn load_dataset(path: &str) -> Dataset {
+    let file = File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1);
+    });
+    repeat_rec::sequence::io::read_events(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    let window: usize = args.num("window", 100);
+    let omega: usize = args.num("omega", 10);
+    if omega >= window {
+        eprintln!("--omega must be smaller than --window");
+        exit(1);
+    }
+
+    match args.command.as_str() {
+        "generate" => {
+            let scale: f64 = args.num("scale", 0.01);
+            let seed: u64 = args.num("seed", 42);
+            let config = match args.get("preset").unwrap_or("gowalla") {
+                "gowalla" => GeneratorConfig::gowalla_like(scale),
+                "lastfm" => GeneratorConfig::lastfm_like(scale),
+                "tiny" => GeneratorConfig::tiny(),
+                other => {
+                    eprintln!("unknown preset {other:?}");
+                    usage();
+                }
+            }
+            .with_seed(seed);
+            let data = config.generate();
+            let out = args.require("output");
+            let file = File::create(out).unwrap_or_else(|e| {
+                eprintln!("cannot create {out}: {e}");
+                exit(1);
+            });
+            repeat_rec::sequence::io::write_events(&data, BufWriter::new(file)).unwrap();
+            eprintln!(
+                "wrote {} events ({} users, {} items) to {out}",
+                data.total_consumptions(),
+                data.num_users(),
+                data.num_items()
+            );
+        }
+        "stats" => {
+            let data = load_dataset(args.require("input"));
+            let stats = DatasetStats::compute(&data, window, omega);
+            println!("users:             {}", stats.users);
+            println!("items consumed:    {}", stats.items);
+            println!("consumptions:      {}", stats.consumptions);
+            println!("mean sequence len: {:.1}", stats.mean_sequence_len);
+            println!(
+                "sequence len:      {}..{}",
+                stats.min_sequence_len, stats.max_sequence_len
+            );
+            println!(
+                "repeat fraction:   {:.2}% (|W|={window})",
+                stats.repeat_fraction() * 100.0
+            );
+            println!(
+                "eligible repeats:  {:.2}% (Ω={omega})",
+                stats.eligible_fraction() * 100.0
+            );
+        }
+        "train" => {
+            let data = load_dataset(args.require("input"));
+            let data = data.filter_min_train_len(0.7, window);
+            if data.num_users() == 0 {
+                eprintln!("no user has enough history (need 70% × |S_u| ≥ {window})");
+                exit(1);
+            }
+            let split = data.split(0.7);
+            let stats = TrainStats::compute(&split.train, window);
+            let training = TrainingSet::build(
+                &split.train,
+                &stats,
+                &FeaturePipeline::standard(),
+                &SamplingConfig {
+                    window,
+                    omega,
+                    negatives_per_positive: args.num("s", 10),
+                    seed: args.num("seed", 7u64),
+                },
+            );
+            eprintln!(
+                "training on {} users, {} quadruples",
+                data.num_users(),
+                training.num_quadruples()
+            );
+            let config = TsPprConfig::new(data.num_users(), data.num_items())
+                .with_k(args.num("k", 40))
+                .with_max_sweeps(args.num("sweeps", 40))
+                .with_seed(args.num("seed", 7u64));
+            let (model, report) = TsPprTrainer::new(config).train(&training);
+            eprintln!(
+                "done: {} steps, converged = {}, r̃ = {:.4}",
+                report.steps,
+                report.converged,
+                report.final_r_tilde()
+            );
+            let out = args.require("model");
+            persist::save_to_path(&model, out).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                exit(1);
+            });
+            eprintln!("model saved to {out}");
+        }
+        "evaluate" => {
+            let data = load_dataset(args.require("input"));
+            let data = data.filter_min_train_len(0.7, window);
+            let split = data.split(0.7);
+            let stats = TrainStats::compute(&split.train, window);
+            let model = persist::load_from_path(args.require("model")).unwrap_or_else(|e| {
+                eprintln!("cannot load model: {e}");
+                exit(1);
+            });
+            if model.num_users() != data.num_users() || model.num_items() != data.num_items() {
+                eprintln!(
+                    "model shape ({} users, {} items) does not match the filtered dataset \
+                     ({} users, {} items); train and evaluate on the same input",
+                    model.num_users(),
+                    model.num_items(),
+                    data.num_users(),
+                    data.num_items()
+                );
+                exit(1);
+            }
+            let rec = TsPprRecommender::new(model, FeaturePipeline::standard());
+            let top: usize = args.num("top", 10);
+            let cfg = EvalConfig { window, omega };
+            let results = evaluate_multi(&rec, &split, &stats, &cfg, &[top]);
+            println!("opportunities: {}", results[0].opportunities());
+            println!("MaAP@{top}: {:.4}", results[0].maap());
+            println!("MiAP@{top}: {:.4}", results[0].miap());
+        }
+        "recommend" => {
+            let data = load_dataset(args.require("input"));
+            let data = data.filter_min_train_len(0.7, window);
+            let stats = TrainStats::compute(&data, window);
+            let model = persist::load_from_path(args.require("model")).unwrap_or_else(|e| {
+                eprintln!("cannot load model: {e}");
+                exit(1);
+            });
+            let user_idx: u32 = args.num("user", 0u32);
+            if user_idx as usize >= data.num_users() {
+                eprintln!("user {user_idx} out of range (0..{})", data.num_users());
+                exit(1);
+            }
+            let rec = TsPprRecommender::new(model, FeaturePipeline::standard());
+            let user = UserId(user_idx);
+            let window_state = WindowState::warmed(window, data.sequence(user).events());
+            let ctx = RecContext {
+                user,
+                window: &window_state,
+                stats: &stats,
+                omega,
+            };
+            let top: usize = args.num("top", 10);
+            for (rank, item) in rec.recommend(&ctx, top).iter().enumerate() {
+                println!("{:>3}. item {}", rank + 1, item.0);
+            }
+        }
+        _ => usage(),
+    }
+}

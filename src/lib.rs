@@ -1,0 +1,74 @@
+//! # repeat-rec
+//!
+//! A production-quality Rust reproduction of **"Recommendation for Repeat
+//! Consumption from User Implicit Feedback"** (Chen, Wang, Wang & Yu, ICDE
+//! 2017): the TS-PPR model, every baseline the paper compares against, the
+//! substrates they need (dense linear algebra, Cox proportional hazards,
+//! STREC), synthetic Gowalla/Last.fm-like workload generators, and a full
+//! experiment harness regenerating every table and figure.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names and offers a [`prelude`] for application code.
+//!
+//! ```
+//! use repeat_rec::prelude::*;
+//!
+//! // 1. Data: synthetic check-in log (or load your own with rrc_sequence::io).
+//! let data = GeneratorConfig::tiny().generate();
+//! let split = data.split(0.7);
+//!
+//! // 2. Features and pre-sampled training quadruples.
+//! let stats = TrainStats::compute(&split.train, 30);
+//! let pipeline = FeaturePipeline::standard();
+//! let sampling = SamplingConfig { window: 30, omega: 5, negatives_per_positive: 5, seed: 1 };
+//! let training = TrainingSet::build(&split.train, &stats, &pipeline, &sampling);
+//!
+//! // 3. Train TS-PPR and recommend.
+//! let config = TsPprConfig::new(data.num_users(), data.num_items())
+//!     .with_k(8)
+//!     .with_max_sweeps(3);
+//! let (model, _report) = TsPprTrainer::new(config).train(&training);
+//! let recommender = TsPprRecommender::new(model, FeaturePipeline::standard());
+//!
+//! // 4. Evaluate on the held-out suffixes.
+//! let cfg = EvalConfig { window: 30, omega: 5 };
+//! let result = evaluate(&recommender, &split, &stats, &cfg, 10);
+//! assert!(result.maap() >= 0.0);
+//! ```
+
+pub use rrc_baselines as baselines;
+pub use rrc_core as core;
+pub use rrc_datagen as datagen;
+pub use rrc_eval as eval;
+pub use rrc_features as features;
+pub use rrc_linalg as linalg;
+pub use rrc_sequence as sequence;
+pub use rrc_strec as strec;
+pub use rrc_survival as survival;
+
+/// The names most applications need, in one import.
+pub mod prelude {
+    pub use rrc_baselines::{
+        DyrcConfig, DyrcRecommender, DyrcTrainer, FpmcConfig, FpmcRecommender, FpmcTrainer,
+        PopRecommender, RandomRecommender, RecencyRecommender,
+    };
+    pub use rrc_core::{
+        PprConfig, PprRecommender, PprTrainer, TsPprConfig, TsPprModel, TsPprRecommender,
+        TsPprTrainer,
+    };
+    pub use rrc_datagen::{DatasetKind, GeneratorConfig};
+    pub use rrc_eval::{
+        evaluate, evaluate_combined, evaluate_multi, evaluate_multi_parallel, evaluate_novel,
+        evaluate_unified, measure_latency, EvalConfig, EvalResult,
+    };
+    pub use rrc_features::{
+        build_novel_training_set, Feature, FeatureContext, FeaturePipeline, NovelSamplingConfig,
+        RecContext, Recommender, SamplingConfig, TrainStats, TrainingSet,
+    };
+    pub use rrc_sequence::{
+        ConsumptionKind, Dataset, DatasetBuilder, DatasetStats, ItemId, Sequence, SplitDataset,
+        UserId, WindowState,
+    };
+    pub use rrc_strec::{LassoConfig, StrecClassifier};
+    pub use rrc_survival::{CoxConfig, SurvivalRecommender};
+}
