@@ -98,11 +98,7 @@ impl DyrcTrainer {
             let mut grad_r = 0.0;
             for ev in &events {
                 // Softmax over candidates (max-shifted).
-                let logits: Vec<f64> = ev
-                    .feats
-                    .iter()
-                    .map(|f| model.logit(f[0], f[1]))
-                    .collect();
+                let logits: Vec<f64> = ev.feats.iter().map(|f| model.logit(f[0], f[1])).collect();
                 let m = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 let exps: Vec<f64> = logits.iter().map(|&l| (l - m).exp()).collect();
                 let z: f64 = exps.iter().sum();

@@ -81,10 +81,12 @@ impl Recommender for ForgettingMarkovRecommender {
 
     fn score(&self, ctx: &RecContext<'_>, item: ItemId) -> f64 {
         let now = ctx.window.time();
-        let sources = ctx
-            .window
-            .distinct_items()
-            .map(|s| (s, ctx.window.last_seen(s).expect("window item has last_seen")));
+        let sources = ctx.window.distinct_items().map(|s| {
+            (
+                s,
+                ctx.window.last_seen(s).expect("window item has last_seen"),
+            )
+        });
         self.model.score_from_window(sources, now, item)
     }
 }
@@ -97,10 +99,7 @@ mod tests {
 
     fn train() -> Dataset {
         // 0→1 always; 2→3 always.
-        Dataset::new(
-            vec![Sequence::from_raw(vec![0, 1, 0, 1, 2, 3, 2, 3])],
-            4,
-        )
+        Dataset::new(vec![Sequence::from_raw(vec![0, 1, 0, 1, 2, 3, 2, 3])], 4)
     }
 
     #[test]
@@ -124,11 +123,7 @@ mod tests {
         let model = ForgettingMarkovModel::fit(&train(), 0.0);
         // Both sources transition to item 1? Only 0 does; score from a
         // single source equals p/gap.
-        let single = model.score_from_window(
-            std::iter::once((ItemId(0), 8usize)),
-            10,
-            ItemId(1),
-        );
+        let single = model.score_from_window(std::iter::once((ItemId(0), 8usize)), 10, ItemId(1));
         assert!((single - 1.0 / 2.0).abs() < 1e-12); // P(1|0)=1, gap 2
     }
 

@@ -83,7 +83,12 @@ pub struct FpmcModel {
 impl FpmcModel {
     /// Gaussian initialisation with standard deviation `0.1` (Rendle's
     /// customary choice).
-    pub fn init<R: Rng + ?Sized>(rng: &mut R, num_users: usize, num_items: usize, k: usize) -> Self {
+    pub fn init<R: Rng + ?Sized>(
+        rng: &mut R,
+        num_users: usize,
+        num_items: usize,
+        k: usize,
+    ) -> Self {
         let mut g = GaussianSampler::new(0.0, 0.1);
         FpmcModel {
             k,
@@ -349,10 +354,7 @@ mod tests {
 
     #[test]
     fn empty_training_returns_initial_model() {
-        let d = Dataset::new(
-            vec![rrc_sequence::Sequence::from_raw(vec![0, 1, 2])],
-            3,
-        );
+        let d = Dataset::new(vec![rrc_sequence::Sequence::from_raw(vec![0, 1, 2])], 3);
         let m = FpmcTrainer::new(config(&d)).train(&d);
         assert!(m.is_finite());
     }

@@ -171,8 +171,7 @@ impl TuckerFpmcTrainer {
             cfg.negatives_per_positive,
             &mut rng,
         );
-        let mut model =
-            TuckerFpmcModel::init(&mut rng, cfg.num_users, cfg.num_items, cfg.core);
+        let mut model = TuckerFpmcModel::init(&mut rng, cfg.num_users, cfg.num_items, cfg.core);
         if transitions.is_empty() {
             return model;
         }
@@ -189,8 +188,8 @@ impl TuckerFpmcTrainer {
             let yi_old = model.v.row(tr.pos.index()).to_vec();
             let yj_old = model.v.row(neg.index()).to_vec();
 
-            let margin = model.core.contract(&x_old, &yi_old, &z)
-                - model.core.contract(&x_old, &yj_old, &z);
+            let margin =
+                model.core.contract(&x_old, &yi_old, &z) - model.core.contract(&x_old, &yj_old, &z);
             let delta = a * (1.0 - sigmoid(margin));
 
             // Gradients via mode contractions.
@@ -244,11 +243,7 @@ impl TuckerFpmcTrainer {
                 // *every* step; a per-step multiplicative decay of (1 − αγ)
                 // would shrink it by e^{−αγ·steps} ≈ 0 long before training
                 // ends, so the tiny (k³-parameter) core is left unpenalised.
-                let ydiff: Vec<f64> = yi_old
-                    .iter()
-                    .zip(&yj_old)
-                    .map(|(p, n)| p - n)
-                    .collect();
+                let ydiff: Vec<f64> = yi_old.iter().zip(&yj_old).map(|(p, n)| p - n).collect();
                 model.core.rank1_update(delta, &x_old, &ydiff, &z);
             }
         }
@@ -420,6 +415,5 @@ mod tests {
         assert_eq!(rec.name(), "Tucker-FPMC");
         assert!(rec.model().is_finite());
     }
-// temporary probe appended to fpmc_tucker tests
-
+    // temporary probe appended to fpmc_tucker tests
 }

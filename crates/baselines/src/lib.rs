@@ -21,13 +21,15 @@ pub mod fpmc_tucker;
 pub mod markov;
 pub mod pop;
 pub mod random;
-pub(crate) mod transitions;
 pub mod recency;
+pub(crate) mod transitions;
 
 pub use dyrc::{DyrcConfig, DyrcModel, DyrcRecommender, DyrcTrainer};
 pub use forgetting::{ForgettingMarkovModel, ForgettingMarkovRecommender};
 pub use fpmc::{FpmcConfig, FpmcModel, FpmcRecommender, FpmcTrainer};
-pub use fpmc_tucker::{TuckerFpmcConfig, TuckerFpmcModel, TuckerFpmcRecommender, TuckerFpmcTrainer};
+pub use fpmc_tucker::{
+    TuckerFpmcConfig, TuckerFpmcModel, TuckerFpmcRecommender, TuckerFpmcTrainer,
+};
 pub use markov::{MarkovChainModel, MarkovRecommender};
 pub use pop::PopRecommender;
 pub use random::RandomRecommender;

@@ -46,10 +46,7 @@ impl MarkovChainModel {
 
     /// Smoothed transition probability `P(next = b | prev = a)`.
     pub fn transition_prob(&self, a: ItemId, b: ItemId) -> f64 {
-        let count = self.transitions[a.index()]
-            .get(&b)
-            .copied()
-            .unwrap_or(0) as f64;
+        let count = self.transitions[a.index()].get(&b).copied().unwrap_or(0) as f64;
         let total = self.totals[a.index()] as f64;
         (count + self.alpha) / (total + self.alpha * self.num_items as f64)
     }
@@ -123,7 +120,9 @@ mod tests {
         assert!(p_seen > p_unseen);
         assert!(p_unseen > 0.0);
         // Rows sum to 1 under smoothing.
-        let row_sum: f64 = (0..3).map(|b| m.transition_prob(ItemId(0), ItemId(b))).sum();
+        let row_sum: f64 = (0..3)
+            .map(|b| m.transition_prob(ItemId(0), ItemId(b)))
+            .sum();
         assert!((row_sum - 1.0).abs() < 1e-12);
     }
 

@@ -39,11 +39,9 @@ impl Recommender for RandomRecommender {
     }
 
     fn score(&self, ctx: &RecContext<'_>, item: ItemId) -> f64 {
-        let h = mix(
-            self.seed
-                ^ mix((ctx.user.0 as u64) << 32 | item.0 as u64)
-                ^ mix(ctx.window.time() as u64),
-        );
+        let h = mix(self.seed
+            ^ mix((ctx.user.0 as u64) << 32 | item.0 as u64)
+            ^ mix(ctx.window.time() as u64));
         // Map to [0, 1).
         (h >> 11) as f64 / (1u64 << 53) as f64
     }
@@ -94,7 +92,11 @@ mod tests {
         let mut sorted = scores.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         sorted.dedup();
-        assert_eq!(sorted.len(), 8, "hash collisions in tiny domain: {scores:?}");
+        assert_eq!(
+            sorted.len(),
+            8,
+            "hash collisions in tiny domain: {scores:?}"
+        );
     }
 
     #[test]

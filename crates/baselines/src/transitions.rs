@@ -61,10 +61,7 @@ mod tests {
 
     #[test]
     fn transitions_have_valid_structure() {
-        let d = Dataset::new(
-            vec![Sequence::from_raw(vec![1, 2, 3, 4, 1, 2])],
-            5,
-        );
+        let d = Dataset::new(vec![Sequence::from_raw(vec![1, 2, 3, 4, 1, 2])], 5);
         let mut rng = StdRng::seed_from_u64(1);
         let ts = collect_transitions(&d, 10, 2, 3, &mut rng);
         assert!(!ts.is_empty());

@@ -1,0 +1,109 @@
+//! Serving-engine throughput: events ingested per second as a function of
+//! shard count, with online learning off and on.
+//!
+//! Each iteration replays the full test stream through
+//! `ServeEngine::observe_nowait` and waits for a `flush` barrier, so the
+//! measured time covers routing, queueing, window maintenance, and (when
+//! learning) online SGD in the shards.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrc_core::{OnlineConfig, OnlineTsPpr, TsPprModel};
+use rrc_datagen::GeneratorConfig;
+use rrc_features::{FeaturePipeline, TrainStats};
+use rrc_sequence::{ItemId, UserId};
+use rrc_serve::ServeEngine;
+
+const WINDOW: usize = 100;
+const OMEGA: usize = 10;
+
+fn warmed_online(negatives_per_event: usize) -> (OnlineTsPpr, Vec<(UserId, Vec<ItemId>)>) {
+    let data = GeneratorConfig::tiny()
+        .with_users(200)
+        .with_items(400)
+        .with_events_per_user(130, 200)
+        .with_seed(7)
+        .generate();
+    let split = data.split(0.7);
+    let stats = TrainStats::compute(&split.train, WINDOW);
+    let pipeline = FeaturePipeline::standard();
+    let mut rng = StdRng::seed_from_u64(11);
+    let model = TsPprModel::init(
+        &mut rng,
+        data.num_users(),
+        data.num_items(),
+        16,
+        pipeline.len(),
+        0.1,
+        0.05,
+    );
+    let mut online = OnlineTsPpr::new(
+        model,
+        pipeline,
+        stats,
+        OnlineConfig {
+            window: WINDOW,
+            omega: OMEGA,
+            negatives_per_event,
+            ..OnlineConfig::default()
+        },
+    );
+    online.warm_from(&split.train);
+    let replay = split
+        .test
+        .iter()
+        .enumerate()
+        .map(|(u, s)| (UserId(u as u32), s.events().to_vec()))
+        .collect();
+    (online, replay)
+}
+
+fn bench_observe_throughput(c: &mut Criterion) {
+    for (mode, negatives) in [("frozen", 0usize), ("learning", 3)] {
+        let mut group = c.benchmark_group(format!("serve_observe_{mode}"));
+        let (_, replay) = warmed_online(negatives);
+        let total: usize = replay.iter().map(|(_, e)| e.len()).sum();
+        group.throughput(Throughput::Elements(total as u64));
+        for shards in [1usize, 2, 4] {
+            let (online, replay) = warmed_online(negatives);
+            let engine = ServeEngine::start(online, shards);
+            group.bench_with_input(BenchmarkId::from_parameter(shards), &replay, |b, replay| {
+                b.iter(|| {
+                    for (user, events) in replay {
+                        for &item in events {
+                            engine.observe_nowait(*user, item);
+                        }
+                    }
+                    engine.flush();
+                });
+            });
+            engine.shutdown();
+        }
+        group.finish();
+    }
+}
+
+fn bench_recommend_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_recommend_top10");
+    for shards in [1usize, 4] {
+        let (online, _) = warmed_online(0);
+        let engine = ServeEngine::start(online, shards);
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &engine, |b, engine| {
+            let mut u = 0u32;
+            b.iter(|| {
+                u = (u + 1) % 200;
+                std::hint::black_box(engine.recommend(UserId(u), 10))
+            });
+        });
+        engine.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_observe_throughput, bench_recommend_latency
+}
+criterion_main!(benches);

@@ -18,13 +18,7 @@ fn bench_substrates(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(observations.len() as u64));
     group.bench_function("gap_extraction", |b| {
-        b.iter(|| {
-            std::hint::black_box(gap_observations(
-                &exp.split.train,
-                &exp.stats,
-                opts.window,
-            ))
-        })
+        b.iter(|| std::hint::black_box(gap_observations(&exp.split.train, &exp.stats, opts.window)))
     });
     group.bench_function("cox_newton_fit", |b| {
         b.iter(|| std::hint::black_box(CoxModel::fit(&observations, &CoxConfig::default())))

@@ -129,7 +129,10 @@ fn main() {
             Some(text) => {
                 println!("{}", "=".repeat(78));
                 println!("{text}");
-                eprintln!("# {name} finished in {:.1}s", started.elapsed().as_secs_f64());
+                eprintln!(
+                    "# {name} finished in {:.1}s",
+                    started.elapsed().as_secs_f64()
+                );
             }
             None => {
                 eprintln!("unknown experiment: {name}");

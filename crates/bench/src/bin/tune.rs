@@ -6,9 +6,11 @@
 //! cargo run --release -p rrc-bench --bin tune -- gowalla --sweeps 40 --k 40 --alpha 0.05
 //! ```
 
+use rrc_baselines::{
+    DyrcConfig, DyrcRecommender, DyrcTrainer, PopRecommender, RandomRecommender, RecencyRecommender,
+};
 use rrc_bench::setup::{prepare, RunOptions};
 use rrc_bench::zoo::{build_training_set, tsppr_config};
-use rrc_baselines::{DyrcConfig, DyrcRecommender, DyrcTrainer, PopRecommender, RandomRecommender, RecencyRecommender};
 use rrc_core::{TsPprRecommender, TsPprTrainer};
 use rrc_datagen::DatasetKind;
 use rrc_eval::{evaluate_multi, EvalConfig};

@@ -36,14 +36,8 @@ pub fn run(opts: &RunOptions) -> String {
         };
         let mut rows = Vec::new();
         let mut eval = |name: &str, rec: &(dyn rrc_features::Recommender + Sync)| {
-            let r = evaluate_multi_parallel(
-                rec,
-                &exp.split,
-                &exp.stats,
-                &cfg,
-                &[1, 10],
-                opts.threads,
-            );
+            let r =
+                evaluate_multi_parallel(rec, &exp.split, &exp.stats, &cfg, &[1, 10], opts.threads);
             rows.push(vec![
                 name.to_string(),
                 format!("{:.4}", r[0].maap()),
@@ -86,8 +80,8 @@ pub fn run(opts: &RunOptions) -> String {
         eval("TS-PPR (exp recency)", &exp_rec);
 
         // Static PPR on the same quadruples.
-        let ppr = PprTrainer::new(PprConfig::from_tsppr(&tsppr_config(&exp, opts)))
-            .train(&training);
+        let ppr =
+            PprTrainer::new(PprConfig::from_tsppr(&tsppr_config(&exp, opts))).train(&training);
         eval("PPR (static)", &PprRecommender::new(ppr));
 
         // Raw Markov chain.

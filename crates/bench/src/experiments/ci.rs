@@ -40,10 +40,7 @@ pub fn run(opts: &RunOptions) -> String {
         }
         out.push_str(&format!(
             "\n[{kind}]\n{}",
-            format_table(
-                &["method", "MaAP@10", "95% CI", "MiAP@10", "95% CI"],
-                &rows
-            )
+            format_table(&["method", "MaAP@10", "95% CI", "MiAP@10", "95% CI"], &rows)
         ));
     }
     out.push_str(

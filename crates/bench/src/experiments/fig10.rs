@@ -12,7 +12,10 @@ const OMEGAS: [usize; 2] = [10, 20];
 
 /// Render MaAP@10/MiAP@10 as S varies, for two Ω settings.
 pub fn run(opts: &RunOptions) -> String {
-    let mut out = format!("Fig. 10 — sensitivity of the negative sample number S (K={})\n", opts.k);
+    let mut out = format!(
+        "Fig. 10 — sensitivity of the negative sample number S (K={})\n",
+        opts.k
+    );
     for kind in [DatasetKind::Gowalla, DatasetKind::Lastfm] {
         let exp = prepare(kind, opts);
         for &omega in &OMEGAS {
@@ -37,7 +40,12 @@ pub fn run(opts: &RunOptions) -> String {
                 let (model, _) = TsPprTrainer::new(tsppr_config(&exp, opts)).train(&training);
                 let rec = TsPprRecommender::new(model, FeaturePipeline::standard());
                 let r = evaluate_multi_parallel(
-                    &rec, &exp.split, &exp.stats, &cfg, &[10], opts.threads,
+                    &rec,
+                    &exp.split,
+                    &exp.stats,
+                    &cfg,
+                    &[10],
+                    opts.threads,
                 );
                 rows.push(vec![
                     s.to_string(),

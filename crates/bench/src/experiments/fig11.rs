@@ -24,7 +24,10 @@ const SS: [usize; 2] = [10, 20];
 /// reference and the TS-PPR/Random ratio. Both training and evaluation use
 /// the same Ω (the paper's protocol).
 pub fn run(opts: &RunOptions) -> String {
-    let mut out = format!("Fig. 11 — sensitivity of the minimum gap Ω (K={})\n", opts.k);
+    let mut out = format!(
+        "Fig. 11 — sensitivity of the minimum gap Ω (K={})\n",
+        opts.k
+    );
     for kind in [DatasetKind::Gowalla, DatasetKind::Lastfm] {
         let exp = prepare(kind, opts);
         for &s in &SS {
@@ -51,7 +54,12 @@ pub fn run(opts: &RunOptions) -> String {
                 let (model, _) = TsPprTrainer::new(tsppr_config(&exp, opts)).train(&training);
                 let rec = TsPprRecommender::new(model, FeaturePipeline::standard());
                 let r = evaluate_multi_parallel(
-                    &rec, &exp.split, &exp.stats, &cfg, &[10], opts.threads,
+                    &rec,
+                    &exp.split,
+                    &exp.stats,
+                    &cfg,
+                    &[10],
+                    opts.threads,
                 );
                 let rnd = evaluate_multi_parallel(
                     &RandomRecommender::default(),

@@ -15,13 +15,7 @@ pub fn run(opts: &RunOptions) -> String {
     let pipeline = FeaturePipeline::standard();
     for kind in [DatasetKind::Gowalla, DatasetKind::Lastfm] {
         let exp = prepare(kind, opts);
-        let hists = rank_distributions(
-            &exp.data,
-            &exp.stats,
-            &pipeline,
-            opts.window,
-            opts.omega,
-        );
+        let hists = rank_distributions(&exp.data, &exp.stats, &pipeline, opts.window, opts.omega);
         out.push_str(&format!("\n[{kind}]\n"));
         out.push_str(&format!(
             "{:<8} {:>10} {:>10} {:>9}  head of histogram (ranks 1..10)\n",

@@ -41,13 +41,17 @@ pub fn run(opts: &RunOptions) -> String {
             let mut maaps = Vec::new();
             let mut miaps = Vec::new();
             for rep in 0..REPS {
-                let training =
-                    build_training_set_with_pipeline_seed(&exp, opts, &pipeline, rep);
+                let training = build_training_set_with_pipeline_seed(&exp, opts, &pipeline, rep);
                 let config = tsppr_config(&exp, opts).with_seed(opts.seed ^ 0x75 ^ rep);
                 let (model, _) = TsPprTrainer::new(config).train(&training);
                 let rec = TsPprRecommender::new(model, clone_pipeline(&pipeline));
                 let results = evaluate_multi_parallel(
-                    &rec, &exp.split, &exp.stats, &cfg, &[10], opts.threads,
+                    &rec,
+                    &exp.split,
+                    &exp.stats,
+                    &cfg,
+                    &[10],
+                    opts.threads,
                 );
                 maaps.push(results[0].maap());
                 miaps.push(results[0].miap());

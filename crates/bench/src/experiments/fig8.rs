@@ -35,7 +35,12 @@ pub fn run(opts: &RunOptions) -> String {
                 let (model, _) = TsPprTrainer::new(config).train(&training);
                 let rec = TsPprRecommender::new(model, FeaturePipeline::standard());
                 let r = evaluate_multi_parallel(
-                    &rec, &exp.split, &exp.stats, &cfg, &[10], opts.threads,
+                    &rec,
+                    &exp.split,
+                    &exp.stats,
+                    &cfg,
+                    &[10],
+                    opts.threads,
                 );
                 rows.push(vec![
                     format!("{v:e}"),

@@ -41,8 +41,7 @@ pub fn run(opts: &RunOptions) -> String {
                 max_attempts: 64,
             },
         );
-        let (novel_model, _) =
-            TsPprTrainer::new(tsppr_config(&exp, opts)).train(&novel_training);
+        let (novel_model, _) = TsPprTrainer::new(tsppr_config(&exp, opts)).train(&novel_training);
         let novel_rec = TsPprRecommender::new(novel_model, FeaturePipeline::standard());
 
         // Novel-item accuracy table.
@@ -72,8 +71,8 @@ pub fn run(opts: &RunOptions) -> String {
         // Unified pipeline. Routing at the training base rate rather than
         // 0.5: with 70-80% repeats every probability clears 0.5, so the
         // base-rate threshold is what actually splits the traffic.
-        let base_rate = rrc_sequence::DatasetStats::compute(&exp.split.train, opts.window, 1)
-            .repeat_fraction();
+        let base_rate =
+            rrc_sequence::DatasetStats::compute(&exp.split.train, opts.window, 1).repeat_fraction();
         if let Some(gate) = StrecClassifier::fit(
             &exp.split.train,
             &exp.stats,

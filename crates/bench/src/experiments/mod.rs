@@ -4,7 +4,7 @@
 pub mod ablation;
 pub mod accuracy;
 pub mod ci;
-pub mod mixture;
+pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
@@ -12,7 +12,7 @@ pub mod fig4;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
+pub mod mixture;
 pub mod table2;
 pub mod table5;
 
@@ -23,8 +23,8 @@ pub const TOP_NS: [usize; 3] = [1, 5, 10];
 
 /// All experiment names, in paper order.
 pub const ALL_EXPERIMENTS: [&str; 12] = [
-    "table2", "fig4", "fig5", "fig6", "table3", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13",
+    "table2", "fig4", "fig5", "fig6", "table3", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13",
 ];
 
 /// Run one experiment by name (`fig5`, `table3`, ...), returning the

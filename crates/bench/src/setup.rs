@@ -43,7 +43,6 @@ impl Default for RunOptions {
                 .map(|n| n.get())
                 .unwrap_or(4),
             seed: 20170419, // ICDE 2017
-
         }
     }
 }

@@ -6,7 +6,7 @@ use rrc_baselines::{
     DyrcConfig, DyrcRecommender, DyrcTrainer, FpmcConfig, FpmcRecommender, FpmcTrainer,
     PopRecommender, RandomRecommender, RecencyRecommender,
 };
-use rrc_core::{TsPprConfig, TsPprRecommender, TsPprTrainer, TrainReport};
+use rrc_core::{TrainReport, TsPprConfig, TsPprRecommender, TsPprTrainer};
 use rrc_datagen::DatasetKind;
 use rrc_features::{FeaturePipeline, Recommender, SamplingConfig, TrainingSet};
 use rrc_survival::{CoxConfig, SurvivalRecommender};

@@ -118,9 +118,18 @@ impl TsPprConfig {
         assert!(self.num_users > 0, "num_users must be positive");
         assert!(self.num_items > 0, "num_items must be positive");
         assert!(self.k > 0, "latent dimension K must be positive");
-        assert!(self.lambda >= 0.0 && self.lambda.is_finite(), "lambda must be >= 0");
-        assert!(self.gamma >= 0.0 && self.gamma.is_finite(), "gamma must be >= 0");
-        assert!(self.alpha > 0.0 && self.alpha.is_finite(), "alpha must be > 0");
+        assert!(
+            self.lambda >= 0.0 && self.lambda.is_finite(),
+            "lambda must be >= 0"
+        );
+        assert!(
+            self.gamma >= 0.0 && self.gamma.is_finite(),
+            "gamma must be >= 0"
+        );
+        assert!(
+            self.alpha > 0.0 && self.alpha.is_finite(),
+            "alpha must be > 0"
+        );
         assert!(
             (0.0..=1.0).contains(&self.check_fraction),
             "check_fraction must be in [0, 1]"

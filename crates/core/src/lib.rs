@@ -45,6 +45,7 @@
 pub mod config;
 pub mod model;
 pub mod online;
+pub mod params;
 pub mod persist;
 pub mod ppr;
 pub mod recommend;
@@ -52,7 +53,8 @@ pub mod train;
 
 pub use config::TsPprConfig;
 pub use model::TsPprModel;
-pub use online::{OnlineConfig, OnlineTsPpr};
+pub use online::{observe_single, online_step_single, recommend_single, OnlineConfig, OnlineTsPpr};
+pub use params::ModelParams;
 pub use ppr::{PprConfig, PprModel, PprRecommender, PprTrainer};
 pub use recommend::TsPprRecommender;
 pub use train::{ConvergencePoint, TrainReport, TsPprTrainer};

@@ -1,6 +1,7 @@
 //! The TS-PPR model state: latent factors `U`, `V` and the per-user
 //! transforms `A_u`.
 
+use crate::params::ModelParams;
 use rrc_linalg::{DMatrix, GaussianSampler};
 use rrc_sequence::{ItemId, UserId};
 
@@ -93,9 +94,11 @@ impl TsPprModel {
         &self.a[user.index()]
     }
 
-    /// Mutable access for the trainer: `(u_row, v_row, A_u)` cannot be
-    /// borrowed separately through `&mut self`, so the trainer goes through
-    /// these dedicated accessors one update at a time.
+    /// Mutable access for updaters: `(u_row, v_row, A_u)` cannot be
+    /// borrowed separately through `&mut self`, so the trainer and the
+    /// online SGD step go through these dedicated accessors one update at
+    /// a time. Public via [`ModelParams`]; the inherent versions stay
+    /// crate-private.
     #[inline]
     pub(crate) fn user_factor_mut(&mut self, user: UserId) -> &mut [f64] {
         self.u.row_mut(user.index())
@@ -117,21 +120,12 @@ impl TsPprModel {
     }
 
     /// Full time-sensitive preference `r_uvt = uᵀ(v + A_u f)` (Eq. 5).
+    /// Shared with every other parameter store via [`ModelParams`].
     ///
     /// # Panics
     /// Panics (debug) if `f.len() != f_dim`.
     pub fn score(&self, user: UserId, item: ItemId, f: &[f64]) -> f64 {
-        debug_assert_eq!(f.len(), self.f_dim, "feature dimension mismatch");
-        let u = self.user_factor(user);
-        let v = self.item_factor(item);
-        let a = self.transform(user);
-        // uᵀv + uᵀ(A f), computed without allocating: Σ_r u_r (v_r + (A f)_r).
-        let mut acc = 0.0;
-        for r in 0..self.k {
-            let af = dot(a.row(r), f);
-            acc += u[r] * (v[r] + af);
-        }
-        acc
+        ModelParams::score(self, user, item, f)
     }
 
     /// The pairwise margin `r_{uv_it} − r_{uv_jt}` for a quadruple — the
@@ -145,22 +139,7 @@ impl TsPprModel {
         f_pos: &[f64],
         f_neg: &[f64],
     ) -> f64 {
-        debug_assert_eq!(f_pos.len(), self.f_dim);
-        debug_assert_eq!(f_neg.len(), self.f_dim);
-        let u = self.user_factor(user);
-        let vi = self.item_factor(pos);
-        let vj = self.item_factor(neg);
-        let a = self.transform(user);
-        let mut acc = 0.0;
-        for r in 0..self.k {
-            let arow = a.row(r);
-            let mut adf = 0.0;
-            for c in 0..self.f_dim {
-                adf += arow[c] * (f_pos[c] - f_neg[c]);
-            }
-            acc += u[r] * (vi[r] - vj[r] + adf);
-        }
-        acc
+        ModelParams::margin(self, user, pos, neg, f_pos, f_neg)
     }
 
     /// Squared Frobenius norms `(‖U‖², ‖V‖², Σ_u ‖A_u‖²)` — the
@@ -177,6 +156,48 @@ impl TsPprModel {
     /// each convergence check.
     pub fn is_finite(&self) -> bool {
         self.u.is_finite() && self.v.is_finite() && self.a.iter().all(|m| m.is_finite())
+    }
+}
+
+impl ModelParams for TsPprModel {
+    #[inline]
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn f_dim(&self) -> usize {
+        self.f_dim
+    }
+
+    #[inline]
+    fn user_factor(&self, user: UserId) -> &[f64] {
+        TsPprModel::user_factor(self, user)
+    }
+
+    #[inline]
+    fn item_factor(&self, item: ItemId) -> &[f64] {
+        TsPprModel::item_factor(self, item)
+    }
+
+    #[inline]
+    fn transform(&self, user: UserId) -> &DMatrix {
+        TsPprModel::transform(self, user)
+    }
+
+    #[inline]
+    fn user_factor_mut(&mut self, user: UserId) -> &mut [f64] {
+        TsPprModel::user_factor_mut(self, user)
+    }
+
+    #[inline]
+    fn item_factor_mut(&mut self, item: ItemId) -> &mut [f64] {
+        TsPprModel::item_factor_mut(self, item)
+    }
+
+    #[inline]
+    fn transform_mut(&mut self, user: UserId) -> &mut DMatrix {
+        TsPprModel::transform_mut(self, user)
     }
 }
 

@@ -8,6 +8,7 @@
 //! the live window (the online continuation of Algorithm 1).
 
 use crate::model::TsPprModel;
+use crate::params::ModelParams;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rrc_features::{FeatureContext, FeaturePipeline, RecContext, TrainStats};
@@ -46,6 +47,149 @@ impl Default for OnlineConfig {
             seed: 0x0411e,
         }
     }
+}
+
+/// Top-N repeat recommendations for one user against any parameter store.
+///
+/// This is the single-user serving primitive: it owns no state, so callers
+/// that partition users across threads (the `rrc-serve` shards) and the
+/// all-users-in-one-place [`OnlineTsPpr`] share exactly this code path.
+pub fn recommend_single<M: ModelParams + ?Sized>(
+    model: &M,
+    pipeline: &FeaturePipeline,
+    stats: &TrainStats,
+    omega: usize,
+    user: UserId,
+    window: &WindowState,
+    n: usize,
+) -> Vec<ItemId> {
+    let ctx = RecContext {
+        user,
+        window,
+        stats,
+        omega,
+    };
+    let fctx = FeatureContext { window, stats };
+    let mut fbuf = Vec::with_capacity(pipeline.len());
+    let mut scored: Vec<(f64, ItemId)> = ctx
+        .candidates()
+        .into_iter()
+        .map(|v| {
+            pipeline.extract_into(&fctx, v, &mut fbuf);
+            (model.score(user, v, &fbuf), v)
+        })
+        .collect();
+    rrc_features::recommend::top_n(&mut scored, n)
+}
+
+/// Ingest one consumption event for one user: classifies it against the
+/// window, takes online SGD steps when it is an eligible repeat (and
+/// `cfg.negatives_per_event > 0`), then advances the window. Returns the
+/// classification and the number of SGD updates taken.
+///
+/// The single-user counterpart of [`OnlineTsPpr::observe`], usable with
+/// externally-owned windows and any [`ModelParams`] store.
+#[allow(clippy::too_many_arguments)]
+pub fn observe_single<M: ModelParams + ?Sized>(
+    model: &mut M,
+    pipeline: &FeaturePipeline,
+    stats: &TrainStats,
+    cfg: &OnlineConfig,
+    user: UserId,
+    window: &mut WindowState,
+    rng: &mut StdRng,
+    item: ItemId,
+) -> (ConsumptionKind, u64) {
+    let kind = classify(window, item, cfg.omega);
+    let mut updates = 0;
+    if kind == ConsumptionKind::EligibleRepeat && cfg.negatives_per_event > 0 {
+        updates = online_step_single(model, pipeline, stats, cfg, user, window, rng, item);
+    }
+    window.push(item);
+    (kind, updates)
+}
+
+/// One online learning round for an observed eligible repeat: pairwise SGD
+/// against `cfg.negatives_per_event` negatives sampled from the live
+/// window (the online continuation of Algorithm 1). Returns the number of
+/// SGD updates taken.
+#[allow(clippy::too_many_arguments)]
+pub fn online_step_single<M: ModelParams + ?Sized>(
+    model: &mut M,
+    pipeline: &FeaturePipeline,
+    stats: &TrainStats,
+    cfg: &OnlineConfig,
+    user: UserId,
+    window: &WindowState,
+    rng: &mut StdRng,
+    pos: ItemId,
+) -> u64 {
+    // Sample negatives from the current eligible candidates.
+    let mut candidates = window.eligible_candidates(cfg.omega);
+    candidates.retain(|&v| v != pos);
+    if candidates.is_empty() {
+        return 0;
+    }
+    let fctx = FeatureContext { window, stats };
+    let f_pos = pipeline.extract(&fctx, pos);
+    let s = cfg.negatives_per_event.min(candidates.len());
+    let mut negatives = Vec::with_capacity(s);
+    for k in 0..s {
+        let j = rng.gen_range(k..candidates.len());
+        candidates.swap(k, j);
+        let neg = candidates[k];
+        negatives.push((neg, pipeline.extract(&fctx, neg)));
+    }
+
+    let kdim = model.k();
+    let fdim = model.f_dim();
+    let decay_factor = 1.0 - cfg.alpha * cfg.gamma;
+    let decay_transform = 1.0 - cfg.alpha * cfg.lambda;
+    let mut updates = 0;
+    for (neg, f_neg) in negatives {
+        let margin = model.margin(user, pos, neg, &f_pos, &f_neg);
+        let coef = cfg.alpha * (1.0 - sigmoid(margin));
+        let mut df = vec![0.0; fdim];
+        for c in 0..fdim {
+            df[c] = f_pos[c] - f_neg[c];
+        }
+        let mut grad_u = vec![0.0; kdim];
+        {
+            let a = model.transform(user);
+            let vi = model.item_factor(pos);
+            let vj = model.item_factor(neg);
+            for r in 0..kdim {
+                let adf: f64 = a.row(r).iter().zip(&df).map(|(x, y)| x * y).sum();
+                grad_u[r] = vi[r] - vj[r] + adf;
+            }
+        }
+        let u_old = model.user_factor(user).to_vec();
+        {
+            let u = model.user_factor_mut(user);
+            for r in 0..kdim {
+                u[r] = decay_factor * u[r] + coef * grad_u[r];
+            }
+        }
+        {
+            let vi = model.item_factor_mut(pos);
+            for r in 0..kdim {
+                vi[r] = decay_factor * vi[r] + coef * u_old[r];
+            }
+        }
+        {
+            let vj = model.item_factor_mut(neg);
+            for r in 0..kdim {
+                vj[r] = decay_factor * vj[r] - coef * u_old[r];
+            }
+        }
+        {
+            let a = model.transform_mut(user);
+            a.scale(decay_transform);
+            a.rank1_update(coef, &u_old, &df);
+        }
+        updates += 1;
+    }
+    updates
 }
 
 /// A live recommender: model + per-user window registry + online updates.
@@ -112,9 +256,51 @@ impl OnlineTsPpr {
         &self.windows[user.index()]
     }
 
+    /// Mutable access to the user's live window (for callers that manage
+    /// warm-up or state migration themselves).
+    pub fn window_mut(&mut self, user: UserId) -> &mut WindowState {
+        &mut self.windows[user.index()]
+    }
+
     /// Borrow the (possibly online-updated) model.
     pub fn model(&self) -> &TsPprModel {
         &self.model
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Borrow the feature pipeline.
+    pub fn pipeline(&self) -> &FeaturePipeline {
+        &self.pipeline
+    }
+
+    /// Borrow the training-time statistics features are computed against.
+    pub fn stats(&self) -> &TrainStats {
+        &self.stats
+    }
+
+    /// Decompose into `(model, pipeline, stats, config, per-user windows)`
+    /// so a sharded engine can take ownership of the state without
+    /// replaying history.
+    pub fn into_parts(
+        self,
+    ) -> (
+        TsPprModel,
+        FeaturePipeline,
+        TrainStats,
+        OnlineConfig,
+        Vec<WindowState>,
+    ) {
+        (
+            self.model,
+            self.pipeline,
+            self.stats,
+            self.config,
+            self.windows,
+        )
     }
 
     /// Events consumed via [`OnlineTsPpr::observe`].
@@ -129,27 +315,15 @@ impl OnlineTsPpr {
 
     /// Top-N repeat recommendations for `user` right now.
     pub fn recommend(&self, user: UserId, n: usize) -> Vec<ItemId> {
-        let window = &self.windows[user.index()];
-        let ctx = RecContext {
+        recommend_single(
+            &self.model,
+            &self.pipeline,
+            &self.stats,
+            self.config.omega,
             user,
-            window,
-            stats: &self.stats,
-            omega: self.config.omega,
-        };
-        let fctx = FeatureContext {
-            window,
-            stats: &self.stats,
-        };
-        let mut fbuf = Vec::with_capacity(self.pipeline.len());
-        let mut scored: Vec<(f64, ItemId)> = ctx
-            .candidates()
-            .into_iter()
-            .map(|v| {
-                self.pipeline.extract_into(&fctx, v, &mut fbuf);
-                (self.model.score(user, v, &fbuf), v)
-            })
-            .collect();
-        rrc_features::recommend::top_n(&mut scored, n)
+            &self.windows[user.index()],
+            n,
+        )
     }
 
     /// Ingest one consumption event: advances the user's window, and — when
@@ -157,86 +331,19 @@ impl OnlineTsPpr {
     /// takes pairwise SGD steps against freshly-sampled window negatives.
     /// Returns the event's classification.
     pub fn observe(&mut self, user: UserId, item: ItemId) -> ConsumptionKind {
-        let kind = classify(&self.windows[user.index()], item, self.config.omega);
-        if kind == ConsumptionKind::EligibleRepeat && self.config.negatives_per_event > 0 {
-            self.online_step(user, item);
-        }
-        self.windows[user.index()].push(item);
+        let (kind, updates) = observe_single(
+            &mut self.model,
+            &self.pipeline,
+            &self.stats,
+            &self.config,
+            user,
+            &mut self.windows[user.index()],
+            &mut self.rng,
+            item,
+        );
         self.events_observed += 1;
+        self.online_updates += updates;
         kind
-    }
-
-    /// One online learning round for an observed eligible repeat.
-    fn online_step(&mut self, user: UserId, pos: ItemId) {
-        let cfg = self.config;
-        // Sample negatives from the current eligible candidates.
-        let window = &self.windows[user.index()];
-        let mut candidates = window.eligible_candidates(cfg.omega);
-        candidates.retain(|&v| v != pos);
-        if candidates.is_empty() {
-            return;
-        }
-        let fctx = FeatureContext {
-            window,
-            stats: &self.stats,
-        };
-        let f_pos = self.pipeline.extract(&fctx, pos);
-        let s = cfg.negatives_per_event.min(candidates.len());
-        let mut negatives = Vec::with_capacity(s);
-        for k in 0..s {
-            let j = self.rng.gen_range(k..candidates.len());
-            candidates.swap(k, j);
-            let neg = candidates[k];
-            negatives.push((neg, self.pipeline.extract(&fctx, neg)));
-        }
-
-        let kdim = self.model.k();
-        let fdim = self.model.f_dim();
-        let decay_factor = 1.0 - cfg.alpha * cfg.gamma;
-        let decay_transform = 1.0 - cfg.alpha * cfg.lambda;
-        for (neg, f_neg) in negatives {
-            let margin = self.model.margin(user, pos, neg, &f_pos, &f_neg);
-            let coef = cfg.alpha * (1.0 - sigmoid(margin));
-            let mut df = vec![0.0; fdim];
-            for c in 0..fdim {
-                df[c] = f_pos[c] - f_neg[c];
-            }
-            let mut grad_u = vec![0.0; kdim];
-            {
-                let a = self.model.transform(user);
-                let vi = self.model.item_factor(pos);
-                let vj = self.model.item_factor(neg);
-                for r in 0..kdim {
-                    let adf: f64 = a.row(r).iter().zip(&df).map(|(x, y)| x * y).sum();
-                    grad_u[r] = vi[r] - vj[r] + adf;
-                }
-            }
-            let u_old = self.model.user_factor(user).to_vec();
-            {
-                let u = self.model.user_factor_mut(user);
-                for r in 0..kdim {
-                    u[r] = decay_factor * u[r] + coef * grad_u[r];
-                }
-            }
-            {
-                let vi = self.model.item_factor_mut(pos);
-                for r in 0..kdim {
-                    vi[r] = decay_factor * vi[r] + coef * u_old[r];
-                }
-            }
-            {
-                let vj = self.model.item_factor_mut(neg);
-                for r in 0..kdim {
-                    vj[r] = decay_factor * vj[r] - coef * u_old[r];
-                }
-            }
-            {
-                let a = self.model.transform_mut(user);
-                a.scale(decay_transform);
-                a.rank1_update(coef, &u_old, &df);
-            }
-            self.online_updates += 1;
-        }
     }
 }
 
@@ -295,10 +402,7 @@ mod tests {
         for &item in &tests[0] {
             online.observe(user, item);
         }
-        assert_eq!(
-            online.window(user).time(),
-            before_time + tests[0].len()
-        );
+        assert_eq!(online.window(user).time(), before_time + tests[0].len());
         assert_eq!(online.events_observed(), tests[0].len() as u64);
         // Frozen model: no updates.
         assert_eq!(online.online_updates(), 0);

@@ -1,0 +1,80 @@
+//! Parameter-store abstraction over TS-PPR model weights.
+//!
+//! [`ModelParams`] is the capability the scoring and online-learning code
+//! actually needs: row-level access to `U`, `V`, and the per-user `A_u`.
+//! [`TsPprModel`](crate::TsPprModel) implements it directly; a serving
+//! shard implements it as a *copy-on-write overlay* over a shared
+//! `Arc<TsPprModel>` snapshot (see the `rrc-serve` crate), which is what
+//! lets many shards take online SGD steps concurrently against one
+//! immutable published model.
+//!
+//! The preference function (Eq. 5) and pairwise margin (Eq. 6) ship as
+//! provided methods so every implementation scores identically.
+
+use rrc_linalg::DMatrix;
+use rrc_sequence::{ItemId, UserId};
+
+/// Row-level access to TS-PPR parameters, plus the scoring rules built on
+/// them.
+pub trait ModelParams {
+    /// Latent dimension `K`.
+    fn k(&self) -> usize;
+
+    /// Observable feature dimension `F`.
+    fn f_dim(&self) -> usize;
+
+    /// Borrow user `u`'s latent factor (length `K`).
+    fn user_factor(&self, user: UserId) -> &[f64];
+
+    /// Borrow item `v`'s latent factor (length `K`).
+    fn item_factor(&self, item: ItemId) -> &[f64];
+
+    /// Borrow user `u`'s transform `A_u` (`K × F`).
+    fn transform(&self, user: UserId) -> &DMatrix;
+
+    /// Mutable user factor (overlay implementations materialise the row on
+    /// first write).
+    fn user_factor_mut(&mut self, user: UserId) -> &mut [f64];
+
+    /// Mutable item factor.
+    fn item_factor_mut(&mut self, item: ItemId) -> &mut [f64];
+
+    /// Mutable transform.
+    fn transform_mut(&mut self, user: UserId) -> &mut DMatrix;
+
+    /// Full time-sensitive preference `r_uvt = uᵀ(v + A_u f)` (Eq. 5).
+    fn score(&self, user: UserId, item: ItemId, f: &[f64]) -> f64 {
+        debug_assert_eq!(f.len(), self.f_dim(), "feature dimension mismatch");
+        let u = self.user_factor(user);
+        let v = self.item_factor(item);
+        let a = self.transform(user);
+        // uᵀv + uᵀ(A f), computed without allocating: Σ_r u_r (v_r + (A f)_r).
+        let mut acc = 0.0;
+        for r in 0..self.k() {
+            let af: f64 = a.row(r).iter().zip(f).map(|(x, y)| x * y).sum();
+            acc += u[r] * (v[r] + af);
+        }
+        acc
+    }
+
+    /// The pairwise margin `r_{uv_it} − r_{uv_jt}` (factored Eq. 6, one
+    /// pass, no allocation).
+    fn margin(&self, user: UserId, pos: ItemId, neg: ItemId, f_pos: &[f64], f_neg: &[f64]) -> f64 {
+        debug_assert_eq!(f_pos.len(), self.f_dim());
+        debug_assert_eq!(f_neg.len(), self.f_dim());
+        let u = self.user_factor(user);
+        let vi = self.item_factor(pos);
+        let vj = self.item_factor(neg);
+        let a = self.transform(user);
+        let mut acc = 0.0;
+        for r in 0..self.k() {
+            let arow = a.row(r);
+            let mut adf = 0.0;
+            for c in 0..self.f_dim() {
+                adf += arow[c] * (f_pos[c] - f_neg[c]);
+            }
+            acc += u[r] * (vi[r] - vj[r] + adf);
+        }
+        acc
+    }
+}

@@ -166,11 +166,7 @@ impl TsPprTrainer {
             report.steps = step;
             if step % check_interval == 0 {
                 let (r_tilde, nll) = batch_statistics(&model, &small_batch);
-                report.checks.push(ConvergencePoint {
-                    step,
-                    r_tilde,
-                    nll,
-                });
+                report.checks.push(ConvergencePoint { step, r_tilde, nll });
                 debug_assert!(model.is_finite(), "parameters diverged at step {step}");
                 if let Some(prev) = prev_r_tilde {
                     if step >= min_steps && (r_tilde - prev).abs() <= cfg.convergence_eps {
@@ -282,10 +278,7 @@ mod tests {
 
     #[test]
     fn empty_training_set_returns_initial_model() {
-        let data = Dataset::new(
-            vec![rrc_sequence::Sequence::from_raw(vec![0, 1, 2])],
-            3,
-        );
+        let data = Dataset::new(vec![rrc_sequence::Sequence::from_raw(vec![0, 1, 2])], 3);
         let stats = TrainStats::compute(&data, 10);
         let training = TrainingSet::build(
             &data,

@@ -86,7 +86,7 @@ impl GeneratorConfig {
                 weight_scale: [4.0, 2.2, 3.0],
                 pool_affinity_scale: 12.0, // strong, item-specific personal taste
                 recon_weight_scale: 6.0,   // reconsumability matters a lot (IR)
-                temperature: (0.2, 0.5),  // steep choice curves
+                temperature: (0.2, 0.5),   // steep choice curves
                 pool_size: 40,
                 global_novel_prob: 0.25,
             },

@@ -76,8 +76,7 @@ fn generate_user(
     let mut weights: Vec<f64> = Vec::new();
 
     for _ in 0..len {
-        let is_repeat =
-            window.len() >= MIN_WINDOW_FILL && rng.gen::<f64>() < profile.repeat_prob;
+        let is_repeat = window.len() >= MIN_WINDOW_FILL && rng.gen::<f64>() < profile.repeat_prob;
         let item = if is_repeat {
             candidates.clear();
             candidates.extend(window.distinct_items());

@@ -78,7 +78,11 @@ pub fn bootstrap_metrics(
                 prec_n += 1;
             }
         }
-        maaps.push(if opp == 0 { 0.0 } else { hits as f64 / opp as f64 });
+        maaps.push(if opp == 0 {
+            0.0
+        } else {
+            hits as f64 / opp as f64
+        });
         miaps.push(if prec_n == 0 {
             0.0
         } else {
@@ -92,11 +96,7 @@ pub fn bootstrap_metrics(
     }
 }
 
-fn percentile_interval(
-    estimate: f64,
-    samples: &mut [f64],
-    confidence: f64,
-) -> ConfidenceInterval {
+fn percentile_interval(estimate: f64, samples: &mut [f64], confidence: f64) -> ConfidenceInterval {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
     let alpha = (1.0 - confidence) / 2.0;
     let lo_idx = ((samples.len() as f64 * alpha).floor() as usize).min(samples.len() - 1);
@@ -152,7 +152,18 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let r = result(vec![(3, 9), (1, 4), (7, 8)]);
+        // Enough distinct users that two different resample streams cannot
+        // quantize to identical percentile endpoints.
+        let r = result(vec![
+            (3, 9),
+            (1, 4),
+            (7, 8),
+            (0, 6),
+            (5, 5),
+            (2, 10),
+            (4, 7),
+            (6, 11),
+        ]);
         let a = bootstrap_metrics(&r, 100, 0.95, 42);
         let b = bootstrap_metrics(&r, 100, 0.95, 42);
         assert_eq!(a, b);

@@ -252,13 +252,15 @@ mod tests {
     fn parallel_matches_serial() {
         // A slightly larger random-ish fixture.
         let train_seqs: Vec<Sequence> = (0..7)
-            .map(|u| {
-                Sequence::from_raw((0..60).map(|i| ((i * (u + 2) + u) % 9) as u32).collect())
-            })
+            .map(|u| Sequence::from_raw((0..60).map(|i| ((i * (u + 2) + u) % 9) as u32).collect()))
             .collect();
         let test_seqs: Vec<Sequence> = (0..7)
             .map(|u| {
-                Sequence::from_raw((0..25).map(|i| ((i * (u + 3) + 2 * u) % 9) as u32).collect())
+                Sequence::from_raw(
+                    (0..25)
+                        .map(|i| ((i * (u + 3) + 2 * u) % 9) as u32)
+                        .collect(),
+                )
             })
             .collect();
         let split = SplitDataset {

@@ -35,6 +35,6 @@ pub use harness::{evaluate, evaluate_multi, evaluate_multi_parallel, EvalConfig}
 pub use metrics::{EvalResult, UserOutcome};
 pub use novel::{evaluate_novel, evaluate_unified, evaluate_unified_with_threshold, UnifiedResult};
 pub use ranking::{evaluate_ranking, RankingResult};
-pub use significance::{permutation_test, PermutationTest};
 pub use report::{format_table, percent};
+pub use significance::{permutation_test, PermutationTest};
 pub use timing::{measure_latency, LatencyReport};

@@ -48,11 +48,7 @@ impl EvalResult {
     /// Micro average precision (Eq. 24): mean of per-user precisions over
     /// users with at least one opportunity.
     pub fn miap(&self) -> f64 {
-        let precisions: Vec<f64> = self
-            .per_user
-            .iter()
-            .filter_map(|u| u.precision())
-            .collect();
+        let precisions: Vec<f64> = self.per_user.iter().filter_map(|u| u.precision()).collect();
         if precisions.is_empty() {
             0.0
         } else {
@@ -72,10 +68,7 @@ impl EvalResult {
 
     /// Users with at least one opportunity.
     pub fn users_evaluated(&self) -> usize {
-        self.per_user
-            .iter()
-            .filter(|u| u.opportunities > 0)
-            .count()
+        self.per_user.iter().filter(|u| u.opportunities > 0).count()
     }
 }
 

@@ -160,8 +160,7 @@ where
                     stats,
                     omega: cfg.omega,
                 };
-                let predict_repeat =
-                    gate.predict_with_threshold(&window, stats, &state, threshold);
+                let predict_repeat = gate.predict_with_threshold(&window, stats, &state, threshold);
                 let list = if predict_repeat {
                     routed_repeat += 1;
                     repeat_rec.recommend(&ctx, max_n)
@@ -223,7 +222,13 @@ mod tests {
                 // Mix of repeats (0..6) and novel items (6..10).
                 Sequence::from_raw(
                     (0..20)
-                        .map(|i| if i % 4 == 0 { 6 + ((i / 4 + u) % 4) as u32 } else { (i % 6) as u32 })
+                        .map(|i| {
+                            if i % 4 == 0 {
+                                6 + ((i / 4 + u) % 4) as u32
+                            } else {
+                                (i % 6) as u32
+                            }
+                        })
                         .collect(),
                 )
             })

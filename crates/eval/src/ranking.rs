@@ -108,10 +108,7 @@ mod tests {
 
     fn fixture() -> (SplitDataset, TrainStats) {
         let split = SplitDataset {
-            train: Dataset::new(
-                vec![Sequence::from_raw(vec![0, 1, 2, 3, 4, 5])],
-                6,
-            ),
+            train: Dataset::new(vec![Sequence::from_raw(vec![0, 1, 2, 3, 4, 5])], 6),
             // Repeats of 1 and 3, both eligible under Ω=2.
             test: vec![Sequence::from_raw(vec![1, 3])],
         };

@@ -61,9 +61,8 @@ pub fn permutation_test(
             permutations,
         };
     }
-    let maap_diff = |hits_a: u64, hits_b: u64| -> f64 {
-        (hits_a as f64 - hits_b as f64) / total_opp as f64
-    };
+    let maap_diff =
+        |hits_a: u64, hits_b: u64| -> f64 { (hits_a as f64 - hits_b as f64) / total_opp as f64 };
     let hits_a: u64 = a.per_user.iter().map(|u| u.hits).sum();
     let hits_b: u64 = b.per_user.iter().map(|u| u.hits).sum();
     let observed = maap_diff(hits_a, hits_b);

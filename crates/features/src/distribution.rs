@@ -149,10 +149,7 @@ mod tests {
         // the newest) it always ranks LAST, and under a hypothetical
         // "staleness" it would rank first. Check the recency histogram puts
         // everything at the worst rank.
-        let d = Dataset::new(
-            vec![Sequence::from_raw(vec![1, 2, 3, 1, 2, 3, 1, 2, 3])],
-            4,
-        );
+        let d = Dataset::new(vec![Sequence::from_raw(vec![1, 2, 3, 1, 2, 3, 1, 2, 3])], 4);
         let stats = TrainStats::compute(&d, 10);
         let p = FeaturePipeline::standard();
         let hists = rank_distributions(&d, &stats, &p, 10, 1);

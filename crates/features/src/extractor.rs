@@ -233,10 +233,7 @@ mod tests {
     use rrc_sequence::{Dataset, Sequence};
 
     fn fixture() -> (TrainStats, WindowState) {
-        let d = Dataset::new(
-            vec![Sequence::from_raw(vec![0, 1, 0, 2, 0, 1])],
-            4,
-        );
+        let d = Dataset::new(vec![Sequence::from_raw(vec![0, 1, 0, 2, 0, 1])], 4);
         let stats = TrainStats::compute(&d, 10);
         let window = WindowState::warmed(10, d.sequence(rrc_sequence::UserId(0)).events());
         (stats, window)

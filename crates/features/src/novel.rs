@@ -153,7 +153,11 @@ mod tests {
             let seen: std::collections::HashSet<u32> =
                 seq.events()[..p.t].iter().map(|i| i.0).collect();
             for n in set.negatives_of(p) {
-                assert!(!seen.contains(&n.item.0), "negative {} was consumed", n.item);
+                assert!(
+                    !seen.contains(&n.item.0),
+                    "negative {} was consumed",
+                    n.item
+                );
                 assert_ne!(n.item, p.item);
             }
         }

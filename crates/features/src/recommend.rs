@@ -125,10 +125,7 @@ mod tests {
             (2.0, ItemId(5)),
             (1.0, ItemId(4)),
         ];
-        assert_eq!(
-            top_n(&mut scored, 3),
-            vec![ItemId(5), ItemId(2), ItemId(4)]
-        );
+        assert_eq!(top_n(&mut scored, 3), vec![ItemId(5), ItemId(2), ItemId(4)]);
     }
 
     #[test]

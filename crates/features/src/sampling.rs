@@ -326,9 +326,11 @@ impl TrainingSet {
     /// Iterate every quadruple in deterministic order (used for exact
     /// objective evaluation in tests and reports).
     pub fn iter_quadruples(&self) -> impl Iterator<Item = Quadruple<'_>> {
-        self.positives
-            .iter()
-            .flat_map(move |p| self.negatives_of(p).iter().map(move |n| self.quadruple(p, n)))
+        self.positives.iter().flat_map(move |p| {
+            self.negatives_of(p)
+                .iter()
+                .map(move |n| self.quadruple(p, n))
+        })
     }
 
     /// The paper's convergence-check batch: each user's first `frac` of
@@ -500,8 +502,7 @@ mod tests {
         let set = build_fixture(10);
         let batch = set.small_batch(0.1);
         // Every contributing user appears at least once.
-        let users: std::collections::HashSet<UserId> =
-            batch.iter().map(|q| q.user).collect();
+        let users: std::collections::HashSet<UserId> = batch.iter().map(|q| q.user).collect();
         assert_eq!(users.len(), 2);
         // At 10% of tiny counts, exactly one per user.
         assert_eq!(batch.len(), 2);

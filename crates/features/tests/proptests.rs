@@ -1,9 +1,7 @@
 //! Property-based tests for feature extraction and training-set sampling.
 
 use proptest::prelude::*;
-use rrc_features::{
-    FeatureContext, FeaturePipeline, SamplingConfig, TrainStats, TrainingSet,
-};
+use rrc_features::{FeatureContext, FeaturePipeline, SamplingConfig, TrainStats, TrainingSet};
 use rrc_sequence::{Dataset, ItemId, Sequence, WindowState};
 
 fn event_stream() -> impl Strategy<Value = Vec<u32>> {
@@ -11,10 +9,7 @@ fn event_stream() -> impl Strategy<Value = Vec<u32>> {
 }
 
 fn dataset(streams: Vec<Vec<u32>>) -> Dataset {
-    Dataset::new(
-        streams.into_iter().map(Sequence::from_raw).collect(),
-        15,
-    )
+    Dataset::new(streams.into_iter().map(Sequence::from_raw).collect(), 15)
 }
 
 proptest! {

@@ -60,7 +60,11 @@ impl DMatrix {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        DMatrix { rows: r, cols: c, data }
+        DMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.

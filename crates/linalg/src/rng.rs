@@ -26,7 +26,11 @@ impl GaussianSampler {
     /// Panics if `std` is negative or non-finite.
     pub fn new(mean: f64, std: f64) -> Self {
         assert!(std >= 0.0 && std.is_finite(), "std must be finite and >= 0");
-        GaussianSampler { mean, std, spare: None }
+        GaussianSampler {
+            mean,
+            std,
+            spare: None,
+        }
     }
 
     /// The standard normal `N(0, 1)`.

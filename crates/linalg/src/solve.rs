@@ -206,7 +206,11 @@ mod tests {
         let mut a = DMatrix::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
-                a[(i, j)] = if i == j { 10.0 + i as f64 } else { 1.0 / (1.0 + (i + j) as f64) };
+                a[(i, j)] = if i == j {
+                    10.0 + i as f64
+                } else {
+                    1.0 / (1.0 + (i + j) as f64)
+                };
             }
         }
         // Symmetrise for Cholesky.

@@ -274,7 +274,10 @@ mod tests {
         let d = b.build();
         assert_eq!(d.num_users(), 2);
         assert_eq!(d.num_items(), 3);
-        assert_eq!(d.sequence(UserId(0)).events(), &[ItemId(0), ItemId(0), ItemId(2)]);
+        assert_eq!(
+            d.sequence(UserId(0)).events(),
+            &[ItemId(0), ItemId(0), ItemId(2)]
+        );
         assert_eq!(d.sequence(UserId(1)).events(), &[ItemId(1)]);
     }
 
@@ -282,9 +285,6 @@ mod tests {
     fn iter_pairs_users_with_sequences() {
         let d = small_dataset();
         let pairs: Vec<(UserId, usize)> = d.iter().map(|(u, s)| (u, s.len())).collect();
-        assert_eq!(
-            pairs,
-            vec![(UserId(0), 4), (UserId(1), 2), (UserId(2), 1)]
-        );
+        assert_eq!(pairs, vec![(UserId(0), 4), (UserId(1), 2), (UserId(2), 1)]);
     }
 }

@@ -239,7 +239,7 @@ mod tests {
     fn in_last_checks_omega_recency() {
         let mut w = WindowState::new(10);
         push_all(&mut w, &[1, 2, 3, 4, 5]); // t = 5
-        // item 1 last seen at step 0: in last 5 steps (0 + 5 >= 5) but not last 4.
+                                            // item 1 last seen at step 0: in last 5 steps (0 + 5 >= 5) but not last 4.
         assert!(w.in_last(ItemId(1), 5));
         assert!(!w.in_last(ItemId(1), 4));
         assert!(w.in_last(ItemId(5), 1));
@@ -250,7 +250,7 @@ mod tests {
     fn eligible_candidates_exclude_recent_and_evicted() {
         let mut w = WindowState::new(4);
         push_all(&mut w, &[10, 11, 12, 13, 14]); // window [11,12,13,14], t=5
-        // omega = 2 excludes items seen at steps >= 3 (13 @3, 14 @4).
+                                                 // omega = 2 excludes items seen at steps >= 3 (13 @3, 14 @4).
         let c = w.eligible_candidates(2);
         assert_eq!(c, vec![ItemId(11), ItemId(12)]);
         // 10 is out of the window entirely.

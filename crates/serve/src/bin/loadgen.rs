@@ -1,0 +1,230 @@
+//! Load generator for the sharded serving engine.
+//!
+//! Generates an `rrc-datagen` consumption stream, warms an engine from
+//! the training prefix, then replays the test suffix from `--clients`
+//! concurrent client threads: every event is a synchronous `observe`, and
+//! every `--recommend-every`-th event also requests Top-N. Optionally a
+//! background thread hot-swaps the model every `--swap-every` ms to
+//! exercise swap-under-load. Finishes by printing the engine's
+//! [`MetricsReport`] (p50/p95/p99 latency, per-shard traffic) and the
+//! end-to-end replay rate.
+//!
+//! ```text
+//! cargo run --release -p rrc-serve --bin loadgen -- --shards 4 --clients 8 --learn 3
+//! ```
+//!
+//! Defaults replay well over 10k events; `--users`/`--events` scale it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrc_core::{OnlineConfig, OnlineTsPpr, TsPprModel};
+use rrc_datagen::GeneratorConfig;
+use rrc_features::{FeaturePipeline, TrainStats};
+use rrc_sequence::{ItemId, UserId};
+use rrc_serve::ServeEngine;
+use std::time::{Duration, Instant};
+
+struct Args {
+    users: usize,
+    items: usize,
+    events_lo: usize,
+    events_hi: usize,
+    shards: usize,
+    clients: usize,
+    topn: usize,
+    recommend_every: usize,
+    /// Negatives per observed eligible repeat; 0 freezes the model.
+    learn: usize,
+    /// Hot-swap period in milliseconds; 0 disables the swapper thread.
+    swap_every_ms: u64,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        // ~300 users × 40–60 test events ≈ 15k replayed events.
+        Args {
+            users: 300,
+            items: 500,
+            events_lo: 130,
+            events_hi: 200,
+            shards: 4,
+            clients: 4,
+            topn: 10,
+            recommend_every: 10,
+            learn: 0,
+            swap_every_ms: 0,
+            seed: 42,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--users N] [--items N] [--events LO HI] [--shards N] \
+         [--clients N] [--topn N] [--recommend-every N] [--learn NEGATIVES] \
+         [--swap-every MILLIS] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let num = |it: &mut dyn Iterator<Item = String>| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--users" => args.users = num(&mut it),
+            "--items" => args.items = num(&mut it),
+            "--events" => {
+                args.events_lo = num(&mut it);
+                args.events_hi = num(&mut it);
+            }
+            "--shards" => args.shards = num(&mut it),
+            "--clients" => args.clients = num(&mut it),
+            "--topn" => args.topn = num(&mut it),
+            "--recommend-every" => args.recommend_every = num(&mut it),
+            "--learn" => args.learn = num(&mut it),
+            "--swap-every" => args.swap_every_ms = num(&mut it) as u64,
+            "--seed" => args.seed = num(&mut it) as u64,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    if args.shards == 0 || args.clients == 0 || args.events_lo > args.events_hi {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    const WINDOW: usize = 100;
+    const OMEGA: usize = 10;
+
+    eprintln!(
+        "generating {} users x {}..{} events over {} items (seed {})",
+        args.users, args.events_lo, args.events_hi, args.items, args.seed
+    );
+    let data = GeneratorConfig::tiny()
+        .with_users(args.users)
+        .with_items(args.items)
+        .with_events_per_user(args.events_lo, args.events_hi)
+        .with_seed(args.seed)
+        .generate();
+    let split = data.split(0.7);
+    let replay: Vec<(UserId, Vec<ItemId>)> = split
+        .test
+        .iter()
+        .enumerate()
+        .map(|(u, s)| (UserId(u as u32), s.events().to_vec()))
+        .collect();
+    let total_events: usize = replay.iter().map(|(_, e)| e.len()).sum();
+
+    // Load generation exercises the serving path, not model quality, so a
+    // randomly-initialised model is enough — and keeps startup instant.
+    let stats = TrainStats::compute(&split.train, WINDOW);
+    let pipeline = FeaturePipeline::standard();
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5eed);
+    let model = TsPprModel::init(
+        &mut rng,
+        data.num_users(),
+        data.num_items(),
+        16,
+        pipeline.len(),
+        0.1,
+        0.05,
+    );
+    let mut online = OnlineTsPpr::new(
+        model,
+        pipeline,
+        stats,
+        OnlineConfig {
+            window: WINDOW,
+            omega: OMEGA,
+            negatives_per_event: args.learn,
+            seed: args.seed,
+            ..OnlineConfig::default()
+        },
+    );
+    online.warm_from(&split.train);
+
+    eprintln!(
+        "starting engine: {} shards, {} clients, learn={} ({} events to replay)",
+        args.shards, args.clients, args.learn, total_events
+    );
+    let engine = ServeEngine::start(online, args.shards);
+
+    // Round-robin users over client threads so each user's stream stays on
+    // one client — cross-client FIFO for the same user is not defined.
+    let mut partitions: Vec<Vec<&(UserId, Vec<ItemId>)>> = vec![Vec::new(); args.clients];
+    for (i, entry) in replay.iter().enumerate() {
+        partitions[i % args.clients].push(entry);
+    }
+
+    let replay_start = Instant::now();
+    let engine_ref = &engine;
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let done_ref = &done;
+    crossbeam::thread::scope(|scope| {
+        if args.swap_every_ms > 0 {
+            scope.spawn(move |_| {
+                let period = Duration::from_millis(args.swap_every_ms);
+                let mut swaps = 0u64;
+                while !done_ref.load(std::sync::atomic::Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    let base = engine_ref.model();
+                    engine_ref.swap_model((*base).clone());
+                    swaps += 1;
+                }
+                eprintln!("swapper: {swaps} hot swaps under load");
+            });
+        }
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|part| {
+                scope.spawn(move |_| {
+                    let mut until_recommend = args.recommend_every;
+                    for (user, events) in part {
+                        for &item in events {
+                            engine_ref.observe(*user, item);
+                            if args.recommend_every > 0 {
+                                until_recommend -= 1;
+                                if until_recommend == 0 {
+                                    let _ = engine_ref.recommend(*user, args.topn);
+                                    until_recommend = args.recommend_every;
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        done_ref.store(true, std::sync::atomic::Ordering::Relaxed);
+    })
+    .expect("load scope");
+    engine.flush();
+    let elapsed = replay_start.elapsed();
+
+    let report = engine.metrics();
+    println!("{report}");
+    println!(
+        "replayed {} events in {:.2?}: {:.0} events/sec ({} clients -> {} shards)",
+        total_events,
+        elapsed,
+        total_events as f64 / elapsed.as_secs_f64().max(1e-9),
+        args.clients,
+        args.shards
+    );
+    engine.shutdown();
+}

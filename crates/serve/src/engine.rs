@@ -1,0 +1,580 @@
+//! The sharded serving engine.
+//!
+//! # Architecture
+//!
+//! `ServeEngine::start` consumes a warmed [`OnlineTsPpr`] and partitions
+//! its per-user state across `N` shard threads by
+//! [`shard_for(user, N)`](crate::routing::shard_for). Each shard owns,
+//! exclusively and without locks:
+//!
+//! * the [`WindowState`] of every user routed to it,
+//! * a deterministic [`StdRng`] for online negative sampling
+//!   (seed = `config.seed + shard_id`, so shard 0 of a 1-shard engine
+//!   draws the exact stream [`OnlineTsPpr`] would), and
+//! * a [`ModelOverlay`] — copy-on-write SGD deltas over the shared
+//!   immutable `Arc<TsPprModel>` snapshot.
+//!
+//! Requests reach shards over per-shard FIFO channels; replies come back
+//! on per-request rendezvous channels. Because *every* message for a user
+//! — observe, recommend, flush, and both hot-swap phases — travels the
+//! same FIFO queue, a user's events can never be dropped or reordered,
+//! including across a model swap.
+//!
+//! # Hot swap
+//!
+//! [`ServeEngine::swap_model`] publishes new weights in two phases, both
+//! in-band:
+//!
+//! 1. **Harvest** — each shard extracts its accumulated online delta
+//!    ([`ModelDiff`]) and keeps serving on its old snapshot.
+//! 2. The engine merges every shard's delta into the incoming model and
+//!    wraps it in an `Arc`.
+//! 3. **Install** — each shard switches to the merged snapshot; deltas
+//!    accumulated *between* harvest and install are rebased onto the new
+//!    weights, so no online learning is lost mid-stream.
+
+use crate::metrics::{EngineMetrics, MetricsReport};
+use crate::overlay::{ModelDiff, ModelOverlay};
+use crate::routing::shard_for;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrc_core::{observe_single, recommend_single, OnlineConfig, OnlineTsPpr, TsPprModel};
+use rrc_features::{FeaturePipeline, TrainStats};
+use rrc_sequence::{ConsumptionKind, ItemId, UserId, WindowState};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A message to a shard. Every request for a user flows through the same
+/// FIFO queue, which is what guarantees per-user ordering.
+enum Request {
+    /// Ingest one consumption event. `reply` is `None` for
+    /// fire-and-forget ingestion ([`ServeEngine::observe_nowait`]).
+    Observe {
+        user: UserId,
+        item: ItemId,
+        reply: Option<Sender<(ConsumptionKind, u64)>>,
+    },
+    /// Top-N repeat recommendations for `user` right now.
+    Recommend {
+        user: UserId,
+        n: usize,
+        reply: Sender<Vec<ItemId>>,
+    },
+    /// Barrier: reply once everything queued before this is processed.
+    Flush { reply: Sender<()> },
+    /// Hot-swap phase 1: extract the shard's accumulated online delta.
+    Harvest { reply: Sender<ModelDiff> },
+    /// Hot-swap phase 2: switch to the merged snapshot.
+    Install {
+        model: Arc<TsPprModel>,
+        reply: Sender<()>,
+    },
+    /// Clone out every window this shard owns (state inspection / tests).
+    ExportWindows {
+        reply: Sender<Vec<(u32, WindowState)>>,
+    },
+    /// Drain and exit the shard thread.
+    Shutdown,
+}
+
+/// Everything one shard thread owns.
+struct Shard {
+    id: usize,
+    overlay: ModelOverlay,
+    pipeline: Arc<FeaturePipeline>,
+    stats: Arc<TrainStats>,
+    config: OnlineConfig,
+    windows: HashMap<u32, WindowState>,
+    rng: StdRng,
+    metrics: Arc<EngineMetrics>,
+}
+
+impl Shard {
+    fn run(mut self, rx: Receiver<Request>) {
+        for req in rx.iter() {
+            match req {
+                Request::Observe { user, item, reply } => {
+                    let window = self
+                        .windows
+                        .entry(user.0)
+                        .or_insert_with(|| WindowState::new(self.config.window));
+                    let (kind, updates) = observe_single(
+                        &mut self.overlay,
+                        &self.pipeline,
+                        &self.stats,
+                        &self.config,
+                        user,
+                        window,
+                        &mut self.rng,
+                        item,
+                    );
+                    let counters = &self.metrics.shards[self.id];
+                    counters.observes.fetch_add(1, Ordering::Relaxed);
+                    counters
+                        .online_updates
+                        .fetch_add(updates, Ordering::Relaxed);
+                    if let Some(reply) = reply {
+                        let _ = reply.send((kind, updates));
+                    }
+                }
+                Request::Recommend { user, n, reply } => {
+                    let window = self
+                        .windows
+                        .entry(user.0)
+                        .or_insert_with(|| WindowState::new(self.config.window));
+                    let recs = recommend_single(
+                        &self.overlay,
+                        &self.pipeline,
+                        &self.stats,
+                        self.config.omega,
+                        user,
+                        window,
+                        n,
+                    );
+                    self.metrics.shards[self.id]
+                        .recommends
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = reply.send(recs);
+                }
+                Request::Flush { reply } => {
+                    let _ = reply.send(());
+                }
+                Request::Harvest { reply } => {
+                    let _ = reply.send(self.overlay.harvest());
+                }
+                Request::Install { model, reply } => {
+                    self.overlay.install(model);
+                    self.metrics.shards[self.id]
+                        .swaps
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = reply.send(());
+                }
+                Request::ExportWindows { reply } => {
+                    let mut out: Vec<(u32, WindowState)> =
+                        self.windows.iter().map(|(&u, w)| (u, w.clone())).collect();
+                    out.sort_by_key(|(u, _)| *u);
+                    let _ = reply.send(out);
+                }
+                Request::Shutdown => break,
+            }
+        }
+    }
+}
+
+/// Handle to a running sharded serving engine.
+///
+/// The handle is the client side: it routes requests, measures
+/// client-observed latency, and orchestrates hot swaps. Shards exit when
+/// the handle is dropped (or [`ServeEngine::shutdown`] is called).
+pub struct ServeEngine {
+    senders: Vec<Sender<Request>>,
+    handles: Vec<JoinHandle<()>>,
+    metrics: Arc<EngineMetrics>,
+    /// Last published snapshot. Behind a mutex (held for the whole
+    /// two-phase swap) so hot swaps can run from any client thread while
+    /// traffic continues; shards never touch this lock.
+    model: Mutex<Arc<TsPprModel>>,
+    config: OnlineConfig,
+    started: Instant,
+}
+
+impl ServeEngine {
+    /// Spin up `shards` worker threads, taking over the state of `online`.
+    ///
+    /// Each user's window moves to the shard `shard_for(user, shards)`
+    /// selects; the model becomes the shared immutable snapshot.
+    pub fn start(online: OnlineTsPpr, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard required");
+        let (model, pipeline, stats, config, windows) = online.into_parts();
+        let model = Arc::new(model);
+        let pipeline = Arc::new(pipeline);
+        let stats = Arc::new(stats);
+        let metrics = Arc::new(EngineMetrics::new(shards));
+
+        // Partition per-user windows by the routing function.
+        let mut partitions: Vec<HashMap<u32, WindowState>> =
+            (0..shards).map(|_| HashMap::new()).collect();
+        for (idx, window) in windows.into_iter().enumerate() {
+            let user = UserId(idx as u32);
+            partitions[shard_for(user, shards)].insert(user.0, window);
+        }
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for (id, windows) in partitions.into_iter().enumerate() {
+            let (tx, rx) = unbounded();
+            let shard = Shard {
+                id,
+                overlay: ModelOverlay::new(model.clone()),
+                pipeline: pipeline.clone(),
+                stats: stats.clone(),
+                config,
+                windows,
+                // Shard 0 draws the stream OnlineTsPpr would, which makes a
+                // 1-shard engine's online learning byte-for-byte comparable.
+                rng: StdRng::seed_from_u64(config.seed.wrapping_add(id as u64)),
+                metrics: metrics.clone(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("rrc-serve-shard-{id}"))
+                .spawn(move || shard.run(rx))
+                .expect("spawn shard thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+
+        ServeEngine {
+            senders,
+            handles,
+            metrics,
+            model: Mutex::new(model),
+            config,
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of shard threads.
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The serving configuration (window size, omega, online-learning
+    /// settings) inherited from the [`OnlineTsPpr`].
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// The most recently published model snapshot. Shards may hold
+    /// unharvested online deltas on top of it; [`ServeEngine::publish`]
+    /// folds those in.
+    pub fn model(&self) -> Arc<TsPprModel> {
+        self.model.lock().expect("model lock").clone()
+    }
+
+    fn sender_for(&self, user: UserId) -> &Sender<Request> {
+        &self.senders[shard_for(user, self.senders.len())]
+    }
+
+    /// Ingest one event and wait for its classification. Latency
+    /// (queueing + processing + reply) lands in the observe histogram.
+    pub fn observe(&self, user: UserId, item: ItemId) -> ConsumptionKind {
+        let start = Instant::now();
+        let (reply_tx, reply_rx) = bounded(1);
+        self.sender_for(user)
+            .send(Request::Observe {
+                user,
+                item,
+                reply: Some(reply_tx),
+            })
+            .expect("shard thread alive");
+        let (kind, _) = reply_rx.recv().expect("shard replies to observe");
+        self.metrics.observe_latency.record(start.elapsed());
+        kind
+    }
+
+    /// Fire-and-forget ingestion: enqueue the event and return
+    /// immediately. FIFO routing still guarantees it is applied in order
+    /// relative to the user's other requests.
+    pub fn observe_nowait(&self, user: UserId, item: ItemId) {
+        self.sender_for(user)
+            .send(Request::Observe {
+                user,
+                item,
+                reply: None,
+            })
+            .expect("shard thread alive");
+    }
+
+    /// Top-N repeat recommendations for `user` right now. Latency lands
+    /// in the recommend histogram.
+    pub fn recommend(&self, user: UserId, n: usize) -> Vec<ItemId> {
+        let start = Instant::now();
+        let (reply_tx, reply_rx) = bounded(1);
+        self.sender_for(user)
+            .send(Request::Recommend {
+                user,
+                n,
+                reply: reply_tx,
+            })
+            .expect("shard thread alive");
+        let recs = reply_rx.recv().expect("shard replies to recommend");
+        self.metrics.recommend_latency.record(start.elapsed());
+        recs
+    }
+
+    /// Barrier: returns once every request enqueued before this call —
+    /// on every shard — has been fully processed.
+    pub fn flush(&self) {
+        let replies: Vec<Receiver<()>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = bounded(1);
+                tx.send(Request::Flush { reply: reply_tx })
+                    .expect("shard thread alive");
+                reply_rx
+            })
+            .collect();
+        for rx in replies {
+            rx.recv().expect("shard replies to flush");
+        }
+    }
+
+    /// Hot-swap the model without stopping traffic: harvest every shard's
+    /// accumulated online delta, merge all deltas into `new_model`, and
+    /// install the merged snapshot everywhere. Returns the snapshot that
+    /// was published.
+    ///
+    /// Both phases travel the ordinary request queues, so no user's event
+    /// stream is dropped or reordered by a swap; deltas a shard
+    /// accumulates between the two phases are rebased onto the new
+    /// weights rather than discarded.
+    pub fn swap_model(&self, new_model: TsPprModel) -> Arc<TsPprModel> {
+        // Held across both phases: concurrent swappers serialize here.
+        let mut published = self.model.lock().expect("model lock");
+        assert_eq!(
+            (new_model.num_users(), new_model.num_items()),
+            (published.num_users(), published.num_items()),
+            "hot-swap requires an identically-shaped model"
+        );
+        // Phase 1: harvest deltas from every shard (in-band).
+        let replies: Vec<Receiver<ModelDiff>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = bounded(1);
+                tx.send(Request::Harvest { reply: reply_tx })
+                    .expect("shard thread alive");
+                reply_rx
+            })
+            .collect();
+        let mut merged = new_model;
+        for rx in replies {
+            let diff = rx.recv().expect("shard replies to harvest");
+            diff.apply_to(&mut merged);
+        }
+        // Phase 2: install the merged snapshot everywhere (in-band).
+        let merged = Arc::new(merged);
+        let replies: Vec<Receiver<()>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = bounded(1);
+                tx.send(Request::Install {
+                    model: merged.clone(),
+                    reply: reply_tx,
+                })
+                .expect("shard thread alive");
+                reply_rx
+            })
+            .collect();
+        for rx in replies {
+            rx.recv().expect("shard replies to install");
+        }
+        *published = merged.clone();
+        merged
+    }
+
+    /// Publish the online learning accumulated so far: harvest every
+    /// shard and merge the deltas into the *current* snapshot. Equivalent
+    /// to a hot swap that doesn't change the base weights.
+    pub fn publish(&self) -> Arc<TsPprModel> {
+        let base = self.model();
+        self.swap_model((*base).clone())
+    }
+
+    /// Clone out every user's window, keyed by user id, sorted. Runs
+    /// in-band, so call after [`ServeEngine::flush`] for a quiescent view.
+    pub fn export_windows(&self) -> Vec<(u32, WindowState)> {
+        let replies: Vec<Receiver<Vec<(u32, WindowState)>>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = bounded(1);
+                tx.send(Request::ExportWindows { reply: reply_tx })
+                    .expect("shard thread alive");
+                reply_rx
+            })
+            .collect();
+        let mut out: Vec<(u32, WindowState)> = replies
+            .into_iter()
+            .flat_map(|rx| rx.recv().expect("shard replies to export"))
+            .collect();
+        out.sort_by_key(|(u, _)| *u);
+        out
+    }
+
+    /// Point-in-time traffic and latency report.
+    pub fn metrics(&self) -> MetricsReport {
+        self.metrics.report(self.started.elapsed())
+    }
+
+    /// Stop every shard and join the threads. (Dropping the handle does
+    /// the same; this form surfaces join panics.)
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for tx in self.senders.drain(..) {
+            let _ = tx.send(Request::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            handle.join().expect("shard thread panicked");
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() && !std::thread::panicking() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrc_datagen::GeneratorConfig;
+    use rrc_features::TrainStats;
+
+    fn engine_fixture(
+        negatives_per_event: usize,
+        shards: usize,
+    ) -> (ServeEngine, Vec<Vec<ItemId>>) {
+        let data = GeneratorConfig::tiny().with_seed(7).generate();
+        let split = data.split(0.7);
+        let stats = TrainStats::compute(&split.train, 30);
+        let pipeline = FeaturePipeline::standard();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = TsPprModel::init(
+            &mut rng,
+            data.num_users(),
+            data.num_items(),
+            8,
+            pipeline.len(),
+            0.1,
+            0.05,
+        );
+        let mut online = OnlineTsPpr::new(
+            model,
+            pipeline,
+            stats,
+            OnlineConfig {
+                window: 30,
+                omega: 5,
+                negatives_per_event,
+                ..OnlineConfig::default()
+            },
+        );
+        online.warm_from(&split.train);
+        let tests: Vec<Vec<ItemId>> = split.test.iter().map(|s| s.events().to_vec()).collect();
+        (ServeEngine::start(online, shards), tests)
+    }
+
+    #[test]
+    fn serves_recommendations_from_owned_windows() {
+        let (engine, _) = engine_fixture(0, 3);
+        for u in 0..4u32 {
+            let recs = engine.recommend(UserId(u), 5);
+            assert!(recs.len() <= 5);
+        }
+        let report = engine.metrics();
+        assert_eq!(report.total_recommends(), 4);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn observes_advance_the_right_window() {
+        let (engine, tests) = engine_fixture(0, 4);
+        let before = engine.export_windows();
+        for (u, events) in tests.iter().enumerate() {
+            for &item in events {
+                engine.observe_nowait(UserId(u as u32), item);
+            }
+        }
+        engine.flush();
+        let after = engine.export_windows();
+        for ((u, w0), (u1, w1)) in before.iter().zip(&after) {
+            assert_eq!(u, u1);
+            assert_eq!(
+                w1.time(),
+                w0.time() + tests[*u as usize].len(),
+                "user {u} window must advance by its own events"
+            );
+        }
+        let report = engine.metrics();
+        let total: usize = tests.iter().map(|t| t.len()).sum();
+        assert_eq!(report.total_observes(), total as u64);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn flush_is_a_barrier() {
+        let (engine, tests) = engine_fixture(0, 2);
+        for (u, events) in tests.iter().enumerate() {
+            for &item in events {
+                engine.observe_nowait(UserId(u as u32), item);
+            }
+        }
+        engine.flush();
+        // After flush, counters must reflect every queued observe.
+        let total: usize = tests.iter().map(|t| t.len()).sum();
+        assert_eq!(engine.metrics().total_observes(), total as u64);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn hot_swap_mid_stream_keeps_serving_and_merges_deltas() {
+        let (engine, tests) = engine_fixture(3, 2);
+        let base = engine.model();
+        // First half of the stream.
+        for (u, events) in tests.iter().enumerate() {
+            for &item in &events[..events.len() / 2] {
+                engine.observe_nowait(UserId(u as u32), item);
+            }
+        }
+        // Swap to a clone of the base mid-stream, without flushing first.
+        let swapped = engine.swap_model((*base).clone());
+        // Second half.
+        for (u, events) in tests.iter().enumerate() {
+            for &item in &events[events.len() / 2..] {
+                engine.observe_nowait(UserId(u as u32), item);
+            }
+        }
+        engine.flush();
+        let report = engine.metrics();
+        let total: usize = tests.iter().map(|t| t.len()).sum();
+        assert_eq!(
+            report.total_observes(),
+            total as u64,
+            "no event may be dropped across a swap"
+        );
+        for s in &report.shards {
+            assert_eq!(s.swaps, 1);
+        }
+        assert!(report.total_online_updates() > 0);
+        // The published model folded in pre-swap online deltas.
+        assert_ne!(&*swapped, &*base, "swap must merge online learning");
+        assert!(swapped.is_finite());
+        // And the final publish folds in post-swap learning too.
+        let final_model = engine.publish();
+        assert!(final_model.is_finite());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn unknown_users_get_fresh_windows() {
+        let (engine, _) = engine_fixture(0, 2);
+        // UserId far outside the trained range still routes, gets an empty
+        // window on demand, and its first event classifies as novel.
+        let ghost = UserId(100);
+        assert_eq!(engine.observe(ghost, ItemId(0)), ConsumptionKind::Novel);
+        engine.shutdown();
+    }
+}

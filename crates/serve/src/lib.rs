@@ -1,0 +1,57 @@
+//! `rrc-serve`: a sharded, multi-threaded online serving engine for
+//! TS-PPR.
+//!
+//! The paper's serving story ([`rrc_core::OnlineTsPpr`]) is
+//! single-threaded: one struct owns the model, every user's live window,
+//! and the online-update RNG. This crate turns that into a concurrent
+//! engine with a **shard-per-worker** design:
+//!
+//! * **Routing** ([`routing`]) — user state is partitioned across `N`
+//!   shard threads by a stable pure hash of the user id; every request
+//!   for a user lands on the shard that owns their window.
+//! * **Engine** ([`engine`]) — requests (`Observe`, `Recommend`, `Flush`)
+//!   travel per-shard FIFO channels with per-request reply channels.
+//!   FIFO delivery is the ordering guarantee: a user's events are never
+//!   dropped or reordered, even across a model hot-swap.
+//! * **Hot swap** ([`overlay`]) — shards serve from a shared immutable
+//!   `Arc<TsPprModel>` snapshot and accumulate online SGD deltas in a
+//!   copy-on-write overlay. [`ServeEngine::swap_model`] harvests every
+//!   shard's delta, merges them into the incoming model, and installs the
+//!   result — all in-band, without stopping traffic.
+//! * **Observability** ([`metrics`]) — wait-free power-of-two latency
+//!   histograms (p50/p95/p99) and per-shard traffic counters, snapshotted
+//!   as a [`MetricsReport`].
+//!
+//! Because shard 0's RNG seed equals the [`rrc_core::OnlineConfig`] seed,
+//! a 1-shard engine reproduces `OnlineTsPpr`'s online learning exactly;
+//! with learning disabled, an engine with *any* shard count is
+//! byte-identical to the single-threaded reference (see
+//! `tests/equivalence.rs`).
+//!
+//! ```no_run
+//! use rrc_core::{OnlineConfig, OnlineTsPpr};
+//! use rrc_serve::ServeEngine;
+//! use rrc_sequence::{ItemId, UserId};
+//! # fn get_online() -> OnlineTsPpr { unimplemented!() }
+//!
+//! let online: OnlineTsPpr = get_online(); // trained + warmed
+//! let mut engine = ServeEngine::start(online, 4);
+//! engine.observe_nowait(UserId(3), ItemId(17));
+//! let top = engine.recommend(UserId(3), 10);
+//! println!("{}", engine.metrics());
+//! engine.shutdown();
+//! # let _ = top;
+//! ```
+//!
+//! The `loadgen` binary replays an `rrc-datagen` stream against the
+//! engine at configurable concurrency and prints the metrics report.
+
+pub mod engine;
+pub mod metrics;
+pub mod overlay;
+pub mod routing;
+
+pub use engine::ServeEngine;
+pub use metrics::{LatencyHistogram, LatencySummary, MetricsReport, ShardCountersSnapshot};
+pub use overlay::{ModelDiff, ModelOverlay};
+pub use routing::shard_for;

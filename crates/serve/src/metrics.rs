@@ -1,0 +1,303 @@
+//! Built-in serving observability: lock-free latency histograms and
+//! per-shard counters.
+//!
+//! Everything here is updated on the hot path, so the primitives are
+//! wait-free: a histogram is 64 power-of-two nanosecond buckets of
+//! relaxed `AtomicU64`s (recording = one `fetch_add`), and counters are
+//! plain relaxed atomics. Reads produce a consistent-enough
+//! [`MetricsReport`] snapshot without stopping traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds, except bucket 63 which absorbs the tail.
+const BUCKETS: usize = 64;
+
+/// A fixed-bucket, lock-free latency histogram.
+///
+/// Power-of-two nanosecond buckets trade resolution (quantiles are exact
+/// only to within a factor of two; reported values use the geometric mean
+/// of the winning bucket) for a wait-free `record` with no allocation —
+/// the right trade for per-request instrumentation.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample. Wait-free; callable from any thread.
+    pub fn record(&self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        let idx = (63 - nanos.max(1).leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The latency at quantile `q ∈ [0, 1]`, or `None` when empty.
+    ///
+    /// Returns the geometric midpoint of the bucket containing the
+    /// quantile, so the answer is within ×√2 of the true value.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Geometric mean of [2^i, 2^(i+1)) = 2^i * sqrt(2).
+                let nanos = (1u128 << i) as f64 * std::f64::consts::SQRT_2;
+                return Some(Duration::from_nanos(nanos.min(u64::MAX as f64) as u64));
+            }
+        }
+        unreachable!("rank is bounded by the total")
+    }
+
+    /// Snapshot `(count, p50, p95, p99)` in one pass.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time digest of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub p50: Option<Duration>,
+    pub p95: Option<Duration>,
+    pub p99: Option<Duration>,
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn d(x: Option<Duration>) -> String {
+            match x {
+                Some(v) => format!("{v:.1?}"),
+                None => "-".to_string(),
+            }
+        }
+        write!(
+            f,
+            "n={:<9} p50={:<9} p95={:<9} p99={}",
+            self.count,
+            d(self.p50),
+            d(self.p95),
+            d(self.p99)
+        )
+    }
+}
+
+/// Wait-free per-shard traffic counters.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    pub observes: AtomicU64,
+    pub recommends: AtomicU64,
+    pub online_updates: AtomicU64,
+    pub swaps: AtomicU64,
+}
+
+impl ShardCounters {
+    pub fn snapshot(&self) -> ShardCountersSnapshot {
+        ShardCountersSnapshot {
+            observes: self.observes.load(Ordering::Relaxed),
+            recommends: self.recommends.load(Ordering::Relaxed),
+            online_updates: self.online_updates.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of [`ShardCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardCountersSnapshot {
+    pub observes: u64,
+    pub recommends: u64,
+    pub online_updates: u64,
+    pub swaps: u64,
+}
+
+/// All metric state shared between the engine handle and its shards.
+#[derive(Debug)]
+pub(crate) struct EngineMetrics {
+    pub recommend_latency: LatencyHistogram,
+    pub observe_latency: LatencyHistogram,
+    pub shards: Vec<ShardCounters>,
+}
+
+impl EngineMetrics {
+    pub fn new(shards: usize) -> Self {
+        EngineMetrics {
+            recommend_latency: LatencyHistogram::new(),
+            observe_latency: LatencyHistogram::new(),
+            shards: (0..shards).map(|_| ShardCounters::default()).collect(),
+        }
+    }
+
+    pub fn report(&self, uptime: Duration) -> MetricsReport {
+        MetricsReport {
+            uptime,
+            recommend_latency: self.recommend_latency.summary(),
+            observe_latency: self.observe_latency.summary(),
+            shards: self.shards.iter().map(|s| s.snapshot()).collect(),
+        }
+    }
+}
+
+/// A point-in-time view of engine traffic and latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Time since the engine started.
+    pub uptime: Duration,
+    /// Client-observed recommend latency (queueing + scoring + reply).
+    pub recommend_latency: LatencySummary,
+    /// Client-observed latency of *synchronous* observes only;
+    /// fire-and-forget observes are counted per shard but not timed.
+    pub observe_latency: LatencySummary,
+    /// Per-shard traffic counters, indexed by shard id.
+    pub shards: Vec<ShardCountersSnapshot>,
+}
+
+impl MetricsReport {
+    /// Events ingested across all shards.
+    pub fn total_observes(&self) -> u64 {
+        self.shards.iter().map(|s| s.observes).sum()
+    }
+
+    /// Recommendations served across all shards.
+    pub fn total_recommends(&self) -> u64 {
+        self.shards.iter().map(|s| s.recommends).sum()
+    }
+
+    /// Online SGD updates taken across all shards.
+    pub fn total_online_updates(&self) -> u64 {
+        self.shards.iter().map(|s| s.online_updates).sum()
+    }
+
+    /// Mean observes per second over the engine's uptime.
+    pub fn observes_per_sec(&self) -> f64 {
+        self.total_observes() as f64 / self.uptime.as_secs_f64().max(1e-9)
+    }
+}
+
+impl std::fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "uptime {:.2?}", self.uptime)?;
+        writeln!(f, "recommend  {}", self.recommend_latency)?;
+        writeln!(f, "observe    {}", self.observe_latency)?;
+        for (i, s) in self.shards.iter().enumerate() {
+            writeln!(
+                f,
+                "shard {i:<2} observes={:<9} recommends={:<9} online_updates={:<9} swaps={}",
+                s.observes, s.recommends, s.online_updates, s.swaps
+            )?;
+        }
+        write!(
+            f,
+            "total observes={} ({:.0}/s) recommends={} online_updates={}",
+            self.total_observes(),
+            self.observes_per_sec(),
+            self.total_recommends(),
+            self.total_online_updates()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_bracket_true_values_within_a_bucket() {
+        let h = LatencyHistogram::new();
+        for micros in 1..=1000u64 {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).unwrap();
+        // True median is 500µs; a power-of-two bucket answer must land
+        // within [256µs, 1024µs] and the geometric-mid rule within ×√2.
+        assert!(p50 >= Duration::from_micros(256), "p50={p50:?}");
+        assert!(p50 <= Duration::from_micros(1024), "p50={p50:?}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= p50);
+    }
+
+    #[test]
+    fn extreme_samples_are_clamped_not_lost() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(40_000));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(Duration::from_nanos(i + 1));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+
+    #[test]
+    fn report_totals_sum_shards() {
+        let m = EngineMetrics::new(3);
+        m.shards[0].observes.fetch_add(5, Ordering::Relaxed);
+        m.shards[2].observes.fetch_add(7, Ordering::Relaxed);
+        m.shards[1].recommends.fetch_add(2, Ordering::Relaxed);
+        let r = m.report(Duration::from_secs(2));
+        assert_eq!(r.total_observes(), 12);
+        assert_eq!(r.total_recommends(), 2);
+        assert!((r.observes_per_sec() - 6.0).abs() < 1e-9);
+        // Display renders without panicking.
+        let _ = r.to_string();
+    }
+}

@@ -1,0 +1,65 @@
+//! User → shard routing.
+//!
+//! Routing must be a *stable pure function* of the user id: every request
+//! for a user — observe, recommend, or state export — must land on the
+//! same shard for the lifetime of an engine, or windows would fragment.
+//! It should also mix well, because user ids are dense small integers and
+//! `id % shards` would stripe adjacent users onto adjacent shards,
+//! correlating hot users.
+
+use rrc_sequence::UserId;
+
+/// The shard that owns `user` in an engine with `shards` shards.
+///
+/// SplitMix64-finalises the id before reducing so that consecutive ids
+/// scatter. Pure: depends on nothing but its arguments.
+#[inline]
+pub fn shard_for(user: UserId, shards: usize) -> usize {
+    assert!(shards > 0, "at least one shard required");
+    (mix64(user.0 as u64) % shards as u64) as usize
+}
+
+/// SplitMix64 finaliser — a fixed, well-tested 64-bit mixer.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_and_in_range() {
+        for shards in 1..9 {
+            for u in 0..500u32 {
+                let s = shard_for(UserId(u), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for(UserId(u), shards), "routing must be pure");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        for u in [0u32, 1, 17, u32::MAX] {
+            assert_eq!(shard_for(UserId(u), 1), 0);
+        }
+    }
+
+    #[test]
+    fn load_spreads_roughly_evenly() {
+        let shards = 4;
+        let mut counts = vec![0usize; shards];
+        for u in 0..10_000u32 {
+            counts[shard_for(UserId(u), shards)] += 1;
+        }
+        for &c in &counts {
+            // Perfect balance would be 2500 per shard; allow ±10%.
+            assert!((2250..=2750).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+}

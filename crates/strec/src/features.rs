@@ -4,8 +4,12 @@ use rrc_features::TrainStats;
 use rrc_sequence::{Dataset, ItemId, WindowState};
 
 /// Names of the four STREC features, in vector order.
-pub const STREC_FEATURE_NAMES: [&str; 4] =
-    ["concentration", "mean_recon_ratio", "repeat_recency", "mean_quality"];
+pub const STREC_FEATURE_NAMES: [&str; 4] = [
+    "concentration",
+    "mean_recon_ratio",
+    "repeat_recency",
+    "mean_quality",
+];
 
 /// Streaming state a STREC feature extraction walk must carry alongside the
 /// window: when the last repeat happened.
@@ -165,7 +169,8 @@ mod tests {
         let stats = stats_for(&d);
         let warm = WindowState::warmed(10, &[0, 1].map(ItemId));
         let test_events = [ItemId(0), ItemId(2)];
-        let (xs, ys) = strec_examples_from(&test_events, &stats, warm, StrecFeatureState::default());
+        let (xs, ys) =
+            strec_examples_from(&test_events, &stats, warm, StrecFeatureState::default());
         assert_eq!(ys, vec![true, false]);
         assert_eq!(xs.len(), 2);
     }

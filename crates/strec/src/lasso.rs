@@ -86,7 +86,10 @@ impl LassoLogistic {
             }
             prev_loss = loss;
         }
-        LassoLogistic { weights: w, bias: b }
+        LassoLogistic {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// The fitted weights.

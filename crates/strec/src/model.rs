@@ -126,8 +126,7 @@ mod tests {
         for (u, train_seq) in split.train.iter() {
             let window = WindowState::warmed(30, train_seq.events());
             let test = split.test_sequence(u);
-            let (c, t) =
-                clf.accuracy_on(test.events(), &stats, window.clone(), Default::default());
+            let (c, t) = clf.accuracy_on(test.events(), &stats, window.clone(), Default::default());
             correct += c;
             total += t;
             // Majority baseline: count repeats in test w.r.t. live window.

@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 use rrc_features::TrainStats;
 use rrc_sequence::{Dataset, ItemId, Sequence, WindowState};
-use rrc_strec::{
-    strec_examples, window_features, LassoConfig, LassoLogistic, StrecFeatureState,
-};
+use rrc_strec::{strec_examples, window_features, LassoConfig, LassoLogistic, StrecFeatureState};
 
 fn event_stream() -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(0u32..10, 5..120)

@@ -165,7 +165,11 @@ impl CoxModel {
 
     /// Breslow baseline cumulative hazard `H₀(t)` (step function).
     pub fn baseline_cumulative_hazard(&self, t: f64) -> f64 {
-        match self.baseline.partition_point(|&(bt, _)| bt <= t).checked_sub(1) {
+        match self
+            .baseline
+            .partition_point(|&(bt, _)| bt <= t)
+            .checked_sub(1)
+        {
             None => 0.0,
             Some(idx) => self.baseline[idx].1,
         }
@@ -397,7 +401,9 @@ mod tests {
         // Survival decreases with time and with hazard ratio.
         let x = [0.5];
         assert!(model.survival(1.0, &x) > model.survival(3.0, &x));
-        assert!(model.cumulative_hazard(3.0, &[1.0]) > model.cumulative_hazard(3.0, &[-1.0]) * 0.99);
+        assert!(
+            model.cumulative_hazard(3.0, &[1.0]) > model.cumulative_hazard(3.0, &[-1.0]) * 0.99
+        );
     }
 
     #[test]
@@ -448,10 +454,12 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let data = [obs(1.0, true, &[0.3, -0.2]),
+        let data = [
+            obs(1.0, true, &[0.3, -0.2]),
             obs(1.5, false, &[0.1, 0.9]),
             obs(2.0, true, &[-0.5, 0.4]),
-            obs(3.0, true, &[0.7, 0.1])];
+            obs(3.0, true, &[0.7, 0.1]),
+        ];
         let sorted: Vec<&GapObservation> = data.iter().collect();
         let beta = vec![0.3, -0.1];
         let ridge = 1e-3;

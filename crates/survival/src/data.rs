@@ -199,7 +199,8 @@ mod tests {
         let (d, stats) = fixture();
         let obs = gap_observations(&d, &stats, 10);
         let second_gap_of_0 = obs
-            .iter().find(|o| o.event && o.duration == 3.0)
+            .iter()
+            .find(|o| o.event && o.duration == 3.0)
             .expect("gap of 3 exists");
         assert!((second_gap_of_0.covariates[3] - 1.0 / 3.0).abs() < 1e-12);
     }

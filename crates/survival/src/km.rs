@@ -17,7 +17,10 @@ impl KaplanMeier {
     /// Panics if any duration is negative or non-finite.
     pub fn fit(observations: &[(f64, bool)]) -> Self {
         for &(d, _) in observations {
-            assert!(d >= 0.0 && d.is_finite(), "durations must be finite and >= 0");
+            assert!(
+                d >= 0.0 && d.is_finite(),
+                "durations must be finite and >= 0"
+            );
         }
         let mut sorted: Vec<(f64, bool)> = observations.to_vec();
         sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite durations"));
@@ -52,11 +55,7 @@ impl KaplanMeier {
     /// `S(t)`: the estimated probability of surviving beyond `t`.
     pub fn survival_at(&self, t: f64) -> f64 {
         // Last event time <= t.
-        match self
-            .times
-            .partition_point(|&et| et <= t)
-            .checked_sub(1)
-        {
+        match self.times.partition_point(|&et| et <= t).checked_sub(1) {
             None => 1.0,
             Some(idx) => self.survival[idx],
         }

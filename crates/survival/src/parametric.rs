@@ -144,7 +144,9 @@ mod tests {
     #[test]
     fn exponential_recovers_rate() {
         let mut rng = StdRng::seed_from_u64(1);
-        let obs: Vec<(f64, bool)> = (0..20_000).map(|_| (exp_sample(&mut rng, 0.5), true)).collect();
+        let obs: Vec<(f64, bool)> = (0..20_000)
+            .map(|_| (exp_sample(&mut rng, 0.5), true))
+            .collect();
         let m = Exponential::fit(&obs).unwrap();
         assert!((m.rate() - 0.5).abs() < 0.02, "rate {}", m.rate());
         assert!((m.mean() - 2.0).abs() < 0.1);
@@ -191,7 +193,9 @@ mod tests {
     #[test]
     fn weibull_with_unit_shape_matches_exponential() {
         let mut rng = StdRng::seed_from_u64(4);
-        let obs: Vec<(f64, bool)> = (0..20_000).map(|_| (exp_sample(&mut rng, 0.4), true)).collect();
+        let obs: Vec<(f64, bool)> = (0..20_000)
+            .map(|_| (exp_sample(&mut rng, 0.4), true))
+            .collect();
         let w = Weibull::fit(&obs).unwrap();
         let e = Exponential::fit(&obs).unwrap();
         assert!((w.shape() - 1.0).abs() < 0.03, "shape {}", w.shape());

@@ -82,13 +82,13 @@ fn main() {
             .with_max_sweeps(20),
     )
     .train(&training);
-    add("TS-PPR", &TsPprRecommender::new(model, FeaturePipeline::standard()));
+    add(
+        "TS-PPR",
+        &TsPprRecommender::new(model, FeaturePipeline::standard()),
+    );
 
     println!(
         "\n{}",
-        format_table(
-            &["method", "MaAP@1", "MaAP@5", "MaAP@10", "MiAP@10"],
-            &rows
-        )
+        format_table(&["method", "MaAP@1", "MaAP@5", "MaAP@10", "MiAP@10"], &rows)
     );
 }

@@ -60,7 +60,9 @@ fn train_and_score(
 fn main() {
     let window = 100;
     let omega = 10;
-    let data = GeneratorConfig::gowalla_like(0.008).with_seed(31).generate();
+    let data = GeneratorConfig::gowalla_like(0.008)
+        .with_seed(31)
+        .generate();
     let data = data.filter_min_train_len(0.7, window);
     let split = data.split(0.7);
     let stats = TrainStats::compute(&split.train, window);

@@ -70,7 +70,11 @@ fn main() {
         .enumerate()
     {
         let p_repeat = strec.predict_proba(&win, &stats, &state);
-        let actual = if win.contains(track) { "repeat" } else { "novel" };
+        let actual = if win.contains(track) {
+            "repeat"
+        } else {
+            "novel"
+        };
         let suggestion = if p_repeat >= 0.5 {
             let ctx = RecContext {
                 user,

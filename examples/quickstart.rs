@@ -56,10 +56,16 @@ fn main() {
     // -- 4. Evaluate against the baselines ------------------------------------
     let cfg = EvalConfig { window, omega };
     let ns = [1, 5, 10];
-    println!("\n{:<10} {:>8} {:>8} {:>8}", "method", "MaAP@1", "MaAP@5", "MaAP@10");
+    println!(
+        "\n{:<10} {:>8} {:>8} {:>8}",
+        "method", "MaAP@1", "MaAP@5", "MaAP@10"
+    );
     for (name, results) in [
         ("TS-PPR", evaluate_multi(&tsppr, &split, &stats, &cfg, &ns)),
-        ("Pop", evaluate_multi(&PopRecommender, &split, &stats, &cfg, &ns)),
+        (
+            "Pop",
+            evaluate_multi(&PopRecommender, &split, &stats, &cfg, &ns),
+        ),
         (
             "Random",
             evaluate_multi(&RandomRecommender::default(), &split, &stats, &cfg, &ns),

@@ -36,7 +36,11 @@ fn main() {
 
     // Parametric fits.
     if let Some(exp) = Exponential::fit(&km_input) {
-        println!("\nExponential fit: rate λ = {:.4} (mean gap {:.1})", exp.rate(), exp.mean());
+        println!(
+            "\nExponential fit: rate λ = {:.4} (mean gap {:.1})",
+            exp.rate(),
+            exp.mean()
+        );
     }
     if let Some(weibull) = Weibull::fit(&km_input) {
         println!(
@@ -56,11 +60,12 @@ fn main() {
     match CoxModel::fit(&observations, &CoxConfig::default()) {
         Ok(cox) => {
             println!("\nCox proportional hazards (β per covariate):");
-            for (name, beta) in repeat_rec::survival::COVARIATE_NAMES
-                .iter()
-                .zip(cox.beta())
-            {
-                let direction = if *beta > 0.0 { "faster return" } else { "slower return" };
+            for (name, beta) in repeat_rec::survival::COVARIATE_NAMES.iter().zip(cox.beta()) {
+                let direction = if *beta > 0.0 {
+                    "faster return"
+                } else {
+                    "slower return"
+                };
                 println!("  {name:<12} β = {beta:>8.3}  ({direction})");
             }
             println!(

@@ -12,7 +12,9 @@ use repeat_rec::prelude::*;
 fn main() {
     let window = 100;
     let omega = 10;
-    let data = GeneratorConfig::gowalla_like(0.008).with_seed(77).generate();
+    let data = GeneratorConfig::gowalla_like(0.008)
+        .with_seed(77)
+        .generate();
     let data = data.filter_min_train_len(0.7, window);
     let split = data.split(0.7);
     let stats = TrainStats::compute(&split.train, window);
@@ -67,10 +69,18 @@ fn main() {
     // How well does each side do on its own turf?
     let repeat_only = evaluate_multi(&repeat_rec, &split, &stats, &cfg, &ns);
     let novel_only = evaluate_novel(&novel_rec, &split, &stats, &cfg, &ns);
-    println!("\nrepeat-side (eligible repeats):  MaAP@1/5/10 = {:.4} / {:.4} / {:.4}",
-        repeat_only[0].maap(), repeat_only[1].maap(), repeat_only[2].maap());
-    println!("novel-side  (first-time items):  MaAP@1/5/10 = {:.4} / {:.4} / {:.4}",
-        novel_only[0].maap(), novel_only[1].maap(), novel_only[2].maap());
+    println!(
+        "\nrepeat-side (eligible repeats):  MaAP@1/5/10 = {:.4} / {:.4} / {:.4}",
+        repeat_only[0].maap(),
+        repeat_only[1].maap(),
+        repeat_only[2].maap()
+    );
+    println!(
+        "novel-side  (first-time items):  MaAP@1/5/10 = {:.4} / {:.4} / {:.4}",
+        novel_only[0].maap(),
+        novel_only[1].maap(),
+        novel_only[2].maap()
+    );
 
     // The unified pipeline over every test event.
     let unified = evaluate_unified(&gate, &repeat_rec, &novel_rec, &split, &stats, &cfg, &ns);

@@ -43,6 +43,7 @@ pub use rrc_eval as eval;
 pub use rrc_features as features;
 pub use rrc_linalg as linalg;
 pub use rrc_sequence as sequence;
+pub use rrc_serve as serve;
 pub use rrc_strec as strec;
 pub use rrc_survival as survival;
 
@@ -53,8 +54,8 @@ pub mod prelude {
         PopRecommender, RandomRecommender, RecencyRecommender,
     };
     pub use rrc_core::{
-        PprConfig, PprRecommender, PprTrainer, TsPprConfig, TsPprModel, TsPprRecommender,
-        TsPprTrainer,
+        OnlineConfig, OnlineTsPpr, PprConfig, PprRecommender, PprTrainer, TsPprConfig, TsPprModel,
+        TsPprRecommender, TsPprTrainer,
     };
     pub use rrc_datagen::{DatasetKind, GeneratorConfig};
     pub use rrc_eval::{
@@ -69,6 +70,7 @@ pub mod prelude {
         ConsumptionKind, Dataset, DatasetBuilder, DatasetStats, ItemId, Sequence, SplitDataset,
         UserId, WindowState,
     };
+    pub use rrc_serve::{MetricsReport, ServeEngine};
     pub use rrc_strec::{LassoConfig, StrecClassifier};
     pub use rrc_survival::{CoxConfig, SurvivalRecommender};
 }

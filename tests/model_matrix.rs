@@ -67,7 +67,13 @@ fn tucker_fpmc_trains_and_evaluates() {
     .train(&f.split.train);
     let rec = TuckerFpmcRecommender::new(model);
     let result = evaluate(&rec, &f.split, &f.stats, &cfg(), 10);
-    let random = evaluate(&RandomRecommender::default(), &f.split, &f.stats, &cfg(), 10);
+    let random = evaluate(
+        &RandomRecommender::default(),
+        &f.split,
+        &f.stats,
+        &cfg(),
+        10,
+    );
     assert_eq!(result.opportunities(), random.opportunities());
     assert!(result.maap() > 0.0);
 }

@@ -1,0 +1,304 @@
+//! Offline stand-in for the `criterion` crate (see CONTRIBUTING.md,
+//! *Offline builds*). Supports the subset of the Criterion API the
+//! workspace's benches use — `criterion_group!`/`criterion_main!`,
+//! benchmark groups, throughput annotation, `Bencher::iter` — with a
+//! simple but honest measurement loop:
+//!
+//! * each benchmark is warmed up (~0.5 s), then timed over adaptively
+//!   sized batches for ~2 s;
+//! * the report prints best / median / mean per-iteration time, and
+//!   throughput (elem/s or B/s) when [`Throughput`] was set;
+//! * no statistics beyond that — no outlier analysis, HTML reports, or
+//!   baseline comparison.
+//!
+//! `cargo bench` therefore still gives comparable before/after numbers on
+//! the same machine, which is what the workspace's perf work needs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(500);
+const MEASURE: Duration = Duration::from_secs(2);
+/// Timing samples collected per benchmark.
+const SAMPLES: usize = 30;
+
+/// Work units per iteration; turns time into rates in the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to the closure of `bench_function`; drives the timing loop.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: &'a mut u64,
+}
+
+impl<'a> Bencher<'a> {
+    /// Time `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up while sizing the batch so each sample runs long enough
+        // to dominate timer overhead.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= WARMUP / 4 || iters >= 1 << 20 {
+                let target = MEASURE / SAMPLES as u32;
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let sized = (target.as_secs_f64() / per_iter.max(1e-12)).ceil() as u64;
+                iters = sized.clamp(1, 1 << 24);
+                break;
+            }
+            iters *= 2;
+        }
+        *self.iters_per_sample = iters;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Annotate subsequent benchmarks with a work-per-iteration figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API parity; the stub sizes samples by time instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity (upstream: flat vs auto sampling).
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::with_capacity(SAMPLES);
+        let mut iters_per_sample = 1u64;
+        {
+            let mut b = Bencher {
+                samples: &mut samples,
+                iters_per_sample: &mut iters_per_sample,
+            };
+            f(&mut b);
+        }
+        report(
+            &self.name,
+            &id.to_string(),
+            &samples,
+            iters_per_sample,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Run one benchmark that borrows a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (prints a separator).
+    pub fn finish(&mut self) {
+        eprintln!();
+    }
+}
+
+/// Sampling mode (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    Auto,
+    Linear,
+    Flat,
+}
+
+/// The bench harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+fn report(
+    group: &str,
+    id: &str,
+    samples: &[Duration],
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+) {
+    if samples.is_empty() {
+        eprintln!("{group}/{id}: no samples collected");
+        return;
+    }
+    let mut per_iter: Vec<f64> = samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let best = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12}/s", si(n as f64 / median)),
+        Some(Throughput::Bytes(n)) => format!("  {:>11}B/s", si(n as f64 / median)),
+        None => String::new(),
+    };
+    eprintln!(
+        "{group}/{id}: best {:>10}  median {:>10}  mean {:>10}{rate}   ({} iters x {} samples)",
+        fmt_time(best),
+        fmt_time(median),
+        fmt_time(mean),
+        iters_per_sample,
+        samples.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// Collect benchmark functions into a group runner (upstream-compatible
+/// call forms; configuration arguments are accepted and ignored).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(
+            BenchmarkId::from_parameter("gowalla").to_string(),
+            "gowalla"
+        );
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+        assert_eq!(fmt_time(3.25e-6), "3.25 µs");
+        assert_eq!(fmt_time(1.5e-3), "1.50 ms");
+        assert_eq!(fmt_time(2.0), "2.000 s");
+    }
+}

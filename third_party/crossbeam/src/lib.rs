@@ -1,0 +1,196 @@
+//! Offline stand-in for the `crossbeam` crate (see CONTRIBUTING.md,
+//! *Offline builds*). Provides the two crossbeam facilities this workspace
+//! uses, implemented on the standard library:
+//!
+//! * [`thread::scope`] — crossbeam-style scoped threads (the closure gets a
+//!   scope argument, panics surface as `Err`) over [`std::thread::scope`].
+//! * [`channel`] — MPSC channels with the crossbeam names
+//!   (`unbounded`/`bounded`, `Sender`/`Receiver`) over [`std::sync::mpsc`].
+//!   One intentional narrowing: `Receiver` is single-consumer (not `Clone`),
+//!   which is all the serving engine's shard/reply topology needs.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Mirror of `crossbeam::thread::Scope`, wrapping the std scope so
+    /// spawned closures can themselves spawn.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread; `Err` carries the panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to `'env` borrows. As in crossbeam, the
+        /// closure receives the scope (ignored as `|_|` by most callers).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. A panic in an unjoined thread (or in `f`) yields `Err`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half (clonable, `Send`).
+    pub struct Sender<T>(Flavor<T>);
+
+    enum Flavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Flavor::Unbounded(s) => Flavor::Unbounded(s.clone()),
+                Flavor::Bounded(s) => Flavor::Bounded(s.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while a bounded channel is full. `Err` iff the
+        /// receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Flavor::Unbounded(s) => s.send(value),
+                Flavor::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half (single consumer).
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Block with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking poll.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator until disconnect.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (Sender(Flavor::Unbounded(s)), Receiver(r))
+    }
+
+    /// Channel that blocks senders once `cap` messages are queued.
+    /// `cap = 0` gives a rendezvous channel.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::sync_channel(cap);
+        (Sender(Flavor::Bounded(s)), Receiver(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_spawns_and_joins() {
+        let counter = AtomicUsize::new(0);
+        let counter = &counter;
+        let total: usize = thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    s.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        i * 10
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn scope_surfaces_panics_as_err() {
+        let res = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn channels_roundtrip_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        let (done_tx, done_rx) = channel::bounded(1);
+        std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        std::thread::spawn(move || {
+            done_tx.send("done").unwrap();
+        });
+        let got: Vec<i32> = rx.iter().take(100).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(done_rx.recv().unwrap(), "done");
+    }
+
+    #[test]
+    fn disconnect_is_an_error() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `proptest` crate (see CONTRIBUTING.md,
+//! *Offline builds*). Implements the subset of the proptest API this
+//! workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (optionally with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`],
+//! * [`Strategy`](strategy::Strategy) for numeric ranges, tuples,
+//!   `any::<T>()`, `prop::collection::vec`, `prop_map`, and `prop_filter`.
+//!
+//! Differences from upstream, on purpose:
+//!
+//! * **No shrinking.** A failing case reports its case number, derived
+//!   seed, and the `prop_assert*` message instead of a minimised input.
+//! * **Fully deterministic.** Case seeds derive from the test name, so a
+//!   failure reproduces on every run and every machine — matching the
+//!   workspace's determinism policy — rather than from OS entropy.
+//! * Default cases per property: 64 (upstream: 256) to keep the debug-mode
+//!   tier-1 suite fast.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define deterministic property tests. Each `fn name(arg in strategy, ..)
+/// { body }` item becomes a `#[test]` that runs the body over
+/// `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run(config, stringify!($name), |__rrc_rng| {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), __rrc_rng);)+
+                    let mut __rrc_body = move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    };
+                    __rrc_body()
+                });
+            }
+        )*
+    };
+}
+
+/// Fail the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n {}",
+            __l, __r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`\n {}",
+            __l, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discard the current case (it counts as neither pass nor fail) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -1.0f64..=1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            v in prop::collection::vec((0u32..5, any::<bool>()), 1..20),
+            k in (0u64..100).prop_map(|z| z * 2),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, _) in &v {
+                prop_assert!(*a < 5);
+            }
+            prop_assert_eq!(k % 2, 0);
+        }
+
+        #[test]
+        fn filters_apply(x in (0i64..100).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0, "x={}", x);
+            prop_assert_ne!(x, 1);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+
+        #[test]
+        fn early_ok_return_is_allowed(x in 0u32..10) {
+            if x > 5 {
+                return Ok(());
+            }
+            prop_assert!(x <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_header_parses(x in 0u32..2) {
+            prop_assert!(x < 2);
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::rng_for("exact_size_vec", 0);
+        let v = crate::collection::vec(crate::arbitrary::any::<bool>(), 40).new_value(&mut rng);
+        assert_eq!(v.len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_info() {
+        crate::test_runner::run(
+            crate::test_runner::ProptestConfig::with_cases(1),
+            "always_fails",
+            |_| Err(crate::test_runner::TestCaseError::fail("nope")),
+        );
+    }
+}

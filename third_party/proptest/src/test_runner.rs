@@ -1,0 +1,112 @@
+//! The deterministic case runner behind [`proptest!`](crate::proptest).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// RNG handed to strategies for one test case.
+pub type TestRng = StdRng;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Successful cases required per property.
+    pub cases: u32,
+    /// Upper bound on discarded (`prop_assume!` / filter) cases before the
+    /// property errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases (other fields default).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is false for this input.
+    Fail(String),
+    /// The input is outside the property's domain (`prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// The deterministic RNG for case number `iteration` of test `name`.
+///
+/// Seeds derive from an FNV-1a hash of the test name, so every run and
+/// every machine explores the same inputs — a conscious trade of coverage
+/// diversity for the workspace's bit-for-bit reproducibility policy.
+pub fn rng_for(name: &str, iteration: u64) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Drive one property: generate + run cases until `config.cases` pass,
+/// panicking on the first failure with enough context to reproduce.
+pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut iteration = 0u64;
+    while passed < config.cases {
+        let mut rng = rng_for(name, iteration);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "property `{name}` rejected {rejected} cases \
+                         (passed {passed}/{} before giving up)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case {iteration} of property `{name}` failed \
+                     (deterministic; re-run reproduces it):\n{msg}"
+                );
+            }
+        }
+        iteration += 1;
+    }
+}
