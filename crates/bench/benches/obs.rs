@@ -1,0 +1,62 @@
+//! Observability hot-path cost: the metrics primitives every serving
+//! request and training step touches must stay in the low-nanosecond
+//! range so instrumentation never shows up in a profile.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rrc_obs::Registry;
+
+fn bench_obs(c: &mut Criterion) {
+    let registry = Registry::new();
+    let counter = registry.counter("bench_counter_total");
+    let histogram = registry.histogram("bench_latency_ns");
+    let span_hist = registry.span_histogram("bench.span");
+
+    let mut group = c.benchmark_group("obs");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("counter_inc", |b| {
+        b.iter(|| {
+            counter.inc();
+            std::hint::black_box(&counter);
+        });
+    });
+    group.bench_function("histogram_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            histogram.record(std::hint::black_box(v));
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1) >> 33;
+        });
+    });
+    group.bench_function("histogram_timer", |b| {
+        b.iter(|| {
+            let t = histogram.timer();
+            std::hint::black_box(&t);
+        });
+    });
+    group.bench_function("span_enter_exit", |b| {
+        b.iter(|| {
+            let span = registry.span("bench.span");
+            std::hint::black_box(&span);
+        });
+    });
+    group.bench_function("span_hist_record_duration", |b| {
+        b.iter(|| {
+            span_hist.record_duration(std::time::Duration::from_nanos(std::hint::black_box(137)));
+        });
+    });
+    group.finish();
+
+    // Snapshot cost (cold path, but bounded): quantiles off a snapshot must
+    // not re-walk atomics per call.
+    let snap = histogram.snapshot();
+    let mut cold = c.benchmark_group("obs_cold");
+    cold.bench_function("snapshot_quantiles", |b| {
+        b.iter(|| {
+            let s = std::hint::black_box(&snap);
+            std::hint::black_box((s.p50(), s.p95(), s.p99(), s.mean()));
+        });
+    });
+    cold.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

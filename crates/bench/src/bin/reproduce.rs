@@ -7,7 +7,9 @@
 //! ```
 
 use rrc_bench::experiments::{self, accuracy, ALL_EXPERIMENTS};
+use rrc_bench::report_sink;
 use rrc_bench::setup::RunOptions;
+use rrc_obs::{Json, RunReport};
 
 fn usage() -> ! {
     eprintln!(
@@ -24,16 +26,18 @@ fn usage() -> ! {
          \x20 --k <n>                latent dimension K (default 40)\n\
          \x20 --sweeps <n>           TS-PPR sweep cap (default 40)\n\
          \x20 --threads <n>          evaluation threads (default: all cores)\n\
-         \x20 --seed <n>             base RNG seed"
+         \x20 --seed <n>             base RNG seed\n\
+         \x20 --json <path>          write a machine-readable RunReport here"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> (Vec<String>, RunOptions) {
+fn parse_args() -> (Vec<String>, RunOptions, Option<String>) {
     let mut names = Vec::new();
     let mut opts = RunOptions::default();
     let mut args = std::env::args().skip(1).peekable();
     let mut fast = false;
+    let mut json = None;
     let mut overrides: Vec<(String, String)> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,6 +54,10 @@ fn parse_args() -> (Vec<String>, RunOptions) {
         opts = RunOptions::fast();
     }
     for (flag, value) in overrides {
+        if flag == "--json" {
+            json = Some(value);
+            continue;
+        }
         let parse_f = || value.parse::<f64>().unwrap_or_else(|_| usage());
         let parse_u = || value.parse::<usize>().unwrap_or_else(|_| usage());
         match flag.as_str() {
@@ -68,11 +76,11 @@ fn parse_args() -> (Vec<String>, RunOptions) {
     if names.is_empty() {
         usage();
     }
-    (names, opts)
+    (names, opts, json)
 }
 
 fn main() {
-    let (names, opts) = parse_args();
+    let (names, opts, json_path) = parse_args();
     eprintln!(
         "# options: scale(gowalla)={}, scale(lastfm)={}, |W|={}, Ω={}, S={}, K={}, sweeps={}, threads={}",
         opts.scale_gowalla,
@@ -117,6 +125,7 @@ fn main() {
         None
     };
 
+    let mut timings: Vec<(String, f64)> = Vec::new();
     for name in &expanded {
         let started = std::time::Instant::now();
         let output = match (name.as_str(), &shared) {
@@ -127,16 +136,68 @@ fn main() {
         };
         match output {
             Some(text) => {
+                let wall_s = started.elapsed().as_secs_f64();
                 println!("{}", "=".repeat(78));
                 println!("{text}");
-                eprintln!(
-                    "# {name} finished in {:.1}s",
-                    started.elapsed().as_secs_f64()
-                );
+                eprintln!("# {name} finished in {wall_s:.1}s");
+                timings.push((name.clone(), wall_s));
             }
             None => {
                 eprintln!("unknown experiment: {name}");
                 usage();
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let mut report = RunReport::new("reproduce")
+            .config("scale_gowalla", Json::F64(opts.scale_gowalla))
+            .config("scale_lastfm", Json::F64(opts.scale_lastfm))
+            .config("window", Json::from(opts.window))
+            .config("omega", Json::from(opts.omega))
+            .config("s", Json::from(opts.s))
+            .config("k", Json::from(opts.k))
+            .config("max_sweeps", Json::from(opts.max_sweeps))
+            .config("threads", Json::from(opts.threads))
+            .config("seed", Json::from(opts.seed))
+            .config(
+                "experiments",
+                Json::Arr(expanded.iter().map(|n| Json::from(n.as_str())).collect()),
+            );
+        report.add_section(
+            "experiments",
+            Json::Arr(
+                timings
+                    .iter()
+                    .map(|(name, wall_s)| {
+                        Json::obj([
+                            ("name", Json::from(name.as_str())),
+                            ("wall_s", Json::F64(*wall_s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        // Structured payloads individual experiments pushed (e.g. fig12's
+        // convergence trace). Duplicate keys get a numeric suffix so every
+        // payload survives in the report.
+        let mut seen: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+        for (key, payload) in report_sink::drain() {
+            let n = seen.entry(key.clone()).or_insert(0);
+            let section = if *n == 0 {
+                key.clone()
+            } else {
+                format!("{key}#{n}")
+            };
+            *n += 1;
+            report.add_section(&section, payload);
+        }
+        report.add_metrics(rrc_obs::global());
+        match report.write_to(&path) {
+            Ok(()) => eprintln!("# run report written to {path}"),
+            Err(e) => {
+                eprintln!("error: failed to write run report to {path}: {e}");
+                std::process::exit(1);
             }
         }
     }

@@ -9,6 +9,7 @@
 //! window-maintenance throughput).
 
 pub mod experiments;
+pub mod report_sink;
 pub mod setup;
 pub mod zoo;
 

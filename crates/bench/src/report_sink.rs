@@ -1,0 +1,46 @@
+//! A process-global collection point for structured experiment results.
+//!
+//! Experiments render human-readable text (their `run` functions return
+//! `String`s for the terminal), but `reproduce --json` also wants the
+//! underlying numbers — e.g. fig12's convergence trace — in the emitted
+//! [`rrc_obs::RunReport`]. Rather than changing every experiment
+//! signature, experiments [`push`] named [`Json`] payloads here and the
+//! `reproduce` binary [`drain`]s them into the report after the runs.
+
+use rrc_obs::Json;
+use std::sync::Mutex;
+
+static SINK: Mutex<Vec<(String, Json)>> = Mutex::new(Vec::new());
+
+/// Record a structured payload under `key` (e.g. `"fig12_convergence"`).
+/// Prefer underscores over dots: report sections become top-level keys and
+/// `obs-check` treats dots in `--require` paths as nesting.
+pub fn push(key: &str, payload: Json) {
+    SINK.lock()
+        .expect("report sink lock")
+        .push((key.to_string(), payload));
+}
+
+/// Take everything pushed so far, in push order. Duplicate keys are kept
+/// (the consumer disambiguates).
+pub fn drain() -> Vec<(String, Json)> {
+    std::mem::take(&mut *SINK.lock().expect("report sink lock"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_then_drain_is_fifo_and_empties() {
+        // Drain first: other tests in the process may have pushed.
+        let _ = drain();
+        push("a", Json::U64(1));
+        push("b", Json::U64(2));
+        let got = drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, "a");
+        assert_eq!(got[1].0, "b");
+        assert!(drain().is_empty());
+    }
+}

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rrc_features::TrainingSet;
 use rrc_linalg::{ln_sigmoid, sigmoid};
+use std::time::{Duration, Instant};
 
 /// One convergence-check measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,6 +20,9 @@ pub struct ConvergencePoint {
     /// Mean `−ln σ(margin)` over the small batch (the data term of Eq. 7),
     /// for loss-curve diagnostics.
     pub nll: f64,
+    /// Wall-clock time since training started, so the convergence curve
+    /// (Fig. 12) can be plotted against time as well as steps.
+    pub elapsed: Duration,
 }
 
 /// Outcome of a training run.
@@ -28,6 +32,8 @@ pub struct TrainReport {
     pub steps: usize,
     /// Whether `|Δr̃| ≤ ε` was reached before the sweep cap.
     pub converged: bool,
+    /// Total training wall-clock time.
+    pub elapsed: Duration,
     /// The `r̃` trace, one point per check — reproduces Fig. 12.
     pub checks: Vec<ConvergencePoint>,
 }
@@ -63,6 +69,17 @@ impl TsPprTrainer {
     /// An empty training set returns the freshly-initialised model and an
     /// empty report (nothing to learn from).
     pub fn train(&self, training: &TrainingSet) -> (TsPprModel, TrainReport) {
+        // Instrumentation: the whole run is a span, each sweep of |D|
+        // steps and each convergence check land in their own
+        // span-duration histograms on the global registry (handles are
+        // pre-registered so the SGD loop stays lock-free).
+        let obs = rrc_obs::global();
+        let _train_span = obs.span("tsppr.train");
+        let sweep_hist = obs.span_histogram("tsppr.train.sweep");
+        let check_hist = obs.span_histogram("tsppr.train.check");
+        let steps_total = obs.counter("tsppr_train_steps_total");
+        let train_start = Instant::now();
+
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut model = TsPprModel::init(
@@ -77,9 +94,11 @@ impl TsPprTrainer {
         let mut report = TrainReport {
             steps: 0,
             converged: false,
+            elapsed: Duration::ZERO,
             checks: Vec::new(),
         };
         if training.is_empty() {
+            report.elapsed = train_start.elapsed();
             return (model, report);
         }
         if cfg.identity_transform {
@@ -110,6 +129,7 @@ impl TsPprTrainer {
         let decay_factor = 1.0 - cfg.alpha * cfg.gamma;
         let decay_transform = 1.0 - cfg.alpha * cfg.lambda;
         let mut prev_r_tilde: Option<f64> = None;
+        let mut sweep_started = Instant::now();
 
         for step in 1..=max_steps {
             let q = training
@@ -164,9 +184,21 @@ impl TsPprTrainer {
             }
 
             report.steps = step;
+            if step % d == 0 {
+                sweep_hist.record_duration(sweep_started.elapsed());
+                sweep_started = Instant::now();
+            }
             if step % check_interval == 0 {
-                let (r_tilde, nll) = batch_statistics(&model, &small_batch);
-                report.checks.push(ConvergencePoint { step, r_tilde, nll });
+                let (r_tilde, nll) = {
+                    let _check_timer = check_hist.timer();
+                    batch_statistics(&model, &small_batch)
+                };
+                report.checks.push(ConvergencePoint {
+                    step,
+                    r_tilde,
+                    nll,
+                    elapsed: train_start.elapsed(),
+                });
                 debug_assert!(model.is_finite(), "parameters diverged at step {step}");
                 if let Some(prev) = prev_r_tilde {
                     if step >= min_steps && (r_tilde - prev).abs() <= cfg.convergence_eps {
@@ -177,6 +209,8 @@ impl TsPprTrainer {
                 prev_r_tilde = Some(r_tilde);
             }
         }
+        steps_total.add(report.steps as u64);
+        report.elapsed = train_start.elapsed();
         (model, report)
     }
 }
@@ -328,6 +362,30 @@ mod tests {
         let (data, _, training) = fixture();
         let cfg = config(&data).with_k(8).with_identity_transform(true);
         let _ = TsPprTrainer::new(cfg).train(&training);
+    }
+
+    #[test]
+    fn report_carries_wall_clock_and_feeds_global_spans() {
+        let (data, _, training) = fixture();
+        let check_hist = rrc_obs::global().span_histogram("tsppr.train.check");
+        let sweep_hist = rrc_obs::global().span_histogram("tsppr.train.sweep");
+        let (checks_before, sweeps_before) =
+            (check_hist.snapshot().count(), sweep_hist.snapshot().count());
+        let (_, report) = TsPprTrainer::new(config(&data)).train(&training);
+        assert!(report.elapsed > Duration::ZERO);
+        // Per-check wall clock is monotone and bounded by the total.
+        let mut prev = Duration::ZERO;
+        for c in &report.checks {
+            assert!(c.elapsed >= prev, "elapsed must be monotone");
+            prev = c.elapsed;
+        }
+        assert!(report.checks.last().unwrap().elapsed <= report.elapsed);
+        // Every check (and at least one full sweep) landed in the global
+        // span histograms. Other tests run concurrently against the same
+        // global registry, so only lower bounds are checkable.
+        assert!(check_hist.snapshot().count() >= checks_before + report.checks.len() as u64);
+        assert!(sweep_hist.snapshot().count() > sweeps_before);
+        assert!(rrc_obs::global().counter("tsppr_train_steps_total").get() >= report.steps as u64);
     }
 
     #[test]

@@ -81,6 +81,10 @@ pub fn evaluate_multi<R: Recommender + ?Sized>(
 ) -> Vec<EvalResult> {
     assert!(!ns.is_empty(), "at least one N required");
     assert!(cfg.omega < cfg.window, "omega must be < window");
+    // Whole-walk tracing span: lands in the global registry's
+    // span_duration_ns{span="eval.walk"} histogram, so reproduce-run
+    // reports carry evaluation wall-clock per recommender sweep.
+    let _span = rrc_obs::global().span("eval.walk");
     let mut per_n: Vec<Vec<UserOutcome>> = ns
         .iter()
         .map(|_| Vec::with_capacity(split.num_users()))
@@ -110,6 +114,7 @@ pub fn evaluate_multi_parallel<R: Recommender + Sync + ?Sized>(
 ) -> Vec<EvalResult> {
     assert!(!ns.is_empty(), "at least one N required");
     assert!(cfg.omega < cfg.window, "omega must be < window");
+    let _span = rrc_obs::global().span("eval.walk");
     let threads = threads.max(1);
     let num_users = split.num_users();
     let mut all: Vec<Vec<UserOutcome>> = vec![Vec::new(); num_users];

@@ -48,6 +48,11 @@ pub fn measure_latency<R: Recommender + ?Sized>(
         instances: 0,
         total: Duration::ZERO,
     };
+    // Per-instance latency also feeds the global
+    // span_duration_ns{span="eval.recommend"} histogram, adding
+    // p50/p95/p99 on top of this report's mean (Fig. 13 reports means;
+    // the registry keeps the whole distribution).
+    let instance_hist = rrc_obs::global().span_histogram("eval.recommend");
     'users: for u in 0..split.num_users() {
         let user = UserId(u as u32);
         let mut window = WindowState::warmed(cfg.window, split.train.sequence(user).events());
@@ -63,6 +68,7 @@ pub fn measure_latency<R: Recommender + ?Sized>(
                 let list = rec.recommend(&ctx, top_n);
                 let elapsed = start.elapsed();
                 std::hint::black_box(&list);
+                instance_hist.record_duration(elapsed);
                 report.total += elapsed;
                 report.instances += 1;
                 if report.instances >= max_instances {

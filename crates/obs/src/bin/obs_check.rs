@@ -1,0 +1,103 @@
+//! `obs-check`: validate a machine-readable [`RunReport`] file.
+//!
+//! The offline CI image has no `jq`, so report validation is a tiny
+//! binary instead: it parses the JSON strictly (our parser rejects
+//! `NaN`/`Infinity` outright), checks the standard report envelope, and
+//! then enforces caller-specified requirements on dotted paths.
+//!
+//! ```text
+//! obs-check REPORT.json [--require PATH]... [--min PATH VALUE]...
+//! ```
+//!
+//! * `--require a.b.c`  — the path must exist and not be `null`
+//! * `--min a.b.c 1.0`  — the path must be a finite number `>= VALUE`
+//!
+//! Exits 0 when every check passes; prints each failure and exits 1
+//! otherwise.
+//!
+//! [`RunReport`]: rrc_obs::RunReport
+
+use rrc_obs::Json;
+
+fn usage() -> ! {
+    eprintln!("usage: obs-check REPORT.json [--require PATH]... [--min PATH VALUE]...");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = match args.next() {
+        Some(p) if !p.starts_with("--") => p,
+        _ => usage(),
+    };
+    let mut requires: Vec<String> = vec![
+        "report".to_string(),
+        "created_unix_ms".to_string(),
+        "config".to_string(),
+    ];
+    let mut mins: Vec<(String, f64)> = Vec::new();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--require" => requires.push(args.next().unwrap_or_else(|| usage())),
+            "--min" => {
+                let p = args.next().unwrap_or_else(|| usage());
+                let v = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .unwrap_or_else(|| usage());
+                mins.push((p, v));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs-check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("obs-check: {path} is not valid JSON: {e}");
+            eprintln!("(note: NaN / Infinity are rejected by design)");
+            std::process::exit(1);
+        }
+    };
+
+    let mut failures = Vec::new();
+    for p in &requires {
+        match doc.at(p) {
+            None => failures.push(format!("missing key: {p}")),
+            Some(v) if v.is_null() => failures.push(format!("key is null: {p}")),
+            Some(_) => {}
+        }
+    }
+    for (p, min) in &mins {
+        match doc.at(p).and_then(Json::as_f64) {
+            None => failures.push(format!("missing or non-numeric key: {p}")),
+            Some(v) if !v.is_finite() => failures.push(format!("non-finite value at {p}: {v}")),
+            Some(v) if v < *min => failures.push(format!("{p} = {v} below required minimum {min}")),
+            Some(_) => {}
+        }
+    }
+
+    if failures.is_empty() {
+        let name = doc.get("report").and_then(Json::as_str).unwrap_or("?");
+        println!(
+            "obs-check: {path} OK (report \"{name}\", {} requirement(s))",
+            requires.len() + mins.len()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("obs-check: {path}: {f}");
+        }
+        std::process::exit(1);
+    }
+}

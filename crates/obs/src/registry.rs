@@ -1,0 +1,483 @@
+//! The named-metric registry and its exposition formats.
+//!
+//! A [`Registry`] maps `name{label="value",…}` identities to shared
+//! metric handles. Registration (`counter`/`gauge`/`histogram`) takes a
+//! short write lock **once**; the returned `Arc` handle is then held by
+//! the instrumented code, so the hot path — `inc`, `add`, `record` —
+//! never touches the registry again and stays wait-free. Snapshots and
+//! both exposition formats (Prometheus text, JSON) take a read lock only
+//! to walk the name table.
+//!
+//! A process-wide registry is available via [`global()`]; subsystems
+//! that want isolation (e.g. one registry per serving engine) create
+//! their own.
+
+use crate::json::Json;
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::span::{JsonlSink, Span};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A metric identity: base name plus ordered `(key, value)` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        MetricId {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for MetricId {
+    /// Prometheus-style rendering: `name{k="v",…}` (bare name when
+    /// unlabeled).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)?;
+        write_labels(f, &self.labels, None)
+    }
+}
+
+fn write_labels(
+    f: &mut dyn std::fmt::Write,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+) -> std::fmt::Result {
+    if labels.is_empty() && extra.is_none() {
+        return Ok(());
+    }
+    f.write_char('{')?;
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra)
+    {
+        if !first {
+            f.write_char(',')?;
+        }
+        first = false;
+        write!(
+            f,
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        )?;
+    }
+    f.write_char('}')
+}
+
+/// A registered metric handle.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A point-in-time value of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// An ordered capture of every metric in a registry.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    pub entries: Vec<(MetricId, MetricValue)>,
+}
+
+impl RegistrySnapshot {
+    /// Look up one captured value by identity.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let id = MetricId::new(name, labels);
+        self.entries
+            .iter()
+            .find(|(eid, _)| *eid == id)
+            .map(|(_, v)| v)
+    }
+}
+
+struct RegistryInner {
+    metrics: RwLock<BTreeMap<MetricId, Metric>>,
+    sink: RwLock<Option<Arc<JsonlSink>>>,
+}
+
+/// See the [module docs](self). Cheap to clone (shared interior).
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let metrics = self.inner.metrics.read().expect("registry lock");
+        f.debug_struct("Registry")
+            .field("metrics", &metrics.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                metrics: RwLock::new(BTreeMap::new()),
+                sink: RwLock::new(None),
+            }),
+        }
+    }
+
+    fn register_with<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        wrap: fn(Arc<T>) -> Metric,
+        unwrap: fn(&Metric) -> Option<Arc<T>>,
+    ) -> Arc<T>
+    where
+        T: Default,
+    {
+        let id = MetricId::new(name, labels);
+        // Fast path: already registered.
+        {
+            let metrics = self.inner.metrics.read().expect("registry lock");
+            if let Some(existing) = metrics.get(&id) {
+                return unwrap(existing).unwrap_or_else(|| {
+                    panic!("metric {id} already registered as a {}", existing.kind())
+                });
+            }
+        }
+        let mut metrics = self.inner.metrics.write().expect("registry lock");
+        let entry = metrics
+            .entry(id.clone())
+            .or_insert_with(|| wrap(Arc::new(T::default())));
+        unwrap(entry)
+            .unwrap_or_else(|| panic!("metric {id} already registered as a {}", entry.kind()))
+    }
+
+    /// Get or create the counter `name` (no labels).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or create the counter `name{labels…}`.
+    ///
+    /// Panics if the identity is already registered as a different
+    /// metric type.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.register_with(name, labels, Metric::Counter, |m| match m {
+            Metric::Counter(c) => Some(c.clone()),
+            _ => None,
+        })
+    }
+
+    /// Get or create the gauge `name` (no labels).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get or create the gauge `name{labels…}`.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.register_with(name, labels, Metric::Gauge, |m| match m {
+            Metric::Gauge(g) => Some(g.clone()),
+            _ => None,
+        })
+    }
+
+    /// Get or create the histogram `name` (no labels).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Get or create the histogram `name{labels…}`.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.register_with(name, labels, Metric::Histogram, |m| match m {
+            Metric::Histogram(h) => Some(h.clone()),
+            _ => None,
+        })
+    }
+
+    /// The histogram backing span `name`:
+    /// `span_duration_ns{span="<name>"}`. Instrumented loops should hold
+    /// this handle and use [`Histogram::timer`] rather than calling
+    /// [`Registry::span`] per iteration.
+    pub fn span_histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with("span_duration_ns", &[("span", name)])
+    }
+
+    /// Open a tracing span: an RAII guard that, on drop, records its
+    /// elapsed time into [`Registry::span_histogram`] and — when a sink
+    /// is attached — appends a JSONL `span` event.
+    pub fn span(&self, name: &str) -> Span {
+        Span::new(
+            name,
+            self.span_histogram(name),
+            self.inner.sink.read().expect("sink lock").clone(),
+        )
+    }
+
+    /// Attach (or detach, with `None`) the structured-event sink that
+    /// [`Registry::span`] guards and [`Registry::event`] write to.
+    pub fn set_sink(&self, sink: Option<Arc<JsonlSink>>) {
+        *self.inner.sink.write().expect("sink lock") = sink;
+    }
+
+    /// The attached structured-event sink, if any.
+    pub fn sink(&self) -> Option<Arc<JsonlSink>> {
+        self.inner.sink.read().expect("sink lock").clone()
+    }
+
+    /// Append a structured event to the attached sink (no-op without
+    /// one).
+    pub fn event(&self, name: &str, fields: &[(&str, Json)]) {
+        if let Some(sink) = self.sink() {
+            sink.event(name, fields);
+        }
+    }
+
+    /// Capture every metric, ordered by identity.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let metrics = self.inner.metrics.read().expect("registry lock");
+        RegistrySnapshot {
+            entries: metrics
+                .iter()
+                .map(|(id, m)| {
+                    let value = match m {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                    };
+                    (id.clone(), value)
+                })
+                .collect(),
+        }
+    }
+
+    /// Prometheus text exposition (`# TYPE` headers, cumulative
+    /// `_bucket{le=…}` lines for histograms, only non-empty buckets plus
+    /// `+Inf`).
+    pub fn prometheus_text(&self) -> String {
+        let snapshot = self.snapshot();
+        let mut out = String::new();
+        let mut last_header: Option<(String, &'static str)> = None;
+        for (id, value) in &snapshot.entries {
+            let kind = match value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            if last_header.as_ref().map(|(n, k)| (n.as_str(), *k)) != Some((id.name.as_str(), kind))
+            {
+                let _ = writeln!(out, "# TYPE {} {kind}", id.name);
+                last_header = Some((id.name.clone(), kind));
+            }
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{id} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{id} {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, &c) in h.buckets().iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cumulative += c;
+                        // Bucket i covers [2^i, 2^(i+1)); its Prometheus
+                        // upper bound is 2^(i+1). Bucket 63's tail is
+                        // covered by +Inf below.
+                        if i < 63 {
+                            let _ = write!(out, "{}_bucket", id.name);
+                            let le = (1u128 << (i + 1)).to_string();
+                            let _ = write_labels(&mut out, &id.labels, Some(("le", &le)));
+                            let _ = writeln!(out, " {cumulative}");
+                        }
+                    }
+                    let _ = write!(out, "{}_bucket", id.name);
+                    let _ = write_labels(&mut out, &id.labels, Some(("le", "+Inf")));
+                    let _ = writeln!(out, " {}", h.count());
+                    let _ = write!(out, "{}_sum", id.name);
+                    let _ = write_labels(&mut out, &id.labels, None);
+                    let _ = writeln!(out, " {}", h.sum());
+                    let _ = write!(out, "{}_count", id.name);
+                    let _ = write_labels(&mut out, &id.labels, None);
+                    let _ = writeln!(out, " {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON exposition: `{"counters":…, "gauges":…, "histograms":…}`,
+    /// each keyed by the full `name{labels}` identity.
+    pub fn to_json(&self) -> Json {
+        snapshot_to_json(&self.snapshot())
+    }
+}
+
+/// JSON rendering of a [`RegistrySnapshot`] (shared by [`Registry::to_json`]
+/// and [`RunReport`](crate::RunReport)).
+pub fn snapshot_to_json(snapshot: &RegistrySnapshot) -> Json {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (id, value) in &snapshot.entries {
+        let key = id.to_string();
+        match value {
+            MetricValue::Counter(v) => counters.push((key, Json::U64(*v))),
+            MetricValue::Gauge(v) => gauges.push((key, Json::I64(*v))),
+            MetricValue::Histogram(h) => histograms.push((key, histogram_to_json(h))),
+        }
+    }
+    Json::Obj(vec![
+        ("counters".to_string(), Json::Obj(counters)),
+        ("gauges".to_string(), Json::Obj(gauges)),
+        ("histograms".to_string(), Json::Obj(histograms)),
+    ])
+}
+
+/// The JSON shape of one histogram: count/sum/mean/max, the standard
+/// quantiles, and the non-empty `[lower_bound, count]` buckets.
+pub fn histogram_to_json(h: &HistogramSnapshot) -> Json {
+    Json::obj([
+        ("count", Json::U64(h.count())),
+        ("sum", Json::U64(h.sum())),
+        ("mean", Json::from(h.mean())),
+        ("max", Json::from(h.max())),
+        ("p50", Json::from(h.p50())),
+        ("p95", Json::from(h.p95())),
+        ("p99", Json::from(h.p99())),
+        (
+            "buckets",
+            Json::Arr(
+                h.nonzero_buckets()
+                    .map(|(lo, c)| Json::Arr(vec![Json::U64(lo), Json::U64(c)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The process-wide registry. Library code that is not handed an
+/// explicit registry instruments itself here.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_identity() {
+        let reg = Registry::new();
+        let a = reg.counter_with("requests_total", &[("shard", "0")]);
+        let b = reg.counter_with("requests_total", &[("shard", "0")]);
+        let other = reg.counter_with("requests_total", &[("shard", "1")]);
+        a.inc();
+        b.inc();
+        other.add(5);
+        assert_eq!(a.get(), 2);
+        assert_eq!(other.get(), 5);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("requests_total", &[("shard", "0")]),
+            Some(&MetricValue::Counter(2))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn prometheus_text_exposes_all_kinds() {
+        let reg = Registry::new();
+        reg.counter_with("events_total", &[("shard", "0")]).add(3);
+        reg.counter_with("events_total", &[("shard", "1")]).add(4);
+        reg.gauge("shards").set(2);
+        let h = reg.histogram("latency_ns");
+        h.record(1000);
+        h.record(3000);
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE events_total counter"), "{text}");
+        assert!(text.contains("events_total{shard=\"0\"} 3"), "{text}");
+        assert!(text.contains("events_total{shard=\"1\"} 4"), "{text}");
+        assert!(text.contains("# TYPE shards gauge"), "{text}");
+        assert!(text.contains("shards 2"), "{text}");
+        assert!(text.contains("# TYPE latency_ns histogram"), "{text}");
+        // 1000 lands in [512,1024) → le="1024"; 3000 in [2048,4096).
+        assert!(text.contains("latency_ns_bucket{le=\"1024\"} 1"), "{text}");
+        assert!(text.contains("latency_ns_bucket{le=\"4096\"} 2"), "{text}");
+        assert!(text.contains("latency_ns_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("latency_ns_sum 4000"), "{text}");
+        assert!(text.contains("latency_ns_count 2"), "{text}");
+        // The TYPE header appears once per (name, kind), not per series.
+        assert_eq!(text.matches("# TYPE events_total").count(), 1);
+    }
+
+    #[test]
+    fn json_exposition_parses_and_has_quantiles() {
+        let reg = Registry::new();
+        reg.counter("hits_total").add(7);
+        let h = reg.histogram("latency_ns");
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        let doc = crate::Json::parse(&reg.to_json().render()).unwrap();
+        assert_eq!(
+            doc.at("counters.hits_total").and_then(Json::as_u64),
+            Some(7)
+        );
+        let p50 = doc
+            .at("histograms.latency_ns.p50")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(p50 > 0.0);
+        assert_eq!(
+            doc.at("histograms.latency_ns.count").and_then(Json::as_u64),
+            Some(100)
+        );
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        global().counter("obs_selftest_total").inc();
+        assert!(global().counter("obs_selftest_total").get() >= 1);
+    }
+}

@@ -20,6 +20,7 @@ use rand::SeedableRng;
 use rrc_core::{OnlineConfig, OnlineTsPpr, TsPprModel};
 use rrc_datagen::GeneratorConfig;
 use rrc_features::{FeaturePipeline, TrainStats};
+use rrc_obs::{Json, RunReport};
 use rrc_sequence::{ItemId, UserId};
 use rrc_serve::ServeEngine;
 use std::time::{Duration, Instant};
@@ -38,6 +39,8 @@ struct Args {
     /// Hot-swap period in milliseconds; 0 disables the swapper thread.
     swap_every_ms: u64,
     seed: u64,
+    /// Write a machine-readable `RunReport` here after the replay.
+    json: Option<String>,
 }
 
 impl Default for Args {
@@ -55,6 +58,7 @@ impl Default for Args {
             learn: 0,
             swap_every_ms: 0,
             seed: 42,
+            json: None,
         }
     }
 }
@@ -63,7 +67,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--users N] [--items N] [--events LO HI] [--shards N] \
          [--clients N] [--topn N] [--recommend-every N] [--learn NEGATIVES] \
-         [--swap-every MILLIS] [--seed N]"
+         [--swap-every MILLIS] [--seed N] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -91,6 +95,7 @@ fn parse_args() -> Args {
             "--learn" => args.learn = num(&mut it),
             "--swap-every" => args.swap_every_ms = num(&mut it) as u64,
             "--seed" => args.seed = num(&mut it) as u64,
+            "--json" => args.json = Some(it.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -226,5 +231,44 @@ fn main() {
         args.clients,
         args.shards
     );
+
+    if let Some(path) = &args.json {
+        let mut run = RunReport::new("loadgen")
+            .config("users", args.users)
+            .config("items", args.items)
+            .config("events_lo", args.events_lo)
+            .config("events_hi", args.events_hi)
+            .config("shards", args.shards)
+            .config("clients", args.clients)
+            .config("topn", args.topn)
+            .config("recommend_every", args.recommend_every)
+            .config("learn", args.learn)
+            .config("swap_every_ms", args.swap_every_ms)
+            .config("seed", args.seed)
+            .config("window", WINDOW)
+            .config("omega", OMEGA);
+        run.add_section(
+            "results",
+            Json::obj([
+                ("events", Json::from(total_events)),
+                ("elapsed_s", Json::F64(elapsed.as_secs_f64())),
+                (
+                    "events_per_sec",
+                    Json::F64(total_events as f64 / elapsed.as_secs_f64().max(1e-9)),
+                ),
+            ]),
+        );
+        // Request quantiles + per-shard counters (the acceptance surface),
+        // then the raw registry snapshot for everything else.
+        run.add_section("engine", report.to_json());
+        run.add_metrics(engine.metrics_registry());
+        match run.write_to(path) {
+            Ok(()) => eprintln!("wrote run report to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     engine.shutdown();
 }

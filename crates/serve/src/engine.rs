@@ -43,7 +43,6 @@ use rrc_core::{observe_single, recommend_single, OnlineConfig, OnlineTsPpr, TsPp
 use rrc_features::{FeaturePipeline, TrainStats};
 use rrc_sequence::{ConsumptionKind, ItemId, UserId, WindowState};
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -113,10 +112,8 @@ impl Shard {
                         item,
                     );
                     let counters = &self.metrics.shards[self.id];
-                    counters.observes.fetch_add(1, Ordering::Relaxed);
-                    counters
-                        .online_updates
-                        .fetch_add(updates, Ordering::Relaxed);
+                    counters.observes.inc();
+                    counters.online_updates.add(updates);
                     if let Some(reply) = reply {
                         let _ = reply.send((kind, updates));
                     }
@@ -135,9 +132,7 @@ impl Shard {
                         window,
                         n,
                     );
-                    self.metrics.shards[self.id]
-                        .recommends
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.metrics.shards[self.id].recommends.inc();
                     let _ = reply.send(recs);
                 }
                 Request::Flush { reply } => {
@@ -148,9 +143,7 @@ impl Shard {
                 }
                 Request::Install { model, reply } => {
                     self.overlay.install(model);
-                    self.metrics.shards[self.id]
-                        .swaps
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.metrics.shards[self.id].swaps.inc();
                     let _ = reply.send(());
                 }
                 Request::ExportWindows { reply } => {
@@ -272,7 +265,9 @@ impl ServeEngine {
             })
             .expect("shard thread alive");
         let (kind, _) = reply_rx.recv().expect("shard replies to observe");
-        self.metrics.observe_latency.record(start.elapsed());
+        self.metrics
+            .observe_latency
+            .record_duration(start.elapsed());
         kind
     }
 
@@ -302,7 +297,9 @@ impl ServeEngine {
             })
             .expect("shard thread alive");
         let recs = reply_rx.recv().expect("shard replies to recommend");
-        self.metrics.recommend_latency.record(start.elapsed());
+        self.metrics
+            .recommend_latency
+            .record_duration(start.elapsed());
         recs
     }
 
@@ -411,6 +408,23 @@ impl ServeEngine {
     /// Point-in-time traffic and latency report.
     pub fn metrics(&self) -> MetricsReport {
         self.metrics.report(self.started.elapsed())
+    }
+
+    /// Prometheus text exposition of the engine's metrics registry:
+    /// request-latency histograms (`serve_recommend_latency_ns`,
+    /// `serve_observe_latency_ns` — cumulative `_bucket{le=…}` series)
+    /// and per-shard traffic counters (`serve_observes_total{shard="0"}`,
+    /// …). Ready to serve on a `/metrics` endpoint.
+    pub fn metrics_text(&self) -> String {
+        self.metrics.touch_uptime(self.started.elapsed());
+        self.metrics.registry.prometheus_text()
+    }
+
+    /// The engine's private metrics registry (each engine owns one, so
+    /// concurrent engines never share series). Use it to attach a
+    /// [`rrc_obs::JsonlSink`] or export a JSON snapshot.
+    pub fn metrics_registry(&self) -> &rrc_obs::Registry {
+        &self.metrics.registry
     }
 
     /// Stop every shard and join the threads. (Dropping the handle does
@@ -565,6 +579,35 @@ mod tests {
         // And the final publish folds in post-swap learning too.
         let final_model = engine.publish();
         assert!(final_model.is_finite());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn metrics_text_exposes_live_series() {
+        let (engine, _) = engine_fixture(0, 2);
+        let _ = engine.recommend(UserId(1), 5);
+        engine.observe(UserId(1), ItemId(0));
+        let text = engine.metrics_text();
+        assert!(
+            text.contains("# TYPE serve_recommend_latency_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_recommend_latency_ns_count 1"),
+            "{text}"
+        );
+        assert!(text.contains("serve_observe_latency_ns_count 1"), "{text}");
+        assert!(text.contains("serve_shards 2"), "{text}");
+        // Exactly one shard owns user 1's single observe.
+        let owned: u64 = (0..2)
+            .map(|s| {
+                engine
+                    .metrics_registry()
+                    .counter_with("serve_observes_total", &[("shard", &s.to_string())])
+                    .get()
+            })
+            .sum();
+        assert_eq!(owned, 1);
         engine.shutdown();
     }
 

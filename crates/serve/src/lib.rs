@@ -18,9 +18,11 @@
 //!   copy-on-write overlay. [`ServeEngine::swap_model`] harvests every
 //!   shard's delta, merges them into the incoming model, and installs the
 //!   result — all in-band, without stopping traffic.
-//! * **Observability** ([`metrics`]) — wait-free power-of-two latency
-//!   histograms (p50/p95/p99) and per-shard traffic counters, snapshotted
-//!   as a [`MetricsReport`].
+//! * **Observability** ([`metrics`]) — every engine owns a private
+//!   [`rrc_obs::Registry`]: wait-free power-of-two latency histograms
+//!   (p50/p95/p99/mean/max) and per-shard traffic counters, snapshotted
+//!   as a [`MetricsReport`] or exposed as Prometheus text via
+//!   [`ServeEngine::metrics_text`].
 //!
 //! Because shard 0's RNG seed equals the [`rrc_core::OnlineConfig`] seed,
 //! a 1-shard engine reproduces `OnlineTsPpr`'s online learning exactly;
@@ -52,6 +54,9 @@ pub mod overlay;
 pub mod routing;
 
 pub use engine::ServeEngine;
-pub use metrics::{LatencyHistogram, LatencySummary, MetricsReport, ShardCountersSnapshot};
+pub use metrics::{LatencySummary, MetricsReport, ShardCountersSnapshot};
 pub use overlay::{ModelDiff, ModelOverlay};
 pub use routing::shard_for;
+// The latency histogram now lives in the workspace-wide observability
+// crate; re-exported here for serving-focused callers.
+pub use rrc_obs::{Histogram, HistogramSnapshot};

@@ -1,101 +1,144 @@
-//! Built-in serving observability: lock-free latency histograms and
-//! per-shard counters.
+//! Serving observability, wired through the workspace-wide [`rrc_obs`]
+//! registry.
 //!
-//! Everything here is updated on the hot path, so the primitives are
-//! wait-free: a histogram is 64 power-of-two nanosecond buckets of
-//! relaxed `AtomicU64`s (recording = one `fetch_add`), and counters are
-//! plain relaxed atomics. Reads produce a consistent-enough
-//! [`MetricsReport`] snapshot without stopping traffic.
+//! Every engine owns a private [`Registry`] so concurrent engines (tests,
+//! benches) never share series. The hot path stays wait-free: shards and
+//! the client handle record through pre-registered `Arc` handles —
+//! request latency into power-of-two [`Histogram`]s
+//! (`serve_recommend_latency_ns`, `serve_observe_latency_ns`), traffic
+//! into per-shard counters (`serve_observes_total{shard="0"}`, …). Reads
+//! snapshot into a [`MetricsReport`] without stopping traffic, and
+//! [`ServeEngine::metrics_text`](crate::ServeEngine::metrics_text)
+//! exposes the same registry as Prometheus text.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use rrc_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Json, Registry};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Number of power-of-two buckets: bucket `i` holds samples in
-/// `[2^i, 2^(i+1))` nanoseconds, except bucket 63 which absorbs the tail.
-const BUCKETS: usize = 64;
+/// Pre-registered per-shard counter handles (recording is wait-free).
+#[derive(Debug, Clone)]
+pub struct ShardCounters {
+    pub observes: Arc<Counter>,
+    pub recommends: Arc<Counter>,
+    pub online_updates: Arc<Counter>,
+    pub swaps: Arc<Counter>,
+}
 
-/// A fixed-bucket, lock-free latency histogram.
-///
-/// Power-of-two nanosecond buckets trade resolution (quantiles are exact
-/// only to within a factor of two; reported values use the geometric mean
-/// of the winning bucket) for a wait-free `record` with no allocation —
-/// the right trade for per-request instrumentation.
+impl ShardCounters {
+    fn register(registry: &Registry, shard: usize) -> Self {
+        let shard = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &shard)];
+        ShardCounters {
+            observes: registry.counter_with("serve_observes_total", labels),
+            recommends: registry.counter_with("serve_recommends_total", labels),
+            online_updates: registry.counter_with("serve_online_updates_total", labels),
+            swaps: registry.counter_with("serve_swaps_total", labels),
+        }
+    }
+
+    pub fn snapshot(&self) -> ShardCountersSnapshot {
+        ShardCountersSnapshot {
+            observes: self.observes.get(),
+            recommends: self.recommends.get(),
+            online_updates: self.online_updates.get(),
+            swaps: self.swaps.get(),
+        }
+    }
+}
+
+/// Plain-data copy of one shard's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardCountersSnapshot {
+    pub observes: u64,
+    pub recommends: u64,
+    pub online_updates: u64,
+    pub swaps: u64,
+}
+
+/// All metric state shared between the engine handle and its shards.
 #[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
+pub(crate) struct EngineMetrics {
+    pub registry: Registry,
+    pub recommend_latency: Arc<Histogram>,
+    pub observe_latency: Arc<Histogram>,
+    pub shards: Vec<ShardCounters>,
+    uptime_ms: Arc<Gauge>,
 }
 
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+impl EngineMetrics {
+    pub fn new(shards: usize) -> Self {
+        let registry = Registry::new();
+        registry.gauge("serve_shards").set(shards as i64);
+        EngineMetrics {
+            recommend_latency: registry.histogram("serve_recommend_latency_ns"),
+            observe_latency: registry.histogram("serve_observe_latency_ns"),
+            shards: (0..shards)
+                .map(|id| ShardCounters::register(&registry, id))
+                .collect(),
+            uptime_ms: registry.gauge("serve_uptime_ms"),
+            registry,
         }
     }
-}
 
-impl LatencyHistogram {
-    pub fn new() -> Self {
-        Self::default()
+    /// Refresh the uptime gauge (called at every exposition).
+    pub fn touch_uptime(&self, uptime: Duration) {
+        self.uptime_ms
+            .set(uptime.as_millis().min(i64::MAX as u128) as i64);
     }
 
-    /// Record one sample. Wait-free; callable from any thread.
-    pub fn record(&self, latency: Duration) {
-        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
-        let idx = (63 - nanos.max(1).leading_zeros()) as usize;
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total samples recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// The latency at quantile `q ∈ [0, 1]`, or `None` when empty.
-    ///
-    /// Returns the geometric midpoint of the bucket containing the
-    /// quantile, so the answer is within ×√2 of the true value.
-    pub fn quantile(&self, q: f64) -> Option<Duration> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Geometric mean of [2^i, 2^(i+1)) = 2^i * sqrt(2).
-                let nanos = (1u128 << i) as f64 * std::f64::consts::SQRT_2;
-                return Some(Duration::from_nanos(nanos.min(u64::MAX as f64) as u64));
-            }
-        }
-        unreachable!("rank is bounded by the total")
-    }
-
-    /// Snapshot `(count, p50, p95, p99)` in one pass.
-    pub fn summary(&self) -> LatencySummary {
-        LatencySummary {
-            count: self.count(),
-            p50: self.quantile(0.50),
-            p95: self.quantile(0.95),
-            p99: self.quantile(0.99),
+    pub fn report(&self, uptime: Duration) -> MetricsReport {
+        self.touch_uptime(uptime);
+        MetricsReport {
+            uptime,
+            recommend_latency: LatencySummary::from(self.recommend_latency.snapshot()),
+            observe_latency: LatencySummary::from(self.observe_latency.snapshot()),
+            shards: self.shards.iter().map(|s| s.snapshot()).collect(),
         }
     }
 }
 
-/// Point-in-time digest of one histogram.
+/// Point-in-time digest of one latency histogram: count and
+/// p50/p95/p99/mean/max, all answered from a single
+/// [`HistogramSnapshot`] capture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencySummary {
     pub count: u64,
     pub p50: Option<Duration>,
     pub p95: Option<Duration>,
     pub p99: Option<Duration>,
+    pub mean: Option<Duration>,
+    pub max: Option<Duration>,
+}
+
+impl From<HistogramSnapshot> for LatencySummary {
+    fn from(snap: HistogramSnapshot) -> Self {
+        LatencySummary {
+            count: snap.count(),
+            p50: snap.quantile_duration(0.50),
+            p95: snap.quantile_duration(0.95),
+            p99: snap.quantile_duration(0.99),
+            mean: snap.mean().map(|ns| Duration::from_nanos(ns as u64)),
+            max: snap.max().map(Duration::from_nanos),
+        }
+    }
+}
+
+impl LatencySummary {
+    /// JSON shape used inside [`RunReport`](rrc_obs::RunReport)s:
+    /// nanosecond-valued quantiles plus the count.
+    pub fn to_json(&self) -> Json {
+        fn ns(d: Option<Duration>) -> Json {
+            Json::from(d.map(|d| d.as_nanos().min(u64::MAX as u128) as u64))
+        }
+        Json::obj([
+            ("count", Json::U64(self.count)),
+            ("p50_ns", ns(self.p50)),
+            ("p95_ns", ns(self.p95)),
+            ("p99_ns", ns(self.p99)),
+            ("mean_ns", ns(self.mean)),
+            ("max_ns", ns(self.max)),
+        ])
+    }
 }
 
 impl std::fmt::Display for LatencySummary {
@@ -108,68 +151,14 @@ impl std::fmt::Display for LatencySummary {
         }
         write!(
             f,
-            "n={:<9} p50={:<9} p95={:<9} p99={}",
+            "n={:<9} p50={:<9} p95={:<9} p99={:<9} mean={:<9} max={}",
             self.count,
             d(self.p50),
             d(self.p95),
-            d(self.p99)
+            d(self.p99),
+            d(self.mean),
+            d(self.max)
         )
-    }
-}
-
-/// Wait-free per-shard traffic counters.
-#[derive(Debug, Default)]
-pub struct ShardCounters {
-    pub observes: AtomicU64,
-    pub recommends: AtomicU64,
-    pub online_updates: AtomicU64,
-    pub swaps: AtomicU64,
-}
-
-impl ShardCounters {
-    pub fn snapshot(&self) -> ShardCountersSnapshot {
-        ShardCountersSnapshot {
-            observes: self.observes.load(Ordering::Relaxed),
-            recommends: self.recommends.load(Ordering::Relaxed),
-            online_updates: self.online_updates.load(Ordering::Relaxed),
-            swaps: self.swaps.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// Plain-data copy of [`ShardCounters`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct ShardCountersSnapshot {
-    pub observes: u64,
-    pub recommends: u64,
-    pub online_updates: u64,
-    pub swaps: u64,
-}
-
-/// All metric state shared between the engine handle and its shards.
-#[derive(Debug)]
-pub(crate) struct EngineMetrics {
-    pub recommend_latency: LatencyHistogram,
-    pub observe_latency: LatencyHistogram,
-    pub shards: Vec<ShardCounters>,
-}
-
-impl EngineMetrics {
-    pub fn new(shards: usize) -> Self {
-        EngineMetrics {
-            recommend_latency: LatencyHistogram::new(),
-            observe_latency: LatencyHistogram::new(),
-            shards: (0..shards).map(|_| ShardCounters::default()).collect(),
-        }
-    }
-
-    pub fn report(&self, uptime: Duration) -> MetricsReport {
-        MetricsReport {
-            uptime,
-            recommend_latency: self.recommend_latency.summary(),
-            observe_latency: self.observe_latency.summary(),
-            shards: self.shards.iter().map(|s| s.snapshot()).collect(),
-        }
     }
 }
 
@@ -207,6 +196,51 @@ impl MetricsReport {
     pub fn observes_per_sec(&self) -> f64 {
         self.total_observes() as f64 / self.uptime.as_secs_f64().max(1e-9)
     }
+
+    /// The report as JSON: per-request-type latency summaries and the
+    /// per-shard counter table (the `loadgen --json` payload core).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "uptime_ms",
+                Json::U64(self.uptime.as_millis().min(u64::MAX as u128) as u64),
+            ),
+            (
+                "requests",
+                Json::obj([
+                    ("recommend", self.recommend_latency.to_json()),
+                    ("observe", self.observe_latency.to_json()),
+                ]),
+            ),
+            (
+                "shards",
+                Json::Arr(
+                    self.shards
+                        .iter()
+                        .enumerate()
+                        .map(|(id, s)| {
+                            Json::obj([
+                                ("shard", Json::from(id)),
+                                ("observes", Json::U64(s.observes)),
+                                ("recommends", Json::U64(s.recommends)),
+                                ("online_updates", Json::U64(s.online_updates)),
+                                ("swaps", Json::U64(s.swaps)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "totals",
+                Json::obj([
+                    ("observes", Json::U64(self.total_observes())),
+                    ("recommends", Json::U64(self.total_recommends())),
+                    ("online_updates", Json::U64(self.total_online_updates())),
+                    ("observes_per_sec", Json::F64(self.observes_per_sec())),
+                ]),
+            ),
+        ])
+    }
 }
 
 impl std::fmt::Display for MetricsReport {
@@ -237,67 +271,73 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_histogram_has_no_quantiles() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile(0.5), None);
-    }
-
-    #[test]
-    fn quantiles_bracket_true_values_within_a_bucket() {
-        let h = LatencyHistogram::new();
-        for micros in 1..=1000u64 {
-            h.record(Duration::from_micros(micros));
-        }
-        assert_eq!(h.count(), 1000);
-        let p50 = h.quantile(0.5).unwrap();
-        // True median is 500µs; a power-of-two bucket answer must land
-        // within [256µs, 1024µs] and the geometric-mid rule within ×√2.
-        assert!(p50 >= Duration::from_micros(256), "p50={p50:?}");
-        assert!(p50 <= Duration::from_micros(1024), "p50={p50:?}");
-        let p99 = h.quantile(0.99).unwrap();
-        assert!(p99 >= p50);
-    }
-
-    #[test]
-    fn extreme_samples_are_clamped_not_lost() {
-        let h = LatencyHistogram::new();
-        h.record(Duration::ZERO);
-        h.record(Duration::from_secs(40_000));
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile(1.0).is_some());
-    }
-
-    #[test]
-    fn concurrent_recording_loses_nothing() {
-        let h = std::sync::Arc::new(LatencyHistogram::new());
-        let threads: Vec<_> = (0..4)
-            .map(|_| {
-                let h = h.clone();
-                std::thread::spawn(move || {
-                    for i in 0..10_000u64 {
-                        h.record(Duration::from_nanos(i + 1));
-                    }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().unwrap();
-        }
-        assert_eq!(h.count(), 40_000);
-    }
-
-    #[test]
     fn report_totals_sum_shards() {
         let m = EngineMetrics::new(3);
-        m.shards[0].observes.fetch_add(5, Ordering::Relaxed);
-        m.shards[2].observes.fetch_add(7, Ordering::Relaxed);
-        m.shards[1].recommends.fetch_add(2, Ordering::Relaxed);
+        m.shards[0].observes.add(5);
+        m.shards[2].observes.add(7);
+        m.shards[1].recommends.add(2);
         let r = m.report(Duration::from_secs(2));
         assert_eq!(r.total_observes(), 12);
         assert_eq!(r.total_recommends(), 2);
         assert!((r.observes_per_sec() - 6.0).abs() < 1e-9);
         // Display renders without panicking.
         let _ = r.to_string();
+    }
+
+    #[test]
+    fn latency_summary_tracks_histogram_snapshot() {
+        let m = EngineMetrics::new(1);
+        for micros in [100u64, 200, 400, 800] {
+            m.recommend_latency
+                .record_duration(Duration::from_micros(micros));
+        }
+        let r = m.report(Duration::from_secs(1));
+        let s = r.recommend_latency;
+        assert_eq!(s.count, 4);
+        assert!(s.p50.unwrap() >= Duration::from_micros(64));
+        assert_eq!(s.max, Some(Duration::from_micros(800)));
+        let mean = s.mean.unwrap();
+        assert!(
+            mean >= Duration::from_micros(300) && mean <= Duration::from_micros(450),
+            "mean={mean:?}"
+        );
+        // Empty observe histogram reports no quantiles.
+        assert_eq!(r.observe_latency.p99, None);
+    }
+
+    #[test]
+    fn engine_registry_exposes_prometheus_series() {
+        let m = EngineMetrics::new(2);
+        m.shards[1].observes.add(9);
+        m.observe_latency.record_duration(Duration::from_micros(50));
+        m.touch_uptime(Duration::from_millis(1500));
+        let text = m.registry.prometheus_text();
+        assert!(
+            text.contains("serve_observes_total{shard=\"1\"} 9"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE serve_observe_latency_ns histogram"));
+        assert!(text.contains("serve_observe_latency_ns_count 1"));
+        assert!(text.contains("serve_shards 2"));
+        assert!(text.contains("serve_uptime_ms 1500"));
+    }
+
+    #[test]
+    fn report_json_parses_with_expected_keys() {
+        let m = EngineMetrics::new(2);
+        m.shards[0].observes.add(3);
+        m.observe_latency.record_duration(Duration::from_micros(10));
+        let doc = Json::parse(&m.report(Duration::from_secs(1)).to_json().render()).unwrap();
+        assert_eq!(
+            doc.at("requests.observe.count").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(doc
+            .at("requests.observe.p50_ns")
+            .unwrap()
+            .as_u64()
+            .is_some());
+        assert_eq!(doc.at("shards.0.observes").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.at("totals.observes").and_then(Json::as_u64), Some(3));
     }
 }
