@@ -22,7 +22,7 @@ pub mod markov;
 pub mod pop;
 pub mod random;
 pub mod recency;
-pub(crate) mod transitions;
+pub mod transitions;
 
 pub use dyrc::{DyrcConfig, DyrcModel, DyrcRecommender, DyrcTrainer};
 pub use forgetting::{ForgettingMarkovModel, ForgettingMarkovRecommender};

@@ -7,7 +7,7 @@ use rrc_sequence::{classify, ConsumptionKind, Dataset, ItemId, UserId, WindowSta
 /// One extracted transition event: `user` reconsumed `pos` out of basket
 /// `basket`; `negs` are sampled non-chosen eligible candidates.
 #[derive(Debug, Clone)]
-pub(crate) struct Transition {
+pub struct Transition {
     pub user: UserId,
     pub pos: ItemId,
     pub negs: Vec<ItemId>,
@@ -17,7 +17,7 @@ pub(crate) struct Transition {
 /// Walk the training split extracting eligible-repeat transitions with up
 /// to `negatives_per_positive` sampled negatives each. The basket is the
 /// distinct-item content of the window at the event.
-pub(crate) fn collect_transitions(
+pub fn collect_transitions(
     train: &Dataset,
     window: usize,
     omega: usize,

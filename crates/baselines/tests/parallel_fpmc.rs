@@ -1,0 +1,87 @@
+//! Parallel-training equivalence for the FPMC baseline: one shard is
+//! identical to the serial trainer, sharded output is a pure function of
+//! `(seed, shards)`, and Hogwild stays finite while still learning.
+
+use rrc_baselines::fpmc::{FpmcConfig, FpmcModel, FpmcTrainer};
+use rrc_core::parallel::ParallelConfig;
+use rrc_datagen::GeneratorConfig;
+use rrc_sequence::Dataset;
+
+fn fixture() -> Dataset {
+    GeneratorConfig::tiny().with_seed(13).generate()
+}
+
+fn config(d: &Dataset) -> FpmcConfig {
+    FpmcConfig {
+        k: 8,
+        max_sweeps: 10,
+        window: 30,
+        omega: 3,
+        negatives_per_positive: 5,
+        ..FpmcConfig::new(d.num_users(), d.num_items())
+    }
+}
+
+#[test]
+fn fpmc_sharded_one_shard_matches_serial() {
+    let data = fixture();
+    let trainer = FpmcTrainer::new(config(&data));
+    let serial = trainer.train(&data);
+    let par = trainer.train_parallel(&data, &ParallelConfig::sharded(1));
+    assert_eq!(serial, par, "FPMC 1-shard must equal serial training");
+}
+
+#[test]
+fn fpmc_sharded_is_reproducible_and_thread_invariant() {
+    let data = fixture();
+    let trainer = FpmcTrainer::new(config(&data));
+    let reference = trainer.train_parallel(&data, &ParallelConfig::sharded(1).with_shards(4));
+    for threads in [2, 4, 8] {
+        let run = trainer.train_parallel(&data, &ParallelConfig::sharded(threads).with_shards(4));
+        assert_eq!(reference, run, "FPMC threads={threads} diverged");
+    }
+    // And run-to-run.
+    let again = trainer.train_parallel(&data, &ParallelConfig::sharded(4));
+    let twice = trainer.train_parallel(&data, &ParallelConfig::sharded(4));
+    assert_eq!(again, twice);
+}
+
+#[test]
+fn fpmc_hogwild_stays_finite_and_learns() {
+    let data = fixture();
+    let cfg = config(&data);
+    let trainer = FpmcTrainer::new(cfg.clone());
+    let model = trainer.train_parallel(&data, &ParallelConfig::hogwild(4));
+    assert!(
+        model.is_finite(),
+        "racy FPMC updates must never produce NaN"
+    );
+
+    // Pairwise accuracy on the extracted transitions must beat chance by a
+    // wide margin, like the serial trainer's.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed);
+    let transitions = rrc_baselines::transitions::collect_transitions(
+        &data,
+        cfg.window,
+        cfg.omega,
+        cfg.negatives_per_positive,
+        &mut rng,
+    );
+    assert!(!transitions.is_empty());
+    let acc = pairwise_accuracy(&model, &transitions);
+    assert!(acc > 0.6, "hogwild FPMC accuracy {acc}");
+}
+
+fn pairwise_accuracy(m: &FpmcModel, transitions: &[rrc_baselines::transitions::Transition]) -> f64 {
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for tr in transitions {
+        for &neg in &tr.negs {
+            if m.score(tr.user, tr.pos, &tr.basket) > m.score(tr.user, neg, &tr.basket) {
+                wins += 1;
+            }
+            total += 1;
+        }
+    }
+    wins as f64 / total as f64
+}

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rrc_bench::setup::{prepare, RunOptions};
 use rrc_bench::zoo::{build_training_set, tsppr_config};
-use rrc_core::TsPprTrainer;
+use rrc_core::{ParallelConfig, ParallelTrainer, TsPprTrainer};
 use rrc_datagen::DatasetKind;
 use rrc_features::FeaturePipeline;
 
@@ -25,6 +25,17 @@ fn bench_training(c: &mut Criterion) {
         let trainer = TsPprTrainer::new(cfg);
         b.iter(|| std::hint::black_box(trainer.train(&training)));
     });
+    for threads in [2, 4] {
+        group.bench_function(format!("one_sweep_sharded_x{threads}"), |b| {
+            // Same sweep, user-sharded across worker threads.
+            let mut cfg = tsppr_config(&exp, &opts);
+            cfg.max_sweeps = 1;
+            cfg.convergence_eps = 0.0;
+            cfg.check_interval_fraction = 1.0;
+            let trainer = ParallelTrainer::new(cfg, ParallelConfig::sharded(threads));
+            b.iter(|| std::hint::black_box(trainer.train(&training)));
+        });
+    }
     group.finish();
 
     let mut sampling = c.benchmark_group("training_set_build");

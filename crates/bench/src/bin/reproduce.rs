@@ -25,7 +25,8 @@ fn usage() -> ! {
          \x20 --s <n>                negatives per positive S (default 10)\n\
          \x20 --k <n>                latent dimension K (default 40)\n\
          \x20 --sweeps <n>           TS-PPR sweep cap (default 40)\n\
-         \x20 --threads <n>          evaluation threads (default: all cores)\n\
+         \x20 --threads <n>          evaluation/training threads (default: all cores)\n\
+         \x20 --train-mode <m>       serial | sharded | hogwild (default serial)\n\
          \x20 --seed <n>             base RNG seed\n\
          \x20 --json <path>          write a machine-readable RunReport here"
     );
@@ -69,6 +70,7 @@ fn parse_args() -> (Vec<String>, RunOptions, Option<String>) {
             "--k" => opts.k = parse_u(),
             "--sweeps" => opts.max_sweeps = parse_u(),
             "--threads" => opts.threads = parse_u(),
+            "--train-mode" => opts.train_mode = value.parse().unwrap_or_else(|_| usage()),
             "--seed" => opts.seed = value.parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
@@ -82,7 +84,7 @@ fn parse_args() -> (Vec<String>, RunOptions, Option<String>) {
 fn main() {
     let (names, opts, json_path) = parse_args();
     eprintln!(
-        "# options: scale(gowalla)={}, scale(lastfm)={}, |W|={}, Ω={}, S={}, K={}, sweeps={}, threads={}",
+        "# options: scale(gowalla)={}, scale(lastfm)={}, |W|={}, Ω={}, S={}, K={}, sweeps={}, threads={}, train={}",
         opts.scale_gowalla,
         opts.scale_lastfm,
         opts.window,
@@ -90,7 +92,8 @@ fn main() {
         opts.s,
         opts.k,
         opts.max_sweeps,
-        opts.threads
+        opts.threads,
+        opts.train_mode
     );
 
     let expanded: Vec<String> = if names.iter().any(|n| n == "all") {
@@ -159,6 +162,10 @@ fn main() {
             .config("k", Json::from(opts.k))
             .config("max_sweeps", Json::from(opts.max_sweeps))
             .config("threads", Json::from(opts.threads))
+            .config(
+                "train_mode",
+                Json::from(opts.train_mode.to_string().as_str()),
+            )
             .config("seed", Json::from(opts.seed))
             .config(
                 "experiments",

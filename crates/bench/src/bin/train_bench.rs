@@ -1,0 +1,262 @@
+//! Training throughput benchmark: serial vs sharded vs Hogwild SGD on the
+//! Fig. 12 convergence workload.
+//!
+//! Emits a machine-readable `RunReport` (default `BENCH_train.json`) with
+//! wall time, steps/s, and speedup-vs-serial per mode and thread count,
+//! plus a determinism check: the sharded trainer at the highest thread
+//! count is run twice and the parameter-bit hashes must match.
+//!
+//! ```sh
+//! cargo run --release -p rrc-bench --bin train-bench -- --out BENCH_train.json
+//! cargo run --release -p rrc-bench --bin train-bench -- --fast --threads 2
+//! ```
+
+use rrc_bench::setup::{prepare, RunOptions};
+use rrc_bench::zoo::{build_training_set, tsppr_config};
+use rrc_core::{ParallelConfig, ParallelTrainer, TrainMode, TsPprModel};
+use rrc_datagen::DatasetKind;
+use rrc_features::FeaturePipeline;
+use rrc_obs::{Json, RunReport};
+use rrc_sequence::{ItemId, UserId};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: train-bench [OPTIONS]\n\n\
+         options:\n\
+         \x20 --fast             reduced scale (smoke-test mode)\n\
+         \x20 --scale <f>        Gowalla-like preset scale\n\
+         \x20 --sweeps <n>       TS-PPR sweep cap\n\
+         \x20 --k <n>            latent dimension K\n\
+         \x20 --threads <n>      max thread count to benchmark (default 4)\n\
+         \x20 --seed <n>         base RNG seed\n\
+         \x20 --out <path>       report path (default BENCH_train.json)"
+    );
+    std::process::exit(2);
+}
+
+/// FNV-1a over every parameter's bit pattern: equal hash ⟺ (with
+/// overwhelming probability) byte-identical parameters.
+fn param_hash(m: &TsPprModel) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |x: f64| {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for u in 0..m.num_users() {
+        let user = UserId(u as u32);
+        m.user_factor(user).iter().copied().for_each(&mut eat);
+        m.transform(user)
+            .as_slice()
+            .iter()
+            .copied()
+            .for_each(&mut eat);
+    }
+    for v in 0..m.num_items() {
+        m.item_factor(ItemId(v as u32))
+            .iter()
+            .copied()
+            .for_each(&mut eat);
+    }
+    h
+}
+
+fn main() {
+    let mut opts = RunOptions::default();
+    let mut max_threads = 4usize;
+    let mut out = String::from("BENCH_train.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--fast" => {
+                let keep = (opts.threads, opts.seed);
+                opts = RunOptions::fast();
+                (opts.threads, opts.seed) = keep;
+            }
+            "--scale" => opts.scale_gowalla = val().parse().unwrap_or_else(|_| usage()),
+            "--sweeps" => opts.max_sweeps = val().parse().unwrap_or_else(|_| usage()),
+            "--k" => opts.k = val().parse().unwrap_or_else(|_| usage()),
+            "--threads" => max_threads = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => out = val(),
+            _ => usage(),
+        }
+    }
+    if max_threads == 0 {
+        usage();
+    }
+
+    eprintln!(
+        "# train-bench: scale={}, K={}, sweeps={}, max threads={}",
+        opts.scale_gowalla, opts.k, opts.max_sweeps, max_threads
+    );
+    let exp = prepare(DatasetKind::Gowalla, &opts);
+    let training = build_training_set(&exp, &opts, &FeaturePipeline::standard());
+    let cfg = tsppr_config(&exp, &opts);
+    eprintln!(
+        "# |D| = {} quadruples, {} users, {} items",
+        training.num_quadruples(),
+        exp.data.num_users(),
+        exp.data.num_items()
+    );
+
+    let run = |mode: TrainMode, threads: usize| {
+        let par = ParallelConfig::new(mode, threads);
+        let started = std::time::Instant::now();
+        let (model, report) = ParallelTrainer::new(cfg.clone(), par).train(&training);
+        let wall_s = started.elapsed().as_secs_f64();
+        assert!(
+            model.is_finite(),
+            "{mode} x{threads} produced non-finite params"
+        );
+        (model, report, wall_s)
+    };
+
+    let mut modes: Vec<Json> = Vec::new();
+    let (serial_model, serial_report, serial_s) = run(TrainMode::Serial, 1);
+    let serial_hash = param_hash(&serial_model);
+    eprintln!(
+        "# serial: {:.2}s, {} steps, r̃ = {:.4}",
+        serial_s,
+        serial_report.steps,
+        serial_report.final_r_tilde()
+    );
+    modes.push(Json::obj([
+        ("mode", Json::from("serial")),
+        ("threads", Json::from(1usize)),
+        ("wall_s", Json::F64(serial_s)),
+        ("steps", Json::from(serial_report.steps)),
+        (
+            "steps_per_sec",
+            Json::F64(serial_report.steps as f64 / serial_s),
+        ),
+        ("speedup_vs_serial", Json::F64(1.0)),
+        ("r_tilde", Json::F64(serial_report.final_r_tilde())),
+        (
+            "param_hash",
+            Json::from(format!("{serial_hash:016x}").as_str()),
+        ),
+    ]));
+
+    // Sharded at 1, 2, 4, ... up to max_threads. Thread counts are also the
+    // shard counts here, so each row is an independent deterministic run.
+    let mut threads_list = vec![1usize];
+    while *threads_list.last().unwrap() * 2 <= max_threads {
+        threads_list.push(threads_list.last().unwrap() * 2);
+    }
+    let mut sharded_max: Option<(f64, u64)> = None;
+    for &t in &threads_list {
+        let (model, report, wall_s) = run(TrainMode::Sharded, t);
+        let hash = param_hash(&model);
+        eprintln!(
+            "# sharded x{t}: {:.2}s ({:.2}x), {} steps, r̃ = {:.4}",
+            wall_s,
+            serial_s / wall_s,
+            report.steps,
+            report.final_r_tilde()
+        );
+        if t == 1 {
+            assert_eq!(
+                hash, serial_hash,
+                "sharded x1 must be byte-identical to serial"
+            );
+        }
+        if t == *threads_list.last().unwrap() {
+            sharded_max = Some((wall_s, hash));
+        }
+        modes.push(Json::obj([
+            ("mode", Json::from("sharded")),
+            ("threads", Json::from(t)),
+            ("wall_s", Json::F64(wall_s)),
+            ("steps", Json::from(report.steps)),
+            ("steps_per_sec", Json::F64(report.steps as f64 / wall_s)),
+            ("speedup_vs_serial", Json::F64(serial_s / wall_s)),
+            ("r_tilde", Json::F64(report.final_r_tilde())),
+            ("param_hash", Json::from(format!("{hash:016x}").as_str())),
+        ]));
+    }
+
+    // Determinism: a second run at the highest sharded thread count must
+    // reproduce the exact same parameter bits.
+    let top = *threads_list.last().unwrap();
+    let (repeat_model, _, _) = run(TrainMode::Sharded, top);
+    let (top_wall, top_hash) = sharded_max.unwrap();
+    let repeat_hash = param_hash(&repeat_model);
+    assert_eq!(
+        top_hash, repeat_hash,
+        "sharded x{top} is not run-to-run deterministic"
+    );
+    eprintln!("# sharded x{top} determinism check: param hash {top_hash:016x} reproduced");
+
+    let (_, hog_report, hog_s) = run(TrainMode::Hogwild, top);
+    eprintln!(
+        "# hogwild x{top}: {:.2}s ({:.2}x), r̃ = {:.4}",
+        hog_s,
+        serial_s / hog_s,
+        hog_report.final_r_tilde()
+    );
+    modes.push(Json::obj([
+        ("mode", Json::from("hogwild")),
+        ("threads", Json::from(top)),
+        ("wall_s", Json::F64(hog_s)),
+        ("steps", Json::from(hog_report.steps)),
+        ("steps_per_sec", Json::F64(hog_report.steps as f64 / hog_s)),
+        ("speedup_vs_serial", Json::F64(serial_s / hog_s)),
+        ("r_tilde", Json::F64(hog_report.final_r_tilde())),
+    ]));
+
+    let mut report = RunReport::new("train-bench")
+        .config("scale_gowalla", Json::F64(opts.scale_gowalla))
+        .config("window", Json::from(opts.window))
+        .config("omega", Json::from(opts.omega))
+        .config("s", Json::from(opts.s))
+        .config("k", Json::from(opts.k))
+        .config("max_sweeps", Json::from(opts.max_sweeps))
+        .config("seed", Json::from(opts.seed))
+        .config("quadruples", Json::from(training.num_quadruples()))
+        .config("users", Json::from(exp.data.num_users()))
+        .config("items", Json::from(exp.data.num_items()))
+        // Wall-clock speedups are bounded by the physical cores of the box
+        // the report was generated on; record it so the numbers read right.
+        .config(
+            "host_threads",
+            Json::from(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            ),
+        );
+    report.add_section("modes", Json::Arr(modes));
+    report.add_section(
+        "determinism",
+        Json::obj([
+            ("sharded_threads", Json::from(top)),
+            (
+                "param_hash",
+                Json::from(format!("{top_hash:016x}").as_str()),
+            ),
+            ("reproduced", Json::from(true)),
+        ]),
+    );
+    report.add_section(
+        "summary",
+        Json::obj([
+            ("serial_wall_s", Json::F64(serial_s)),
+            ("sharded_max_threads", Json::from(top)),
+            ("sharded_max_wall_s", Json::F64(top_wall)),
+            ("sharded_max_speedup", Json::F64(serial_s / top_wall)),
+            ("hogwild_wall_s", Json::F64(hog_s)),
+            ("hogwild_speedup", Json::F64(serial_s / hog_s)),
+        ]),
+    );
+    report.add_metrics(rrc_obs::global());
+    match report.write_to(&out) {
+        Ok(()) => eprintln!("# report written to {out}"),
+        Err(e) => {
+            eprintln!("error: failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 use crate::report_sink;
 use crate::setup::{prepare, RunOptions};
 use crate::zoo::{build_training_set, tsppr_config};
-use rrc_core::TsPprTrainer;
+use rrc_core::ParallelTrainer;
 use rrc_datagen::DatasetKind;
 use rrc_features::FeaturePipeline;
 use rrc_obs::Json;
@@ -14,14 +14,16 @@ use rrc_obs::Json;
 /// `reproduce --json`.
 pub fn run(opts: &RunOptions) -> String {
     let mut out = format!(
-        "Fig. 12 — model convergence: small-batch r̃ per check (S={}, Ω={}, Δr̃ ≤ 1e-3)\n",
-        opts.s, opts.omega
+        "Fig. 12 — model convergence: small-batch r̃ per check (S={}, Ω={}, Δr̃ ≤ 1e-3, \
+         train={} × {} threads)\n",
+        opts.s, opts.omega, opts.train_mode, opts.threads
     );
     let mut traces: Vec<(String, Json)> = Vec::new();
     for kind in [DatasetKind::Gowalla, DatasetKind::Lastfm] {
         let exp = prepare(kind, opts);
         let training = build_training_set(&exp, opts, &FeaturePipeline::standard());
-        let (_, report) = TsPprTrainer::new(tsppr_config(&exp, opts)).train(&training);
+        let (_, report) =
+            ParallelTrainer::new(tsppr_config(&exp, opts), opts.parallel()).train(&training);
         out.push_str(&format!(
             "\n[{kind}] |D| = {}, steps = {}, converged = {}, wall = {:.2?}\n",
             training.num_quadruples(),
@@ -50,6 +52,11 @@ pub fn run(opts: &RunOptions) -> String {
             kind.to_string(),
             Json::obj([
                 ("quadruples", Json::from(training.num_quadruples())),
+                (
+                    "train_mode",
+                    Json::from(opts.train_mode.to_string().as_str()),
+                ),
+                ("threads", Json::from(opts.threads)),
                 ("steps", Json::from(report.steps)),
                 ("converged", Json::from(report.converged)),
                 ("wall_s", Json::F64(report.elapsed.as_secs_f64())),

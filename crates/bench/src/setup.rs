@@ -1,5 +1,6 @@
 //! Shared experiment setup: dataset preparation and run-wide options.
 
+use rrc_core::{ParallelConfig, TrainMode};
 use rrc_datagen::{DatasetKind, GeneratorConfig};
 use rrc_features::TrainStats;
 use rrc_sequence::{Dataset, SplitDataset};
@@ -23,8 +24,10 @@ pub struct RunOptions {
     pub k: usize,
     /// TS-PPR sweep cap.
     pub max_sweeps: usize,
-    /// Threads for parallel evaluation.
+    /// Threads for parallel evaluation and (non-serial) training.
     pub threads: usize,
+    /// How SGD training is executed (serial / sharded / hogwild).
+    pub train_mode: TrainMode,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -42,6 +45,9 @@ impl Default for RunOptions {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            // Serial keeps default experiment output identical to the
+            // original single-threaded driver; opt in with --train-mode.
+            train_mode: TrainMode::Serial,
             seed: 20170419, // ICDE 2017
         }
     }
@@ -60,6 +66,11 @@ impl RunOptions {
             max_sweeps: 15,
             ..Self::default()
         }
+    }
+
+    /// The parallel-training configuration these options describe.
+    pub fn parallel(&self) -> ParallelConfig {
+        ParallelConfig::new(self.train_mode, self.threads)
     }
 }
 

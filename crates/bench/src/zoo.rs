@@ -6,7 +6,7 @@ use rrc_baselines::{
     DyrcConfig, DyrcRecommender, DyrcTrainer, FpmcConfig, FpmcRecommender, FpmcTrainer,
     PopRecommender, RandomRecommender, RecencyRecommender,
 };
-use rrc_core::{TrainReport, TsPprConfig, TsPprRecommender, TsPprTrainer};
+use rrc_core::{ParallelTrainer, TrainReport, TsPprConfig, TsPprRecommender};
 use rrc_datagen::DatasetKind;
 use rrc_features::{FeaturePipeline, Recommender, SamplingConfig, TrainingSet};
 use rrc_survival::{CoxConfig, SurvivalRecommender};
@@ -35,7 +35,7 @@ impl ModelZoo {
             seed: opts.seed ^ 0xF,
             ..FpmcConfig::new(exp.data.num_users(), exp.data.num_items())
         })
-        .train(&exp.split.train);
+        .train_parallel(&exp.split.train, &opts.parallel());
         methods.push(("FPMC".into(), Box::new(FpmcRecommender::new(fpmc))));
 
         match SurvivalRecommender::fit(
@@ -148,7 +148,8 @@ pub fn train_tsppr(
     pipeline: &FeaturePipeline,
 ) -> (TsPprRecommender, TrainReport) {
     let training = build_training_set(exp, opts, pipeline);
-    let (model, report) = TsPprTrainer::new(tsppr_config(exp, opts)).train(&training);
+    let (model, report) =
+        ParallelTrainer::new(tsppr_config(exp, opts), opts.parallel()).train(&training);
     // Rebuild an identical pipeline for serving (pipelines are not Clone
     // because they hold trait objects; the standard features are stateless).
     let serving = clone_pipeline(pipeline);

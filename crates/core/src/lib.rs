@@ -45,6 +45,7 @@
 pub mod config;
 pub mod model;
 pub mod online;
+pub mod parallel;
 pub mod params;
 pub mod persist;
 pub mod ppr;
@@ -54,6 +55,7 @@ pub mod train;
 pub use config::TsPprConfig;
 pub use model::TsPprModel;
 pub use online::{observe_single, online_step_single, recommend_single, OnlineConfig, OnlineTsPpr};
+pub use parallel::{shard_for, ParallelConfig, ParallelTrainer, TrainMode};
 pub use params::ModelParams;
 pub use ppr::{PprConfig, PprModel, PprRecommender, PprTrainer};
 pub use recommend::TsPprRecommender;

@@ -56,6 +56,13 @@ impl TsPprModel {
         TsPprModel { k, f_dim, u, v, a }
     }
 
+    /// Decompose into `(K, F, U, V, A)` — the inverse of
+    /// [`Self::from_parts`]. The parallel trainers use this to split
+    /// ownership of the rows across shard-local storage.
+    pub fn into_parts(self) -> (usize, usize, DMatrix, DMatrix, Vec<DMatrix>) {
+        (self.k, self.f_dim, self.u, self.v, self.a)
+    }
+
     /// Latent dimension `K`.
     pub fn k(&self) -> usize {
         self.k

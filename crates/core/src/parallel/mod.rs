@@ -1,0 +1,418 @@
+//! Parallel SGD training for TS-PPR (and, via the same machinery, the
+//! plain-PPR ablation and the FPMC baseline).
+//!
+//! Two modes, one trade-off:
+//!
+//! * **Sharded-deterministic** ([`TrainMode::Sharded`]) — users are
+//!   partitioned by the same SplitMix64 hash the `rrc-serve` engine routes
+//!   with ([`shard_for`]), so each shard *owns* its users' `u` rows and
+//!   `A_u` transforms outright and mutates them lock-free. The shared item
+//!   matrix `V` is copied into each shard at the start of every
+//!   synchronisation block and the per-shard item updates are merged back
+//!   at the block barrier in fixed shard order ([`merge_item_updates`]).
+//!   The result is a pure function of `(seed, shard count)` — byte-identical
+//!   across runs and across *thread* counts, because threads only schedule
+//!   shards. With one shard the machinery degenerates to exactly the serial
+//!   trainer: same RNG stream, same update order, bit-identical parameters.
+//!
+//! * **Hogwild** ([`TrainMode::Hogwild`]) — all workers update one shared
+//!   parameter arena ([`ParamArena`]) with no locks at all, in the style of
+//!   Niu et al.'s HOGWILD!. BPR-family updates are sparse — one user row,
+//!   one `A_u`, two item rows per step — so collisions are rare and the
+//!   occasional lost update is statistical noise. Maximum throughput, no
+//!   reproducibility guarantee.
+//!
+//! Both modes keep the paper's training loop shape: steps are grouped into
+//! blocks of one convergence-check interval (`|D| · check_interval_fraction`
+//! draws), and the small-batch `Δr̃` check of §5.6.1 runs at every block
+//! barrier over the merged parameters, exactly as often as the serial
+//! trainer checks.
+
+mod hogwild;
+mod sharded;
+
+pub use hogwild::ParamArena;
+
+use crate::config::TsPprConfig;
+use crate::model::TsPprModel;
+use crate::params::ModelParams;
+use crate::train::{batch_partial, TrainReport, TsPprTrainer};
+use rrc_features::{Quadruple, TrainingSet};
+use rrc_linalg::DMatrix;
+use rrc_sequence::UserId;
+
+/// How to run the SGD loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainMode {
+    /// The single-threaded trainer of Algorithm 1 (the reference).
+    Serial,
+    /// Deterministic user-sharded training: lock-free within a block,
+    /// merged at block barriers, byte-identical for a fixed seed and shard
+    /// count regardless of thread count.
+    Sharded,
+    /// Lock-free shared-memory updates tolerating benign races.
+    Hogwild,
+}
+
+impl std::fmt::Display for TrainMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TrainMode::Serial => "serial",
+            TrainMode::Sharded => "sharded",
+            TrainMode::Hogwild => "hogwild",
+        })
+    }
+}
+
+impl std::str::FromStr for TrainMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "serial" => Ok(TrainMode::Serial),
+            "sharded" => Ok(TrainMode::Sharded),
+            "hogwild" => Ok(TrainMode::Hogwild),
+            other => Err(format!(
+                "unknown train mode {other:?} (expected serial | sharded | hogwild)"
+            )),
+        }
+    }
+}
+
+/// Parallelism settings shared by every parallel trainer in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Execution mode.
+    pub mode: TrainMode,
+    /// Worker threads. Threads schedule shards; they never affect the
+    /// sharded-deterministic output.
+    pub threads: usize,
+    /// Logical shards — the determinism unit of [`TrainMode::Sharded`].
+    /// Defaults to `threads`; fix it explicitly to get byte-identical
+    /// output across machines with different core counts.
+    pub shards: usize,
+}
+
+impl ParallelConfig {
+    /// A configuration for `mode` with `threads` workers and (for sharded
+    /// mode) one shard per worker.
+    pub fn new(mode: TrainMode, threads: usize) -> Self {
+        let threads = threads.max(1);
+        ParallelConfig {
+            mode,
+            threads,
+            shards: threads,
+        }
+    }
+
+    /// The serial reference configuration.
+    pub fn serial() -> Self {
+        Self::new(TrainMode::Serial, 1)
+    }
+
+    /// Sharded-deterministic with `threads` workers and shards.
+    pub fn sharded(threads: usize) -> Self {
+        Self::new(TrainMode::Sharded, threads)
+    }
+
+    /// Hogwild with `threads` workers.
+    pub fn hogwild(threads: usize) -> Self {
+        Self::new(TrainMode::Hogwild, threads)
+    }
+
+    /// Builder-style shard count override (sharded mode only).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+}
+
+/// Parallel SGD trainer for [`TsPprModel`] — the multi-threaded counterpart
+/// of [`TsPprTrainer`], producing the same `(model, report)` pair.
+#[derive(Debug, Clone)]
+pub struct ParallelTrainer {
+    config: TsPprConfig,
+    parallel: ParallelConfig,
+}
+
+impl ParallelTrainer {
+    /// Create a trainer; both configurations are validated here.
+    pub fn new(config: TsPprConfig, parallel: ParallelConfig) -> Self {
+        config.validate();
+        assert!(parallel.threads >= 1, "at least one thread required");
+        assert!(parallel.shards >= 1, "at least one shard required");
+        ParallelTrainer { config, parallel }
+    }
+
+    /// The model configuration in use.
+    pub fn config(&self) -> &TsPprConfig {
+        &self.config
+    }
+
+    /// The parallelism settings in use.
+    pub fn parallel(&self) -> &ParallelConfig {
+        &self.parallel
+    }
+
+    /// Run Algorithm 1 on a pre-sampled training set under the configured
+    /// mode and return the trained model with its convergence trace.
+    pub fn train(&self, training: &TrainingSet) -> (TsPprModel, TrainReport) {
+        let (model, report) = match self.parallel.mode {
+            TrainMode::Serial => TsPprTrainer::new(self.config.clone()).train(training),
+            TrainMode::Sharded => sharded::train(&self.config, &self.parallel, training),
+            TrainMode::Hogwild => hogwild::train(&self.config, &self.parallel, training),
+        };
+        // Workspace-wide training counter (mode-agnostic), alongside the
+        // trainer-specific `tsppr_train_steps_total`.
+        rrc_obs::global()
+            .counter("train_steps_total")
+            .add(report.steps as u64);
+        (model, report)
+    }
+}
+
+/// The shard that owns `user` out of `shards` — the canonical user→shard
+/// routing function of the workspace, shared with the `rrc-serve` engine so
+/// offline training and online serving agree on ownership.
+///
+/// SplitMix64-finalises the id before reducing so that consecutive dense
+/// user ids scatter. Pure: depends on nothing but its arguments.
+#[inline]
+pub fn shard_for(user: UserId, shards: usize) -> usize {
+    assert!(shards > 0, "at least one shard required");
+    (mix64(user.0 as u64) % shards as u64) as usize
+}
+
+/// SplitMix64 finaliser — a fixed, well-tested 64-bit mixer.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG stream seed of shard (or hogwild worker) `s`. Shard 0 does not
+/// use this: it inherits the initialisation stream, exactly as the serial
+/// trainer continues it — that inheritance is what makes the 1-shard case
+/// bit-identical to serial. Shared with the parallel PPR and FPMC trainers.
+#[inline]
+pub fn shard_stream_seed(seed: u64, s: usize) -> u64 {
+    debug_assert!(s > 0, "shard 0 inherits the init stream");
+    seed ^ mix64(s as u64)
+}
+
+/// Split `block` steps across shards proportionally to their weights, by
+/// telescoping cumulative quotas: shard `s` receives
+/// `⌊block·cum[s+1]/total⌋ − ⌊block·cum[s]/total⌋` steps. The allocations
+/// sum to exactly `block`, are deterministic, and a shard with zero weight
+/// receives zero steps. `cum` is the cumulative weight vector
+/// `[0, w₀, w₀+w₁, …]` (length `shards + 1`, last entry > 0).
+pub fn split_block(block: usize, cum: &[u64]) -> Vec<usize> {
+    let total = *cum.last().expect("non-empty cumulative weights") as u128;
+    assert!(total > 0, "cannot split a block over zero total weight");
+    (0..cum.len() - 1)
+        .map(|s| {
+            let hi = block as u128 * cum[s + 1] as u128 / total;
+            let lo = block as u128 * cum[s] as u128 / total;
+            (hi - lo) as usize
+        })
+        .collect()
+}
+
+/// Run `f(worker, index, state)` over every state, striping states across
+/// at most `threads` scoped workers (worker `w` owns states `w`, `w+T`,
+/// `w+2T`, …). States are mutated independently, so the result is the same
+/// under any thread count; with one thread (or one state) everything runs
+/// inline on the calling thread in index order. Shared with the parallel
+/// PPR and FPMC trainers.
+pub fn run_on_shards<S, F>(threads: usize, states: &mut [S], f: &F)
+where
+    S: Send,
+    F: Fn(usize, usize, &mut S) + Sync,
+{
+    let threads = threads.max(1).min(states.len().max(1));
+    if threads <= 1 {
+        for (i, s) in states.iter_mut().enumerate() {
+            f(0, i, s);
+        }
+        return;
+    }
+    let mut stripes: Vec<Vec<&mut S>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, s) in states.iter_mut().enumerate() {
+        stripes[i % threads].push(s);
+    }
+    std::thread::scope(|scope| {
+        for (w, stripe) in stripes.into_iter().enumerate() {
+            scope.spawn(move || {
+                for (j, s) in stripe.into_iter().enumerate() {
+                    f(w, j * threads + w, s);
+                }
+            });
+        }
+    });
+}
+
+/// Merge per-shard copies of a shared (item) matrix back into `base` at a
+/// block barrier.
+///
+/// The first local is adopted wholesale (its untouched rows are bitwise
+/// copies of `base`, so this is exact); every further local contributes its
+/// delta against the old base:
+///
+/// ```text
+/// base ← locals[0] + Σ_{s ≥ 1} (locals[s] − base_old)
+/// ```
+///
+/// Summation runs in shard order, so the result is deterministic; with a
+/// single shard the merge is an exact swap, which preserves the 1-shard ≡
+/// serial bit-identity. `scratch` is reused across calls to avoid
+/// reallocating the old-base snapshot.
+pub fn merge_item_updates(base: &mut DMatrix, locals: &mut [&mut DMatrix], scratch: &mut Vec<f64>) {
+    assert!(!locals.is_empty(), "need at least one shard-local matrix");
+    if locals.len() == 1 {
+        std::mem::swap(base, locals[0]);
+        return;
+    }
+    scratch.clear();
+    scratch.extend_from_slice(base.as_slice());
+    base.as_mut_slice().copy_from_slice(locals[0].as_slice());
+    for local in locals[1..].iter() {
+        let dst = base.as_mut_slice();
+        let src = local.as_slice();
+        for ((d, &l), &old) in dst.iter_mut().zip(src).zip(scratch.iter()) {
+            *d += l - old;
+        }
+    }
+}
+
+/// Contiguous chunk boundaries splitting `len` items into `chunks` pieces
+/// whose sizes telescope (so they sum to exactly `len`).
+pub(crate) fn chunk_bounds(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = chunks.max(1).min(len.max(1));
+    (0..chunks)
+        .map(|c| (c * len / chunks)..((c + 1) * len / chunks))
+        .collect()
+}
+
+/// [`batch_statistics`](crate::train) evaluated in `chunks` deterministic
+/// pieces, optionally across threads. Partial sums are combined in chunk
+/// order, so the result depends on the chunk count but never on the thread
+/// count; with one chunk it reproduces the serial sum bit-for-bit.
+pub(crate) fn batch_statistics_chunked<P: ModelParams + Sync + ?Sized>(
+    params: &P,
+    batch: &[Quadruple<'_>],
+    chunks: usize,
+    threads: usize,
+) -> (f64, f64) {
+    if batch.is_empty() {
+        return (0.0, 0.0);
+    }
+    let bounds = chunk_bounds(batch.len(), chunks);
+    let mut partials = vec![(0.0, 0.0); bounds.len()];
+    if threads <= 1 || bounds.len() <= 1 {
+        for (c, r) in bounds.iter().enumerate() {
+            partials[c] = batch_partial(params, &batch[r.clone()]);
+        }
+    } else {
+        let threads = threads.min(bounds.len());
+        let computed = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let bounds = &bounds;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut c = w;
+                        while c < bounds.len() {
+                            out.push((c, batch_partial(params, &batch[bounds[c].clone()])));
+                            c += threads;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("stats worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (c, p) in computed {
+            partials[c] = p;
+        }
+    }
+    let (mut sum_margin, mut sum_nll) = (0.0, 0.0);
+    for (m, n) in partials {
+        sum_margin += m;
+        sum_nll += n;
+    }
+    let n = batch.len() as f64;
+    (sum_margin / n, sum_nll / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_block_telescopes_exactly() {
+        let cum = [0u64, 3, 3, 10, 11];
+        for block in [0usize, 1, 7, 100, 12345] {
+            let alloc = split_block(block, &cum);
+            assert_eq!(alloc.iter().sum::<usize>(), block);
+            assert_eq!(alloc[1], 0, "zero-weight shard must get zero steps");
+        }
+        assert_eq!(split_block(10, &[0, 5]), vec![10]);
+    }
+
+    #[test]
+    fn run_on_shards_touches_every_state_once() {
+        for threads in [1, 2, 3, 8] {
+            let mut states = vec![0u32; 7];
+            run_on_shards(threads, &mut states, &|_, i, s| {
+                assert!(i < 7);
+                *s += 1;
+            });
+            assert!(states.iter().all(|&s| s == 1), "{states:?}");
+        }
+    }
+
+    #[test]
+    fn merge_single_shard_is_exact_swap() {
+        let mut base = DMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut local = DMatrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let expect = local.clone();
+        let mut scratch = Vec::new();
+        merge_item_updates(&mut base, &mut [&mut local], &mut scratch);
+        assert_eq!(base, expect);
+    }
+
+    #[test]
+    fn merge_sums_deltas_in_shard_order() {
+        let base0 = DMatrix::from_vec(1, 3, vec![1.0, 1.0, 1.0]);
+        let mut base = base0.clone();
+        let mut l0 = DMatrix::from_vec(1, 3, vec![2.0, 1.0, 1.0]); // +1 on col 0
+        let mut l1 = DMatrix::from_vec(1, 3, vec![1.0, 0.5, 1.0]); // −0.5 on col 1
+        let mut scratch = Vec::new();
+        merge_item_updates(&mut base, &mut [&mut l0, &mut l1], &mut scratch);
+        assert_eq!(base.as_slice(), &[2.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn mode_round_trips_through_strings() {
+        for mode in [TrainMode::Serial, TrainMode::Sharded, TrainMode::Hogwild] {
+            assert_eq!(mode.to_string().parse::<TrainMode>(), Ok(mode));
+        }
+        assert!("turbo".parse::<TrainMode>().is_err());
+    }
+
+    #[test]
+    fn routing_matches_serve_semantics() {
+        for shards in 1..9 {
+            for u in 0..500u32 {
+                let s = shard_for(UserId(u), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for(UserId(u), shards));
+            }
+        }
+    }
+}

@@ -3,9 +3,10 @@
 
 use crate::config::TsPprConfig;
 use crate::model::TsPprModel;
+use crate::params::ModelParams;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rrc_features::TrainingSet;
+use rrc_features::{Quadruple, TrainingSet};
 use rrc_linalg::{ln_sigmoid, sigmoid};
 use std::time::{Duration, Instant};
 
@@ -119,15 +120,8 @@ impl TsPprTrainer {
         let min_steps = cfg.min_sweeps.saturating_mul(d).min(max_steps);
         let small_batch = training.small_batch(cfg.check_fraction);
 
-        // Reused per-step scratch buffers.
-        let k = cfg.k;
-        let f_dim = training.f_dim();
-        let mut u_old = vec![0.0; k];
-        let mut grad_u = vec![0.0; k];
-        let mut df = vec![0.0; f_dim];
-
-        let decay_factor = 1.0 - cfg.alpha * cfg.gamma;
-        let decay_transform = 1.0 - cfg.alpha * cfg.lambda;
+        let mut scratch = SgdScratch::new(cfg.k, training.f_dim());
+        let consts = SgdConsts::from_config(cfg);
         let mut prev_r_tilde: Option<f64> = None;
         let mut sweep_started = Instant::now();
 
@@ -135,53 +129,7 @@ impl TsPprTrainer {
             let q = training
                 .sample(&mut rng)
                 .expect("non-empty training set always samples");
-
-            // Margin and the common coefficient α(1 − p(v_i >_ut v_j)).
-            let margin = model.margin(q.user, q.pos, q.neg, q.f_pos, q.f_neg);
-            let coef = cfg.alpha * (1.0 - sigmoid(margin));
-
-            // df = f_i − f_j; grad_u = (v_i − v_j) + A_u df   (Eq. 12).
-            for ((d, &fp), &fn_) in df.iter_mut().zip(q.f_pos).zip(q.f_neg) {
-                *d = fp - fn_;
-            }
-            {
-                let a = model.transform(q.user);
-                let vi = model.item_factor(q.pos);
-                let vj = model.item_factor(q.neg);
-                for r in 0..k {
-                    grad_u[r] = vi[r] - vj[r] + dot(a.row(r), &df);
-                }
-                u_old.copy_from_slice(model.user_factor(q.user));
-            }
-
-            // u ← (1 − αγ)u + coef · grad_u   (line 6).
-            {
-                let u = model.user_factor_mut(q.user);
-                for r in 0..k {
-                    u[r] = decay_factor * u[r] + coef * grad_u[r];
-                }
-            }
-            // v_i ← (1 − αγ)v_i + coef · u    (line 7, Eq. 13).
-            {
-                let vi = model.item_factor_mut(q.pos);
-                for r in 0..k {
-                    vi[r] = decay_factor * vi[r] + coef * u_old[r];
-                }
-            }
-            // v_j ← (1 − αγ)v_j − coef · u    (line 8, Eq. 14).
-            {
-                let vj = model.item_factor_mut(q.neg);
-                for r in 0..k {
-                    vj[r] = decay_factor * vj[r] - coef * u_old[r];
-                }
-            }
-            // A_u ← (1 − αλ)A_u + coef · u ⊗ df  (line 9, Eq. 15); frozen
-            // to I under the identity-transform simplification.
-            if !cfg.identity_transform {
-                let a = model.transform_mut(q.user);
-                a.scale(decay_transform);
-                a.rank1_update(coef, &u_old, &df);
-            }
+            sgd_step(&mut model, &q, &consts, &mut scratch);
 
             report.steps = step;
             if step % d == 0 {
@@ -215,18 +163,134 @@ impl TsPprTrainer {
     }
 }
 
-/// Mean margin `r̃` and mean `−ln σ(margin)` over a batch of quadruples.
-fn batch_statistics(model: &TsPprModel, batch: &[rrc_features::Quadruple<'_>]) -> (f64, f64) {
-    if batch.is_empty() {
-        return (0.0, 0.0);
+/// Per-step scratch buffers reused across SGD steps, shared between the
+/// serial trainer and every shard/worker of the parallel trainers.
+#[derive(Debug, Clone)]
+pub(crate) struct SgdScratch {
+    pub(crate) u_old: Vec<f64>,
+    pub(crate) grad_u: Vec<f64>,
+    pub(crate) df: Vec<f64>,
+}
+
+impl SgdScratch {
+    pub(crate) fn new(k: usize, f_dim: usize) -> Self {
+        SgdScratch {
+            u_old: vec![0.0; k],
+            grad_u: vec![0.0; k],
+            df: vec![0.0; f_dim],
+        }
     }
+}
+
+/// The per-step constants of Algorithm 1, precomputed once per run.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SgdConsts {
+    pub(crate) k: usize,
+    pub(crate) alpha: f64,
+    pub(crate) decay_factor: f64,
+    pub(crate) decay_transform: f64,
+    pub(crate) identity_transform: bool,
+}
+
+impl SgdConsts {
+    pub(crate) fn from_config(cfg: &TsPprConfig) -> Self {
+        SgdConsts {
+            k: cfg.k,
+            alpha: cfg.alpha,
+            decay_factor: 1.0 - cfg.alpha * cfg.gamma,
+            decay_transform: 1.0 - cfg.alpha * cfg.lambda,
+            identity_transform: cfg.identity_transform,
+        }
+    }
+}
+
+/// One SGD step of Algorithm 1 (lines 5–9, Eqs. 12–15) against any
+/// parameter store. This is the *only* implementation of the update in the
+/// crate: the serial trainer applies it to [`TsPprModel`] and the
+/// sharded-deterministic trainer applies it to shard-local rows, which is
+/// what makes a 1-shard parallel run bit-identical to a serial run.
+#[inline]
+pub(crate) fn sgd_step<P: ModelParams + ?Sized>(
+    params: &mut P,
+    q: &Quadruple<'_>,
+    c: &SgdConsts,
+    s: &mut SgdScratch,
+) {
+    // Margin and the common coefficient α(1 − p(v_i >_ut v_j)).
+    let margin = params.margin(q.user, q.pos, q.neg, q.f_pos, q.f_neg);
+    let coef = c.alpha * (1.0 - sigmoid(margin));
+
+    // df = f_i − f_j; grad_u = (v_i − v_j) + A_u df   (Eq. 12).
+    for ((d, &fp), &fn_) in s.df.iter_mut().zip(q.f_pos).zip(q.f_neg) {
+        *d = fp - fn_;
+    }
+    {
+        let a = params.transform(q.user);
+        let vi = params.item_factor(q.pos);
+        let vj = params.item_factor(q.neg);
+        for r in 0..c.k {
+            s.grad_u[r] = vi[r] - vj[r] + dot(a.row(r), &s.df);
+        }
+        s.u_old.copy_from_slice(params.user_factor(q.user));
+    }
+
+    // u ← (1 − αγ)u + coef · grad_u   (line 6).
+    {
+        let u = params.user_factor_mut(q.user);
+        for (x, g) in u.iter_mut().zip(&s.grad_u) {
+            *x = c.decay_factor * *x + coef * g;
+        }
+    }
+    // v_i ← (1 − αγ)v_i + coef · u    (line 7, Eq. 13).
+    {
+        let vi = params.item_factor_mut(q.pos);
+        for (x, u0) in vi.iter_mut().zip(&s.u_old) {
+            *x = c.decay_factor * *x + coef * u0;
+        }
+    }
+    // v_j ← (1 − αγ)v_j − coef · u    (line 8, Eq. 14).
+    {
+        let vj = params.item_factor_mut(q.neg);
+        for (x, u0) in vj.iter_mut().zip(&s.u_old) {
+            *x = c.decay_factor * *x - coef * u0;
+        }
+    }
+    // A_u ← (1 − αλ)A_u + coef · u ⊗ df  (line 9, Eq. 15); frozen
+    // to I under the identity-transform simplification.
+    if !c.identity_transform {
+        let a = params.transform_mut(q.user);
+        a.scale(c.decay_transform);
+        a.rank1_update(coef, &s.u_old, &s.df);
+    }
+}
+
+/// Partial sums `(Σ margin, Σ −ln σ(margin))` over a slice of quadruples —
+/// the additive kernel behind [`batch_statistics`]. The parallel trainers
+/// compute one partial per chunk and combine them in a fixed order, so a
+/// single-chunk evaluation reproduces the serial sum bit-for-bit.
+pub(crate) fn batch_partial<P: ModelParams + ?Sized>(
+    params: &P,
+    batch: &[Quadruple<'_>],
+) -> (f64, f64) {
     let mut sum_margin = 0.0;
     let mut sum_nll = 0.0;
     for q in batch {
-        let m = model.margin(q.user, q.pos, q.neg, q.f_pos, q.f_neg);
+        let m = params.margin(q.user, q.pos, q.neg, q.f_pos, q.f_neg);
         sum_margin += m;
         sum_nll -= ln_sigmoid(m);
     }
+    (sum_margin, sum_nll)
+}
+
+/// Mean margin `r̃` and mean `−ln σ(margin)` over a batch of quadruples.
+pub(crate) fn batch_statistics<P: ModelParams + ?Sized>(
+    params: &P,
+    batch: &[Quadruple<'_>],
+) -> (f64, f64) {
+    if batch.is_empty() {
+        return (0.0, 0.0);
+    }
+    let (sum_margin, sum_nll) = batch_partial(params, batch);
     let n = batch.len() as f64;
     (sum_margin / n, sum_nll / n)
 }

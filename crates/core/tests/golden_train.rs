@@ -1,0 +1,99 @@
+//! Golden regression fixture for the serial trainer's learning dynamics.
+//!
+//! The committed trace pins the exact convergence behaviour — step numbers
+//! and the *bit patterns* of every `r̃` / NLL check — of a fixed-seed
+//! serial run. Any refactor of the trainer (including the extraction of
+//! the shared `sgd_step` kernel used by the parallel trainers) that
+//! silently changes learning dynamics fails this test.
+//!
+//! Regenerate after an *intentional* change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p rrc-core --test golden_train
+//! ```
+
+use rrc_core::{TrainReport, TsPprConfig, TsPprTrainer};
+use rrc_datagen::GeneratorConfig;
+use rrc_features::{FeaturePipeline, SamplingConfig, TrainStats, TrainingSet};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("train_report.txt")
+}
+
+fn run_fixture() -> TrainReport {
+    let data = GeneratorConfig::tiny().with_seed(1789).generate();
+    let stats = TrainStats::compute(&data, 30);
+    let training = TrainingSet::build(
+        &data,
+        &stats,
+        &FeaturePipeline::standard(),
+        &SamplingConfig {
+            window: 30,
+            omega: 5,
+            negatives_per_positive: 5,
+            seed: 99,
+        },
+    );
+    assert!(!training.is_empty());
+    let cfg = TsPprConfig::new(data.num_users(), data.num_items())
+        .with_k(8)
+        .with_max_sweeps(15)
+        .with_seed(0x6014);
+    let (model, report) = TsPprTrainer::new(cfg).train(&training);
+    assert!(model.is_finite());
+    report
+}
+
+/// Serialise the reproducible part of a report: steps, convergence flag,
+/// and each check as `step r̃-bits nll-bits` (hex). Wall-clock fields are
+/// machine-dependent and excluded.
+fn render(report: &TrainReport) -> String {
+    let mut out = String::new();
+    out.push_str("# Golden serial TrainReport trace. Regenerate intentionally with:\n");
+    out.push_str("#   UPDATE_GOLDEN=1 cargo test -p rrc-core --test golden_train\n");
+    out.push_str(&format!("steps {}\n", report.steps));
+    out.push_str(&format!("converged {}\n", report.converged));
+    for c in &report.checks {
+        out.push_str(&format!(
+            "check {} {:016x} {:016x}\n",
+            c.step,
+            c.r_tilde.to_bits(),
+            c.nll.to_bits()
+        ));
+    }
+    out
+}
+
+#[test]
+fn serial_training_reproduces_golden_trace() {
+    let report = run_fixture();
+    let rendered = render(&report);
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate it with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden, rendered,
+        "serial trainer diverged from the committed golden trace; if the \
+         change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_trace_is_stable_across_runs_in_process() {
+    let a = render(&run_fixture());
+    let b = render(&run_fixture());
+    assert_eq!(a, b);
+}

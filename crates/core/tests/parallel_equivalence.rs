@@ -1,0 +1,224 @@
+//! Equivalence guarantees of the parallel trainers:
+//!
+//! * sharded-deterministic at **one shard** is *byte-identical* (bit
+//!   patterns, not just `==`) to the serial `TsPprTrainer` / `PprTrainer`;
+//! * sharded-deterministic output depends only on `(seed, shards)` — never
+//!   on the thread count, never on the run;
+//! * Hogwild produces finite parameters that actually learn.
+
+use rrc_core::{
+    ParallelConfig, ParallelTrainer, PprConfig, PprModel, PprTrainer, TrainMode, TrainReport,
+    TsPprConfig, TsPprModel, TsPprTrainer,
+};
+use rrc_datagen::GeneratorConfig;
+use rrc_features::{FeaturePipeline, SamplingConfig, TrainStats, TrainingSet};
+use rrc_sequence::{Dataset, ItemId, UserId};
+
+fn fixture() -> (Dataset, TrainingSet) {
+    let data = GeneratorConfig::tiny().with_seed(2024).generate();
+    let stats = TrainStats::compute(&data, 30);
+    let training = TrainingSet::build(
+        &data,
+        &stats,
+        &FeaturePipeline::standard(),
+        &SamplingConfig {
+            window: 30,
+            omega: 5,
+            negatives_per_positive: 5,
+            seed: 7,
+        },
+    );
+    assert!(!training.is_empty(), "fixture must produce quadruples");
+    (data, training)
+}
+
+fn config(data: &Dataset) -> TsPprConfig {
+    TsPprConfig::new(data.num_users(), data.num_items())
+        .with_k(8)
+        .with_max_sweeps(12)
+        .with_seed(41)
+}
+
+/// Every parameter of the model as its raw bit pattern, in a fixed order.
+fn model_bits(m: &TsPprModel) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for u in 0..m.num_users() {
+        let user = UserId(u as u32);
+        bits.extend(m.user_factor(user).iter().map(|x| x.to_bits()));
+        bits.extend(m.transform(user).as_slice().iter().map(|x| x.to_bits()));
+    }
+    for v in 0..m.num_items() {
+        bits.extend(m.item_factor(ItemId(v as u32)).iter().map(|x| x.to_bits()));
+    }
+    bits
+}
+
+/// The learning-dynamics part of a report (wall-clock excluded).
+fn report_trace(r: &TrainReport) -> (usize, bool, Vec<(usize, u64, u64)>) {
+    (
+        r.steps,
+        r.converged,
+        r.checks
+            .iter()
+            .map(|c| (c.step, c.r_tilde.to_bits(), c.nll.to_bits()))
+            .collect(),
+    )
+}
+
+#[test]
+fn sharded_one_shard_is_byte_identical_to_serial() {
+    let (data, training) = fixture();
+    let cfg = config(&data);
+    let (serial_model, serial_report) = TsPprTrainer::new(cfg.clone()).train(&training);
+    let (par_model, par_report) =
+        ParallelTrainer::new(cfg, ParallelConfig::sharded(1)).train(&training);
+    assert_eq!(model_bits(&serial_model), model_bits(&par_model));
+    assert_eq!(report_trace(&serial_report), report_trace(&par_report));
+}
+
+#[test]
+fn sharded_output_is_thread_count_invariant() {
+    let (data, training) = fixture();
+    let cfg = config(&data);
+    // Same shard count, different thread counts: threads only schedule.
+    let shards = 4;
+    let reference =
+        ParallelTrainer::new(cfg.clone(), ParallelConfig::sharded(1).with_shards(shards))
+            .train(&training);
+    for threads in [2, 3, 8] {
+        let run = ParallelTrainer::new(
+            cfg.clone(),
+            ParallelConfig::sharded(threads).with_shards(shards),
+        )
+        .train(&training);
+        assert_eq!(
+            model_bits(&reference.0),
+            model_bits(&run.0),
+            "threads={threads} diverged from the 1-thread reference"
+        );
+        assert_eq!(report_trace(&reference.1), report_trace(&run.1));
+    }
+}
+
+#[test]
+fn sharded_runs_are_byte_identical_across_repeats() {
+    let (data, training) = fixture();
+    let cfg = config(&data);
+    for threads in [2, 4, 8] {
+        let a =
+            ParallelTrainer::new(cfg.clone(), ParallelConfig::sharded(threads)).train(&training);
+        let b =
+            ParallelTrainer::new(cfg.clone(), ParallelConfig::sharded(threads)).train(&training);
+        assert_eq!(
+            model_bits(&a.0),
+            model_bits(&b.0),
+            "threads={threads} not reproducible"
+        );
+        assert_eq!(report_trace(&a.1), report_trace(&b.1));
+    }
+}
+
+#[test]
+fn sharded_with_identity_transform_matches_serial() {
+    let (data, training) = fixture();
+    let cfg = config(&data)
+        .with_k(training.f_dim())
+        .with_identity_transform(true);
+    let (serial_model, _) = TsPprTrainer::new(cfg.clone()).train(&training);
+    let (par_model, _) = ParallelTrainer::new(cfg, ParallelConfig::sharded(1)).train(&training);
+    assert_eq!(model_bits(&serial_model), model_bits(&par_model));
+}
+
+#[test]
+fn serial_mode_dispatch_equals_direct_serial_trainer() {
+    let (data, training) = fixture();
+    let cfg = config(&data);
+    let direct = TsPprTrainer::new(cfg.clone()).train(&training);
+    let dispatched = ParallelTrainer::new(cfg, ParallelConfig::serial()).train(&training);
+    assert_eq!(model_bits(&direct.0), model_bits(&dispatched.0));
+}
+
+#[test]
+fn hogwild_learns_and_stays_finite() {
+    let (data, training) = fixture();
+    let cfg = config(&data);
+    let (model, report) = ParallelTrainer::new(cfg, ParallelConfig::hogwild(4)).train(&training);
+    assert!(model.is_finite(), "racy writes must never produce NaN/Inf");
+    assert!(report.steps > 0);
+    assert!(
+        report.final_r_tilde() > 0.0,
+        "hogwild failed to learn: final r̃ = {}",
+        report.final_r_tilde()
+    );
+}
+
+/// Scores over a grid of (user, item) pairs as bit patterns — PPR's
+/// parameters are private, but equal rows give bit-equal scores.
+fn ppr_score_bits(m: &PprModel, data: &Dataset) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for u in 0..data.num_users() {
+        for v in 0..data.num_items() {
+            bits.push(m.score(UserId(u as u32), ItemId(v as u32)).to_bits());
+        }
+    }
+    bits
+}
+
+#[test]
+fn ppr_sharded_one_shard_is_byte_identical_to_serial() {
+    let (data, training) = fixture();
+    let cfg = PprConfig {
+        k: 8,
+        max_sweeps: 10,
+        ..PprConfig::new(data.num_users(), data.num_items())
+    };
+    let trainer = PprTrainer::new(cfg);
+    let serial = trainer.train(&training);
+    let par = trainer.train_parallel(&training, &ParallelConfig::sharded(1));
+    assert_eq!(serial, par, "PPR 1-shard must equal serial");
+    assert_eq!(ppr_score_bits(&serial, &data), ppr_score_bits(&par, &data));
+}
+
+#[test]
+fn ppr_sharded_runs_are_reproducible_and_thread_invariant() {
+    let (data, training) = fixture();
+    let cfg = PprConfig {
+        k: 8,
+        max_sweeps: 10,
+        ..PprConfig::new(data.num_users(), data.num_items())
+    };
+    let trainer = PprTrainer::new(cfg);
+    let reference = trainer.train_parallel(&training, &ParallelConfig::sharded(1).with_shards(4));
+    for threads in [2, 4, 8] {
+        let run =
+            trainer.train_parallel(&training, &ParallelConfig::sharded(threads).with_shards(4));
+        assert_eq!(
+            ppr_score_bits(&reference, &data),
+            ppr_score_bits(&run, &data),
+            "PPR threads={threads} diverged"
+        );
+    }
+}
+
+#[test]
+fn ppr_hogwild_stays_finite_and_learns() {
+    let (data, training) = fixture();
+    let cfg = PprConfig {
+        k: 8,
+        max_sweeps: 10,
+        ..PprConfig::new(data.num_users(), data.num_items())
+    };
+    let model =
+        PprTrainer::new(cfg).train_parallel(&training, &ParallelConfig::new(TrainMode::Hogwild, 4));
+    assert!(model.is_finite());
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for q in training.iter_quadruples() {
+        if model.score(q.user, q.pos) > model.score(q.user, q.neg) {
+            wins += 1;
+        }
+        total += 1;
+    }
+    let acc = wins as f64 / total as f64;
+    assert!(acc > 0.6, "hogwild PPR pairwise accuracy {acc}");
+}

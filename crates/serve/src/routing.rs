@@ -11,21 +11,13 @@ use rrc_sequence::UserId;
 
 /// The shard that owns `user` in an engine with `shards` shards.
 ///
-/// SplitMix64-finalises the id before reducing so that consecutive ids
-/// scatter. Pure: depends on nothing but its arguments.
+/// Delegates to [`rrc_core::parallel::shard_for`], the workspace's one
+/// canonical routing function — the sharded-deterministic offline trainer
+/// partitions users with the same hash, so a shard's trained rows and its
+/// online traffic agree on ownership.
 #[inline]
 pub fn shard_for(user: UserId, shards: usize) -> usize {
-    assert!(shards > 0, "at least one shard required");
-    (mix64(user.0 as u64) % shards as u64) as usize
-}
-
-/// SplitMix64 finaliser — a fixed, well-tested 64-bit mixer.
-#[inline]
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    rrc_core::parallel::shard_for(user, shards)
 }
 
 #[cfg(test)]
