@@ -104,6 +104,38 @@ impl FpmcModel {
         }
     }
 
+    /// Build from explicit factor matrices (used by `rrc-store`).
+    ///
+    /// # Panics
+    /// Panics when the matrices disagree on `K` or the item count.
+    pub fn from_parts(k: usize, ui: DMatrix, iu: DMatrix, il: DMatrix, li: DMatrix) -> Self {
+        assert!(k > 0, "K must be positive");
+        for (name, m) in [("UI", &ui), ("IU", &iu), ("IL", &il), ("LI", &li)] {
+            assert_eq!(m.cols(), k, "{name} has wrong latent dimension");
+        }
+        assert!(
+            iu.rows() == il.rows() && il.rows() == li.rows(),
+            "item-side matrices disagree on the item count"
+        );
+        FpmcModel { k, ui, iu, il, li }
+    }
+
+    /// Borrow the four factor matrices as `(UI, IU, IL, LI)` — the inverse
+    /// view of [`Self::from_parts`], for persistence.
+    pub fn parts(&self) -> (&DMatrix, &DMatrix, &DMatrix, &DMatrix) {
+        (&self.ui, &self.iu, &self.il, &self.li)
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.ui.rows()
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.iu.rows()
+    }
+
     /// Latent dimension.
     pub fn k(&self) -> usize {
         self.k

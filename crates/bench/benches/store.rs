@@ -1,0 +1,66 @@
+//! Store format cost: encode, CRC-validated parse, zero-copy row access,
+//! and owned materialization for a realistically-sized model file. Byte
+//! throughput is reported so regressions show up as MB/s, the unit the
+//! `store-bench` binary records in `BENCH_store.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrc_core::TsPprModel;
+use rrc_store::crc32;
+use rrc_store::model::{encode_model, ModelView};
+
+fn bench_store(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    // 1000 users × 2000 items, K=40, f=9 — a few tens of MB, dominated by
+    // the per-user A_u transforms like real trained models.
+    let model = TsPprModel::init(&mut rng, 1000, 2000, 40, 9, 0.1, 0.05);
+    let bytes = encode_model(&model, &[]);
+    let size = bytes.len() as u64;
+
+    let mut group = c.benchmark_group("store");
+    group.throughput(Throughput::Bytes(size));
+    group.sample_size(10);
+    group.bench_function("encode_model", |b| {
+        b.iter(|| std::hint::black_box(encode_model(&model, &[])));
+    });
+    group.bench_function("parse_validate", |b| {
+        // Full container walk: every section CRC verified, zero copies.
+        b.iter(|| std::hint::black_box(ModelView::from_bytes(&bytes).expect("parse")));
+    });
+    group.bench_function("parse_and_materialize", |b| {
+        b.iter(|| {
+            let view = ModelView::from_bytes(&bytes).expect("parse");
+            std::hint::black_box(view.to_model())
+        });
+    });
+    group.bench_function("crc32_full_file", |b| {
+        b.iter(|| std::hint::black_box(crc32(&bytes)));
+    });
+    group.finish();
+
+    // Row access must be pointer math off the parsed buffer, not a copy.
+    let view = ModelView::from_bytes(&bytes).expect("parse");
+    let mut rows = c.benchmark_group("store_rows");
+    rows.throughput(Throughput::Elements(1));
+    rows.bench_function("user_row", |b| {
+        let mut u = 0usize;
+        b.iter(|| {
+            let row = view.user_row(std::hint::black_box(u));
+            u = (u + 1) % view.num_users();
+            std::hint::black_box(row)
+        });
+    });
+    rows.bench_function("transform", |b| {
+        let mut u = 0usize;
+        b.iter(|| {
+            let a = view.transform(std::hint::black_box(u));
+            u = (u + 1) % view.num_users();
+            std::hint::black_box(a)
+        });
+    });
+    rows.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -28,7 +28,12 @@ fn usage() -> ! {
          \x20 --threads <n>          evaluation/training threads (default: all cores)\n\
          \x20 --train-mode <m>       serial | sharded | hogwild (default serial)\n\
          \x20 --seed <n>             base RNG seed\n\
-         \x20 --json <path>          write a machine-readable RunReport here"
+         \x20 --json <path>          write a machine-readable RunReport here\n\
+         \x20 --save-model <base>    save trained TS-PPR models to <base>.<dataset>.rrcm\n\
+         \x20 --load-model <base>    load models from <base>.<dataset>.rrcm instead of training\n\
+         \x20 --checkpoint-every <n> checkpoint training every n convergence checks\n\
+         \x20 --checkpoint-path <b>  checkpoint base path (default tsppr-checkpoint)\n\
+         \x20 --resume <base>        resume training from <base>.<dataset>.ckpt"
     );
     std::process::exit(2);
 }
@@ -72,10 +77,19 @@ fn parse_args() -> (Vec<String>, RunOptions, Option<String>) {
             "--threads" => opts.threads = parse_u(),
             "--train-mode" => opts.train_mode = value.parse().unwrap_or_else(|_| usage()),
             "--seed" => opts.seed = value.parse().unwrap_or_else(|_| usage()),
+            "--save-model" => opts.save_model = Some(value),
+            "--load-model" => opts.load_model = Some(value),
+            "--checkpoint-every" => opts.checkpoint_every = parse_u(),
+            "--checkpoint-path" => opts.checkpoint_path = value.clone(),
+            "--resume" => opts.resume = Some(value),
             _ => usage(),
         }
     }
     if names.is_empty() {
+        usage();
+    }
+    if let Err(why) = opts.validate_persistence() {
+        eprintln!("error: {why}");
         usage();
     }
     (names, opts, json)

@@ -1,0 +1,118 @@
+//! Store throughput benchmark: serialize / commit / parse / materialize
+//! rates for `rrc-store` model files across model sizes, reported as a
+//! machine-readable `RunReport` (default `BENCH_store.json`) with MB/s
+//! per stage.
+//!
+//! ```sh
+//! cargo run --release -p rrc-bench --bin store-bench -- --out BENCH_store.json
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrc_core::TsPprModel;
+use rrc_obs::{Json, RunReport};
+use rrc_store::model::{encode_model, ModelView};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!("usage: store-bench [--iters N] [--seed N] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn mb(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Time `f` over `iters` runs and return the best (min) seconds — the
+/// usual noise-robust choice for short single-shot operations.
+fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("iters > 0"))
+}
+
+fn main() {
+    let mut iters = 5usize;
+    let mut seed = 7u64;
+    let mut out = String::from("BENCH_store.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--iters" => iters = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => out = val(),
+            _ => usage(),
+        }
+    }
+    if iters == 0 {
+        usage();
+    }
+
+    let dir = std::env::temp_dir().join(format!("rrc_store_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    // (users, items, k, f_dim): small / medium / large-ish. The A_u
+    // transforms (users × k × f_dim) dominate, exactly as in real models.
+    let sizes: &[(usize, usize, usize, usize)] =
+        &[(200, 500, 16, 9), (1000, 2000, 40, 9), (4000, 8000, 40, 9)];
+
+    let mut rows: Vec<Json> = Vec::new();
+    for &(users, items, k, f_dim) in sizes {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = TsPprModel::init(&mut rng, users, items, k, f_dim, 0.1, 0.05);
+        let path = dir.join(format!("bench-{users}x{items}.rrcm"));
+
+        let (encode_s, bytes) = best_of(iters, || encode_model(&model, &[]));
+        let size = bytes.len();
+        let (commit_s, _) = best_of(iters, || {
+            rrc_store::save_model(&model, &[], &path).expect("save model")
+        });
+        // Parse = read + validate every section CRC, zero-copy views only.
+        let (parse_s, _) = best_of(iters, || ModelView::open(&path).expect("open model"));
+        // Load = parse + materialize an owned TsPprModel.
+        let (load_s, loaded) = best_of(iters, || rrc_store::load_model(&path).expect("load"));
+        assert_eq!(loaded, model, "round trip must be exact");
+
+        eprintln!(
+            "# {users}x{items} k={k} ({:.1} MB): encode {:.0} MB/s, commit {:.0} MB/s, \
+             parse {:.0} MB/s, load {:.0} MB/s",
+            mb(size),
+            mb(size) / encode_s,
+            mb(size) / commit_s,
+            mb(size) / parse_s,
+            mb(size) / load_s
+        );
+        rows.push(Json::obj([
+            ("users", Json::from(users)),
+            ("items", Json::from(items)),
+            ("k", Json::from(k)),
+            ("f_dim", Json::from(f_dim)),
+            ("file_bytes", Json::from(size)),
+            ("encode_mb_per_s", Json::F64(mb(size) / encode_s)),
+            ("commit_mb_per_s", Json::F64(mb(size) / commit_s)),
+            ("parse_mb_per_s", Json::F64(mb(size) / parse_s)),
+            ("load_mb_per_s", Json::F64(mb(size) / load_s)),
+        ]));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut report = RunReport::new("store-bench")
+        .config("iters", Json::from(iters))
+        .config("seed", Json::from(seed));
+    report.add_section("sizes", Json::Arr(rows));
+    report.add_metrics(rrc_obs::global());
+    match report.write_to(&out) {
+        Ok(()) => eprintln!("# report written to {out}"),
+        Err(e) => {
+            eprintln!("error: failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

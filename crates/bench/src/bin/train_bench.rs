@@ -29,7 +29,10 @@ fn usage() -> ! {
          \x20 --k <n>            latent dimension K\n\
          \x20 --threads <n>      max thread count to benchmark (default 4)\n\
          \x20 --seed <n>         base RNG seed\n\
-         \x20 --out <path>       report path (default BENCH_train.json)"
+         \x20 --out <path>       report path (default BENCH_train.json)\n\
+         \x20 --save-model <p>   save the serial-trained model with rrc-store\n\
+         \x20 --load-model <p>   load a stored model and assert it is bit-identical\n\
+         \x20                    to this run's serial model (cross-run determinism)"
     );
     std::process::exit(2);
 }
@@ -66,10 +69,14 @@ fn main() {
     let mut opts = RunOptions::default();
     let mut max_threads = 4usize;
     let mut out = String::from("BENCH_train.json");
+    let mut save_model: Option<String> = None;
+    let mut load_model: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut val = || args.next().unwrap_or_else(|| usage());
         match arg.as_str() {
+            "--save-model" => save_model = Some(val()),
+            "--load-model" => load_model = Some(val()),
             "--fast" => {
                 let keep = (opts.threads, opts.seed);
                 opts = RunOptions::fast();
@@ -117,6 +124,44 @@ fn main() {
     let mut modes: Vec<Json> = Vec::new();
     let (serial_model, serial_report, serial_s) = run(TrainMode::Serial, 1);
     let serial_hash = param_hash(&serial_model);
+
+    // Persistence checks ride on the serial run: `--save-model` stores its
+    // parameters; `--load-model` proves a previous run's stored parameters
+    // are bit-identical to this run's (training + store round-trip are
+    // both deterministic across processes).
+    if let Some(path) = &save_model {
+        let meta = [
+            ("source".to_string(), "train-bench".to_string()),
+            ("param_hash".to_string(), format!("{serial_hash:016x}")),
+            ("seed".to_string(), opts.seed.to_string()),
+        ];
+        match rrc_store::save_model(&serial_model, &meta, path) {
+            Ok(bytes) => eprintln!("# saved serial model to {path} ({bytes} bytes)"),
+            Err(e) => {
+                eprintln!("error: failed to save model to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let mut loaded_matches: Option<bool> = None;
+    if let Some(path) = &load_model {
+        let stored = rrc_store::load_model(path).unwrap_or_else(|e| {
+            eprintln!("error: failed to load model from {path}: {e}");
+            std::process::exit(1);
+        });
+        let stored_hash = param_hash(&stored);
+        loaded_matches = Some(stored_hash == serial_hash);
+        if stored_hash == serial_hash {
+            eprintln!("# stored model at {path} is bit-identical to this run's serial model");
+        } else {
+            eprintln!(
+                "error: stored model hash {stored_hash:016x} != serial hash {serial_hash:016x} \
+                 (was it trained with the same config/seed?)"
+            );
+            std::process::exit(1);
+        }
+    }
+
     eprintln!(
         "# serial: {:.2}s, {} steps, r̃ = {:.4}",
         serial_s,
@@ -229,17 +274,18 @@ fn main() {
             ),
         );
     report.add_section("modes", Json::Arr(modes));
-    report.add_section(
-        "determinism",
-        Json::obj([
-            ("sharded_threads", Json::from(top)),
-            (
-                "param_hash",
-                Json::from(format!("{top_hash:016x}").as_str()),
-            ),
-            ("reproduced", Json::from(true)),
-        ]),
-    );
+    let mut determinism = vec![
+        ("sharded_threads", Json::from(top)),
+        (
+            "param_hash",
+            Json::from(format!("{top_hash:016x}").as_str()),
+        ),
+        ("reproduced", Json::from(true)),
+    ];
+    if let Some(matches) = loaded_matches {
+        determinism.push(("stored_model_matches", Json::from(matches)));
+    }
+    report.add_section("determinism", Json::obj(determinism));
     report.add_section(
         "summary",
         Json::obj([

@@ -2,8 +2,7 @@
 
 use crate::report_sink;
 use crate::setup::{prepare, RunOptions};
-use crate::zoo::{build_training_set, tsppr_config};
-use rrc_core::ParallelTrainer;
+use crate::zoo::{build_training_set, train_tsppr_model};
 use rrc_datagen::DatasetKind;
 use rrc_features::FeaturePipeline;
 use rrc_obs::Json;
@@ -22,8 +21,9 @@ pub fn run(opts: &RunOptions) -> String {
     for kind in [DatasetKind::Gowalla, DatasetKind::Lastfm] {
         let exp = prepare(kind, opts);
         let training = build_training_set(&exp, opts, &FeaturePipeline::standard());
-        let (_, report) =
-            ParallelTrainer::new(tsppr_config(&exp, opts), opts.parallel()).train(&training);
+        // Via the zoo so `--save-model` / `--load-model` / `--checkpoint-*` /
+        // `--resume` apply to this experiment too (it is the CI resume target).
+        let (_, report) = train_tsppr_model(&exp, opts, &training);
         out.push_str(&format!(
             "\n[{kind}] |D| = {}, steps = {}, converged = {}, wall = {:.2?}\n",
             training.num_quadruples(),

@@ -30,6 +30,17 @@ pub struct RunOptions {
     pub train_mode: TrainMode,
     /// Base RNG seed.
     pub seed: u64,
+    /// Save every trained TS-PPR model to `{base}.{dataset}.rrcm`.
+    pub save_model: Option<String>,
+    /// Load TS-PPR models from `{base}.{dataset}.rrcm` instead of
+    /// training (falls back to training when the file is absent).
+    pub load_model: Option<String>,
+    /// Write a training checkpoint every N convergence checks (0 = off).
+    pub checkpoint_every: usize,
+    /// Base path for checkpoint files (`{base}.{dataset}.ckpt`).
+    pub checkpoint_path: String,
+    /// Resume training from `{base}.{dataset}.ckpt` when the file exists.
+    pub resume: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -49,6 +60,11 @@ impl Default for RunOptions {
             // original single-threaded driver; opt in with --train-mode.
             train_mode: TrainMode::Serial,
             seed: 20170419, // ICDE 2017
+            save_model: None,
+            load_model: None,
+            checkpoint_every: 0,
+            checkpoint_path: String::from("tsppr-checkpoint"),
+            resume: None,
         }
     }
 }
@@ -71,6 +87,31 @@ impl RunOptions {
     /// The parallel-training configuration these options describe.
     pub fn parallel(&self) -> ParallelConfig {
         ParallelConfig::new(self.train_mode, self.threads)
+    }
+
+    /// Model file for `kind` under the `--save-model`/`--load-model` base.
+    pub fn model_file(base: &str, kind: DatasetKind) -> String {
+        format!("{base}.{kind}.rrcm")
+    }
+
+    /// Checkpoint file for `kind` under a checkpoint base path.
+    pub fn checkpoint_file(base: &str, kind: DatasetKind) -> String {
+        format!("{base}.{kind}.ckpt")
+    }
+
+    /// Checkpointing and resume require a deterministic trainer; Hogwild
+    /// cannot honour the bit-identical resume contract.
+    pub fn validate_persistence(&self) -> Result<(), String> {
+        if self.train_mode == TrainMode::Hogwild
+            && (self.checkpoint_every > 0 || self.resume.is_some())
+        {
+            return Err(
+                "--checkpoint-every/--resume require a deterministic trainer; \
+                 use --train-mode serial or sharded"
+                    .to_string(),
+            );
+        }
+        Ok(())
     }
 }
 

@@ -6,7 +6,7 @@ use rrc_baselines::{
     DyrcConfig, DyrcRecommender, DyrcTrainer, FpmcConfig, FpmcRecommender, FpmcTrainer,
     PopRecommender, RandomRecommender, RecencyRecommender,
 };
-use rrc_core::{ParallelTrainer, TrainReport, TsPprConfig, TsPprRecommender};
+use rrc_core::{ParallelTrainer, TrainReport, TsPprConfig, TsPprModel, TsPprRecommender};
 use rrc_datagen::DatasetKind;
 use rrc_features::{FeaturePipeline, Recommender, SamplingConfig, TrainingSet};
 use rrc_survival::{CoxConfig, SurvivalRecommender};
@@ -142,18 +142,133 @@ pub fn tsppr_config(exp: &ExperimentData, opts: &RunOptions) -> TsPprConfig {
 
 /// Train TS-PPR with an arbitrary feature pipeline (the Fig. 7 ablations
 /// pass `FeaturePipeline::standard().without(..)`).
+///
+/// Persistence options on [`RunOptions`] are honoured here, since this is
+/// the one place every experiment trains TS-PPR:
+///
+/// * `load_model` — load `{base}.{dataset}.rrcm` and skip training (falls
+///   back to training when the file is absent);
+/// * `resume` — continue from `{base}.{dataset}.ckpt` when present;
+/// * `checkpoint_every` — write `{checkpoint_path}.{dataset}.ckpt` every
+///   N convergence checks (atomic single-slot replace);
+/// * `save_model` — save the final model to `{base}.{dataset}.rrcm`.
 pub fn train_tsppr(
     exp: &ExperimentData,
     opts: &RunOptions,
     pipeline: &FeaturePipeline,
 ) -> (TsPprRecommender, TrainReport) {
-    let training = build_training_set(exp, opts, pipeline);
-    let (model, report) =
-        ParallelTrainer::new(tsppr_config(exp, opts), opts.parallel()).train(&training);
-    // Rebuild an identical pipeline for serving (pipelines are not Clone
-    // because they hold trait objects; the standard features are stateless).
+    if let Err(why) = opts.validate_persistence() {
+        panic!("{why}");
+    }
     let serving = clone_pipeline(pipeline);
+
+    if let Some(model) = load_stored_model(exp, opts) {
+        let report = TrainReport {
+            steps: 0,
+            converged: true,
+            elapsed: std::time::Duration::ZERO,
+            checks: Vec::new(),
+        };
+        return (TsPprRecommender::new(model, serving), report);
+    }
+
+    let training = build_training_set(exp, opts, pipeline);
+    let (model, report) = train_tsppr_model(exp, opts, &training);
     (TsPprRecommender::new(model, serving), report)
+}
+
+/// The `--load-model` fast path: `Some(model)` when a stored model exists
+/// for this dataset, `None` (train from scratch) when the flag is unset or
+/// the file is absent. Any other load failure is fatal — a corrupt store
+/// must never silently fall back to retraining.
+fn load_stored_model(exp: &ExperimentData, opts: &RunOptions) -> Option<TsPprModel> {
+    let base = opts.load_model.as_ref()?;
+    let path = RunOptions::model_file(base, exp.kind);
+    match rrc_store::load_model(&path) {
+        Ok(model) => {
+            eprintln!("# loaded TS-PPR model from {path}");
+            Some(model)
+        }
+        Err(rrc_store::StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!("# no model at {path}; training from scratch");
+            None
+        }
+        Err(e) => panic!("failed to load model from {path}: {e}"),
+    }
+}
+
+/// Train (or load/resume) a TS-PPR model on a prebuilt training set,
+/// honoring every persistence option in `opts` — the model-level core of
+/// [`train_tsppr`], for callers that need the raw [`TsPprModel`] and
+/// [`TrainReport`] (e.g. the Fig. 12 convergence experiment).
+pub fn train_tsppr_model(
+    exp: &ExperimentData,
+    opts: &RunOptions,
+    training: &TrainingSet,
+) -> (TsPprModel, TrainReport) {
+    if let Err(why) = opts.validate_persistence() {
+        panic!("{why}");
+    }
+    if let Some(model) = load_stored_model(exp, opts) {
+        let report = TrainReport {
+            steps: 0,
+            converged: true,
+            elapsed: std::time::Duration::ZERO,
+            checks: Vec::new(),
+        };
+        return (model, report);
+    }
+
+    let cfg = tsppr_config(exp, opts);
+    let par = opts.parallel();
+
+    let resumed: Option<rrc_core::TrainCheckpoint> = opts.resume.as_ref().and_then(|base| {
+        let path = RunOptions::checkpoint_file(base, exp.kind);
+        match rrc_store::load_checkpoint(&path) {
+            Ok(ck) => {
+                eprintln!("# resuming from {path} (step {})", ck.step);
+                Some(ck)
+            }
+            Err(rrc_store::StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!("# no checkpoint at {path}; starting fresh");
+                None
+            }
+            Err(e) => panic!("failed to load checkpoint from {path}: {e}"),
+        }
+    });
+
+    let (model, report) = if resumed.is_some() || opts.checkpoint_every > 0 {
+        let ckpt_path = RunOptions::checkpoint_file(&opts.checkpoint_path, exp.kind);
+        let mut sink = rrc_store::Checkpointer::new(&ckpt_path);
+        let mut write = |ck: &rrc_core::TrainCheckpoint| {
+            if let Err(e) = sink.write(ck) {
+                eprintln!("# warning: checkpoint write failed: {e}");
+            }
+            true
+        };
+        let checkpoint = (opts.checkpoint_every > 0).then_some(rrc_core::CheckpointOptions {
+            every_checks: opts.checkpoint_every,
+            sink: &mut write,
+        });
+        ParallelTrainer::new(cfg, par).train_with(training, resumed.as_ref(), checkpoint)
+    } else {
+        ParallelTrainer::new(cfg, par).train(training)
+    };
+
+    if let Some(base) = &opts.save_model {
+        let path = RunOptions::model_file(base, exp.kind);
+        let meta = [
+            ("dataset".to_string(), exp.kind.to_string()),
+            ("seed".to_string(), opts.seed.to_string()),
+            ("steps".to_string(), report.steps.to_string()),
+        ];
+        match rrc_store::save_model(&model, &meta, &path) {
+            Ok(bytes) => eprintln!("# saved TS-PPR model to {path} ({bytes} bytes)"),
+            Err(e) => panic!("failed to save model to {path}: {e}"),
+        }
+    }
+
+    (model, report)
 }
 
 /// Rebuild a pipeline consisting of standard features (by name).

@@ -49,11 +49,12 @@ fn hogwild_matches_serial_quality_on_fig12_config() {
     let serial_r = serial_report.final_r_tilde();
     let hog_r = hog_report.final_r_tilde();
     assert!(serial_r > 0.0, "serial failed to learn (r̃ = {serial_r})");
-    let rel = (hog_r - serial_r).abs() / serial_r;
+    // One-sided: lost updates may cost a little margin, but landing *above*
+    // serial is fine — the race only ever drops gradient steps, and how many
+    // depends on thread timing, so a symmetric band is flaky by construction.
     assert!(
-        rel <= 0.05,
-        "hogwild final r̃ {hog_r:.4} deviates {:.1}% from serial {serial_r:.4} (limit 5%)",
-        rel * 100.0
+        hog_r >= 0.95 * serial_r,
+        "hogwild final r̃ {hog_r:.4} fell more than 5% below serial {serial_r:.4}"
     );
 }
 

@@ -21,8 +21,8 @@
 //!
 //! The crate also ships the plain [`ppr`] (BPR-style) model — the
 //! time-insensitive ancestor the paper argues cannot solve the RRC problem
-//! — as a like-for-like ablation, and [`persist`] for saving/loading
-//! trained models.
+//! — as a like-for-like ablation, and [`checkpoint`] types so trainers can
+//! emit resumable snapshots (serialization lives in `rrc-store`).
 //!
 //! ```no_run
 //! use rrc_core::{TsPprConfig, TsPprTrainer};
@@ -42,16 +42,17 @@
 //! # let _ = model;
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod model;
 pub mod online;
 pub mod parallel;
 pub mod params;
-pub mod persist;
 pub mod ppr;
 pub mod recommend;
 pub mod train;
 
+pub use checkpoint::{CheckpointOptions, TrainCheckpoint};
 pub use config::TsPprConfig;
 pub use model::TsPprModel;
 pub use online::{observe_single, online_step_single, recommend_single, OnlineConfig, OnlineTsPpr};

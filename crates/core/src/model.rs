@@ -45,7 +45,7 @@ impl TsPprModel {
         }
     }
 
-    /// Build from explicit parts (used by [`crate::persist`]).
+    /// Build from explicit parts (used by `rrc-store` loaders).
     pub fn from_parts(k: usize, f_dim: usize, u: DMatrix, v: DMatrix, a: Vec<DMatrix>) -> Self {
         assert_eq!(u.cols(), k, "U has wrong latent dimension");
         assert_eq!(v.cols(), k, "V has wrong latent dimension");
@@ -81,6 +81,22 @@ impl TsPprModel {
     /// Number of items.
     pub fn num_items(&self) -> usize {
         self.v.rows()
+    }
+
+    /// Borrow the full `U` matrix (`num_users × K`, row-major). Read-only
+    /// bulk view for persistence (`rrc-store`) and export.
+    pub fn u_matrix(&self) -> &DMatrix {
+        &self.u
+    }
+
+    /// Borrow the full `V` matrix (`num_items × K`, row-major).
+    pub fn v_matrix(&self) -> &DMatrix {
+        &self.v
+    }
+
+    /// Borrow all per-user transforms `A_u` (each `K × F`), indexed by user.
+    pub fn transforms(&self) -> &[DMatrix] {
+        &self.a
     }
 
     /// Borrow user `u`'s latent factor.

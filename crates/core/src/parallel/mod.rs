@@ -157,16 +157,52 @@ impl ParallelTrainer {
     /// Run Algorithm 1 on a pre-sampled training set under the configured
     /// mode and return the trained model with its convergence trace.
     pub fn train(&self, training: &TrainingSet) -> (TsPprModel, TrainReport) {
+        self.train_with(training, None, None)
+    }
+
+    /// [`Self::train`] with checkpointing: resume from a snapshot and/or
+    /// emit snapshots while running (see
+    /// [`TsPprTrainer::train_with`](crate::TsPprTrainer::train_with)).
+    ///
+    /// Supported for [`TrainMode::Serial`] (one RNG stream) and
+    /// [`TrainMode::Sharded`] (one stream per shard, snapshots at block
+    /// barriers) — the two modes with a bitwise-reproducibility guarantee.
+    ///
+    /// # Panics
+    /// Panics for [`TrainMode::Hogwild`] when `resume` or `checkpoint` is
+    /// set: a hogwild schedule is nondeterministic, so a "resumed" run
+    /// could not honour the bit-identity contract these options promise.
+    /// Also panics when `resume` is incompatible with this configuration
+    /// (see [`crate::TrainCheckpoint::compatible_with`]).
+    pub fn train_with(
+        &self,
+        training: &TrainingSet,
+        resume: Option<&crate::TrainCheckpoint>,
+        checkpoint: Option<crate::CheckpointOptions<'_>>,
+    ) -> (TsPprModel, TrainReport) {
+        let started_at = resume.map_or(0, |ck| ck.step);
         let (model, report) = match self.parallel.mode {
-            TrainMode::Serial => TsPprTrainer::new(self.config.clone()).train(training),
-            TrainMode::Sharded => sharded::train(&self.config, &self.parallel, training),
-            TrainMode::Hogwild => hogwild::train(&self.config, &self.parallel, training),
+            TrainMode::Serial => {
+                TsPprTrainer::new(self.config.clone()).train_with(training, resume, checkpoint)
+            }
+            TrainMode::Sharded => {
+                sharded::train_with(&self.config, &self.parallel, training, resume, checkpoint)
+            }
+            TrainMode::Hogwild => {
+                assert!(
+                    resume.is_none() && checkpoint.is_none(),
+                    "hogwild training is nondeterministic and cannot honour the \
+                     bit-identical checkpoint/resume contract; use serial or sharded mode"
+                );
+                hogwild::train(&self.config, &self.parallel, training)
+            }
         };
         // Workspace-wide training counter (mode-agnostic), alongside the
-        // trainer-specific `tsppr_train_steps_total`.
+        // trainer-specific `tsppr_train_steps_total`. Counts only steps
+        // performed by *this* process, not those replayed from a resume.
         rrc_obs::global()
             .counter("train_steps_total")
-            .add(report.steps as u64);
+            .add((report.steps - started_at) as u64);
         (model, report)
     }
 }

@@ -33,8 +33,9 @@
 
 use super::{
     batch_statistics_chunked, run_on_shards, shard_for, shard_stream_seed, split_block,
-    ParallelConfig,
+    ParallelConfig, TrainMode,
 };
+use crate::checkpoint::{CheckpointOptions, TrainCheckpoint};
 use crate::config::TsPprConfig;
 use crate::model::TsPprModel;
 use crate::params::ModelParams;
@@ -186,12 +187,21 @@ impl ModelParams for MergedView<'_> {
     }
 }
 
-/// Train under the sharded-deterministic regime. Same contract as
-/// [`crate::TsPprTrainer::train`].
-pub(super) fn train(
+/// Train under the sharded-deterministic regime — same contract as
+/// [`crate::TsPprTrainer::train_with`] — resuming from a snapshot and/or
+/// emitting snapshots at block barriers.
+///
+/// Snapshots are taken only at convergence-check barriers, where the
+/// invariant "every non-empty shard's local `V` is a bitwise copy of the
+/// merged global `V`" holds — so a resumed run rebuilds shard state from
+/// the snapshot model exactly as the uninterrupted run left it, and only
+/// the per-shard RNG streams carry history.
+pub(super) fn train_with(
     cfg: &TsPprConfig,
     par: &ParallelConfig,
     training: &TrainingSet,
+    resume: Option<&TrainCheckpoint>,
+    mut checkpoint: Option<CheckpointOptions<'_>>,
 ) -> (TsPprModel, TrainReport) {
     let obs = rrc_obs::global();
     let _train_span = obs.span("tsppr.train.sharded");
@@ -200,28 +210,44 @@ pub(super) fn train(
     let steps_total = obs.counter("tsppr_train_steps_total");
     let train_start = Instant::now();
 
-    // Initialisation is byte-identical to the serial trainer.
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut model = TsPprModel::init(
-        &mut rng,
-        cfg.num_users,
-        cfg.num_items,
-        cfg.k,
-        training.f_dim().max(1),
-        cfg.gamma,
-        cfg.lambda,
-    );
+    if let Some(ck) = resume {
+        ck.compatible_with(cfg, training, TrainMode::Sharded, par.shards)
+            .unwrap_or_else(|why| panic!("cannot resume sharded training: {why}"));
+    }
+    let elapsed_base = resume.map_or(Duration::ZERO, |ck| ck.elapsed);
+
+    // Initialisation is byte-identical to the serial trainer; a resumed
+    // run restarts from the snapshot parameters instead and never touches
+    // the init stream (its continuation lives in the snapshot's per-shard
+    // RNG states).
+    let (mut model, mut init_rng) = match resume {
+        Some(ck) => (ck.model.clone(), None),
+        None => {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let model = TsPprModel::init(
+                &mut rng,
+                cfg.num_users,
+                cfg.num_items,
+                cfg.k,
+                training.f_dim().max(1),
+                cfg.gamma,
+                cfg.lambda,
+            );
+            (model, Some(rng))
+        }
+    };
+    let start_step = resume.map_or(0, |ck| ck.step);
     let mut report = TrainReport {
-        steps: 0,
+        steps: start_step,
         converged: false,
         elapsed: Duration::ZERO,
-        checks: Vec::new(),
+        checks: resume.map_or_else(Vec::new, |ck| ck.checks.clone()),
     };
     if training.is_empty() {
-        report.elapsed = train_start.elapsed();
+        report.elapsed = elapsed_base + train_start.elapsed();
         return (model, report);
     }
-    if cfg.identity_transform {
+    if cfg.identity_transform && resume.is_none() {
         assert_eq!(
             cfg.k,
             training.f_dim(),
@@ -251,7 +277,6 @@ pub(super) fn train(
     }
     let mut owner = vec![u32::MAX; cfg.num_users];
     let mut local_of = vec![u32::MAX; cfg.num_users];
-    let mut init_rng = Some(rng);
     let mut states: Vec<ShardState> = Vec::with_capacity(shards);
     for (s, users) in shard_users.into_iter().enumerate() {
         let mut su = DMatrix::zeros(users.len(), k);
@@ -270,9 +295,12 @@ pub(super) fn train(
         } else {
             v.clone()
         };
-        let srng = match s {
-            0 => init_rng.take().expect("init stream taken once"),
-            _ => StdRng::seed_from_u64(shard_stream_seed(cfg.seed, s)),
+        let srng = match resume {
+            Some(ck) => StdRng::from_state(ck.rng_states[s]),
+            None => match s {
+                0 => init_rng.take().expect("init stream taken once"),
+                _ => StdRng::seed_from_u64(shard_stream_seed(cfg.seed, s)),
+            },
         };
         let stamp = if users.is_empty() {
             Vec::new()
@@ -306,9 +334,13 @@ pub(super) fn train(
     let mut dirty_stamp = vec![0u32; cfg.num_items];
     let mut dirty_epoch = 0u32;
     let mut old_row = vec![0.0f64; k];
-    let mut prev_r_tilde: Option<f64> = None;
-    let mut step = 0usize;
-    while step < max_steps {
+    let fingerprint = TrainCheckpoint::fingerprint_of(cfg, training);
+    let mut prev_r_tilde: Option<f64> = resume.and_then(|ck| ck.prev_r_tilde);
+    // Snapshots are only taken at check barriers, so a resumed step count
+    // is always a multiple of the check interval and the block structure
+    // below realigns with the uninterrupted run.
+    let mut step = start_step;
+    'blocks: while step < max_steps {
         let block = check_interval.min(max_steps - step);
         let alloc = split_block(block, &cum);
         {
@@ -414,7 +446,7 @@ pub(super) fn train(
                 step,
                 r_tilde,
                 nll,
-                elapsed: train_start.elapsed(),
+                elapsed: elapsed_base + train_start.elapsed(),
             });
             if let Some(prev) = prev_r_tilde {
                 if step >= min_steps && (r_tilde - prev).abs() <= cfg.convergence_eps {
@@ -423,6 +455,28 @@ pub(super) fn train(
                 }
             }
             prev_r_tilde = Some(r_tilde);
+            if let Some(opts) = checkpoint.as_mut() {
+                if opts.every_checks > 0 && report.checks.len().is_multiple_of(opts.every_checks) {
+                    let snapshot = TrainCheckpoint {
+                        mode: TrainMode::Sharded,
+                        shards,
+                        step,
+                        prev_r_tilde,
+                        elapsed: elapsed_base + train_start.elapsed(),
+                        checks: report.checks.clone(),
+                        rng_states: states.iter().map(|st| st.rng.state()).collect(),
+                        model: snapshot_model(
+                            k, f_dim, &states, &owner, &local_of, &u_res, &a_res, &v,
+                        ),
+                        fingerprint,
+                    };
+                    if !(opts.sink)(&snapshot) {
+                        // Simulated kill: stop mid-run; only the emitted
+                        // snapshots survive.
+                        break 'blocks;
+                    }
+                }
+            }
         }
     }
 
@@ -435,7 +489,38 @@ pub(super) fn train(
     }
     let model = TsPprModel::from_parts(k, f_dim, u_res, v, a_res);
     debug_assert!(model.is_finite(), "parameters diverged");
-    steps_total.add(report.steps as u64);
-    report.elapsed = train_start.elapsed();
+    steps_total.add((report.steps - start_step) as u64);
+    report.elapsed = elapsed_base + train_start.elapsed();
     (model, report)
+}
+
+/// Assemble the full model at a check barrier *without* disturbing the
+/// shard states: resident rows for unowned users, shard-local rows (and a
+/// clone of the merged `V`) for owned ones — exactly what the final gather
+/// would produce if training stopped here.
+#[allow(clippy::too_many_arguments)]
+fn snapshot_model(
+    k: usize,
+    f_dim: usize,
+    states: &[ShardState],
+    owner: &[u32],
+    local_of: &[u32],
+    u_res: &DMatrix,
+    a_res: &[DMatrix],
+    v: &DMatrix,
+) -> TsPprModel {
+    let mut u = u_res.clone();
+    let mut a = Vec::with_capacity(a_res.len());
+    for user in 0..a_res.len() {
+        match owner[user] {
+            u32::MAX => a.push(a_res[user].clone()),
+            s => {
+                let st = &states[s as usize];
+                let row = local_of[user] as usize;
+                u.row_mut(user).copy_from_slice(st.u.row(row));
+                a.push(st.a[row].clone());
+            }
+        }
+    }
+    TsPprModel::from_parts(k, f_dim, u, v.clone(), a)
 }

@@ -1,8 +1,10 @@
 //! The SGD trainer of Algorithm 1 with the paper's small-batch `Δr̃`
 //! convergence check (§5.6.1).
 
+use crate::checkpoint::{CheckpointOptions, TrainCheckpoint};
 use crate::config::TsPprConfig;
 use crate::model::TsPprModel;
+use crate::parallel::TrainMode;
 use crate::params::ModelParams;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,6 +72,28 @@ impl TsPprTrainer {
     /// An empty training set returns the freshly-initialised model and an
     /// empty report (nothing to learn from).
     pub fn train(&self, training: &TrainingSet) -> (TsPprModel, TrainReport) {
+        self.train_with(training, None, None)
+    }
+
+    /// [`Self::train`] with checkpointing: resume from a prior snapshot
+    /// and/or emit snapshots while running.
+    ///
+    /// A resumed run replays the exact trajectory of an uninterrupted one:
+    /// snapshots are taken only at convergence-check boundaries, where the
+    /// loop state is fully described by (model, RNG stream, step,
+    /// previous `r̃`, check history) — the scratch buffers are rebuilt
+    /// from scratch every step. Only wall-clock times differ.
+    ///
+    /// # Panics
+    /// Panics when `resume` is incompatible with this configuration and
+    /// training set (see [`TrainCheckpoint::compatible_with`]) — silently
+    /// diverging from the original run would be worse.
+    pub fn train_with(
+        &self,
+        training: &TrainingSet,
+        resume: Option<&TrainCheckpoint>,
+        mut checkpoint: Option<CheckpointOptions<'_>>,
+    ) -> (TsPprModel, TrainReport) {
         // Instrumentation: the whole run is a span, each sweep of |D|
         // steps and each convergence check land in their own
         // span-duration histograms on the global registry (handles are
@@ -82,27 +106,42 @@ impl TsPprTrainer {
         let train_start = Instant::now();
 
         let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut model = TsPprModel::init(
-            &mut rng,
-            cfg.num_users,
-            cfg.num_items,
-            cfg.k,
-            training.f_dim().max(1),
-            cfg.gamma,
-            cfg.lambda,
-        );
+        if let Some(ck) = resume {
+            ck.compatible_with(cfg, training, TrainMode::Serial, 1)
+                .unwrap_or_else(|why| panic!("cannot resume serial training: {why}"));
+        }
+        // The accumulated wall clock of the interrupted run(s), so the
+        // resumed report's time axis stays monotone.
+        let elapsed_base = resume.map_or(Duration::ZERO, |ck| ck.elapsed);
+
+        let (mut model, mut rng) = match resume {
+            Some(ck) => (ck.model.clone(), StdRng::from_state(ck.rng_states[0])),
+            None => {
+                let mut rng = StdRng::seed_from_u64(cfg.seed);
+                let model = TsPprModel::init(
+                    &mut rng,
+                    cfg.num_users,
+                    cfg.num_items,
+                    cfg.k,
+                    training.f_dim().max(1),
+                    cfg.gamma,
+                    cfg.lambda,
+                );
+                (model, rng)
+            }
+        };
+        let start_step = resume.map_or(0, |ck| ck.step);
         let mut report = TrainReport {
-            steps: 0,
+            steps: start_step,
             converged: false,
             elapsed: Duration::ZERO,
-            checks: Vec::new(),
+            checks: resume.map_or_else(Vec::new, |ck| ck.checks.clone()),
         };
         if training.is_empty() {
-            report.elapsed = train_start.elapsed();
+            report.elapsed = elapsed_base + train_start.elapsed();
             return (model, report);
         }
-        if cfg.identity_transform {
+        if cfg.identity_transform && resume.is_none() {
             assert_eq!(
                 cfg.k,
                 training.f_dim(),
@@ -119,13 +158,14 @@ impl TsPprTrainer {
         let max_steps = cfg.max_sweeps.saturating_mul(d).max(check_interval);
         let min_steps = cfg.min_sweeps.saturating_mul(d).min(max_steps);
         let small_batch = training.small_batch(cfg.check_fraction);
+        let fingerprint = TrainCheckpoint::fingerprint_of(cfg, training);
 
         let mut scratch = SgdScratch::new(cfg.k, training.f_dim());
         let consts = SgdConsts::from_config(cfg);
-        let mut prev_r_tilde: Option<f64> = None;
+        let mut prev_r_tilde: Option<f64> = resume.and_then(|ck| ck.prev_r_tilde);
         let mut sweep_started = Instant::now();
 
-        for step in 1..=max_steps {
+        'sgd: for step in (start_step + 1)..=max_steps {
             let q = training
                 .sample(&mut rng)
                 .expect("non-empty training set always samples");
@@ -145,7 +185,7 @@ impl TsPprTrainer {
                     step,
                     r_tilde,
                     nll,
-                    elapsed: train_start.elapsed(),
+                    elapsed: elapsed_base + train_start.elapsed(),
                 });
                 debug_assert!(model.is_finite(), "parameters diverged at step {step}");
                 if let Some(prev) = prev_r_tilde {
@@ -155,10 +195,32 @@ impl TsPprTrainer {
                     }
                 }
                 prev_r_tilde = Some(r_tilde);
+                if let Some(opts) = checkpoint.as_mut() {
+                    if opts.every_checks > 0
+                        && report.checks.len().is_multiple_of(opts.every_checks)
+                    {
+                        let snapshot = TrainCheckpoint {
+                            mode: TrainMode::Serial,
+                            shards: 1,
+                            step,
+                            prev_r_tilde,
+                            elapsed: elapsed_base + train_start.elapsed(),
+                            checks: report.checks.clone(),
+                            rng_states: vec![rng.state()],
+                            model: model.clone(),
+                            fingerprint,
+                        };
+                        if !(opts.sink)(&snapshot) {
+                            // Simulated kill: stop mid-run; only the
+                            // emitted snapshots survive.
+                            break 'sgd;
+                        }
+                    }
+                }
             }
         }
-        steps_total.add(report.steps as u64);
-        report.elapsed = train_start.elapsed();
+        steps_total.add((report.steps - start_step) as u64);
+        report.elapsed = elapsed_base + train_start.elapsed();
         (model, report)
     }
 }
@@ -450,6 +512,66 @@ mod tests {
         assert!(check_hist.snapshot().count() >= checks_before + report.checks.len() as u64);
         assert!(sweep_hist.snapshot().count() > sweeps_before);
         assert!(rrc_obs::global().counter("tsppr_train_steps_total").get() >= report.steps as u64);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_bit_identical() {
+        let (data, _, training) = fixture();
+        let trainer = TsPprTrainer::new(config(&data));
+        let (full_model, full_report) = trainer.train(&training);
+
+        // Interrupted run: snapshot at every check, simulated kill right
+        // after the second snapshot lands.
+        let mut snaps: Vec<TrainCheckpoint> = Vec::new();
+        let mut sink = |ck: &TrainCheckpoint| {
+            snaps.push(ck.clone());
+            snaps.len() < 2
+        };
+        let (_, killed) = trainer.train_with(
+            &training,
+            None,
+            Some(CheckpointOptions {
+                every_checks: 1,
+                sink: &mut sink,
+            }),
+        );
+        assert_eq!(snaps.len(), 2);
+        assert!(!killed.converged);
+        assert!(killed.steps < full_report.steps, "kill must interrupt");
+
+        let (resumed_model, resumed_report) = trainer.train_with(&training, Some(&snaps[1]), None);
+        assert_eq!(resumed_model, full_model, "resumed parameters diverged");
+        assert_eq!(resumed_report.steps, full_report.steps);
+        assert_eq!(resumed_report.converged, full_report.converged);
+        assert_eq!(resumed_report.checks.len(), full_report.checks.len());
+        for (a, b) in resumed_report.checks.iter().zip(&full_report.checks) {
+            assert_eq!(a.step, b.step);
+            assert_eq!(a.r_tilde.to_bits(), b.r_tilde.to_bits());
+            assert_eq!(a.nll.to_bits(), b.nll.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot resume serial training")]
+    fn incompatible_checkpoint_is_refused() {
+        let (data, _, training) = fixture();
+        let trainer = TsPprTrainer::new(config(&data));
+        let mut snaps: Vec<TrainCheckpoint> = Vec::new();
+        let mut sink = |ck: &TrainCheckpoint| {
+            snaps.push(ck.clone());
+            false
+        };
+        let _ = trainer.train_with(
+            &training,
+            None,
+            Some(CheckpointOptions {
+                every_checks: 1,
+                sink: &mut sink,
+            }),
+        );
+        // A different seed is a different trajectory — refuse to resume.
+        let other = TsPprTrainer::new(config(&data).with_seed(999));
+        let _ = other.train_with(&training, Some(&snaps[0]), None);
     }
 
     #[test]

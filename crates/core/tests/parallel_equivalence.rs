@@ -7,8 +7,8 @@
 //! * Hogwild produces finite parameters that actually learn.
 
 use rrc_core::{
-    ParallelConfig, ParallelTrainer, PprConfig, PprModel, PprTrainer, TrainMode, TrainReport,
-    TsPprConfig, TsPprModel, TsPprTrainer,
+    CheckpointOptions, ParallelConfig, ParallelTrainer, PprConfig, PprModel, PprTrainer,
+    TrainCheckpoint, TrainMode, TrainReport, TsPprConfig, TsPprModel, TsPprTrainer,
 };
 use rrc_datagen::GeneratorConfig;
 use rrc_features::{FeaturePipeline, SamplingConfig, TrainStats, TrainingSet};
@@ -136,6 +136,58 @@ fn serial_mode_dispatch_equals_direct_serial_trainer() {
     let direct = TsPprTrainer::new(cfg.clone()).train(&training);
     let dispatched = ParallelTrainer::new(cfg, ParallelConfig::serial()).train(&training);
     assert_eq!(model_bits(&direct.0), model_bits(&dispatched.0));
+}
+
+#[test]
+fn sharded_resume_is_bit_identical_to_uninterrupted_run() {
+    let (data, training) = fixture();
+    let cfg = config(&data);
+    let par = ParallelConfig::sharded(4).with_shards(4);
+    let uninterrupted = ParallelTrainer::new(cfg.clone(), par).train_with(&training, None, None);
+
+    // Snapshot at every check, simulate a kill right after the second one.
+    let mut snaps: Vec<TrainCheckpoint> = Vec::new();
+    let mut sink = |ck: &TrainCheckpoint| {
+        snaps.push(ck.clone());
+        snaps.len() < 2
+    };
+    let killed = ParallelTrainer::new(cfg.clone(), par).train_with(
+        &training,
+        None,
+        Some(CheckpointOptions {
+            every_checks: 1,
+            sink: &mut sink,
+        }),
+    );
+    assert_eq!(snaps.len(), 2, "sink should have stopped the run");
+    assert!(
+        killed.1.steps < uninterrupted.1.steps,
+        "the killed run must actually be shorter"
+    );
+
+    let resumed = ParallelTrainer::new(cfg, par).train_with(&training, Some(&snaps[1]), None);
+    assert_eq!(
+        model_bits(&uninterrupted.0),
+        model_bits(&resumed.0),
+        "resumed sharded model must be bit-identical"
+    );
+    assert_eq!(report_trace(&uninterrupted.1), report_trace(&resumed.1));
+}
+
+#[test]
+#[should_panic(expected = "hogwild training is nondeterministic")]
+fn hogwild_refuses_checkpointing() {
+    let (data, training) = fixture();
+    let cfg = config(&data);
+    let mut sink = |_: &TrainCheckpoint| true;
+    ParallelTrainer::new(cfg, ParallelConfig::hogwild(2)).train_with(
+        &training,
+        None,
+        Some(CheckpointOptions {
+            every_checks: 1,
+            sink: &mut sink,
+        }),
+    );
 }
 
 #[test]

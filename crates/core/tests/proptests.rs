@@ -1,9 +1,10 @@
-//! Property-based tests for the TS-PPR model and persistence.
+//! Property-based tests for the TS-PPR model. (Persistence round-trip
+//! properties live with the formats, in `crates/store/tests/proptests.rs`.)
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rrc_core::{persist, TsPprModel};
+use rrc_core::TsPprModel;
 use rrc_sequence::{ItemId, UserId};
 
 fn model_strategy() -> impl Strategy<Value = TsPprModel> {
@@ -64,14 +65,6 @@ proptest! {
         let lhs = model.score(user, item, &vsum) - base;
         let rhs = (model.score(user, item, &v1) - base) + (model.score(user, item, &v2) - base);
         prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs.abs()));
-    }
-
-    #[test]
-    fn persistence_round_trips_any_model(model in model_strategy()) {
-        let mut buf = Vec::new();
-        persist::save(&model, &mut buf).unwrap();
-        let loaded = persist::load(buf.as_slice()).unwrap();
-        prop_assert_eq!(model, loaded);
     }
 
     #[test]

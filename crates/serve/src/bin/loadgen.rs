@@ -41,6 +41,15 @@ struct Args {
     seed: u64,
     /// Write a machine-readable `RunReport` here after the replay.
     json: Option<String>,
+    /// Start from a model stored with `rrc-store` instead of random init.
+    load_model: Option<String>,
+    /// After the replay, publish online learning and save the result.
+    save_model: Option<String>,
+    /// Watch an `rrc-store` model registry and hot-swap newly published
+    /// versions during the replay.
+    registry: Option<String>,
+    /// Registry poll period in milliseconds.
+    registry_poll_ms: u64,
 }
 
 impl Default for Args {
@@ -59,6 +68,10 @@ impl Default for Args {
             swap_every_ms: 0,
             seed: 42,
             json: None,
+            load_model: None,
+            save_model: None,
+            registry: None,
+            registry_poll_ms: 50,
         }
     }
 }
@@ -67,7 +80,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--users N] [--items N] [--events LO HI] [--shards N] \
          [--clients N] [--topn N] [--recommend-every N] [--learn NEGATIVES] \
-         [--swap-every MILLIS] [--seed N] [--json PATH]"
+         [--swap-every MILLIS] [--seed N] [--json PATH] [--load-model PATH] \
+         [--save-model PATH] [--registry DIR] [--registry-poll MILLIS]"
     );
     std::process::exit(2);
 }
@@ -96,6 +110,10 @@ fn parse_args() -> Args {
             "--swap-every" => args.swap_every_ms = num(&mut it) as u64,
             "--seed" => args.seed = num(&mut it) as u64,
             "--json" => args.json = Some(it.next().unwrap_or_else(|| usage())),
+            "--load-model" => args.load_model = Some(it.next().unwrap_or_else(|| usage())),
+            "--save-model" => args.save_model = Some(it.next().unwrap_or_else(|| usage())),
+            "--registry" => args.registry = Some(it.next().unwrap_or_else(|| usage())),
+            "--registry-poll" => args.registry_poll_ms = num(&mut it) as u64,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -135,18 +153,46 @@ fn main() {
 
     // Load generation exercises the serving path, not model quality, so a
     // randomly-initialised model is enough — and keeps startup instant.
+    // `--load-model` replaces it with trained weights from the store.
     let stats = TrainStats::compute(&split.train, WINDOW);
     let pipeline = FeaturePipeline::standard();
-    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5eed);
-    let model = TsPprModel::init(
-        &mut rng,
-        data.num_users(),
-        data.num_items(),
-        16,
-        pipeline.len(),
-        0.1,
-        0.05,
-    );
+    let model = match &args.load_model {
+        Some(path) => {
+            let model = rrc_store::load_model(path).unwrap_or_else(|e| {
+                eprintln!("failed to load model from {path}: {e}");
+                std::process::exit(1);
+            });
+            if (model.num_users(), model.num_items()) != (data.num_users(), data.num_items())
+                || model.f_dim() != pipeline.len()
+            {
+                eprintln!(
+                    "model at {path} has shape ({} users, {} items, f={}), \
+                     replay needs ({}, {}, f={})",
+                    model.num_users(),
+                    model.num_items(),
+                    model.f_dim(),
+                    data.num_users(),
+                    data.num_items(),
+                    pipeline.len()
+                );
+                std::process::exit(1);
+            }
+            eprintln!("loaded model from {path}");
+            model
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5eed);
+            TsPprModel::init(
+                &mut rng,
+                data.num_users(),
+                data.num_items(),
+                16,
+                pipeline.len(),
+                0.1,
+                0.05,
+            )
+        }
+    };
     let mut online = OnlineTsPpr::new(
         model,
         pipeline,
@@ -165,7 +211,18 @@ fn main() {
         "starting engine: {} shards, {} clients, learn={} ({} events to replay)",
         args.shards, args.clients, args.learn, total_events
     );
-    let engine = ServeEngine::start(online, args.shards);
+    let engine = std::sync::Arc::new(ServeEngine::start(online, args.shards));
+
+    // Deployment loop under load: install every version published into
+    // the registry while the replay is running.
+    let watcher = args.registry.as_ref().map(|dir| {
+        eprintln!("watching registry {dir} every {}ms", args.registry_poll_ms);
+        rrc_serve::RegistryWatcher::spawn(
+            engine.clone(),
+            dir,
+            Duration::from_millis(args.registry_poll_ms.max(1)),
+        )
+    });
 
     // Round-robin users over client threads so each user's stream stays on
     // one client — cross-client FIFO for the same user is not defined.
@@ -175,7 +232,7 @@ fn main() {
     }
 
     let replay_start = Instant::now();
-    let engine_ref = &engine;
+    let engine_ref = &*engine;
     let done = std::sync::atomic::AtomicBool::new(false);
     let done_ref = &done;
     crossbeam::thread::scope(|scope| {
@@ -270,5 +327,28 @@ fn main() {
             }
         }
     }
-    engine.shutdown();
+
+    if let Some(path) = &args.save_model {
+        // Fold the online learning into the snapshot before saving.
+        let published = engine.publish();
+        let meta = [
+            ("source".to_string(), "loadgen".to_string()),
+            ("seed".to_string(), args.seed.to_string()),
+        ];
+        match rrc_store::save_model(&published, &meta, path) {
+            Ok(bytes) => eprintln!("saved model to {path} ({bytes} bytes)"),
+            Err(e) => {
+                eprintln!("failed to save model to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(watcher) = watcher {
+        watcher.stop();
+    }
+    match std::sync::Arc::try_unwrap(engine) {
+        Ok(engine) => engine.shutdown(),
+        Err(_) => unreachable!("watcher stopped, no other engine handles exist"),
+    }
 }

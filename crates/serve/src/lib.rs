@@ -18,6 +18,9 @@
 //!   copy-on-write overlay. [`ServeEngine::swap_model`] harvests every
 //!   shard's delta, merges them into the incoming model, and installs the
 //!   result — all in-band, without stopping traffic.
+//! * **Deployment** ([`watcher`]) — [`RegistryWatcher`] polls an
+//!   `rrc-store` model registry and hot-swaps every newly published
+//!   version into the engine, closing the train → publish → serve loop.
 //! * **Observability** ([`metrics`]) — every engine owns a private
 //!   [`rrc_obs::Registry`]: wait-free power-of-two latency histograms
 //!   (p50/p95/p99/mean/max) and per-shard traffic counters, snapshotted
@@ -52,11 +55,13 @@ pub mod engine;
 pub mod metrics;
 pub mod overlay;
 pub mod routing;
+pub mod watcher;
 
 pub use engine::ServeEngine;
 pub use metrics::{LatencySummary, MetricsReport, ShardCountersSnapshot};
 pub use overlay::{ModelDiff, ModelOverlay};
 pub use routing::shard_for;
+pub use watcher::RegistryWatcher;
 // The latency histogram now lives in the workspace-wide observability
 // crate; re-exported here for serving-focused callers.
 pub use rrc_obs::{Histogram, HistogramSnapshot};

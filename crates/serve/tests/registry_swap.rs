@@ -1,0 +1,166 @@
+//! The deployment loop end to end: a trainer publishes into an
+//! `rrc-store` registry, the serving engine's watcher notices and
+//! hot-swaps, and damaged or wrongly-shaped publishes never reach the
+//! engine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrc_core::{OnlineConfig, OnlineTsPpr, TsPprModel};
+use rrc_datagen::GeneratorConfig;
+use rrc_features::{FeaturePipeline, TrainStats};
+use rrc_serve::watcher::{poll_once, RegistryWatcher};
+use rrc_serve::ServeEngine;
+use rrc_store::ModelRegistry;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USERS: usize = 12;
+const ITEMS: usize = 40;
+
+fn fresh_model(seed: u64) -> TsPprModel {
+    let pipeline = FeaturePipeline::standard();
+    TsPprModel::init(
+        &mut StdRng::seed_from_u64(seed),
+        USERS,
+        ITEMS,
+        6,
+        pipeline.len(),
+        0.1,
+        0.05,
+    )
+}
+
+fn engine() -> ServeEngine {
+    let data = GeneratorConfig::tiny()
+        .with_users(USERS)
+        .with_items(ITEMS)
+        .with_seed(5)
+        .generate();
+    let stats = TrainStats::compute(&data, 30);
+    let online = OnlineTsPpr::new(
+        fresh_model(1),
+        FeaturePipeline::standard(),
+        stats,
+        OnlineConfig {
+            window: 30,
+            omega: 5,
+            negatives_per_event: 0,
+            ..OnlineConfig::default()
+        },
+    );
+    ServeEngine::start(online, 2)
+}
+
+fn temp_dir(label: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("rrc_serve_registry_{label}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn poll_once_installs_each_new_version_exactly_once() {
+    let dir = temp_dir("poll");
+    let mut registry = ModelRegistry::create(&dir, 3).unwrap();
+    let engine = engine();
+    let mut last_seen = None;
+
+    // Empty registry: nothing to do.
+    assert_eq!(poll_once(&engine, &dir, &mut last_seen).unwrap(), None);
+
+    let published = fresh_model(42);
+    registry.publish(&published, &[]).unwrap();
+    assert_eq!(poll_once(&engine, &dir, &mut last_seen).unwrap(), Some(1));
+    assert_eq!(*engine.model(), published, "engine serves the new weights");
+    // Same version again: no redundant swap.
+    assert_eq!(poll_once(&engine, &dir, &mut last_seen).unwrap(), None);
+
+    let next = fresh_model(43);
+    registry.publish(&next, &[]).unwrap();
+    assert_eq!(poll_once(&engine, &dir, &mut last_seen).unwrap(), Some(2));
+    assert_eq!(*engine.model(), next);
+
+    engine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrongly_shaped_publish_is_rejected_and_not_retried_forever() {
+    let dir = temp_dir("shape");
+    let mut registry = ModelRegistry::create(&dir, 3).unwrap();
+    let engine = engine();
+    let before = engine.model();
+    let mut last_seen = None;
+
+    let wrong = TsPprModel::init(
+        &mut StdRng::seed_from_u64(9),
+        USERS + 1,
+        ITEMS,
+        6,
+        9,
+        0.1,
+        0.05,
+    );
+    registry.publish(&wrong, &[]).unwrap();
+    assert!(poll_once(&engine, &dir, &mut last_seen).is_err());
+    assert_eq!(
+        *engine.model(),
+        *before,
+        "engine must keep serving the old model"
+    );
+    // The bad version is remembered, not retried.
+    assert_eq!(poll_once(&engine, &dir, &mut last_seen).unwrap(), None);
+
+    engine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_model_file_never_reaches_the_engine() {
+    let dir = temp_dir("corrupt");
+    let mut registry = ModelRegistry::create(&dir, 3).unwrap();
+    let engine = engine();
+    let before = engine.model();
+    let mut last_seen = None;
+
+    registry.publish(&fresh_model(7), &[]).unwrap();
+    let (_, path) = registry.latest().unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    assert!(poll_once(&engine, &dir, &mut last_seen).is_err());
+    assert_eq!(*engine.model(), *before);
+
+    engine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn background_watcher_hot_swaps_after_publish() {
+    let dir = temp_dir("thread");
+    let mut registry = ModelRegistry::create(&dir, 3).unwrap();
+    let engine = Arc::new(engine());
+    let watcher = RegistryWatcher::spawn(engine.clone(), &dir, Duration::from_millis(10));
+
+    let published = fresh_model(99);
+    registry.publish(&published, &[]).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while *engine.model() != published {
+        assert!(
+            Instant::now() < deadline,
+            "watcher never installed the publish"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    watcher.stop();
+
+    let Ok(engine) = Arc::try_unwrap(engine) else {
+        panic!("watcher should have dropped its engine handle");
+    };
+    engine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,79 @@
+//! The typed error surface of the store.
+//!
+//! Every load path classifies failures so callers (and tests) can tell a
+//! missing file from a torn write from a schema mismatch. The invariant
+//! backing the whole crate: **no variant ever accompanies a
+//! partially-initialized model** — loaders validate everything before
+//! constructing parameters.
+
+use std::fmt;
+use std::io;
+
+/// Why a store file could not be read or written.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure (open, read, rename, fsync…).
+    Io(io::Error),
+    /// The file does not start with the `RRCSTOR1` magic — not a store
+    /// file at all.
+    BadMagic,
+    /// The container declares a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// Structural damage: a failed checksum, truncated section, nonzero
+    /// padding, or any other byte-level inconsistency. `section` names the
+    /// damaged section (or `"header"`/`"frame"` for the envelope).
+    Corrupt { section: String, detail: String },
+    /// The container parsed cleanly but a required section is absent.
+    Missing { section: String },
+    /// The sections are all intact but describe something the caller did
+    /// not ask for — wrong model kind, impossible dimensions, or a
+    /// checkpoint whose configuration fingerprint does not match.
+    Schema { detail: String },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::BadMagic => write!(f, "not a store file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported store format version {v}")
+            }
+            StoreError::Corrupt { section, detail } => {
+                write!(f, "corrupt section {section:?}: {detail}")
+            }
+            StoreError::Missing { section } => write!(f, "missing section {section:?}"),
+            StoreError::Schema { detail } => write!(f, "schema mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Shorthand constructor used throughout the parsers.
+pub(crate) fn corrupt(section: impl Into<String>, detail: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        section: section.into(),
+        detail: detail.into(),
+    }
+}
+
+/// Shorthand [`StoreError::Schema`] constructor.
+pub(crate) fn schema(detail: impl Into<String>) -> StoreError {
+    StoreError::Schema {
+        detail: detail.into(),
+    }
+}

@@ -1,0 +1,336 @@
+//! TS-PPR model save/load on top of the [`crate::format`] container.
+//!
+//! A model file carries `META` (`kind = "tsppr-model"` plus caller
+//! metadata), `DIMS` (`[K, F, users, items]`), `UMAT`, `VMAT` and `AMAT`
+//! (all `A_u` concatenated). [`ModelView`] validates everything up front
+//! and then serves factor rows zero-copy out of the single read buffer;
+//! [`load_model`] materialises an owned [`TsPprModel`].
+
+use crate::error::{corrupt, schema, StoreError};
+use crate::format::{commit, encode_meta, StoreFile, Tag, Writer};
+use rrc_core::TsPprModel;
+use rrc_linalg::DMatrix;
+use std::path::Path;
+
+/// `META` kind for TS-PPR model files.
+pub const KIND_TSPPR: &str = "tsppr-model";
+
+/// Serialize a model (plus caller metadata) into container bytes.
+pub fn encode_model(model: &TsPprModel, extra_meta: &[(String, String)]) -> Vec<u8> {
+    let mut meta = vec![("kind".to_string(), KIND_TSPPR.to_string())];
+    meta.extend(extra_meta.iter().cloned());
+    let mut w = Writer::new();
+    w.section(Tag::META, &encode_meta(&meta));
+    push_model_sections(&mut w, model);
+    w.finish()
+}
+
+/// Append `DIMS`/`UMAT`/`VMAT`/`AMAT` for `model` — shared with the
+/// checkpoint encoder.
+pub(crate) fn push_model_sections(w: &mut Writer, model: &TsPprModel) {
+    w.u64_section(
+        Tag::DIMS,
+        &[
+            model.k() as u64,
+            model.f_dim() as u64,
+            model.num_users() as u64,
+            model.num_items() as u64,
+        ],
+    );
+    w.f64_section(Tag::UMAT, model.u_matrix().as_slice());
+    w.f64_section(Tag::VMAT, model.v_matrix().as_slice());
+    w.begin(Tag::AMAT);
+    for a in model.transforms() {
+        w.push_f64s(a.as_slice());
+    }
+    w.end();
+}
+
+/// Atomically save `model` to `path`. Returns the file size in bytes.
+pub fn save_model(
+    model: &TsPprModel,
+    extra_meta: &[(String, String)],
+    path: impl AsRef<Path>,
+) -> Result<u64, StoreError> {
+    let bytes = encode_model(model, extra_meta);
+    commit(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Load an owned model from `path`, rejecting anything malformed.
+pub fn load_model(path: impl AsRef<Path>) -> Result<TsPprModel, StoreError> {
+    Ok(ModelView::open(path)?.to_model())
+}
+
+/// Validated zero-copy view of a stored TS-PPR model: row accessors
+/// borrow directly from the read buffer.
+#[derive(Debug)]
+pub struct ModelView {
+    file: StoreFile,
+    k: usize,
+    f_dim: usize,
+    users: usize,
+    items: usize,
+}
+
+/// The `DIMS` quad of a model-shaped container, validated.
+pub(crate) fn model_dims(file: &StoreFile) -> Result<(usize, usize, usize, usize), StoreError> {
+    let dims = file.u64_section(Tag::DIMS)?;
+    let &[k, f_dim, users, items] = dims else {
+        return Err(corrupt(
+            Tag::DIMS.name(),
+            format!("expected 4 dimensions, found {}", dims.len()),
+        ));
+    };
+    let as_count = |v: u64, what: &str| -> Result<usize, StoreError> {
+        usize::try_from(v)
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| schema(format!("implausible {what} count {v}")))
+    };
+    Ok((
+        as_count(k, "K")?,
+        as_count(f_dim, "F")?,
+        as_count(users, "user")?,
+        as_count(items, "item")?,
+    ))
+}
+
+/// Check that a matrix section holds exactly `rows × cols` values.
+pub(crate) fn check_matrix_len(
+    file: &StoreFile,
+    tag: Tag,
+    rows: usize,
+    cols: usize,
+) -> Result<(), StoreError> {
+    let want = rows
+        .checked_mul(cols)
+        .ok_or_else(|| schema("matrix dimensions overflow".to_string()))?;
+    let got = file.f64_section(tag)?.len();
+    if got != want {
+        return Err(corrupt(
+            tag.name(),
+            format!("expected {want} values ({rows}×{cols}), found {got}"),
+        ));
+    }
+    Ok(())
+}
+
+impl ModelView {
+    /// Open and fully validate the model file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<ModelView, StoreError> {
+        ModelView::from_file(StoreFile::open(path)?)
+    }
+
+    /// Validate an in-memory container.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ModelView, StoreError> {
+        ModelView::from_file(StoreFile::from_bytes(bytes)?)
+    }
+
+    /// Validate a parsed container as a TS-PPR model.
+    pub fn from_file(file: StoreFile) -> Result<ModelView, StoreError> {
+        match file.meta_value("kind")? {
+            Some(kind) if kind == KIND_TSPPR => {}
+            Some(kind) => {
+                return Err(schema(format!(
+                    "expected a {KIND_TSPPR} file, found {kind:?}"
+                )))
+            }
+            None => return Err(schema(format!("no kind metadata; expected {KIND_TSPPR}"))),
+        }
+        let (k, f_dim, users, items) = model_dims(&file)?;
+        check_matrix_len(&file, Tag::UMAT, users, k)?;
+        check_matrix_len(&file, Tag::VMAT, items, k)?;
+        check_matrix_len(&file, Tag::AMAT, users * k, f_dim)?;
+        Ok(ModelView {
+            file,
+            k,
+            f_dim,
+            users,
+            items,
+        })
+    }
+
+    /// Latent dimension `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Feature dimension `F`.
+    pub fn f_dim(&self) -> usize {
+        self.f_dim
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.users
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.items
+    }
+
+    /// Metadata pairs stored alongside the parameters.
+    pub fn meta(&self) -> Vec<(String, String)> {
+        // Validated during `from_file`; cannot fail now.
+        self.file.meta().expect("META revalidation")
+    }
+
+    /// One metadata value.
+    pub fn meta_value(&self, key: &str) -> Option<String> {
+        self.file.meta_value(key).expect("META revalidation")
+    }
+
+    /// User `u`'s latent factor, borrowed from the read buffer.
+    pub fn user_row(&self, user: usize) -> &[f64] {
+        assert!(user < self.users, "user {user} out of range");
+        let m = self.file.f64_section(Tag::UMAT).expect("UMAT revalidation");
+        &m[user * self.k..(user + 1) * self.k]
+    }
+
+    /// Item `v`'s latent factor, borrowed from the read buffer.
+    pub fn item_row(&self, item: usize) -> &[f64] {
+        assert!(item < self.items, "item {item} out of range");
+        let m = self.file.f64_section(Tag::VMAT).expect("VMAT revalidation");
+        &m[item * self.k..(item + 1) * self.k]
+    }
+
+    /// User `u`'s transform `A_u` as one row-major `K × F` slice.
+    pub fn transform(&self, user: usize) -> &[f64] {
+        assert!(user < self.users, "user {user} out of range");
+        let m = self.file.f64_section(Tag::AMAT).expect("AMAT revalidation");
+        let stride = self.k * self.f_dim;
+        &m[user * stride..(user + 1) * stride]
+    }
+
+    /// Materialise an owned [`TsPprModel`] (one copy of each section).
+    pub fn to_model(&self) -> TsPprModel {
+        let u = self.file.f64_section(Tag::UMAT).expect("UMAT revalidation");
+        let v = self.file.f64_section(Tag::VMAT).expect("VMAT revalidation");
+        let a = self.file.f64_section(Tag::AMAT).expect("AMAT revalidation");
+        let stride = self.k * self.f_dim;
+        TsPprModel::from_parts(
+            self.k,
+            self.f_dim,
+            DMatrix::from_vec(self.users, self.k, u.to_vec()),
+            DMatrix::from_vec(self.items, self.k, v.to_vec()),
+            (0..self.users)
+                .map(|i| {
+                    DMatrix::from_vec(self.k, self.f_dim, a[i * stride..(i + 1) * stride].to_vec())
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rrc_sequence::{ItemId, UserId};
+
+    fn model() -> TsPprModel {
+        TsPprModel::init(&mut StdRng::seed_from_u64(7), 4, 6, 5, 3, 0.05, 0.01)
+    }
+
+    #[test]
+    fn encode_load_round_trip_is_exact() {
+        let m = model();
+        let bytes = encode_model(&m, &[("seed".into(), "7".into())]);
+        let view = ModelView::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            (view.k(), view.f_dim(), view.num_users(), view.num_items()),
+            (5, 3, 4, 6)
+        );
+        assert_eq!(view.meta_value("seed").as_deref(), Some("7"));
+        assert_eq!(view.user_row(2), m.user_factor(UserId(2)));
+        assert_eq!(view.item_row(5), m.item_factor(ItemId(5)));
+        assert_eq!(view.transform(3), m.transform(UserId(3)).as_slice());
+        assert_eq!(view.to_model(), m);
+    }
+
+    #[test]
+    fn file_round_trip_and_deterministic_bytes() {
+        let dir = std::env::temp_dir().join(format!("rrc_store_model_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.rrcm");
+        let m = model();
+        let size = save_model(&m, &[], &path).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), size);
+        assert_eq!(load_model(&path).unwrap(), m);
+        // Same model + same metadata ⇒ byte-identical file (no timestamps
+        // or other nondeterminism) — the property the resume smoke leans on.
+        let again = dir.join("m2.rrcm");
+        save_model(&m, &[], &again).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&again).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_kind_is_a_schema_error() {
+        let m = model();
+        let mut w = Writer::new();
+        w.section(
+            Tag::META,
+            &encode_meta(&[("kind".into(), "something-else".into())]),
+        );
+        push_model_sections(&mut w, &m);
+        let err = ModelView::from_bytes(&w.finish()).unwrap_err();
+        assert!(matches!(err, StoreError::Schema { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_section_is_typed() {
+        let mut w = Writer::new();
+        w.section(
+            Tag::META,
+            &encode_meta(&[("kind".into(), KIND_TSPPR.into())]),
+        );
+        w.u64_section(Tag::DIMS, &[2, 2, 2, 2]);
+        // no UMAT/VMAT/AMAT
+        let err = ModelView::from_bytes(&w.finish()).unwrap_err();
+        assert!(matches!(err, StoreError::Missing { .. }), "{err}");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let m = model();
+        // DIMS claims 3 users but the matrices hold 4 — must fail on the
+        // length check (fresh file so every CRC is still valid).
+        let mut w = Writer::new();
+        w.section(
+            Tag::META,
+            &encode_meta(&[("kind".into(), KIND_TSPPR.into())]),
+        );
+        w.u64_section(Tag::DIMS, &[5, 3, 3, 6]);
+        w.f64_section(Tag::UMAT, m.u_matrix().as_slice());
+        w.f64_section(Tag::VMAT, m.v_matrix().as_slice());
+        w.begin(Tag::AMAT);
+        for a in m.transforms() {
+            w.push_f64s(a.as_slice());
+        }
+        w.end();
+        let err = ModelView::from_bytes(&w.finish()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_dimension_is_a_schema_error() {
+        let mut w = Writer::new();
+        w.section(
+            Tag::META,
+            &encode_meta(&[("kind".into(), KIND_TSPPR.into())]),
+        );
+        w.u64_section(Tag::DIMS, &[0, 1, 1, 1]);
+        w.f64_section(Tag::UMAT, &[]);
+        w.f64_section(Tag::VMAT, &[]);
+        w.f64_section(Tag::AMAT, &[]);
+        let err = ModelView::from_bytes(&w.finish()).unwrap_err();
+        assert!(matches!(err, StoreError::Schema { .. }), "{err}");
+    }
+}

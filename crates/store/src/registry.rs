@@ -1,0 +1,284 @@
+//! A directory of published model versions with an atomic manifest.
+//!
+//! Layout:
+//!
+//! ```text
+//! registry/
+//!   MANIFEST              # "rrc-model-registry v1" + "<version> <filename>" lines
+//!   model-000001.rrcm
+//!   model-000002.rrcm
+//! ```
+//!
+//! Publishing is a two-step commit: the model file lands first (atomic
+//! temp + rename), then the manifest is rewritten to name it. A reader
+//! that wins a race therefore either sees the old manifest (old model,
+//! still on disk) or the new manifest (new model, already durable) —
+//! never a manifest pointing at a half-written file. Old versions beyond
+//! the retention window are pruned only after the manifest stops naming
+//! them. `rrc-serve` polls [`ModelRegistry::latest`] to drive hot-swap.
+
+use crate::error::{corrupt, StoreError};
+use crate::format::commit;
+use crate::model::{encode_model, KIND_TSPPR};
+use rrc_core::TsPprModel;
+use rrc_obs::global;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const MANIFEST: &str = "MANIFEST";
+const MANIFEST_HEADER: &str = "rrc-model-registry v1";
+
+/// One published version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryEntry {
+    /// Monotonically increasing version number.
+    pub version: u64,
+    /// File name inside the registry directory.
+    pub filename: String,
+}
+
+/// Handle on a registry directory.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    dir: PathBuf,
+    keep: usize,
+    entries: Vec<RegistryEntry>,
+}
+
+impl ModelRegistry {
+    /// Create the directory (and an empty manifest) if needed, retaining
+    /// the last `keep` versions on publish. `keep` is clamped to ≥ 1.
+    pub fn create(dir: impl Into<PathBuf>, keep: usize) -> Result<ModelRegistry, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut reg = if dir.join(MANIFEST).exists() {
+            ModelRegistry::open(&dir)?
+        } else {
+            let reg = ModelRegistry {
+                dir,
+                keep: 1,
+                entries: Vec::new(),
+            };
+            reg.write_manifest()?;
+            reg
+        };
+        reg.keep = keep.max(1);
+        Ok(reg)
+    }
+
+    /// Open an existing registry (read + parse the manifest).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ModelRegistry, StoreError> {
+        let dir = dir.into();
+        let text = fs::read_to_string(dir.join(MANIFEST))?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(MANIFEST_HEADER) => {}
+            other => {
+                return Err(corrupt(
+                    MANIFEST,
+                    format!("bad header {other:?} (expected {MANIFEST_HEADER:?})"),
+                ))
+            }
+        }
+        let mut entries: Vec<RegistryEntry> = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (version, filename) = line
+                .split_once(' ')
+                .ok_or_else(|| corrupt(MANIFEST, format!("malformed entry {line:?}")))?;
+            let version: u64 = version
+                .parse()
+                .map_err(|_| corrupt(MANIFEST, format!("bad version in entry {line:?}")))?;
+            if filename.contains('/') || filename.contains("..") {
+                return Err(corrupt(
+                    MANIFEST,
+                    format!("entry {line:?} names a path outside the registry"),
+                ));
+            }
+            if let Some(last) = entries.last() {
+                if version <= last.version {
+                    return Err(corrupt(
+                        MANIFEST,
+                        format!(
+                            "versions must be strictly increasing ({} then {version})",
+                            last.version
+                        ),
+                    ));
+                }
+            }
+            entries.push(RegistryEntry {
+                version,
+                filename: filename.to_string(),
+            });
+        }
+        Ok(ModelRegistry {
+            dir,
+            keep: entries.len().max(1),
+            entries,
+        })
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Published versions, oldest first.
+    pub fn entries(&self) -> &[RegistryEntry] {
+        &self.entries
+    }
+
+    /// The newest version and the full path of its model file.
+    pub fn latest(&self) -> Option<(u64, PathBuf)> {
+        self.entries
+            .last()
+            .map(|e| (e.version, self.dir.join(&e.filename)))
+    }
+
+    /// Publish a model: write its file, commit the manifest naming it,
+    /// prune beyond the retention window. Returns the new version.
+    pub fn publish(
+        &mut self,
+        model: &TsPprModel,
+        extra_meta: &[(String, String)],
+    ) -> Result<u64, StoreError> {
+        let version = self.entries.last().map_or(1, |e| e.version + 1);
+        let mut meta = vec![
+            ("registry_version".to_string(), version.to_string()),
+            ("kind".to_string(), KIND_TSPPR.to_string()),
+        ];
+        meta.extend(
+            extra_meta
+                .iter()
+                .filter(|(k, _)| k != "kind" && k != "registry_version")
+                .cloned(),
+        );
+        let filename = format!("model-{version:06}.rrcm");
+        commit(self.dir.join(&filename), &encode_model(model, &meta))?;
+        self.entries.push(RegistryEntry { version, filename });
+        let pruned: Vec<RegistryEntry> = if self.entries.len() > self.keep {
+            self.entries
+                .drain(..self.entries.len() - self.keep)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.write_manifest()?;
+        // Only unreferenced files are deleted, and only best-effort: a
+        // reader that grabbed the old manifest may still be mid-load.
+        for old in pruned {
+            fs::remove_file(self.dir.join(&old.filename)).ok();
+        }
+        global().counter("store_models_published_total").inc();
+        Ok(version)
+    }
+
+    fn write_manifest(&self) -> Result<(), StoreError> {
+        let mut text = String::from(MANIFEST_HEADER);
+        text.push('\n');
+        for e in &self.entries {
+            text.push_str(&format!("{} {}\n", e.version, e.filename));
+        }
+        commit(self.dir.join(MANIFEST), text.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::load_model;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> TsPprModel {
+        TsPprModel::init(&mut StdRng::seed_from_u64(seed), 3, 4, 2, 2, 0.1, 0.1)
+    }
+
+    fn temp_dir(label: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rrc_store_registry_{label}_{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn publish_assigns_monotone_versions_and_prunes() {
+        let dir = temp_dir("prune");
+        let mut reg = ModelRegistry::create(&dir, 2).unwrap();
+        for seed in 0..4 {
+            reg.publish(&model(seed), &[]).unwrap();
+        }
+        assert_eq!(
+            reg.entries().iter().map(|e| e.version).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert!(!dir.join("model-000001.rrcm").exists(), "pruned");
+        assert!(dir.join("model-000004.rrcm").exists());
+
+        let reopened = ModelRegistry::open(&dir).unwrap();
+        let (version, path) = reopened.latest().unwrap();
+        assert_eq!(version, 4);
+        assert_eq!(load_model(path).unwrap(), model(3));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn published_meta_carries_version_and_kind() {
+        let dir = temp_dir("meta");
+        let mut reg = ModelRegistry::create(&dir, 3).unwrap();
+        reg.publish(&model(7), &[("note".to_string(), "hello".to_string())])
+            .unwrap();
+        let (_, path) = reg.latest().unwrap();
+        let file = crate::format::StoreFile::open(path).unwrap();
+        assert_eq!(
+            file.meta_value("registry_version").unwrap().as_deref(),
+            Some("1")
+        );
+        assert_eq!(
+            file.meta_value("kind").unwrap().as_deref(),
+            Some(KIND_TSPPR)
+        );
+        assert_eq!(file.meta_value("note").unwrap().as_deref(), Some("hello"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_rejected() {
+        let dir = temp_dir("badmanifest");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(MANIFEST), "something else\n1 model-000001.rrcm\n").unwrap();
+        let err = ModelRegistry::open(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        fs::write(
+            dir.join(MANIFEST),
+            format!("{MANIFEST_HEADER}\n2 a.rrcm\n1 b.rrcm\n"),
+        )
+        .unwrap();
+        let err = ModelRegistry::open(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        fs::write(
+            dir.join(MANIFEST),
+            format!("{MANIFEST_HEADER}\n1 ../escape.rrcm\n"),
+        )
+        .unwrap();
+        let err = ModelRegistry::open(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_on_existing_registry_keeps_history() {
+        let dir = temp_dir("reopen");
+        let mut reg = ModelRegistry::create(&dir, 5).unwrap();
+        reg.publish(&model(1), &[]).unwrap();
+        drop(reg);
+        let mut reg = ModelRegistry::create(&dir, 5).unwrap();
+        let v = reg.publish(&model(2), &[]).unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(reg.entries().len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,6 +1,7 @@
-//! Model persistence in a small self-describing text format.
+//! Human-readable debug export of a TS-PPR model.
 //!
-//! The format is line-oriented and versioned:
+//! Moved here from `rrc-core`'s old `persist` module and rebased onto the
+//! store's error type. The line-oriented format is unchanged:
 //!
 //! ```text
 //! tsppr-model v1
@@ -18,44 +19,20 @@
 //! ...
 //! ```
 //!
-//! Floats are written with full round-trip precision. A hand-rolled format
-//! (rather than serde) keeps the workspace inside the pre-approved
-//! dependency list; see DESIGN.md.
+//! Floats are written with full round-trip precision, so text → binary →
+//! text survives bit-for-bit. The binary container ([`crate::model`]) is
+//! the production format; this one exists for eyeballing and diffing.
 
-use crate::model::TsPprModel;
+use crate::error::{corrupt, StoreError};
+use rrc_core::TsPprModel;
 use rrc_linalg::DMatrix;
+use rrc_sequence::{ItemId, UserId};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
-/// Errors from loading a persisted model.
-#[derive(Debug)]
-pub enum PersistError {
-    /// Underlying I/O failure.
-    Io(io::Error),
-    /// Structural problem in the file, with a human-readable description.
-    Format(String),
-}
-
-impl std::fmt::Display for PersistError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PersistError::Io(e) => write!(f, "io error: {e}"),
-            PersistError::Format(msg) => write!(f, "format error: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for PersistError {}
-
-impl From<io::Error> for PersistError {
-    fn from(e: io::Error) -> Self {
-        PersistError::Io(e)
-    }
-}
-
-fn format_err(msg: impl Into<String>) -> PersistError {
-    PersistError::Format(msg.into())
+fn format_err(msg: impl Into<String>) -> StoreError {
+    corrupt("text", msg)
 }
 
 /// Serialise a model to any writer.
@@ -68,15 +45,15 @@ pub fn save<W: Write>(model: &TsPprModel, writer: W) -> io::Result<()> {
     writeln!(w, "items {}", model.num_items())?;
     writeln!(w, "U")?;
     for u in 0..model.num_users() {
-        write_row(&mut w, model.user_factor(rrc_sequence::UserId(u as u32)))?;
+        write_row(&mut w, model.user_factor(UserId(u as u32)))?;
     }
     writeln!(w, "V")?;
     for v in 0..model.num_items() {
-        write_row(&mut w, model.item_factor(rrc_sequence::ItemId(v as u32)))?;
+        write_row(&mut w, model.item_factor(ItemId(v as u32)))?;
     }
     for u in 0..model.num_users() {
         writeln!(w, "A {u}")?;
-        let a = model.transform(rrc_sequence::UserId(u as u32));
+        let a = model.transform(UserId(u as u32));
         for r in 0..a.rows() {
             write_row(&mut w, a.row(r))?;
         }
@@ -96,13 +73,13 @@ fn write_row<W: Write>(w: &mut W, row: &[f64]) -> io::Result<()> {
 }
 
 /// Deserialise a model from any reader.
-pub fn load<R: BufRead>(reader: R) -> Result<TsPprModel, PersistError> {
+pub fn load<R: BufRead>(reader: R) -> Result<TsPprModel, StoreError> {
     let mut lines = reader.lines();
-    let mut next = |what: &str| -> Result<String, PersistError> {
+    let mut next = |what: &str| -> Result<String, StoreError> {
         lines
             .next()
             .ok_or_else(|| format_err(format!("unexpected EOF, wanted {what}")))?
-            .map_err(PersistError::Io)
+            .map_err(StoreError::Io)
     };
 
     let header = next("header")?;
@@ -130,7 +107,7 @@ pub fn load<R: BufRead>(reader: R) -> Result<TsPprModel, PersistError> {
     Ok(TsPprModel::from_parts(k, f, u, v, a))
 }
 
-fn parse_kv(line: &str, key: &str) -> Result<usize, PersistError> {
+fn parse_kv(line: &str, key: &str) -> Result<usize, StoreError> {
     let mut parts = line.split_whitespace();
     match (parts.next(), parts.next(), parts.next()) {
         (Some(k), Some(v), None) if k == key => v
@@ -140,7 +117,7 @@ fn parse_kv(line: &str, key: &str) -> Result<usize, PersistError> {
     }
 }
 
-fn expect_tag(line: &str, tag: &str) -> Result<(), PersistError> {
+fn expect_tag(line: &str, tag: &str) -> Result<(), StoreError> {
     if line.trim() == tag {
         Ok(())
     } else {
@@ -149,11 +126,11 @@ fn expect_tag(line: &str, tag: &str) -> Result<(), PersistError> {
 }
 
 fn read_matrix(
-    next: &mut impl FnMut(&str) -> Result<String, PersistError>,
+    next: &mut impl FnMut(&str) -> Result<String, StoreError>,
     rows: usize,
     cols: usize,
     what: &str,
-) -> Result<DMatrix, PersistError> {
+) -> Result<DMatrix, StoreError> {
     let mut data = Vec::with_capacity(rows * cols);
     for r in 0..rows {
         let line = next(what)?;
@@ -180,7 +157,7 @@ pub fn save_to_path<P: AsRef<Path>>(model: &TsPprModel, path: P) -> io::Result<(
 }
 
 /// Load from a file path.
-pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<TsPprModel, PersistError> {
+pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<TsPprModel, StoreError> {
     load(BufReader::new(File::open(path)?))
 }
 
@@ -204,9 +181,24 @@ mod tests {
     }
 
     #[test]
+    fn text_to_binary_round_trip_is_exact() {
+        // The satellite check: text save → parse → binary save → binary
+        // load lands on the identical parameters.
+        let m = model();
+        let mut buf = Vec::new();
+        save(&m, &mut buf).unwrap();
+        let reparsed = load(buf.as_slice()).unwrap();
+        let binary = crate::model::encode_model(&reparsed, &[]);
+        let reloaded = crate::model::ModelView::from_bytes(&binary)
+            .unwrap()
+            .to_model();
+        assert_eq!(reloaded, m);
+    }
+
+    #[test]
     fn bad_header_rejected() {
         let err = load("not-a-model\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, PersistError::Format(_)), "{err}");
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
     }
 
     #[test]
@@ -216,7 +208,7 @@ mod tests {
         save(&m, &mut buf).unwrap();
         let cut = buf.len() / 2;
         let err = load(&buf[..cut]).unwrap_err();
-        assert!(matches!(err, PersistError::Format(_)), "{err}");
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
     }
 
     #[test]
@@ -226,18 +218,18 @@ mod tests {
         save(&m, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap().replacen("0.", "0.x", 1);
         let err = load(text.as_bytes()).unwrap_err();
-        assert!(matches!(err, PersistError::Format(_)), "{err}");
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
     }
 
     #[test]
     fn file_round_trip() {
-        let dir = std::env::temp_dir().join("rrc_persist_test");
+        let dir = std::env::temp_dir().join(format!("rrc_store_text_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.txt");
         let m = model();
         save_to_path(&m, &path).unwrap();
         let loaded = load_from_path(&path).unwrap();
         assert_eq!(m, loaded);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,165 @@
+//! Corruption-injection tests over *real* artifacts: a trained-model file
+//! and a checkpoint file, each attacked by flipping one byte inside every
+//! section's payload region and by truncation at every section boundary.
+//! Every attack must surface as a typed [`StoreError`] — the load paths
+//! must never hand back parameters built from damaged bytes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrc_core::{ConvergencePoint, TrainCheckpoint, TrainMode, TsPprModel};
+use rrc_store::checkpoint::{decode_checkpoint, encode_checkpoint};
+use rrc_store::format::{StoreFile, Tag};
+use rrc_store::model::{encode_model, load_model, ModelView};
+use rrc_store::StoreError;
+use std::time::Duration;
+
+fn model() -> TsPprModel {
+    TsPprModel::init(&mut StdRng::seed_from_u64(9), 5, 7, 3, 4, 0.1, 0.1)
+}
+
+fn checkpoint() -> TrainCheckpoint {
+    TrainCheckpoint {
+        mode: TrainMode::Serial,
+        shards: 1,
+        step: 500,
+        prev_r_tilde: Some(0.41),
+        elapsed: Duration::from_millis(77),
+        checks: vec![ConvergencePoint {
+            step: 500,
+            r_tilde: 0.41,
+            nll: 0.6,
+            elapsed: Duration::from_millis(77),
+        }],
+        rng_states: vec![[11, 22, 33, 44]],
+        model: model(),
+        fingerprint: 0x1234_5678_9abc_def0,
+    }
+}
+
+/// Byte ranges of every section payload in `bytes`, by walking the frame
+/// structure the same way the parser does.
+fn payload_ranges(bytes: &[u8]) -> Vec<(String, std::ops::Range<usize>)> {
+    let mut out = Vec::new();
+    let mut pos = 16; // container header
+    while pos < bytes.len() {
+        let tag = Tag([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+        let len = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap()) as usize;
+        let start = pos + 16;
+        out.push((tag.name(), start..start + len));
+        let padded = len.next_multiple_of(8);
+        pos = start + padded + 8; // payload + pad + CRC word + trailer pad
+    }
+    out
+}
+
+#[test]
+fn every_model_section_flip_is_a_typed_corruption() {
+    let bytes = encode_model(&model(), &[("kind".into(), "tsppr-model".into())]);
+    let sections = payload_ranges(&bytes);
+    assert!(
+        sections.len() >= 4,
+        "model file should have META/DIMS/UMAT/VMAT/AMAT"
+    );
+    for (name, range) in &sections {
+        assert!(!range.is_empty(), "section {name} has an empty payload");
+        // Flip the first, middle, and last byte of the payload.
+        for pos in [range.start, range.start + range.len() / 2, range.end - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x01;
+            let err = ModelView::from_bytes(&bad)
+                .map(|_| ())
+                .expect_err(&format!("flip in {name} payload at byte {pos} undetected"));
+            match err {
+                StoreError::Corrupt { ref section, .. } => {
+                    assert_eq!(section, name, "flip in {name} blamed on {section}")
+                }
+                other => panic!("flip in {name} produced {other} instead of Corrupt"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_checkpoint_section_flip_is_a_typed_corruption() {
+    let bytes = encode_checkpoint(&checkpoint());
+    for (name, range) in &payload_ranges(&bytes) {
+        let mut bad = bytes.clone();
+        bad[range.start] ^= 0x80;
+        let err = StoreFile::from_bytes(&bad)
+            .and_then(|f| decode_checkpoint(&f))
+            .map(|_| ())
+            .expect_err(&format!("flip in checkpoint section {name} undetected"));
+        assert!(
+            matches!(err, StoreError::Corrupt { .. }),
+            "flip in {name} produced {err} instead of Corrupt"
+        );
+    }
+}
+
+#[test]
+fn truncation_at_every_section_boundary_is_rejected() {
+    let bytes = encode_model(&model(), &[]);
+    for (name, range) in &payload_ranges(&bytes) {
+        // Cut mid-payload and right before the CRC word.
+        for cut in [range.start + range.len() / 2, range.end] {
+            let err = ModelView::from_bytes(&bytes[..cut])
+                .map(|_| ())
+                .expect_err(&format!("truncation inside {name} (cut {cut}) undetected"));
+            assert!(
+                matches!(err, StoreError::Corrupt { .. } | StoreError::Missing { .. }),
+                "truncation inside {name} produced {err}"
+            );
+        }
+    }
+    // Chopping off whole trailing sections must also fail: the required
+    // sections go missing, never a partially-built model.
+    let sections = payload_ranges(&bytes);
+    let first_end = sections[0].1.end.next_multiple_of(8) + 8;
+    let err = ModelView::from_bytes(&bytes[..first_end])
+        .map(|_| ())
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::Corrupt { .. } | StoreError::Missing { .. }),
+        "dropping trailing sections produced {err}"
+    );
+}
+
+#[test]
+fn corrupt_file_on_disk_is_rejected_by_path_loader() {
+    let dir = std::env::temp_dir().join(format!("rrc_store_corrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.rrcm");
+
+    let mut bytes = encode_model(&model(), &[("kind".into(), "tsppr-model".into())]);
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(load_model(&path).is_err(), "torn file loaded from disk");
+
+    std::fs::write(&path, b"RRC").unwrap();
+    assert!(matches!(
+        load_model(&path).unwrap_err(),
+        StoreError::Corrupt { .. } | StoreError::BadMagic
+    ));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_magic_and_version_are_distinct_errors() {
+    let good = encode_model(&model(), &[]);
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] ^= 0x20;
+    assert!(matches!(
+        StoreFile::from_bytes(&bad_magic).unwrap_err(),
+        StoreError::BadMagic
+    ));
+
+    let mut bad_version = good;
+    bad_version[8] = 0x7F; // version u32 LE at offset 8
+    assert!(matches!(
+        StoreFile::from_bytes(&bad_version).unwrap_err(),
+        StoreError::UnsupportedVersion(0x7F)
+    ));
+}

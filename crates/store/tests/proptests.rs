@@ -1,0 +1,76 @@
+//! Property tests for the store formats: save → load is the identity
+//! (bitwise) for arbitrary model shapes, in both the binary container
+//! and the text debug format, and binary encoding is deterministic.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrc_core::TsPprModel;
+use rrc_store::format::StoreFile;
+use rrc_store::model::{encode_model, ModelView};
+use rrc_store::text;
+
+fn model_strategy() -> impl Strategy<Value = TsPprModel> {
+    (1usize..5, 1usize..6, 1usize..8, 1usize..5, 0u64..1000).prop_map(
+        |(users, items, k, f, seed)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            TsPprModel::init(&mut rng, users, items, k, f, 0.1, 0.05)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn binary_round_trips_any_model(model in model_strategy()) {
+        let bytes = encode_model(&model, &[]);
+        let view = ModelView::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(view.to_model(), model);
+    }
+
+    #[test]
+    fn binary_encoding_is_deterministic(model in model_strategy()) {
+        prop_assert_eq!(encode_model(&model, &[]), encode_model(&model, &[]));
+    }
+
+    #[test]
+    fn text_round_trips_any_model(model in model_strategy()) {
+        let mut buf = Vec::new();
+        text::save(&model, &mut buf).unwrap();
+        let back = text::load(&buf[..]).unwrap();
+        prop_assert_eq!(back, model);
+    }
+
+    #[test]
+    fn text_and_binary_agree_bitwise(model in model_strategy()) {
+        let mut buf = Vec::new();
+        text::save(&model, &mut buf).unwrap();
+        let from_text = text::load(&buf[..]).unwrap();
+        let view = ModelView::from_bytes(&encode_model(&from_text, &[])).unwrap();
+        prop_assert_eq!(view.to_model(), model);
+    }
+
+    #[test]
+    fn zero_copy_rows_match_owned_model(model in model_strategy()) {
+        let bytes = encode_model(&model, &[]);
+        let view = ModelView::from_bytes(&bytes).unwrap();
+        for u in 0..model.num_users() {
+            let user = rrc_sequence::UserId(u as u32);
+            prop_assert_eq!(view.user_row(u), model.user_factor(user));
+            prop_assert_eq!(view.transform(u), model.transform(user).as_slice());
+        }
+        for i in 0..model.num_items() {
+            prop_assert_eq!(
+                view.item_row(i),
+                model.item_factor(rrc_sequence::ItemId(i as u32))
+            );
+        }
+    }
+
+    /// Arbitrary junk never parses as a container (except when it happens
+    /// to start with the magic, which random bytes essentially never do).
+    #[test]
+    fn random_bytes_never_parse(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assume!(!bytes.starts_with(b"RRCSTOR1"));
+        prop_assert!(StoreFile::from_bytes(&bytes).is_err());
+    }
+}

@@ -9,8 +9,8 @@
 //! rrc recommend --input events.tsv --model model.txt --user 0 --top 5
 //! ```
 
-use repeat_rec::core::persist;
 use repeat_rec::prelude::*;
+use repeat_rec::store;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -80,6 +80,37 @@ fn load_dataset(path: &str) -> Dataset {
     });
     repeat_rec::sequence::io::read_events(BufReader::new(file)).unwrap_or_else(|e| {
         eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    })
+}
+
+/// Save a model: binary container when the path ends in `.rrcm`, the
+/// line-oriented debug text format otherwise (matching the `model.txt`
+/// examples in the usage string).
+fn save_model_file(model: &TsPprModel, path: &str) {
+    let result = if path.ends_with(".rrcm") {
+        store::save_model(model, &[("source".into(), "rrc-cli".into())], path)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    } else {
+        store::text::save_to_path(model, path).map_err(|e| e.to_string())
+    };
+    if let Err(e) = result {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    }
+}
+
+/// Load a model saved by either format: try the binary container first and
+/// fall back to the text format when the magic doesn't match.
+fn load_model_file(path: &str) -> TsPprModel {
+    let result = match store::load_model(path) {
+        Ok(model) => Ok(model),
+        Err(StoreError::BadMagic) => store::text::load_from_path(path),
+        Err(e) => Err(e),
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("cannot load model: {e}");
         exit(1);
     })
 }
@@ -178,10 +209,7 @@ fn main() {
                 report.final_r_tilde()
             );
             let out = args.require("model");
-            persist::save_to_path(&model, out).unwrap_or_else(|e| {
-                eprintln!("cannot write {out}: {e}");
-                exit(1);
-            });
+            save_model_file(&model, out);
             eprintln!("model saved to {out}");
         }
         "evaluate" => {
@@ -189,10 +217,7 @@ fn main() {
             let data = data.filter_min_train_len(0.7, window);
             let split = data.split(0.7);
             let stats = TrainStats::compute(&split.train, window);
-            let model = persist::load_from_path(args.require("model")).unwrap_or_else(|e| {
-                eprintln!("cannot load model: {e}");
-                exit(1);
-            });
+            let model = load_model_file(args.require("model"));
             if model.num_users() != data.num_users() || model.num_items() != data.num_items() {
                 eprintln!(
                     "model shape ({} users, {} items) does not match the filtered dataset \
@@ -216,10 +241,7 @@ fn main() {
             let data = load_dataset(args.require("input"));
             let data = data.filter_min_train_len(0.7, window);
             let stats = TrainStats::compute(&data, window);
-            let model = persist::load_from_path(args.require("model")).unwrap_or_else(|e| {
-                eprintln!("cannot load model: {e}");
-                exit(1);
-            });
+            let model = load_model_file(args.require("model"));
             let user_idx: u32 = args.num("user", 0u32);
             if user_idx as usize >= data.num_users() {
                 eprintln!("user {user_idx} out of range (0..{})", data.num_users());

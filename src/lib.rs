@@ -44,6 +44,7 @@ pub use rrc_features as features;
 pub use rrc_linalg as linalg;
 pub use rrc_sequence as sequence;
 pub use rrc_serve as serve;
+pub use rrc_store as store;
 pub use rrc_strec as strec;
 pub use rrc_survival as survival;
 
@@ -70,7 +71,8 @@ pub mod prelude {
         ConsumptionKind, Dataset, DatasetBuilder, DatasetStats, ItemId, Sequence, SplitDataset,
         UserId, WindowState,
     };
-    pub use rrc_serve::{MetricsReport, ServeEngine};
+    pub use rrc_serve::{MetricsReport, RegistryWatcher, ServeEngine};
+    pub use rrc_store::{load_model, save_model, ModelRegistry, StoreError};
     pub use rrc_strec::{LassoConfig, StrecClassifier};
     pub use rrc_survival::{CoxConfig, SurvivalRecommender};
 }

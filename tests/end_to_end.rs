@@ -81,10 +81,16 @@ fn model_persistence_round_trips_through_facade() {
         .with_max_sweeps(5);
     let (model, _) = TsPprTrainer::new(config).train(&training);
 
+    // Text debug format round-trip...
     let mut buf = Vec::new();
-    repeat_rec::core::persist::save(&model, &mut buf).unwrap();
-    let loaded = repeat_rec::core::persist::load(buf.as_slice()).unwrap();
+    repeat_rec::store::text::save(&model, &mut buf).unwrap();
+    let loaded = repeat_rec::store::text::load(buf.as_slice()).unwrap();
     assert_eq!(model, loaded);
+
+    // ...and the binary container agrees bitwise.
+    let bytes = repeat_rec::store::model::encode_model(&model, &[]);
+    let view = repeat_rec::store::ModelView::from_bytes(&bytes).unwrap();
+    assert_eq!(model, view.to_model());
 
     // The loaded model scores identically inside the evaluation harness.
     let cfg = EvalConfig {

@@ -213,6 +213,31 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Snapshot of the full 256-bit generator state.
+        ///
+        /// Workspace extension over the upstream `rand` API: checkpointed
+        /// training runs (`rrc-store`) persist RNG streams so a resumed run
+        /// replays the exact draw sequence an uninterrupted run would.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`StdRng::state`] snapshot.
+        ///
+        /// # Panics
+        /// Panics on the all-zero state, which a running xoshiro generator
+        /// can never produce (it is the one fixed point of the recurrence) —
+        /// hitting it means the snapshot is corrupt, not merely stale.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s != [0; 4],
+                "all-zero xoshiro state is unreachable; corrupt snapshot"
+            );
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 
@@ -251,6 +276,25 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(8);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let snap = a.state();
+        let upcoming: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let mut b = StdRng::from_state(snap);
+        let replayed: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(upcoming, replayed);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero xoshiro state")]
+    fn zero_state_rejected() {
+        let _ = StdRng::from_state([0; 4]);
     }
 
     #[test]
