@@ -3,13 +3,16 @@
 //! range so instrumentation never shows up in a profile.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rrc_obs::Registry;
+use rrc_obs::{Registry, WindowSpec};
 
 fn bench_obs(c: &mut Criterion) {
     let registry = Registry::new();
     let counter = registry.counter("bench_counter_total");
     let histogram = registry.histogram("bench_latency_ns");
     let span_hist = registry.span_histogram("bench.span");
+    let windowed_counter = registry.windowed_counter("bench_window_total", WindowSpec::default());
+    let windowed_hist =
+        registry.windowed_histogram("bench_window_latency_ns", WindowSpec::default());
 
     let mut group = c.benchmark_group("obs");
     group.throughput(Throughput::Elements(1));
@@ -41,6 +44,28 @@ fn bench_obs(c: &mut Criterion) {
     group.bench_function("span_hist_record_duration", |b| {
         b.iter(|| {
             span_hist.record_duration(std::time::Duration::from_nanos(std::hint::black_box(137)));
+        });
+    });
+    // The windowed twins add an epoch-tag check (and a clock read on the
+    // clocked entry points) on top of the cumulative primitives; the
+    // serve tracing hot path leans on these staying cheap.
+    group.bench_function("windowed_counter_inc", |b| {
+        b.iter(|| {
+            windowed_counter.inc();
+            std::hint::black_box(&windowed_counter);
+        });
+    });
+    group.bench_function("windowed_counter_add_at_instant", |b| {
+        let at = std::time::Instant::now();
+        b.iter(|| {
+            windowed_counter.add_at_instant(std::hint::black_box(at), 1);
+        });
+    });
+    group.bench_function("windowed_histogram_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            windowed_hist.record(std::hint::black_box(v));
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1) >> 33;
         });
     });
     group.finish();

@@ -134,6 +134,13 @@ fn main() {
             ("source".to_string(), "train-bench".to_string()),
             ("param_hash".to_string(), format!("{serial_hash:016x}")),
             ("seed".to_string(), opts.seed.to_string()),
+            (
+                rrc_store::META_FINGERPRINT.to_string(),
+                format!(
+                    "{:016x}",
+                    rrc_core::TrainCheckpoint::fingerprint_of(&cfg, &training)
+                ),
+            ),
         ];
         match rrc_store::save_model(&serial_model, &meta, path) {
             Ok(bytes) => eprintln!("# saved serial model to {path} ({bytes} bytes)"),

@@ -220,6 +220,7 @@ pub fn train_tsppr_model(
     }
 
     let cfg = tsppr_config(exp, opts);
+    let fingerprint = rrc_core::TrainCheckpoint::fingerprint_of(&cfg, training);
     let par = opts.parallel();
 
     let resumed: Option<rrc_core::TrainCheckpoint> = opts.resume.as_ref().and_then(|base| {
@@ -261,6 +262,13 @@ pub fn train_tsppr_model(
             ("dataset".to_string(), exp.kind.to_string()),
             ("seed".to_string(), opts.seed.to_string()),
             ("steps".to_string(), report.steps.to_string()),
+            // Training-config fingerprint: lets downstream consumers
+            // (serve watcher, rrc-top) attribute online quality and
+            // drift to the exact configuration that trained the model.
+            (
+                rrc_store::META_FINGERPRINT.to_string(),
+                format!("{fingerprint:016x}"),
+            ),
         ];
         match rrc_store::save_model(&model, &meta, &path) {
             Ok(bytes) => eprintln!("# saved TS-PPR model to {path} ({bytes} bytes)"),

@@ -23,6 +23,30 @@ pub struct RankingResult {
 }
 
 impl RankingResult {
+    /// Record one recommendation opportunity: `rank` is the 1-based
+    /// position of the consumed item in the served list, or `None` for a
+    /// miss. This is the streaming entry point — the offline
+    /// [`evaluate_ranking`] walk and `rrc-serve`'s online quality monitor
+    /// both accumulate through it.
+    pub fn record(&mut self, rank: Option<usize>) {
+        self.opportunities += 1;
+        if let Some(rank) = rank {
+            assert!(rank >= 1, "ranks are 1-based");
+            let rank = rank as f64;
+            self.hits += 1;
+            self.reciprocal_rank_sum += 1.0 / rank;
+            self.dcg_sum += 1.0 / (rank + 1.0).log2();
+        }
+    }
+
+    /// Fold another accumulator into this one (sharded evaluation).
+    pub fn merge(&mut self, other: &RankingResult) {
+        self.opportunities += other.opportunities;
+        self.reciprocal_rank_sum += other.reciprocal_rank_sum;
+        self.dcg_sum += other.dcg_sum;
+        self.hits += other.hits;
+    }
+
     /// Mean reciprocal rank.
     pub fn mrr(&self) -> f64 {
         if self.opportunities == 0 {
@@ -76,13 +100,7 @@ pub fn evaluate_ranking<R: Recommender + ?Sized>(
                     omega: cfg.omega,
                 };
                 let list = rec.recommend(&ctx, top_n);
-                result.opportunities += 1;
-                if let Some(pos) = list.iter().position(|&v| v == item) {
-                    let rank = (pos + 1) as f64;
-                    result.hits += 1;
-                    result.reciprocal_rank_sum += 1.0 / rank;
-                    result.dcg_sum += 1.0 / (rank + 1.0).log2();
-                }
+                result.record(list.iter().position(|&v| v == item).map(|pos| pos + 1));
             }
             window.push(item);
         }
@@ -157,6 +175,29 @@ mod tests {
         assert_eq!(r.mrr(), 0.0);
         assert_eq!(r.ndcg(), 0.0);
         assert_eq!(r.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn streaming_record_and_merge_match_batch_walk() {
+        let (split, stats) = fixture();
+        let cfg = EvalConfig {
+            window: 10,
+            omega: 2,
+        };
+        let batch = evaluate_ranking(&ById, &split, &stats, &cfg, 10);
+        // The same two opportunities recorded one at a time (ranks from
+        // the hand computation in `mrr_and_ndcg_match_hand_computation`),
+        // split across two accumulators then merged.
+        let mut a = RankingResult::default();
+        let mut b = RankingResult::default();
+        a.record(Some(2));
+        b.record(Some(3));
+        a.merge(&b);
+        assert_eq!(a, batch);
+        // Misses advance opportunities only.
+        a.record(None);
+        assert_eq!(a.opportunities, 3);
+        assert_eq!(a.hits, 2);
     }
 
     #[test]

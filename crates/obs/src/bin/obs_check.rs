@@ -6,11 +6,26 @@
 //! then enforces caller-specified requirements on dotted paths.
 //!
 //! ```text
-//! obs-check REPORT.json [--require PATH]... [--min PATH VALUE]...
+//! obs-check REPORT.json [--require PATH]... [--min PATH VALUE]... [--max PATH VALUE]...
 //! ```
 //!
 //! * `--require a.b.c`  — the path must exist and not be `null`
 //! * `--min a.b.c 1.0`  — the path must be a finite number `>= VALUE`
+//! * `--max a.b.c 1.0`  — the path must be a finite number `<= VALUE`
+//!
+//! Path segments may contain `*` wildcards, which is how labeled metric
+//! series are addressed: registry snapshots key series Prometheus-style
+//! (`serve_queue_depth{shard="0"}`), so
+//!
+//! ```text
+//! --require 'metrics.gauges.serve_queue_depth{shard=*}'
+//! ```
+//!
+//! matches every shard's gauge (label values are compared with their
+//! quotes stripped, so patterns don't need shell-hostile `"` characters).
+//! A wildcard segment also fans out over arrays. Wildcard requirements
+//! must match **at least one** path, and every match must satisfy the
+//! bound — `--max 'serve_queue_depth{shard=*}' 100` bounds all shards.
 //!
 //! Exits 0 when every check passes; prints each failure and exits 1
 //! otherwise.
@@ -20,8 +35,101 @@
 use rrc_obs::Json;
 
 fn usage() -> ! {
-    eprintln!("usage: obs-check REPORT.json [--require PATH]... [--min PATH VALUE]...");
+    eprintln!(
+        "usage: obs-check REPORT.json [--require PATH]... [--min PATH VALUE]... [--max PATH VALUE]..."
+    );
     std::process::exit(2);
+}
+
+/// `*`-wildcard match (the only metacharacter; everything else literal).
+fn glob_match(pattern: &str, text: &str) -> bool {
+    let (p, t): (Vec<char>, Vec<char>) = (pattern.chars().collect(), text.chars().collect());
+    // Classic two-pointer glob with backtracking over the last `*`.
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut star_t) = (None::<usize>, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some(pi);
+            star_t = ti;
+            pi += 1;
+        } else if let Some(s) = star {
+            pi = s + 1;
+            star_t += 1;
+            ti = star_t;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Does `segment` (possibly wildcarded) select this object key? Metric
+/// keys carry quoted label values (`shard="0"`); patterns match against
+/// the quote-stripped form so CLI globs stay shell-friendly.
+fn segment_matches(segment: &str, key: &str) -> bool {
+    if segment == key {
+        return true;
+    }
+    let stripped: String = key.chars().filter(|&c| c != '"').collect();
+    if segment == stripped {
+        return true;
+    }
+    segment.contains('*') && (glob_match(segment, key) || glob_match(segment, &stripped))
+}
+
+/// All values selected by a dotted path whose segments may contain `*`
+/// wildcards, with matched paths (concrete keys) for error messages.
+fn resolve<'a>(doc: &'a Json, path: &str) -> Vec<(String, &'a Json)> {
+    let mut frontier: Vec<(String, &Json)> = vec![(String::new(), doc)];
+    for seg in path.split('.') {
+        let mut next = Vec::new();
+        for (at, node) in frontier {
+            let join = |k: &str| {
+                if at.is_empty() {
+                    k.to_string()
+                } else {
+                    format!("{at}.{k}")
+                }
+            };
+            match node {
+                Json::Obj(pairs) => {
+                    for (k, v) in pairs {
+                        if segment_matches(seg, k) {
+                            next.push((join(k), v));
+                        }
+                    }
+                }
+                Json::Arr(items) => {
+                    if seg == "*" {
+                        for (i, v) in items.iter().enumerate() {
+                            next.push((join(&i.to_string()), v));
+                        }
+                    } else if let Ok(i) = seg.parse::<usize>() {
+                        if let Some(v) = items.get(i) {
+                            next.push((join(seg), v));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier
+}
+
+enum Bound {
+    Min(f64),
+    Max(f64),
 }
 
 fn main() {
@@ -35,17 +143,24 @@ fn main() {
         "created_unix_ms".to_string(),
         "config".to_string(),
     ];
-    let mut mins: Vec<(String, f64)> = Vec::new();
+    let mut bounds: Vec<(String, Bound)> = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--require" => requires.push(args.next().unwrap_or_else(|| usage())),
-            "--min" => {
+            "--min" | "--max" => {
                 let p = args.next().unwrap_or_else(|| usage());
                 let v = args
                     .next()
                     .and_then(|v| v.parse::<f64>().ok())
                     .unwrap_or_else(|| usage());
-                mins.push((p, v));
+                bounds.push((
+                    p,
+                    if flag == "--min" {
+                        Bound::Min(v)
+                    } else {
+                        Bound::Max(v)
+                    },
+                ));
             }
             "--help" | "-h" => usage(),
             other => {
@@ -73,18 +188,37 @@ fn main() {
 
     let mut failures = Vec::new();
     for p in &requires {
-        match doc.at(p) {
-            None => failures.push(format!("missing key: {p}")),
-            Some(v) if v.is_null() => failures.push(format!("key is null: {p}")),
-            Some(_) => {}
+        let matches = resolve(&doc, p);
+        if matches.is_empty() {
+            failures.push(format!("missing key: {p}"));
+        }
+        for (at, v) in matches {
+            if v.is_null() {
+                failures.push(format!("key is null: {at}"));
+            }
         }
     }
-    for (p, min) in &mins {
-        match doc.at(p).and_then(Json::as_f64) {
-            None => failures.push(format!("missing or non-numeric key: {p}")),
-            Some(v) if !v.is_finite() => failures.push(format!("non-finite value at {p}: {v}")),
-            Some(v) if v < *min => failures.push(format!("{p} = {v} below required minimum {min}")),
-            Some(_) => {}
+    for (p, bound) in &bounds {
+        let matches = resolve(&doc, p);
+        if matches.is_empty() {
+            failures.push(format!("missing key: {p}"));
+        }
+        for (at, v) in matches {
+            match v.as_f64() {
+                None => failures.push(format!("non-numeric value at {at}")),
+                Some(x) if !x.is_finite() => {
+                    failures.push(format!("non-finite value at {at}: {x}"))
+                }
+                Some(x) => match bound {
+                    Bound::Min(min) if x < *min => {
+                        failures.push(format!("{at} = {x} below required minimum {min}"))
+                    }
+                    Bound::Max(max) if x > *max => {
+                        failures.push(format!("{at} = {x} above allowed maximum {max}"))
+                    }
+                    _ => {}
+                },
+            }
         }
     }
 
@@ -92,7 +226,7 @@ fn main() {
         let name = doc.get("report").and_then(Json::as_str).unwrap_or("?");
         println!(
             "obs-check: {path} OK (report \"{name}\", {} requirement(s))",
-            requires.len() + mins.len()
+            requires.len() + bounds.len()
         );
     } else {
         for f in &failures {

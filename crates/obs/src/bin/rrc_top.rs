@@ -1,0 +1,293 @@
+//! `rrc-top`: a live terminal dashboard over a serving run report.
+//!
+//! Point it at the JSON file a serving process refreshes (e.g.
+//! `loadgen --metrics-json /tmp/live.json`) and it renders the engine's
+//! request quantiles, per-shard per-stage latency breakdown, queue
+//! depths, and per-model-version online quality, redrawing every
+//! `--interval` ms:
+//!
+//! ```text
+//! rrc-top /tmp/live.json              # live, redraw every 500 ms
+//! rrc-top /tmp/live.json --once      # print one frame and exit (CI)
+//! ```
+//!
+//! The poller is deliberately tolerant: writers replace the file
+//! atomically (write-to-temp + rename), but if a frame is missing or
+//! unparsable the previous frame stays on screen and a staleness note is
+//! shown, so a dashboard never dies mid-run. `--once` is strict instead
+//! — a bad file is a non-zero exit, which is what CI wants.
+//!
+//! Everything is std-only (plus the workspace's own JSON parser); the
+//! "UI" is plain ANSI clear-screen + aligned text, so it works in any
+//! terminal and its `--once` output pastes directly into docs.
+
+use rrc_obs::Json;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: rrc-top REPORT.json [--interval MILLIS] [--once] [--no-clear]");
+    std::process::exit(2);
+}
+
+/// Nanoseconds, humanized to a fixed 9-column cell.
+fn ns(v: Option<f64>) -> String {
+    match v {
+        None => format!("{:>9}", "-"),
+        Some(x) if x < 0.0 => format!("{:>9}", "-"),
+        Some(x) if x < 1e3 => format!("{:>7.0}ns", x),
+        Some(x) if x < 1e6 => format!("{:>7.1}µs", x / 1e3),
+        Some(x) if x < 1e9 => format!("{:>7.1}ms", x / 1e6),
+        Some(x) => format!("{:>8.2}s", x / 1e9),
+    }
+}
+
+fn count(v: Option<f64>) -> String {
+    match v {
+        None => "-".to_string(),
+        Some(x) => format!("{x:.0}"),
+    }
+}
+
+/// One latency-summary row (count + quantiles) from an `engine` section
+/// node shaped like `{count, p50_ns, p95_ns, p99_ns, mean_ns, max_ns}`.
+fn latency_row(label: &str, node: Option<&Json>) -> String {
+    let f = |k: &str| node.and_then(|n| n.get(k)).and_then(Json::as_f64);
+    format!(
+        "  {label:<14} {:>9} {} {} {} {} {}",
+        count(f("count")),
+        ns(f("p50_ns")),
+        ns(f("p95_ns")),
+        ns(f("p99_ns")),
+        ns(f("mean_ns")),
+        ns(f("max_ns")),
+    )
+}
+
+/// Look up a labeled series in a registry-snapshot section: the snapshot
+/// keys series Prometheus-style (`serve_queue_depth{shard="0"}`), so the
+/// exact key is reconstructed from the label pairs.
+fn series<'a>(
+    doc: &'a Json,
+    section: &str,
+    name: &str,
+    labels: &[(&str, &str)],
+) -> Option<&'a Json> {
+    let key = if labels.is_empty() {
+        name.to_string()
+    } else {
+        let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{name}{{{}}}", body.join(","))
+    };
+    doc.at(&format!("metrics.{section}"))?.get(&key)
+}
+
+fn gauge(doc: &Json, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+    series(doc, "gauges", name, labels).and_then(Json::as_i64)
+}
+
+/// Percentage-style ratio cell.
+fn pct(v: Option<f64>) -> String {
+    match v {
+        None => format!("{:>6}", "-"),
+        Some(x) => format!("{x:>6.3}"),
+    }
+}
+
+/// Render one full frame from a parsed report.
+fn render(doc: &Json) -> String {
+    let mut out = String::new();
+    let name = doc.get("report").and_then(Json::as_str).unwrap_or("?");
+    let uptime_ms = doc.at("engine.uptime_ms").and_then(Json::as_f64);
+    let version = gauge(doc, "serve_model_version", &[]);
+    // 0 = no fingerprinted model installed yet (real fingerprints are
+    // 64 random-looking bits).
+    let fingerprint = gauge(doc, "serve_model_fingerprint", &[])
+        .map(|v| v as u64)
+        .filter(|&v| v != 0);
+    let shards = doc
+        .at("engine.shards")
+        .map(|s| match s {
+            Json::Arr(a) => a.len(),
+            _ => 0,
+        })
+        .unwrap_or(0);
+
+    out.push_str(&format!("rrc-top · report \"{name}\""));
+    if let Some(ms) = uptime_ms {
+        out.push_str(&format!(" · uptime {:.1}s", ms / 1e3));
+    }
+    out.push_str(&format!(" · {shards} shard(s)"));
+    if let Some(v) = version {
+        out.push_str(&format!(" · model v{v}"));
+    }
+    if let Some(fp) = fingerprint {
+        out.push_str(&format!(" (fp {fp:016x})"));
+    }
+    out.push('\n');
+
+    let w = doc.at("engine.windowed");
+    if let Some(w) = w.filter(|w| !w.is_null()) {
+        let g = |k: &str| w.get(k).and_then(Json::as_f64);
+        out.push_str(&format!(
+            "throughput    windowed {:>8}/s over {:>6.1}s · windowed/cumulative {}\n",
+            count(g("rate_per_sec")),
+            g("covered_ms").map(|x| x / 1e3).unwrap_or(0.0),
+            pct(g("over_cumulative")),
+        ));
+    }
+
+    out.push_str(&format!(
+        "\n  {:<14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "requests", "n", "p50", "p95", "p99", "mean", "max"
+    ));
+    out.push_str(&latency_row("observe", doc.at("engine.requests.observe")));
+    out.push('\n');
+    out.push_str(&latency_row(
+        "recommend",
+        doc.at("engine.requests.recommend"),
+    ));
+    out.push('\n');
+
+    if let Some(Json::Arr(stages)) = doc.at("engine.stages") {
+        if !stages.is_empty() {
+            out.push_str(&format!(
+                "\n  {:<14} {:>9} {:>9} {:>9} {:>9} {:>7} {:>8}\n",
+                "shard/stage", "n", "p50", "p95", "p99", "queue", "inflight"
+            ));
+        }
+        for st in stages {
+            let shard = st.get("shard").and_then(Json::as_u64).unwrap_or(0);
+            let label = shard.to_string();
+            let depth = gauge(doc, "serve_queue_depth", &[("shard", &label)]);
+            let inflight = gauge(doc, "serve_inflight", &[("shard", &label)]);
+            for (i, stage) in ["enqueue_wait", "score", "respond"].iter().enumerate() {
+                let node = st.get(stage);
+                let f = |k: &str| node.and_then(|n| n.get(k)).and_then(Json::as_f64);
+                let tail = if i == 0 {
+                    format!(
+                        " {:>7} {:>8}",
+                        depth.map_or("-".into(), |d| d.to_string()),
+                        inflight.map_or("-".into(), |d| d.to_string()),
+                    )
+                } else {
+                    String::new()
+                };
+                out.push_str(&format!(
+                    "  {:<14} {:>9} {} {} {}{tail}\n",
+                    format!("{shard}/{stage}"),
+                    count(f("count")),
+                    ns(f("p50_ns")),
+                    ns(f("p95_ns")),
+                    ns(f("p99_ns")),
+                ));
+            }
+        }
+    }
+
+    if let Some(q) = doc.get("quality").filter(|q| !q.is_null()) {
+        out.push_str(&format!(
+            "\n  {:<14} {:>9} {:>7} {:>7} {:>7} {:>7}\n",
+            "quality", "opps", "hit@1", "hit@5", "hit@10", "mrr"
+        ));
+        let qrow = |label: String, node: &Json| {
+            let f = |k: &str| node.get(k).and_then(Json::as_f64);
+            format!(
+                "  {label:<14} {:>9} {} {} {} {}\n",
+                count(f("opportunities")),
+                pct(f("hit1")).to_string() + " ",
+                pct(f("hit5")).to_string() + " ",
+                pct(f("hit10")).to_string() + " ",
+                pct(f("mrr")),
+            )
+        };
+        if let Some(Json::Arr(versions)) = q.get("versions") {
+            for v in versions {
+                let ver = v.get("version").and_then(Json::as_u64).unwrap_or(0);
+                out.push_str(&qrow(format!("v{ver} total"), v));
+                if let Some(w) = v.get("windowed") {
+                    out.push_str(&qrow(format!("v{ver} window"), w));
+                }
+            }
+        }
+        if let Some(overall) = q.get("overall") {
+            out.push_str(&qrow("overall".to_string(), overall));
+        }
+        if let Some(d) = q.get("drift") {
+            let f = |k: &str| d.get(k).and_then(Json::as_f64);
+            out.push_str(&format!(
+                "drift         score {:+.3} · feature {:+.3} (window n={}, since install n={})\n",
+                f("score_micro").unwrap_or(0.0) / 1e6,
+                f("feature_micro").unwrap_or(0.0) / 1e6,
+                count(f("window_samples")),
+                count(f("samples_since_install")),
+            ));
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut path = None;
+    let mut interval = Duration::from_millis(500);
+    let mut once = false;
+    let mut clear = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--interval" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                interval = Duration::from_millis(ms.max(50));
+            }
+            "--once" => once = true,
+            "--no-clear" => clear = false,
+            "--help" | "-h" => usage(),
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| usage());
+
+    let mut last_frame: Option<String> = None;
+    let mut stale_for = 0u32;
+    loop {
+        let frame = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .map(|doc| render(&doc));
+        match frame {
+            Some(f) => {
+                last_frame = Some(f);
+                stale_for = 0;
+            }
+            None if once => {
+                eprintln!("rrc-top: cannot read a report from {path}");
+                std::process::exit(1);
+            }
+            None => stale_for += 1,
+        }
+        if once {
+            // One clean frame, no escape codes: CI logs and docs.
+            print!("{}", last_frame.as_deref().unwrap_or(""));
+            return;
+        }
+        if let Some(f) = &last_frame {
+            if clear {
+                // Home + clear-to-end redraw (less flicker than full clear).
+                print!("\x1b[H\x1b[J");
+            }
+            print!("{f}");
+            if stale_for > 0 {
+                println!("(stale: {stale_for} failed poll(s) of {path})");
+            }
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        std::thread::sleep(interval);
+    }
+}

@@ -134,6 +134,14 @@ impl Json {
         }
     }
 
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::U64(v) => i64::try_from(v).ok(),
+            Json::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),

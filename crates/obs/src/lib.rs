@@ -21,6 +21,12 @@
 //!   attached, append structured JSONL event lines.
 //! * **Exposition** — Prometheus text ([`Registry::prometheus_text`])
 //!   and JSON ([`Registry::to_json`]) snapshots.
+//! * **Windowed metrics** ([`window`]) — [`WindowedCounter`] /
+//!   [`WindowedHistogram`] / [`WindowedSum`]: rings of epoch buckets
+//!   giving rolling rates and rolling quantiles ("lately", not "since
+//!   boot") with wait-free recording and rotate-on-access reclamation;
+//!   registered alongside cumulative metrics and exposed in both
+//!   formats.
 //! * **Run reports** ([`report`]) — [`RunReport`] serializes a whole run
 //!   (config, counters, quantiles, convergence trace) to a JSON file;
 //!   `reproduce --json` and `loadgen --json` emit them and the
@@ -51,12 +57,14 @@ pub mod metrics;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod window;
 
 pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer, BUCKETS};
 pub use registry::{
     global, histogram_to_json, snapshot_to_json, Metric, MetricId, MetricValue, Registry,
-    RegistrySnapshot,
+    RegistrySnapshot, WindowedCounterValue,
 };
 pub use report::RunReport;
 pub use span::{JsonlSink, Span};
+pub use window::{WindowSpec, WindowedCounter, WindowedHistogram, WindowedSum};

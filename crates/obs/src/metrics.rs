@@ -211,6 +211,19 @@ impl Default for HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Build a snapshot from raw parts — the merge point for windowed
+    /// histograms, which sum several epoch buckets into one snapshot.
+    /// `count` is derived from the buckets so the two cannot disagree.
+    pub fn from_parts(buckets: [u64; BUCKETS], sum: u64, max: u64) -> Self {
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
     /// Samples captured.
     pub fn count(&self) -> u64 {
         self.count

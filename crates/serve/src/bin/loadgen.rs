@@ -6,12 +6,28 @@
 //! every `--recommend-every`-th event also requests Top-N. Optionally a
 //! background thread hot-swaps the model every `--swap-every` ms to
 //! exercise swap-under-load. Finishes by printing the engine's
-//! [`MetricsReport`] (p50/p95/p99 latency, per-shard traffic) and the
-//! end-to-end replay rate.
+//! [`MetricsReport`](rrc_serve::MetricsReport) (p50/p95/p99 latency,
+//! per-stage breakdown, per-shard traffic) and the end-to-end replay
+//! rate.
 //!
 //! ```text
 //! cargo run --release -p rrc-serve --bin loadgen -- --shards 4 --clients 8 --learn 3
 //! ```
+//!
+//! Observability flags:
+//!
+//! * `--quality` turns on online quality monitoring: every served Top-N
+//!   is scored against the user's next eligible repeat, attributed to the
+//!   model version that served it (combine with `--swap-every` to watch
+//!   attribution across hot-swaps), and the report gains a `quality`
+//!   section plus drift gauges.
+//! * `--no-tracing` disables request-scoped tracing; `--overhead` runs
+//!   the replay twice (all observability off, then tracing + quality on)
+//!   and reports both rates and their ratio — the tracing-overhead
+//!   number committed in BENCH_serve.json.
+//! * `--metrics-json PATH` writes a live run report atomically every
+//!   `--metrics-every` ms during the replay; point `rrc-top` at it for a
+//!   terminal dashboard.
 //!
 //! Defaults replay well over 10k events; `--users`/`--events` scale it.
 
@@ -21,9 +37,14 @@ use rrc_core::{OnlineConfig, OnlineTsPpr, TsPprModel};
 use rrc_datagen::GeneratorConfig;
 use rrc_features::{FeaturePipeline, TrainStats};
 use rrc_obs::{Json, RunReport};
-use rrc_sequence::{ItemId, UserId};
-use rrc_serve::ServeEngine;
+use rrc_sequence::{Dataset, ItemId, SplitDataset, UserId};
+use rrc_serve::{EngineOptions, QualityConfig, ServeEngine};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+const WINDOW: usize = 100;
+const OMEGA: usize = 10;
 
 struct Args {
     users: usize,
@@ -50,6 +71,16 @@ struct Args {
     registry: Option<String>,
     /// Registry poll period in milliseconds.
     registry_poll_ms: u64,
+    /// Online quality monitoring (served lists vs. next eligible repeat).
+    quality: bool,
+    /// Disable request-scoped tracing.
+    no_tracing: bool,
+    /// Replay twice — observability off then on — and report the ratio.
+    overhead: bool,
+    /// Live dashboard file, refreshed during the replay.
+    metrics_json: Option<String>,
+    /// Refresh period for `--metrics-json`, in milliseconds.
+    metrics_every_ms: u64,
 }
 
 impl Default for Args {
@@ -72,6 +103,11 @@ impl Default for Args {
             save_model: None,
             registry: None,
             registry_poll_ms: 50,
+            quality: false,
+            no_tracing: false,
+            overhead: false,
+            metrics_json: None,
+            metrics_every_ms: 500,
         }
     }
 }
@@ -81,7 +117,9 @@ fn usage() -> ! {
         "usage: loadgen [--users N] [--items N] [--events LO HI] [--shards N] \
          [--clients N] [--topn N] [--recommend-every N] [--learn NEGATIVES] \
          [--swap-every MILLIS] [--seed N] [--json PATH] [--load-model PATH] \
-         [--save-model PATH] [--registry DIR] [--registry-poll MILLIS]"
+         [--save-model PATH] [--registry DIR] [--registry-poll MILLIS] \
+         [--quality] [--no-tracing] [--overhead] \
+         [--metrics-json PATH] [--metrics-every MILLIS]"
     );
     std::process::exit(2);
 }
@@ -114,6 +152,11 @@ fn parse_args() -> Args {
             "--save-model" => args.save_model = Some(it.next().unwrap_or_else(|| usage())),
             "--registry" => args.registry = Some(it.next().unwrap_or_else(|| usage())),
             "--registry-poll" => args.registry_poll_ms = num(&mut it) as u64,
+            "--quality" => args.quality = true,
+            "--no-tracing" => args.no_tracing = true,
+            "--overhead" => args.overhead = true,
+            "--metrics-json" => args.metrics_json = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics-every" => args.metrics_every_ms = num(&mut it) as u64,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -127,33 +170,9 @@ fn parse_args() -> Args {
     args
 }
 
-fn main() {
-    let args = parse_args();
-    const WINDOW: usize = 100;
-    const OMEGA: usize = 10;
-
-    eprintln!(
-        "generating {} users x {}..{} events over {} items (seed {})",
-        args.users, args.events_lo, args.events_hi, args.items, args.seed
-    );
-    let data = GeneratorConfig::tiny()
-        .with_users(args.users)
-        .with_items(args.items)
-        .with_events_per_user(args.events_lo, args.events_hi)
-        .with_seed(args.seed)
-        .generate();
-    let split = data.split(0.7);
-    let replay: Vec<(UserId, Vec<ItemId>)> = split
-        .test
-        .iter()
-        .enumerate()
-        .map(|(u, s)| (UserId(u as u32), s.events().to_vec()))
-        .collect();
-    let total_events: usize = replay.iter().map(|(_, e)| e.len()).sum();
-
-    // Load generation exercises the serving path, not model quality, so a
-    // randomly-initialised model is enough — and keeps startup instant.
-    // `--load-model` replaces it with trained weights from the store.
+/// Build the warmed online recommender (deterministic for a given seed,
+/// so `--overhead` can rebuild an identical one for each leg).
+fn build_online(args: &Args, data: &Dataset, split: &SplitDataset) -> OnlineTsPpr {
     let stats = TrainStats::compute(&split.train, WINDOW);
     let pipeline = FeaturePipeline::standard();
     let model = match &args.load_model {
@@ -206,24 +225,36 @@ fn main() {
         },
     );
     online.warm_from(&split.train);
+    online
+}
 
-    eprintln!(
-        "starting engine: {} shards, {} clients, learn={} ({} events to replay)",
-        args.shards, args.clients, args.learn, total_events
-    );
-    let engine = std::sync::Arc::new(ServeEngine::start(online, args.shards));
+/// Snapshot the engine into a run-report JSON and move it into place
+/// atomically (write-to-temp + rename), so a concurrently polling
+/// `rrc-top` never reads a torn file.
+fn write_live_report(engine: &ServeEngine, args: &Args, path: &str) {
+    let mut run = RunReport::new("loadgen-live")
+        .config("shards", args.shards)
+        .config("clients", args.clients)
+        .config("seed", args.seed);
+    run.add_section("engine", engine.metrics().to_json());
+    if let Some(q) = engine.quality_report() {
+        run.add_section("quality", q.to_json());
+    }
+    run.add_metrics(engine.metrics_registry());
+    let tmp = format!("{path}.tmp");
+    let write = std::fs::write(&tmp, run.render()).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = write {
+        eprintln!("failed to refresh {path}: {e}");
+    }
+}
 
-    // Deployment loop under load: install every version published into
-    // the registry while the replay is running.
-    let watcher = args.registry.as_ref().map(|dir| {
-        eprintln!("watching registry {dir} every {}ms", args.registry_poll_ms);
-        rrc_serve::RegistryWatcher::spawn(
-            engine.clone(),
-            dir,
-            Duration::from_millis(args.registry_poll_ms.max(1)),
-        )
-    });
-
+/// Replay the test streams against the engine. Returns the wall-clock
+/// duration of the replay (flush included).
+fn run_replay(
+    engine: &Arc<ServeEngine>,
+    replay: &[(UserId, Vec<ItemId>)],
+    args: &Args,
+) -> Duration {
     // Round-robin users over client threads so each user's stream stays on
     // one client — cross-client FIFO for the same user is not defined.
     let mut partitions: Vec<Vec<&(UserId, Vec<ItemId>)>> = vec![Vec::new(); args.clients];
@@ -232,21 +263,32 @@ fn main() {
     }
 
     let replay_start = Instant::now();
-    let engine_ref = &*engine;
-    let done = std::sync::atomic::AtomicBool::new(false);
+    let engine_ref = &**engine;
+    let done = AtomicBool::new(false);
     let done_ref = &done;
     crossbeam::thread::scope(|scope| {
         if args.swap_every_ms > 0 {
             scope.spawn(move |_| {
                 let period = Duration::from_millis(args.swap_every_ms);
                 let mut swaps = 0u64;
-                while !done_ref.load(std::sync::atomic::Ordering::Relaxed) {
+                while !done_ref.load(Ordering::Relaxed) {
                     std::thread::sleep(period);
                     let base = engine_ref.model();
                     engine_ref.swap_model((*base).clone());
                     swaps += 1;
                 }
                 eprintln!("swapper: {swaps} hot swaps under load");
+            });
+        }
+        if let Some(path) = &args.metrics_json {
+            let period = Duration::from_millis(args.metrics_every_ms.max(50));
+            scope.spawn(move |_| {
+                while !done_ref.load(Ordering::Relaxed) {
+                    write_live_report(engine_ref, args, path);
+                    std::thread::sleep(period);
+                }
+                // Final frame so the dashboard shows the finished state.
+                write_live_report(engine_ref, args, path);
             });
         }
         let handles: Vec<_> = partitions
@@ -272,11 +314,95 @@ fn main() {
         for h in handles {
             h.join().expect("client thread");
         }
-        done_ref.store(true, std::sync::atomic::Ordering::Relaxed);
+        done_ref.store(true, Ordering::Relaxed);
     })
     .expect("load scope");
     engine.flush();
-    let elapsed = replay_start.elapsed();
+    replay_start.elapsed()
+}
+
+fn main() {
+    let args = parse_args();
+
+    eprintln!(
+        "generating {} users x {}..{} events over {} items (seed {})",
+        args.users, args.events_lo, args.events_hi, args.items, args.seed
+    );
+    let data = GeneratorConfig::tiny()
+        .with_users(args.users)
+        .with_items(args.items)
+        .with_events_per_user(args.events_lo, args.events_hi)
+        .with_seed(args.seed)
+        .generate();
+    let split = data.split(0.7);
+    let replay: Vec<(UserId, Vec<ItemId>)> = split
+        .test
+        .iter()
+        .enumerate()
+        .map(|(u, s)| (UserId(u as u32), s.events().to_vec()))
+        .collect();
+    let total_events: usize = replay.iter().map(|(_, e)| e.len()).sum();
+    let rate = |elapsed: Duration| total_events as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    // `--overhead` baseline leg: identical replay with tracing off, so
+    // the two rates differ only by the tracing instrumentation.
+    let baseline = args.overhead.then(|| {
+        let online = build_online(&args, &data, &split);
+        eprintln!("overhead baseline: tracing off");
+        let engine = Arc::new(ServeEngine::start_with(
+            online,
+            args.shards,
+            EngineOptions {
+                tracing: false,
+                quality: args.quality.then(QualityConfig::default),
+                ..EngineOptions::default()
+            },
+        ));
+        let elapsed = run_replay(&engine, &replay, &args);
+        eprintln!(
+            "overhead baseline: {} events in {:.2?} ({:.0}/s)",
+            total_events,
+            elapsed,
+            rate(elapsed)
+        );
+        match Arc::try_unwrap(engine) {
+            Ok(engine) => engine.shutdown(),
+            Err(_) => unreachable!("no other engine handles exist"),
+        }
+        elapsed
+    });
+
+    // The measured engine. With `--overhead` this leg forces tracing on.
+    let options = EngineOptions {
+        tracing: args.overhead || !args.no_tracing,
+        quality: args.quality.then(QualityConfig::default),
+        ..EngineOptions::default()
+    };
+    let online = build_online(&args, &data, &split);
+    eprintln!(
+        "starting engine: {} shards, {} clients, learn={}, tracing={}, quality={} \
+         ({} events to replay)",
+        args.shards,
+        args.clients,
+        args.learn,
+        options.tracing,
+        options.quality.is_some(),
+        total_events
+    );
+    let engine = Arc::new(ServeEngine::start_with(online, args.shards, options));
+
+    // Deployment loop under load: install every version published into
+    // the registry while the replay is running.
+    let watcher = args.registry.as_ref().map(|dir| {
+        eprintln!("watching registry {dir} every {}ms", args.registry_poll_ms);
+        rrc_serve::RegistryWatcher::spawn(
+            engine.clone(),
+            dir,
+            Duration::from_millis(args.registry_poll_ms.max(1)),
+        )
+    });
+
+    let elapsed = run_replay(&engine, &replay, &args);
 
     let report = engine.metrics();
     println!("{report}");
@@ -284,10 +410,33 @@ fn main() {
         "replayed {} events in {:.2?}: {:.0} events/sec ({} clients -> {} shards)",
         total_events,
         elapsed,
-        total_events as f64 / elapsed.as_secs_f64().max(1e-9),
+        rate(elapsed),
         args.clients,
         args.shards
     );
+    let quality = engine.quality_report();
+    if let Some(q) = &quality {
+        let overall = q.overall();
+        println!(
+            "online quality: {} opportunities, hit@10 {:.3}, mrr {:.3}, \
+             drift score {}µ feature {}µ ({} versions)",
+            overall.ranking.opportunities,
+            overall.hit_rate_at(2),
+            overall.ranking.mrr(),
+            q.drift.score_micro,
+            q.drift.feature_micro,
+            q.versions.len()
+        );
+    }
+    let overhead = baseline.map(|base| {
+        let ratio = rate(elapsed) / rate(base).max(1e-9);
+        println!(
+            "tracing overhead: {:.0}/s off -> {:.0}/s on (ratio {ratio:.3})",
+            rate(base),
+            rate(elapsed)
+        );
+        ratio
+    });
 
     if let Some(path) = &args.json {
         let mut run = RunReport::new("loadgen")
@@ -303,21 +452,29 @@ fn main() {
             .config("swap_every_ms", args.swap_every_ms)
             .config("seed", args.seed)
             .config("window", WINDOW)
-            .config("omega", OMEGA);
-        run.add_section(
-            "results",
-            Json::obj([
-                ("events", Json::from(total_events)),
-                ("elapsed_s", Json::F64(elapsed.as_secs_f64())),
-                (
-                    "events_per_sec",
-                    Json::F64(total_events as f64 / elapsed.as_secs_f64().max(1e-9)),
-                ),
-            ]),
-        );
-        // Request quantiles + per-shard counters (the acceptance surface),
-        // then the raw registry snapshot for everything else.
+            .config("omega", OMEGA)
+            .config("tracing", args.overhead || !args.no_tracing)
+            .config("quality", args.quality);
+        let mut results = vec![
+            ("events", Json::from(total_events)),
+            ("elapsed_s", Json::F64(elapsed.as_secs_f64())),
+            ("events_per_sec", Json::F64(rate(elapsed))),
+        ];
+        if let Some(ratio) = overhead {
+            results.push((
+                "baseline_events_per_sec",
+                Json::F64(rate(baseline.unwrap())),
+            ));
+            results.push(("tracing_on_over_off", Json::F64(ratio)));
+        }
+        run.add_section("results", Json::obj(results));
+        // Request quantiles, per-stage breakdown + per-shard counters (the
+        // acceptance surface), then the raw registry snapshot for
+        // everything else.
         run.add_section("engine", report.to_json());
+        if let Some(q) = &quality {
+            run.add_section("quality", q.to_json());
+        }
         run.add_metrics(engine.metrics_registry());
         match run.write_to(path) {
             Ok(()) => eprintln!("wrote run report to {path}"),
@@ -347,7 +504,7 @@ fn main() {
     if let Some(watcher) = watcher {
         watcher.stop();
     }
-    match std::sync::Arc::try_unwrap(engine) {
+    match Arc::try_unwrap(engine) {
         Ok(engine) => engine.shutdown(),
         Err(_) => unreachable!("watcher stopped, no other engine handles exist"),
     }

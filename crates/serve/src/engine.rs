@@ -35,17 +35,61 @@
 
 use crate::metrics::{EngineMetrics, MetricsReport};
 use crate::overlay::{ModelDiff, ModelOverlay};
+use crate::quality::{self, micro, QualityConfig, QualityReport, ShardQuality, VersionQuality};
 use crate::routing::shard_for;
+use crate::trace::TraceCtx;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rrc_core::{observe_single, recommend_single, OnlineConfig, OnlineTsPpr, TsPprModel};
-use rrc_features::{FeaturePipeline, TrainStats};
+use rrc_core::{
+    observe_single, recommend_single, ModelParams, OnlineConfig, OnlineTsPpr, TsPprModel,
+};
+use rrc_features::{FeatureContext, FeaturePipeline, TrainStats};
+use rrc_obs::WindowSpec;
 use rrc_sequence::{ConsumptionKind, ItemId, UserId, WindowState};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Optional engine subsystems, chosen at [`ServeEngine::start_with`] time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Request-scoped tracing: per-stage latency histograms plus
+    /// queue-depth / in-flight gauges. Cheap (a few atomic ops per
+    /// request) and on by default; turn off to measure its overhead.
+    pub tracing: bool,
+    /// Online quality monitoring (served lists scored against the user's
+    /// next eligible repeat, attributed to the serve-time model version,
+    /// plus drift gauges). Off by default: it retains the last served
+    /// list per user.
+    pub quality: Option<QualityConfig>,
+    /// Rolling window for the tracing subsystem's windowed series.
+    pub window: WindowSpec,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            tracing: true,
+            quality: None,
+            window: WindowSpec::default(),
+        }
+    }
+}
+
+/// Reply to a synchronous [`Request::Observe`].
+struct ObserveReply {
+    kind: ConsumptionKind,
+    processed: Option<Instant>,
+}
+
+/// Reply to a [`Request::Recommend`].
+struct RecommendReply {
+    items: Vec<ItemId>,
+    processed: Option<Instant>,
+}
 
 /// A message to a shard. Every request for a user flows through the same
 /// FIFO queue, which is what guarantees per-user ordering.
@@ -55,27 +99,33 @@ enum Request {
     Observe {
         user: UserId,
         item: ItemId,
-        reply: Option<Sender<(ConsumptionKind, u64)>>,
+        trace: Option<TraceCtx>,
+        reply: Option<Sender<ObserveReply>>,
     },
     /// Top-N repeat recommendations for `user` right now.
     Recommend {
         user: UserId,
         n: usize,
-        reply: Sender<Vec<ItemId>>,
+        trace: Option<TraceCtx>,
+        reply: Sender<RecommendReply>,
     },
     /// Barrier: reply once everything queued before this is processed.
     Flush { reply: Sender<()> },
     /// Hot-swap phase 1: extract the shard's accumulated online delta.
     Harvest { reply: Sender<ModelDiff> },
-    /// Hot-swap phase 2: switch to the merged snapshot.
+    /// Hot-swap phase 2: switch to the merged snapshot, which from now on
+    /// serves as model `version` for quality attribution.
     Install {
         model: Arc<TsPprModel>,
+        version: u64,
         reply: Sender<()>,
     },
     /// Clone out every window this shard owns (state inspection / tests).
     ExportWindows {
         reply: Sender<Vec<(u32, WindowState)>>,
     },
+    /// Export the shard's cumulative per-version online quality.
+    ExportQuality { reply: Sender<Vec<VersionQuality>> },
     /// Drain and exit the shard thread.
     Shutdown,
 }
@@ -90,13 +140,50 @@ struct Shard {
     windows: HashMap<u32, WindowState>,
     rng: StdRng,
     metrics: Arc<EngineMetrics>,
+    /// Model version currently installed (0 = the start snapshot);
+    /// stamped onto served lists for quality attribution.
+    version: u64,
+    quality: Option<ShardQuality>,
+    /// Scratch feature buffer for the drift top-1 sample.
+    fbuf: Vec<f64>,
 }
 
 impl Shard {
+    /// Tracing hooks for one traced request: dequeue stamp now, processed
+    /// stamp when done. `None` when the request carries no trace or
+    /// tracing is disabled.
+    fn dequeue_stamp(&self, trace: Option<&TraceCtx>) -> Option<Instant> {
+        match (self.metrics.tracing.as_ref(), trace) {
+            (Some(t), Some(tr)) => Some(t.on_dequeue(self.id, tr)),
+            _ => None,
+        }
+    }
+
+    fn processed_stamp(
+        &self,
+        trace: Option<&TraceCtx>,
+        dequeued: Option<Instant>,
+    ) -> Option<Instant> {
+        let processed = match (self.metrics.tracing.as_ref(), trace, dequeued) {
+            (Some(t), Some(tr), Some(d)) => Some(t.on_processed(self.id, tr, d)),
+            _ => None,
+        };
+        if let (Some(t), Some(_)) = (self.metrics.tracing.as_ref(), trace) {
+            t.on_complete(self.id);
+        }
+        processed
+    }
+
     fn run(mut self, rx: Receiver<Request>) {
         for req in rx.iter() {
             match req {
-                Request::Observe { user, item, reply } => {
+                Request::Observe {
+                    user,
+                    item,
+                    trace,
+                    reply,
+                } => {
+                    let dequeued = self.dequeue_stamp(trace.as_ref());
                     let window = self
                         .windows
                         .entry(user.0)
@@ -111,14 +198,24 @@ impl Shard {
                         &mut self.rng,
                         item,
                     );
+                    if let Some(q) = &mut self.quality {
+                        q.on_observe(user, item, kind);
+                    }
                     let counters = &self.metrics.shards[self.id];
                     counters.observes.inc();
                     counters.online_updates.add(updates);
+                    let processed = self.processed_stamp(trace.as_ref(), dequeued);
                     if let Some(reply) = reply {
-                        let _ = reply.send((kind, updates));
+                        let _ = reply.send(ObserveReply { kind, processed });
                     }
                 }
-                Request::Recommend { user, n, reply } => {
+                Request::Recommend {
+                    user,
+                    n,
+                    trace,
+                    reply,
+                } => {
+                    let dequeued = self.dequeue_stamp(trace.as_ref());
                     let window = self
                         .windows
                         .entry(user.0)
@@ -132,8 +229,30 @@ impl Shard {
                         window,
                         n,
                     );
+                    if let Some(q) = &mut self.quality {
+                        // Drift sample: the top-1 item's predicted score and
+                        // feature mean, under the model that just served it.
+                        let sample = recs.first().map(|&top| {
+                            let fctx = FeatureContext {
+                                window,
+                                stats: &self.stats,
+                            };
+                            self.pipeline.extract_into(&fctx, top, &mut self.fbuf);
+                            let mean =
+                                self.fbuf.iter().sum::<f64>() / self.fbuf.len().max(1) as f64;
+                            (
+                                micro(self.overlay.score(user, top, &self.fbuf)),
+                                micro(mean),
+                            )
+                        });
+                        q.on_recommend(user, &recs, self.version, sample);
+                    }
                     self.metrics.shards[self.id].recommends.inc();
-                    let _ = reply.send(recs);
+                    let processed = self.processed_stamp(trace.as_ref(), dequeued);
+                    let _ = reply.send(RecommendReply {
+                        items: recs,
+                        processed,
+                    });
                 }
                 Request::Flush { reply } => {
                     let _ = reply.send(());
@@ -141,8 +260,13 @@ impl Shard {
                 Request::Harvest { reply } => {
                     let _ = reply.send(self.overlay.harvest());
                 }
-                Request::Install { model, reply } => {
+                Request::Install {
+                    model,
+                    version,
+                    reply,
+                } => {
                     self.overlay.install(model);
+                    self.version = version;
                     self.metrics.shards[self.id].swaps.inc();
                     let _ = reply.send(());
                 }
@@ -150,6 +274,14 @@ impl Shard {
                     let mut out: Vec<(u32, WindowState)> =
                         self.windows.iter().map(|(&u, w)| (u, w.clone())).collect();
                     out.sort_by_key(|(u, _)| *u);
+                    let _ = reply.send(out);
+                }
+                Request::ExportQuality { reply } => {
+                    let out = self
+                        .quality
+                        .as_ref()
+                        .map(|q| q.export())
+                        .unwrap_or_default();
                     let _ = reply.send(out);
                 }
                 Request::Shutdown => break,
@@ -171,22 +303,37 @@ pub struct ServeEngine {
     /// two-phase swap) so hot swaps can run from any client thread while
     /// traffic continues; shards never touch this lock.
     model: Mutex<Arc<TsPprModel>>,
+    /// Monotone install counter; the snapshot the engine started with is
+    /// version 0. Bumped under the model mutex.
+    version: AtomicU64,
     config: OnlineConfig,
     started: Instant,
 }
 
 impl ServeEngine {
+    /// Spin up `shards` worker threads with default options (tracing on,
+    /// quality monitoring off). See [`ServeEngine::start_with`].
+    pub fn start(online: OnlineTsPpr, shards: usize) -> Self {
+        Self::start_with(online, shards, EngineOptions::default())
+    }
+
     /// Spin up `shards` worker threads, taking over the state of `online`.
     ///
     /// Each user's window moves to the shard `shard_for(user, shards)`
-    /// selects; the model becomes the shared immutable snapshot.
-    pub fn start(online: OnlineTsPpr, shards: usize) -> Self {
+    /// selects; the model becomes the shared immutable snapshot
+    /// (version 0). `options` picks the observability subsystems.
+    pub fn start_with(online: OnlineTsPpr, shards: usize, options: EngineOptions) -> Self {
         assert!(shards > 0, "at least one shard required");
         let (model, pipeline, stats, config, windows) = online.into_parts();
         let model = Arc::new(model);
         let pipeline = Arc::new(pipeline);
         let stats = Arc::new(stats);
-        let metrics = Arc::new(EngineMetrics::new(shards));
+        let metrics = Arc::new(EngineMetrics::new(
+            shards,
+            options.tracing,
+            options.window,
+            options.quality,
+        ));
 
         // Partition per-user windows by the routing function.
         let mut partitions: Vec<HashMap<u32, WindowState>> =
@@ -211,6 +358,12 @@ impl ServeEngine {
                 // 1-shard engine's online learning byte-for-byte comparable.
                 rng: StdRng::seed_from_u64(config.seed.wrapping_add(id as u64)),
                 metrics: metrics.clone(),
+                version: 0,
+                quality: metrics
+                    .quality
+                    .as_ref()
+                    .map(|q| ShardQuality::new(metrics.registry.clone(), q.spec, q.drift.clone())),
+                fbuf: Vec::with_capacity(pipeline.len()),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("rrc-serve-shard-{id}"))
@@ -225,6 +378,7 @@ impl ServeEngine {
             handles,
             metrics,
             model: Mutex::new(model),
+            version: AtomicU64::new(0),
             config,
             started: Instant::now(),
         }
@@ -248,37 +402,55 @@ impl ServeEngine {
         self.model.lock().expect("model lock").clone()
     }
 
-    fn sender_for(&self, user: UserId) -> &Sender<Request> {
-        &self.senders[shard_for(user, self.senders.len())]
+    /// Mint a trace context for a request bound for `shard` (bumping its
+    /// queue-depth / in-flight gauges), or `None` with tracing off.
+    fn trace_for(&self, shard: usize) -> Option<TraceCtx> {
+        self.metrics.tracing.as_ref().map(|t| t.on_enqueue(shard))
+    }
+
+    /// Close a traced request: the span since the shard's `processed`
+    /// stamp is the `respond` stage.
+    fn close_trace(&self, shard: usize, trace: Option<TraceCtx>, processed: Option<Instant>) {
+        if let (Some(t), Some(tr), Some(p)) = (self.metrics.tracing.as_ref(), trace, processed) {
+            t.on_respond(shard, &tr, p);
+        }
     }
 
     /// Ingest one event and wait for its classification. Latency
     /// (queueing + processing + reply) lands in the observe histogram.
     pub fn observe(&self, user: UserId, item: ItemId) -> ConsumptionKind {
         let start = Instant::now();
+        let shard = shard_for(user, self.senders.len());
+        let trace = self.trace_for(shard);
         let (reply_tx, reply_rx) = bounded(1);
-        self.sender_for(user)
+        self.senders[shard]
             .send(Request::Observe {
                 user,
                 item,
+                trace,
                 reply: Some(reply_tx),
             })
             .expect("shard thread alive");
-        let (kind, _) = reply_rx.recv().expect("shard replies to observe");
+        let reply = reply_rx.recv().expect("shard replies to observe");
+        self.close_trace(shard, trace, reply.processed);
         self.metrics
             .observe_latency
             .record_duration(start.elapsed());
-        kind
+        reply.kind
     }
 
     /// Fire-and-forget ingestion: enqueue the event and return
     /// immediately. FIFO routing still guarantees it is applied in order
-    /// relative to the user's other requests.
+    /// relative to the user's other requests. Traced requests record
+    /// `enqueue_wait` and `score`; there is no reply, so no `respond` leg.
     pub fn observe_nowait(&self, user: UserId, item: ItemId) {
-        self.sender_for(user)
+        let shard = shard_for(user, self.senders.len());
+        let trace = self.trace_for(shard);
+        self.senders[shard]
             .send(Request::Observe {
                 user,
                 item,
+                trace,
                 reply: None,
             })
             .expect("shard thread alive");
@@ -288,19 +460,23 @@ impl ServeEngine {
     /// in the recommend histogram.
     pub fn recommend(&self, user: UserId, n: usize) -> Vec<ItemId> {
         let start = Instant::now();
+        let shard = shard_for(user, self.senders.len());
+        let trace = self.trace_for(shard);
         let (reply_tx, reply_rx) = bounded(1);
-        self.sender_for(user)
+        self.senders[shard]
             .send(Request::Recommend {
                 user,
                 n,
+                trace,
                 reply: reply_tx,
             })
             .expect("shard thread alive");
-        let recs = reply_rx.recv().expect("shard replies to recommend");
+        let reply = reply_rx.recv().expect("shard replies to recommend");
+        self.close_trace(shard, trace, reply.processed);
         self.metrics
             .recommend_latency
             .record_duration(start.elapsed());
-        recs
+        reply.items
     }
 
     /// Barrier: returns once every request enqueued before this call —
@@ -331,6 +507,19 @@ impl ServeEngine {
     /// accumulates between the two phases are rebased onto the new
     /// weights rather than discarded.
     pub fn swap_model(&self, new_model: TsPprModel) -> Arc<TsPprModel> {
+        self.swap_model_tagged(new_model, None)
+    }
+
+    /// [`ServeEngine::swap_model`] with provenance: `fingerprint` is the
+    /// training-config fingerprint stored alongside the model (see
+    /// [`rrc_store::META_FINGERPRINT`]), exposed as the
+    /// `serve_model_fingerprint` gauge so scrapes can tie online quality
+    /// and drift back to the exact training run.
+    pub fn swap_model_tagged(
+        &self,
+        new_model: TsPprModel,
+        fingerprint: Option<u64>,
+    ) -> Arc<TsPprModel> {
         // Held across both phases: concurrent swappers serialize here.
         let mut published = self.model.lock().expect("model lock");
         assert_eq!(
@@ -338,6 +527,9 @@ impl ServeEngine {
             (published.num_users(), published.num_items()),
             "hot-swap requires an identically-shaped model"
         );
+        // Version numbers are handed out under the model lock, so install
+        // order across shards matches version order.
+        let version = self.version.fetch_add(1, Ordering::Relaxed) + 1;
         // Phase 1: harvest deltas from every shard (in-band).
         let replies: Vec<Receiver<ModelDiff>> = self
             .senders
@@ -363,6 +555,7 @@ impl ServeEngine {
                 let (reply_tx, reply_rx) = bounded(1);
                 tx.send(Request::Install {
                     model: merged.clone(),
+                    version,
                     reply: reply_tx,
                 })
                 .expect("shard thread alive");
@@ -372,8 +565,14 @@ impl ServeEngine {
         for rx in replies {
             rx.recv().expect("shard replies to install");
         }
+        self.metrics.on_install(version, fingerprint);
         *published = merged.clone();
         merged
+    }
+
+    /// The model version currently serving (0 until the first swap).
+    pub fn model_version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
     }
 
     /// Publish the online learning accumulated so far: harvest every
@@ -403,6 +602,35 @@ impl ServeEngine {
             .collect();
         out.sort_by_key(|(u, _)| *u);
         out
+    }
+
+    /// Online quality report (per model version, cumulative + windowed,
+    /// plus the drift signal), or `None` when the engine was started
+    /// without quality monitoring. Runs in-band: each shard exports its
+    /// accumulated per-version quality through its FIFO queue, so the
+    /// report reflects everything enqueued before this call completes.
+    pub fn quality_report(&self) -> Option<QualityReport> {
+        let q = self.metrics.quality.as_ref()?;
+        let replies: Vec<Receiver<Vec<VersionQuality>>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = bounded(1);
+                tx.send(Request::ExportQuality { reply: reply_tx })
+                    .expect("shard thread alive");
+                reply_rx
+            })
+            .collect();
+        let exports = replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard replies to quality export"))
+            .collect();
+        Some(quality::build_report(
+            &self.metrics.registry,
+            q.spec,
+            exports,
+            q.drift.values(),
+        ))
     }
 
     /// Point-in-time traffic and latency report.
@@ -618,6 +846,204 @@ mod tests {
         // window on demand, and its first event classifies as novel.
         let ghost = UserId(100);
         assert_eq!(engine.observe(ghost, ItemId(0)), ConsumptionKind::Novel);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn tracing_records_stage_breakdown_and_gauges() {
+        // Default options: tracing on.
+        let (engine, tests) = engine_fixture(0, 2);
+        for (u, events) in tests.iter().enumerate() {
+            for &item in events {
+                engine.observe_nowait(UserId(u as u32), item);
+            }
+        }
+        for u in 0..4u32 {
+            let _ = engine.recommend(UserId(u), 5);
+        }
+        engine.flush();
+        let report = engine.metrics();
+        assert_eq!(report.stages.len(), 2, "one stage row per shard");
+        let score_count: u64 = report.stages.iter().map(|s| s.score.count).sum();
+        let total = report.total_observes() + report.total_recommends();
+        assert_eq!(score_count, total, "every traced request scores");
+        // Only replied-to requests have a respond leg.
+        let respond_count: u64 = report.stages.iter().map(|s| s.respond.count).sum();
+        assert_eq!(respond_count, report.total_recommends());
+        let w = report
+            .windowed
+            .expect("windowed throughput with tracing on");
+        assert_eq!(w.events, total);
+        // Short test: the rolling window covers the whole run, so windowed
+        // and cumulative rates agree tightly.
+        assert!(
+            (w.over_cumulative - 1.0).abs() < 0.05,
+            "windowed/cumulative ratio {}",
+            w.over_cumulative
+        );
+        // Quiescent after flush: depth and in-flight gauges back to zero.
+        let text = engine.metrics_text();
+        assert!(text.contains("serve_queue_depth{shard=\"0\"} 0"), "{text}");
+        assert!(text.contains("serve_inflight{shard=\"1\"} 0"), "{text}");
+        assert!(
+            text.contains("serve_stage_duration_ns_count{shard=\"0\",stage=\"score\"}"),
+            "{text}"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn tracing_off_disables_stage_series() {
+        let data = GeneratorConfig::tiny().with_seed(7).generate();
+        let split = data.split(0.7);
+        let stats = TrainStats::compute(&split.train, 30);
+        let pipeline = FeaturePipeline::standard();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = TsPprModel::init(
+            &mut rng,
+            data.num_users(),
+            data.num_items(),
+            8,
+            pipeline.len(),
+            0.1,
+            0.05,
+        );
+        let mut online = OnlineTsPpr::new(
+            model,
+            pipeline,
+            stats,
+            OnlineConfig {
+                window: 30,
+                omega: 5,
+                negatives_per_event: 0,
+                ..OnlineConfig::default()
+            },
+        );
+        online.warm_from(&split.train);
+        let engine = ServeEngine::start_with(
+            online,
+            2,
+            EngineOptions {
+                tracing: false,
+                ..EngineOptions::default()
+            },
+        );
+        let _ = engine.recommend(UserId(0), 5);
+        let report = engine.metrics();
+        assert!(report.stages.is_empty());
+        assert!(report.windowed.is_none());
+        assert!(!engine.metrics_text().contains("serve_stage_duration_ns"));
+        engine.shutdown();
+    }
+
+    /// Find `(user, item)` pairs whose next consumption would classify as
+    /// an eligible repeat — i.e. real recommendation opportunities.
+    fn eligible_pairs(engine: &ServeEngine) -> Vec<(UserId, ItemId)> {
+        let omega = engine.config().omega;
+        engine
+            .export_windows()
+            .into_iter()
+            .filter_map(|(u, w)| {
+                w.eligible_candidates(omega)
+                    .first()
+                    .map(|&item| (UserId(u), item))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quality_attribution_survives_hot_swap() {
+        let data = GeneratorConfig::tiny().with_seed(7).generate();
+        let split = data.split(0.7);
+        let stats = TrainStats::compute(&split.train, 30);
+        let pipeline = FeaturePipeline::standard();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = TsPprModel::init(
+            &mut rng,
+            data.num_users(),
+            data.num_items(),
+            8,
+            pipeline.len(),
+            0.1,
+            0.05,
+        );
+        let mut online = OnlineTsPpr::new(
+            model,
+            pipeline,
+            stats,
+            OnlineConfig {
+                window: 30,
+                omega: 5,
+                negatives_per_event: 0,
+                ..OnlineConfig::default()
+            },
+        );
+        online.warm_from(&split.train);
+        let engine = ServeEngine::start_with(
+            online,
+            2,
+            EngineOptions {
+                quality: Some(QualityConfig::default()),
+                ..EngineOptions::default()
+            },
+        );
+        let pairs = eligible_pairs(&engine);
+        assert!(
+            pairs.len() >= 2,
+            "fixture must provide at least two users with an eligible repeat"
+        );
+        let (user_a, item_a) = pairs[0];
+        let (user_b, item_b) = pairs[1];
+
+        // Serve user A under version 0, but evaluate only AFTER the swap:
+        // the opportunity must still land on version 0.
+        let _ = engine.recommend(user_a, 10);
+        let base = engine.model();
+        engine.swap_model((*base).clone());
+        assert_eq!(engine.model_version(), 1);
+        assert_eq!(
+            engine.observe(user_a, item_a),
+            ConsumptionKind::EligibleRepeat
+        );
+
+        // Serve and evaluate user B under version 1.
+        let _ = engine.recommend(user_b, 10);
+        assert_eq!(
+            engine.observe(user_b, item_b),
+            ConsumptionKind::EligibleRepeat
+        );
+
+        engine.flush();
+        let report = engine.quality_report().expect("quality enabled");
+        let by_version: std::collections::HashMap<u64, u64> = report
+            .versions
+            .iter()
+            .map(|v| (v.quality.version, v.quality.ranking.opportunities))
+            .collect();
+        assert_eq!(
+            by_version.get(&0),
+            Some(&1),
+            "pre-swap serve evaluates against version 0: {report:?}"
+        );
+        assert_eq!(
+            by_version.get(&1),
+            Some(&1),
+            "post-swap serve evaluates against version 1: {report:?}"
+        );
+        assert_eq!(report.overall().ranking.opportunities, 2);
+        // Drift gauges were fed by the recommends (top-1 samples).
+        assert!(report.drift.window_samples >= 2);
+        // The JSON view renders finite numbers.
+        let doc = rrc_obs::Json::parse(&report.to_json().render()).unwrap();
+        let hit10 = doc.at("overall.hit10").unwrap().as_f64().unwrap();
+        assert!(hit10.is_finite());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn quality_disabled_reports_none() {
+        let (engine, _) = engine_fixture(0, 2);
+        assert!(engine.quality_report().is_none());
         engine.shutdown();
     }
 }

@@ -21,11 +21,21 @@
 //! * **Deployment** ([`watcher`]) — [`RegistryWatcher`] polls an
 //!   `rrc-store` model registry and hot-swaps every newly published
 //!   version into the engine, closing the train → publish → serve loop.
-//! * **Observability** ([`metrics`]) — every engine owns a private
-//!   [`rrc_obs::Registry`]: wait-free power-of-two latency histograms
-//!   (p50/p95/p99/mean/max) and per-shard traffic counters, snapshotted
-//!   as a [`MetricsReport`] or exposed as Prometheus text via
-//!   [`ServeEngine::metrics_text`].
+//! * **Observability** ([`metrics`], [`trace`]) — every engine owns a
+//!   private [`rrc_obs::Registry`]: wait-free power-of-two latency
+//!   histograms (p50/p95/p99/mean/max) and per-shard traffic counters,
+//!   snapshotted as a [`MetricsReport`] or exposed as Prometheus text via
+//!   [`ServeEngine::metrics_text`]. With tracing on (the default), every
+//!   request carries a [`TraceCtx`] through its shard channel and its
+//!   enqueue-wait / score / respond stage durations land in per-shard
+//!   histograms, next to queue-depth and in-flight gauges and rolling
+//!   windowed counterparts.
+//! * **Online quality** ([`quality`]) — opt-in
+//!   ([`EngineOptions::quality`]): each served top-N is scored against
+//!   the user's next eligible repeat, attributed to the **model version
+//!   that served it** (honest across hot-swaps), cumulative and over a
+//!   rolling window, plus a drift signal comparing windowed top-1
+//!   score / feature means against the since-install baseline.
 //!
 //! Because shard 0's RNG seed equals the [`rrc_core::OnlineConfig`] seed,
 //! a 1-shard engine reproduces `OnlineTsPpr`'s online learning exactly;
@@ -54,14 +64,22 @@
 pub mod engine;
 pub mod metrics;
 pub mod overlay;
+pub mod quality;
 pub mod routing;
+pub mod trace;
 pub mod watcher;
 
-pub use engine::ServeEngine;
-pub use metrics::{LatencySummary, MetricsReport, ShardCountersSnapshot};
+pub use engine::{EngineOptions, ServeEngine};
+pub use metrics::{
+    LatencySummary, MetricsReport, ShardCountersSnapshot, StageSummary, WindowedThroughput,
+};
 pub use overlay::{ModelDiff, ModelOverlay};
+pub use quality::{
+    DriftValues, QualityConfig, QualityReport, VersionQuality, VersionQualityReport, QUALITY_AT,
+};
 pub use routing::shard_for;
+pub use trace::{StageNanos, TraceCtx};
 pub use watcher::RegistryWatcher;
 // The latency histogram now lives in the workspace-wide observability
 // crate; re-exported here for serving-focused callers.
-pub use rrc_obs::{Histogram, HistogramSnapshot};
+pub use rrc_obs::{Histogram, HistogramSnapshot, WindowSpec};

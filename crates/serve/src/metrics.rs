@@ -11,9 +11,35 @@
 //! [`ServeEngine::metrics_text`](crate::ServeEngine::metrics_text)
 //! exposes the same registry as Prometheus text.
 
-use rrc_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Json, Registry};
+use crate::quality::{DriftAccum, QualityConfig};
+use crate::trace::{StageNanos, TraceCtx};
+use rrc_obs::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Json, Registry, WindowSpec, WindowedCounter,
+    WindowedHistogram,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Names of the three traced request stages, in pipeline order.
+pub const STAGE_NAMES: [&str; 3] = ["enqueue_wait", "score", "respond"];
+
+/// Rolling-window stage quantiles and queue-depth samples are recorded
+/// for one request in `1 << WINDOW_SAMPLE_SHIFT` (selected by request
+/// id, so the sample is unbiased w.r.t. shard and client). Cumulative
+/// stage histograms, gauges, and the windowed event counter stay exact —
+/// sampling only thins the rolling quantile estimators, which still see
+/// thousands of samples per window at any realistic traffic level. This
+/// is a hot-path cost control: on a saturated single-core host the full
+/// per-event record set costs ~10% throughput; sampled, tracing fits in
+/// the ≤5% budget tracked by BENCH_serve.json.
+const WINDOW_SAMPLE_SHIFT: u32 = 2;
+
+/// True when this request id is in the 1-in-2^shift rolling sample.
+#[inline]
+fn sampled(id: u64) -> bool {
+    id & ((1 << WINDOW_SAMPLE_SHIFT) - 1) == 0
+}
 
 /// Pre-registered per-shard counter handles (recording is wait-free).
 #[derive(Debug, Clone)]
@@ -55,6 +81,203 @@ pub struct ShardCountersSnapshot {
     pub swaps: u64,
 }
 
+/// One shard's per-stage cumulative histograms
+/// (`serve_stage_duration_ns{shard=…,stage=…}`).
+#[derive(Debug, Clone)]
+pub(crate) struct StageHists {
+    pub enqueue_wait: Arc<Histogram>,
+    pub score: Arc<Histogram>,
+    pub respond: Arc<Histogram>,
+}
+
+impl StageHists {
+    fn register(registry: &Registry, shard: usize) -> Self {
+        let shard = shard.to_string();
+        let hist = |stage: &str| {
+            registry.histogram_with(
+                "serve_stage_duration_ns",
+                &[("shard", &shard), ("stage", stage)],
+            )
+        };
+        StageHists {
+            enqueue_wait: hist("enqueue_wait"),
+            score: hist("score"),
+            respond: hist("respond"),
+        }
+    }
+}
+
+/// One shard's rolling-window stage histograms
+/// (`serve_stage_duration_window_ns{shard=…,stage=…}`). Sharded (rather
+/// than one global series per stage) so that the per-event record stays
+/// on a shard-private cache line: with a single global handle every
+/// shard and client thread contends on the same bucket words, which
+/// costs double-digit percent throughput under load.
+#[derive(Debug, Clone)]
+pub(crate) struct StageWindows {
+    pub enqueue_wait: Arc<WindowedHistogram>,
+    pub score: Arc<WindowedHistogram>,
+    pub respond: Arc<WindowedHistogram>,
+}
+
+impl StageWindows {
+    fn register(registry: &Registry, shard: usize, window: WindowSpec) -> Self {
+        let shard = shard.to_string();
+        let hist = |stage: &str| {
+            registry.windowed_histogram_with(
+                "serve_stage_duration_window_ns",
+                &[("shard", &shard), ("stage", stage)],
+                window,
+            )
+        };
+        StageWindows {
+            enqueue_wait: hist("enqueue_wait"),
+            score: hist("score"),
+            respond: hist("respond"),
+        }
+    }
+}
+
+/// Request-scoped tracing state: stage histograms (cumulative and
+/// rolling-window, both per shard), queue-depth/in-flight gauges, and
+/// the windowed event counters behind the windowed-vs-cumulative
+/// throughput check. All hooks are wait-free handle operations; when
+/// tracing is off the engine skips them entirely, which is what
+/// BENCH_serve.json's tracing-overhead comparison measures.
+#[derive(Debug)]
+pub(crate) struct TracingMetrics {
+    pub stages: Vec<StageHists>,
+    pub windows: Vec<StageWindows>,
+    pub queue_depth: Vec<Arc<Gauge>>,
+    pub inflight: Vec<Arc<Gauge>>,
+    pub queue_sampled: Vec<Arc<Histogram>>,
+    pub events_window: Vec<Arc<WindowedCounter>>,
+    next_id: AtomicU64,
+}
+
+impl TracingMetrics {
+    fn register(registry: &Registry, shards: usize, window: WindowSpec) -> Self {
+        let shard_label: Vec<String> = (0..shards).map(|s| s.to_string()).collect();
+        TracingMetrics {
+            stages: (0..shards)
+                .map(|s| StageHists::register(registry, s))
+                .collect(),
+            windows: (0..shards)
+                .map(|s| StageWindows::register(registry, s, window))
+                .collect(),
+            queue_depth: shard_label
+                .iter()
+                .map(|s| registry.gauge_with("serve_queue_depth", &[("shard", s)]))
+                .collect(),
+            inflight: shard_label
+                .iter()
+                .map(|s| registry.gauge_with("serve_inflight", &[("shard", s)]))
+                .collect(),
+            queue_sampled: shard_label
+                .iter()
+                .map(|s| registry.histogram_with("serve_queue_depth_sampled", &[("shard", s)]))
+                .collect(),
+            events_window: shard_label
+                .iter()
+                .map(|s| {
+                    registry.windowed_counter_with("serve_events_window", &[("shard", s)], window)
+                })
+                .collect(),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Client side, just before the request enters the shard channel:
+    /// bump the queue-depth and in-flight gauges and mint the context.
+    pub fn on_enqueue(&self, shard: usize) -> TraceCtx {
+        self.queue_depth[shard].add(1);
+        self.inflight[shard].add(1);
+        TraceCtx {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            enqueued: Instant::now(),
+        }
+    }
+
+    /// Shard side, right after pulling a traced request off the channel:
+    /// drop the depth gauge and (for sampled requests) record the
+    /// remaining depth.
+    pub fn on_dequeue(&self, shard: usize, trace: &TraceCtx) -> Instant {
+        self.queue_depth[shard].add(-1);
+        if sampled(trace.id) {
+            let depth = self.queue_depth[shard].get().max(0) as u64;
+            self.queue_sampled[shard].record(depth);
+        }
+        Instant::now()
+    }
+
+    /// Shard side, when processing finishes: record `enqueue_wait` and
+    /// `score` (the `respond` leg is only observable by the client).
+    /// Returns the `processed` stamp to embed in the reply.
+    pub fn on_processed(&self, shard: usize, trace: &TraceCtx, dequeued: Instant) -> Instant {
+        let processed = Instant::now();
+        let stages = StageNanos::from_instants(trace.enqueued, dequeued, processed);
+        self.stages[shard].enqueue_wait.record(stages.enqueue_wait);
+        self.stages[shard].score.record(stages.score);
+        if sampled(trace.id) {
+            let w = &self.windows[shard];
+            w.enqueue_wait
+                .record_at_instant(processed, stages.enqueue_wait);
+            w.score.record_at_instant(processed, stages.score);
+        }
+        self.events_window[shard].add_at_instant(processed, 1);
+        processed
+    }
+
+    /// Shard side, after the reply (if any) is sent: the request is no
+    /// longer in flight.
+    pub fn on_complete(&self, shard: usize) {
+        self.inflight[shard].add(-1);
+    }
+
+    /// Client side, after receiving a reply carrying the shard's
+    /// `processed` stamp: the remaining span is the `respond` stage.
+    pub fn on_respond(&self, shard: usize, trace: &TraceCtx, processed: Instant) {
+        let received = Instant::now();
+        let ns = received
+            .saturating_duration_since(processed)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        self.stages[shard].respond.record(ns);
+        if sampled(trace.id) {
+            self.windows[shard].respond.record_at_instant(received, ns);
+        }
+    }
+}
+
+/// Online-quality metric state: the shared drift accumulator plus the
+/// exposition gauges it refreshes.
+#[derive(Debug)]
+pub(crate) struct QualityMetrics {
+    pub spec: WindowSpec,
+    pub drift: Arc<DriftAccum>,
+    drift_score: Arc<Gauge>,
+    drift_feature: Arc<Gauge>,
+}
+
+impl QualityMetrics {
+    fn register(registry: &Registry, cfg: QualityConfig) -> Self {
+        QualityMetrics {
+            spec: cfg.window,
+            drift: Arc::new(DriftAccum::new(cfg.window)),
+            drift_score: registry.gauge("serve_drift_score_micro"),
+            drift_feature: registry.gauge("serve_drift_feature_micro"),
+        }
+    }
+
+    /// Recompute the drift gauges from the accumulator (called at every
+    /// exposition, so scrapes always see a current value).
+    pub fn refresh(&self) {
+        let v = self.drift.values();
+        self.drift_score.set(v.score_micro);
+        self.drift_feature.set(v.feature_micro);
+    }
+}
+
 /// All metric state shared between the engine handle and its shards.
 #[derive(Debug)]
 pub(crate) struct EngineMetrics {
@@ -62,11 +285,20 @@ pub(crate) struct EngineMetrics {
     pub recommend_latency: Arc<Histogram>,
     pub observe_latency: Arc<Histogram>,
     pub shards: Vec<ShardCounters>,
+    pub tracing: Option<TracingMetrics>,
+    pub quality: Option<QualityMetrics>,
+    model_version: Arc<Gauge>,
+    model_fingerprint: Arc<Gauge>,
     uptime_ms: Arc<Gauge>,
 }
 
 impl EngineMetrics {
-    pub fn new(shards: usize) -> Self {
+    pub fn new(
+        shards: usize,
+        tracing: bool,
+        window: WindowSpec,
+        quality: Option<QualityConfig>,
+    ) -> Self {
         let registry = Registry::new();
         registry.gauge("serve_shards").set(shards as i64);
         EngineMetrics {
@@ -75,8 +307,26 @@ impl EngineMetrics {
             shards: (0..shards)
                 .map(|id| ShardCounters::register(&registry, id))
                 .collect(),
+            tracing: tracing.then(|| TracingMetrics::register(&registry, shards, window)),
+            quality: quality.map(|cfg| QualityMetrics::register(&registry, cfg)),
+            model_version: registry.gauge("serve_model_version"),
+            model_fingerprint: registry.gauge("serve_model_fingerprint"),
             uptime_ms: registry.gauge("serve_uptime_ms"),
             registry,
+        }
+    }
+
+    /// Record a model install: stamp the version/fingerprint gauges and
+    /// restart the drift baseline — drift is always measured against the
+    /// model currently serving.
+    pub fn on_install(&self, version: u64, fingerprint: Option<u64>) {
+        self.model_version.set(version.min(i64::MAX as u64) as i64);
+        if let Some(fp) = fingerprint {
+            // Bit-cast: the gauge is a label, not an arithmetic value.
+            self.model_fingerprint.set(fp as i64);
+        }
+        if let Some(q) = &self.quality {
+            q.drift.reset_baseline();
         }
     }
 
@@ -84,15 +334,63 @@ impl EngineMetrics {
     pub fn touch_uptime(&self, uptime: Duration) {
         self.uptime_ms
             .set(uptime.as_millis().min(i64::MAX as u128) as i64);
+        if let Some(q) = &self.quality {
+            q.refresh();
+        }
     }
 
     pub fn report(&self, uptime: Duration) -> MetricsReport {
         self.touch_uptime(uptime);
+        let shards: Vec<ShardCountersSnapshot> = self.shards.iter().map(|s| s.snapshot()).collect();
+        let stages = self
+            .tracing
+            .as_ref()
+            .map(|t| {
+                t.stages
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, h)| StageSummary {
+                        shard,
+                        enqueue_wait: LatencySummary::from(h.enqueue_wait.snapshot()),
+                        score: LatencySummary::from(h.score.snapshot()),
+                        respond: LatencySummary::from(h.respond.snapshot()),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let windowed = self.tracing.as_ref().map(|t| {
+            let events: u64 = t.events_window.iter().map(|c| c.window_total()).sum();
+            // The ring's origin is metric registration, a moment before the
+            // engine's own start stamp (shard spawn happens in between);
+            // clamp so the ratio compares rates over the same span.
+            let covered = t
+                .events_window
+                .iter()
+                .map(|c| c.covered())
+                .max()
+                .unwrap_or_default()
+                .min(uptime);
+            let rate_per_sec = events as f64 / covered.as_secs_f64().max(1e-9);
+            let cum: u64 = shards.iter().map(|s| s.observes + s.recommends).sum();
+            let cum_rate = cum as f64 / uptime.as_secs_f64().max(1e-9);
+            WindowedThroughput {
+                events,
+                rate_per_sec,
+                covered,
+                over_cumulative: if cum_rate > 0.0 {
+                    rate_per_sec / cum_rate
+                } else {
+                    0.0
+                },
+            }
+        });
         MetricsReport {
             uptime,
             recommend_latency: LatencySummary::from(self.recommend_latency.snapshot()),
             observe_latency: LatencySummary::from(self.observe_latency.snapshot()),
-            shards: self.shards.iter().map(|s| s.snapshot()).collect(),
+            shards,
+            stages,
+            windowed,
         }
     }
 }
@@ -162,8 +460,60 @@ impl std::fmt::Display for LatencySummary {
     }
 }
 
+/// One shard's traced stage latency breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSummary {
+    pub shard: usize,
+    /// Time queued in the shard channel.
+    pub enqueue_wait: LatencySummary,
+    /// Shard processing (feature extraction, scoring, online SGD).
+    pub score: LatencySummary,
+    /// Reply channel transit plus client wakeup.
+    pub respond: LatencySummary,
+}
+
+impl StageSummary {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("shard", Json::from(self.shard)),
+            ("enqueue_wait", self.enqueue_wait.to_json()),
+            ("score", self.score.to_json()),
+            ("respond", self.respond.to_json()),
+        ])
+    }
+}
+
+/// Rolling-window event throughput next to its cumulative counterpart.
+/// `over_cumulative` near 1.0 means the recent rate matches the lifetime
+/// mean (the CI sanity band); it diverges when traffic ramps or stalls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowedThroughput {
+    /// Traced events processed inside the rolling window.
+    pub events: u64,
+    /// Windowed events per second (over the covered span).
+    pub rate_per_sec: f64,
+    /// How much wall-clock the window actually covers.
+    pub covered: Duration,
+    /// Windowed rate / cumulative lifetime rate (0 when idle).
+    pub over_cumulative: f64,
+}
+
+impl WindowedThroughput {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("events", Json::U64(self.events)),
+            ("rate_per_sec", Json::F64(self.rate_per_sec)),
+            (
+                "covered_ms",
+                Json::U64(self.covered.as_millis().min(u64::MAX as u128) as u64),
+            ),
+            ("over_cumulative", Json::F64(self.over_cumulative)),
+        ])
+    }
+}
+
 /// A point-in-time view of engine traffic and latency.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsReport {
     /// Time since the engine started.
     pub uptime: Duration,
@@ -174,6 +524,10 @@ pub struct MetricsReport {
     pub observe_latency: LatencySummary,
     /// Per-shard traffic counters, indexed by shard id.
     pub shards: Vec<ShardCountersSnapshot>,
+    /// Per-shard traced stage breakdown (empty when tracing is off).
+    pub stages: Vec<StageSummary>,
+    /// Rolling-window throughput (None when tracing is off).
+    pub windowed: Option<WindowedThroughput>,
 }
 
 impl MetricsReport {
@@ -239,6 +593,16 @@ impl MetricsReport {
                     ("observes_per_sec", Json::F64(self.observes_per_sec())),
                 ]),
             ),
+            (
+                "stages",
+                Json::Arr(self.stages.iter().map(StageSummary::to_json).collect()),
+            ),
+            (
+                "windowed",
+                self.windowed
+                    .as_ref()
+                    .map_or(Json::Null, WindowedThroughput::to_json),
+            ),
         ])
     }
 }
@@ -253,6 +617,18 @@ impl std::fmt::Display for MetricsReport {
                 f,
                 "shard {i:<2} observes={:<9} recommends={:<9} online_updates={:<9} swaps={}",
                 s.observes, s.recommends, s.online_updates, s.swaps
+            )?;
+        }
+        for st in &self.stages {
+            writeln!(f, "shard {:<2} enqueue_wait {}", st.shard, st.enqueue_wait)?;
+            writeln!(f, "shard {:<2} score        {}", st.shard, st.score)?;
+            writeln!(f, "shard {:<2} respond      {}", st.shard, st.respond)?;
+        }
+        if let Some(w) = &self.windowed {
+            writeln!(
+                f,
+                "windowed events={} rate={:.0}/s covered={:.1?} over_cumulative={:.3}",
+                w.events, w.rate_per_sec, w.covered, w.over_cumulative
             )?;
         }
         write!(
@@ -270,9 +646,13 @@ impl std::fmt::Display for MetricsReport {
 mod tests {
     use super::*;
 
+    fn plain(shards: usize) -> EngineMetrics {
+        EngineMetrics::new(shards, false, WindowSpec::default(), None)
+    }
+
     #[test]
     fn report_totals_sum_shards() {
-        let m = EngineMetrics::new(3);
+        let m = plain(3);
         m.shards[0].observes.add(5);
         m.shards[2].observes.add(7);
         m.shards[1].recommends.add(2);
@@ -286,7 +666,7 @@ mod tests {
 
     #[test]
     fn latency_summary_tracks_histogram_snapshot() {
-        let m = EngineMetrics::new(1);
+        let m = plain(1);
         for micros in [100u64, 200, 400, 800] {
             m.recommend_latency
                 .record_duration(Duration::from_micros(micros));
@@ -307,7 +687,7 @@ mod tests {
 
     #[test]
     fn engine_registry_exposes_prometheus_series() {
-        let m = EngineMetrics::new(2);
+        let m = plain(2);
         m.shards[1].observes.add(9);
         m.observe_latency.record_duration(Duration::from_micros(50));
         m.touch_uptime(Duration::from_millis(1500));
@@ -324,7 +704,7 @@ mod tests {
 
     #[test]
     fn report_json_parses_with_expected_keys() {
-        let m = EngineMetrics::new(2);
+        let m = plain(2);
         m.shards[0].observes.add(3);
         m.observe_latency.record_duration(Duration::from_micros(10));
         let doc = Json::parse(&m.report(Duration::from_secs(1)).to_json().render()).unwrap();

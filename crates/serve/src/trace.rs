@@ -1,0 +1,119 @@
+//! Request-scoped tracing: where inside a request does the time go?
+//!
+//! The engine's original latency histograms answer "how long did the
+//! request take end to end"; tail-latency work needs the breakdown. Every
+//! traced request carries a [`TraceCtx`] — a request id plus the
+//! monotonic enqueue stamp — through its shard channel. The shard stamps
+//! dequeue and end-of-processing, the client stamps receipt of the reply,
+//! and the four stamps decompose into three stages:
+//!
+//! ```text
+//! enqueued ──(enqueue_wait)── dequeued ──(score)── processed ──(respond)── received
+//! ```
+//!
+//! `enqueue_wait` is time spent queued behind the shard's other work,
+//! `score` is the shard's own processing (feature extraction, scoring,
+//! online SGD), and `respond` is the reply channel plus client wakeup.
+//! The decomposition itself is the pure [`StageNanos::from_stamps`]
+//! kernel, which clamps out-of-order stamps (an `Instant` race across
+//! threads) so every stage is non-negative and the stages sum exactly to
+//! the clamped end-to-end total — the property `tests/trace_stages.rs`
+//! checks for arbitrary stamp quadruples.
+
+use std::time::Instant;
+
+/// Context attached to a traced request at enqueue time.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCtx {
+    /// Engine-unique request id (monotonically assigned at enqueue).
+    pub id: u64,
+    /// When the client handed the request to the shard channel.
+    pub enqueued: Instant,
+}
+
+/// One traced request's stage durations, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageNanos {
+    /// Time queued in the shard channel before the shard picked it up.
+    pub enqueue_wait: u64,
+    /// Shard processing time (scoring / online update).
+    pub score: u64,
+    /// Reply channel transit plus client wakeup.
+    pub respond: u64,
+}
+
+impl StageNanos {
+    /// Decompose four raw stamps (nanoseconds on any common monotonic
+    /// axis) into stage durations.
+    ///
+    /// Stamps are clamped forward (`dequeued ≥ enqueued`, and so on) so a
+    /// cross-thread `Instant` race can never produce a negative stage;
+    /// after clamping, `enqueue_wait + score + respond` equals the
+    /// clamped end-to-end span exactly.
+    pub fn from_stamps(enqueued: u64, dequeued: u64, processed: u64, received: u64) -> StageNanos {
+        let dequeued = dequeued.max(enqueued);
+        let processed = processed.max(dequeued);
+        let received = received.max(processed);
+        StageNanos {
+            enqueue_wait: dequeued - enqueued,
+            score: processed - dequeued,
+            respond: received - processed,
+        }
+    }
+
+    /// The [`Instant`]-based form used on the live path: `received` is
+    /// now. Saturates at `u64::MAX` nanoseconds per stage.
+    pub fn from_instants(enqueued: Instant, dequeued: Instant, processed: Instant) -> StageNanos {
+        let received = Instant::now();
+        let ns = |d: std::time::Duration| d.as_nanos().min(u64::MAX as u128) as u64;
+        // `duration_since` with saturation gives the same clamping as
+        // `from_stamps`: a later stamp never reads before an earlier one.
+        StageNanos {
+            enqueue_wait: ns(dequeued.saturating_duration_since(enqueued)),
+            score: ns(processed.saturating_duration_since(dequeued)),
+            respond: ns(received.saturating_duration_since(processed)),
+        }
+    }
+
+    /// End-to-end nanoseconds (sum of the three stages, saturating).
+    pub fn total(&self) -> u64 {
+        self.enqueue_wait
+            .saturating_add(self.score)
+            .saturating_add(self.respond)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_stamps_decompose_exactly() {
+        let s = StageNanos::from_stamps(100, 250, 900, 1000);
+        assert_eq!(s.enqueue_wait, 150);
+        assert_eq!(s.score, 650);
+        assert_eq!(s.respond, 100);
+        assert_eq!(s.total(), 900);
+    }
+
+    #[test]
+    fn out_of_order_stamps_clamp_to_zero_stages() {
+        // A dequeue stamp that reads before the enqueue stamp (cross-CPU
+        // Instant skew) collapses that stage to zero, not underflow.
+        let s = StageNanos::from_stamps(500, 100, 600, 550);
+        assert_eq!(s.enqueue_wait, 0);
+        assert_eq!(s.score, 100);
+        assert_eq!(s.respond, 0);
+        assert_eq!(s.total(), 100);
+    }
+
+    #[test]
+    fn instant_form_matches_stamp_form_shape() {
+        let t0 = Instant::now();
+        let s = StageNanos::from_instants(t0, t0, t0);
+        assert_eq!(s.enqueue_wait, 0);
+        assert_eq!(s.score, 0);
+        // respond = now - t0: tiny but non-negative.
+        assert!(s.total() >= s.respond);
+    }
+}

@@ -12,7 +12,7 @@
 //! (`ServeEngine::swap_model` requires identical dimensions).
 
 use crate::engine::ServeEngine;
-use rrc_store::{load_model, ModelRegistry};
+use rrc_store::{ModelRegistry, ModelView};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -34,21 +34,23 @@ pub fn poll_once(
     if last_seen.is_some_and(|seen| version <= seen) {
         return Ok(None);
     }
-    let model = load_model(&path).map_err(|e| format!("load version {version}: {e}"))?;
+    // The view form keeps the file's metadata (notably the training-config
+    // fingerprint) available alongside the parameters.
+    let view = ModelView::open(&path).map_err(|e| format!("load version {version}: {e}"))?;
     let current = engine.model();
-    if (model.num_users(), model.num_items()) != (current.num_users(), current.num_items()) {
+    if (view.num_users(), view.num_items()) != (current.num_users(), current.num_items()) {
         // Remember the version anyway: a wrongly-shaped publish would
         // otherwise be retried (and fail) every poll forever.
         *last_seen = Some(version);
         return Err(format!(
             "version {version} has shape ({} users, {} items), engine serves ({}, {})",
-            model.num_users(),
-            model.num_items(),
+            view.num_users(),
+            view.num_items(),
             current.num_users(),
             current.num_items()
         ));
     }
-    engine.swap_model(model);
+    engine.swap_model_tagged(view.to_model(), view.fingerprint());
     *last_seen = Some(version);
     Ok(Some(version))
 }

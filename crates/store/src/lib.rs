@@ -43,5 +43,5 @@ pub use crc32::crc32;
 pub use error::StoreError;
 pub use format::{StoreFile, Tag, Writer};
 pub use fpmc::{load_fpmc, save_fpmc};
-pub use model::{load_model, save_model, ModelView};
+pub use model::{load_model, save_model, ModelView, META_FINGERPRINT};
 pub use registry::ModelRegistry;

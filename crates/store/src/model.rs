@@ -15,6 +15,12 @@ use std::path::Path;
 /// `META` kind for TS-PPR model files.
 pub const KIND_TSPPR: &str = "tsppr-model";
 
+/// `META` key carrying the training-config fingerprint (16 lowercase hex
+/// digits — the same `TrainCheckpoint::fingerprint_of` value checkpoints
+/// store). Publishers write it so serving-side monitors can attribute
+/// online quality and drift to the exact training configuration.
+pub const META_FINGERPRINT: &str = "fingerprint";
+
 /// Serialize a model (plus caller metadata) into container bytes.
 pub fn encode_model(model: &TsPprModel, extra_meta: &[(String, String)]) -> Vec<u8> {
     let mut meta = vec![("kind".to_string(), KIND_TSPPR.to_string())];
@@ -182,6 +188,13 @@ impl ModelView {
         self.file.meta_value(key).expect("META revalidation")
     }
 
+    /// The training-config fingerprint recorded at save time, if the
+    /// publisher wrote one (and it parses as 16 hex digits).
+    pub fn fingerprint(&self) -> Option<u64> {
+        let hex = self.meta_value(META_FINGERPRINT)?;
+        u64::from_str_radix(hex.trim(), 16).ok()
+    }
+
     /// User `u`'s latent factor, borrowed from the read buffer.
     pub fn user_row(&self, user: usize) -> &[f64] {
         assert!(user < self.users, "user {user} out of range");
@@ -269,6 +282,26 @@ mod tests {
             std::fs::read(&again).unwrap()
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_meta_round_trips_and_rejects_junk() {
+        let m = model();
+        let bytes = encode_model(
+            &m,
+            &[(META_FINGERPRINT.into(), format!("{:016x}", 0xdead_beef_u64))],
+        );
+        let view = ModelView::from_bytes(&bytes).unwrap();
+        assert_eq!(view.fingerprint(), Some(0xdead_beef));
+        // Absent or unparsable fingerprints read as None, never an error.
+        let plain = ModelView::from_bytes(&encode_model(&m, &[])).unwrap();
+        assert_eq!(plain.fingerprint(), None);
+        let junk = ModelView::from_bytes(&encode_model(
+            &m,
+            &[(META_FINGERPRINT.into(), "not-hex".into())],
+        ))
+        .unwrap();
+        assert_eq!(junk.fingerprint(), None);
     }
 
     #[test]
