@@ -50,6 +50,16 @@ pub struct GeneratorConfig {
     pub pool_zipf_exponent: f64,
     /// Distribution of per-user behavioural profiles.
     pub profiles: ProfileDistribution,
+    /// Zipf exponent of per-user *activity* skew. `0.0` (the default)
+    /// keeps every user's sequence length an independent uniform draw
+    /// from `events_per_user` — byte-identical to the historical
+    /// generator. Positive values scale each user's drawn length by a
+    /// rank-based Zipf multiplier (user 0 is the most active), normalised
+    /// so the mean multiplier is 1 and clamped to `[0.05, 20]`; the
+    /// expected event total stays roughly constant while head users
+    /// dominate the traffic — the regime that stresses a bounded
+    /// user-state cache with a realistic hot set.
+    pub user_skew: f64,
     /// RNG seed — generation is fully deterministic given this.
     pub seed: u64,
 }
@@ -90,6 +100,7 @@ impl GeneratorConfig {
                 pool_size: 40,
                 global_novel_prob: 0.25,
             },
+            user_skew: 0.0,
             seed: 0x9077a11a,
         }
     }
@@ -123,6 +134,7 @@ impl GeneratorConfig {
                 pool_size: 120,
                 global_novel_prob: 0.25,
             },
+            user_skew: 0.0,
             seed: 0x1a57f3,
         }
     }
@@ -148,6 +160,7 @@ impl GeneratorConfig {
                 pool_size: 15,
                 global_novel_prob: 0.4,
             },
+            user_skew: 0.0,
             seed: 42,
         }
     }
@@ -174,6 +187,17 @@ impl GeneratorConfig {
     pub fn with_events_per_user(mut self, lo: usize, hi: usize) -> Self {
         assert!(lo <= hi, "event range must satisfy lo <= hi");
         self.events_per_user = (lo, hi);
+        self
+    }
+
+    /// Replace the per-user activity-skew exponent (builder style).
+    /// `0.0` disables skew; see [`GeneratorConfig::user_skew`].
+    pub fn with_user_skew(mut self, user_skew: f64) -> Self {
+        assert!(
+            user_skew >= 0.0 && user_skew.is_finite(),
+            "user skew must be a finite non-negative exponent"
+        );
+        self.user_skew = user_skew;
         self
     }
 

@@ -45,9 +45,19 @@ fn generate_user(
     config: &GeneratorConfig,
     zipf: &Zipf,
     pool_zipf: &Zipf,
+    len_scale: f64,
 ) -> Sequence {
     let (lo, hi) = config.events_per_user;
+    // The length draw stays the FIRST draw from the user's RNG, and the
+    // skew multiplier is applied deterministically afterwards — with
+    // `len_scale == 1.0` every later draw (and thus the whole stream) is
+    // byte-identical to the unskewed generator.
     let len = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+    let len = if len_scale == 1.0 {
+        len
+    } else {
+        ((len as f64 * len_scale).round() as usize).max(1)
+    };
     // Personal pool of items the user returns to for "novel" exploration
     // and favours when reconsuming. Each pool item gets its *own* affinity
     // — a per-(user, item) taste that varies within the pool, so the
@@ -123,17 +133,46 @@ fn generate_user(
     Sequence::from_events(events)
 }
 
+/// Per-user sequence-length multipliers for `user_skew` (see
+/// [`GeneratorConfig::user_skew`]): rank-Zipf weights normalised to mean
+/// 1 and clamped to `[0.05, 20]`, so the expected event total is roughly
+/// preserved while head users dominate. Returns `None` when skew is off.
+fn skew_multipliers(config: &GeneratorConfig) -> Option<Vec<f64>> {
+    if config.user_skew == 0.0 {
+        return None;
+    }
+    assert!(
+        config.user_skew > 0.0 && config.user_skew.is_finite(),
+        "user skew must be a finite non-negative exponent"
+    );
+    let n = config.num_users;
+    let weights: Vec<f64> = (1..=n)
+        .map(|r| (r as f64).powf(-config.user_skew))
+        .collect();
+    let mean = weights.iter().sum::<f64>() / n as f64;
+    Some(
+        weights
+            .into_iter()
+            .map(|w| (w / mean).clamp(0.05, 20.0))
+            .collect(),
+    )
+}
+
 /// Generate the full dataset described by `config`.
 pub fn generate(config: &GeneratorConfig) -> Dataset {
     assert!(config.num_users > 0, "need at least one user");
     assert!(config.num_items > 0, "need at least one item");
     let zipf = Zipf::new(config.num_items, config.zipf_exponent);
     let pool_zipf = Zipf::new(config.num_items, config.pool_zipf_exponent);
+    let scales = skew_multipliers(config);
     let mut sequences = Vec::with_capacity(config.num_users);
     for u in 0..config.num_users {
         let mut rng = StdRng::seed_from_u64(user_seed(config.seed, u));
         let profile = config.profiles.sample(&mut rng);
-        sequences.push(generate_user(&mut rng, &profile, config, &zipf, &pool_zipf));
+        let len_scale = scales.as_ref().map_or(1.0, |s| s[u]);
+        sequences.push(generate_user(
+            &mut rng, &profile, config, &zipf, &pool_zipf, len_scale,
+        ));
     }
     Dataset::new(sequences, config.num_items)
 }
@@ -224,6 +263,42 @@ mod tests {
             eligible += RepeatSummary::of(seq.events(), c.window, 10).eligible_repeat;
         }
         assert!(eligible > 50, "only {eligible} eligible repeats generated");
+    }
+
+    #[test]
+    fn zero_skew_is_byte_identical_to_the_unskewed_generator() {
+        // `with_user_skew(0.0)` must not perturb a single draw.
+        let plain = GeneratorConfig::tiny().generate();
+        let skewed_off = GeneratorConfig::tiny().with_user_skew(0.0).generate();
+        for (u, seq) in plain.iter() {
+            assert_eq!(seq.events(), skewed_off.sequence(u).events());
+        }
+    }
+
+    #[test]
+    fn user_skew_concentrates_activity_at_the_head() {
+        let c = GeneratorConfig::tiny().with_users(40).with_user_skew(0.9);
+        let d = generate(&c);
+        let lens: Vec<usize> = d.iter().map(|(_, s)| s.len()).collect();
+        assert!(
+            lens[0] > 2 * lens[39],
+            "head user ({}) should dwarf the tail ({})",
+            lens[0],
+            lens[39]
+        );
+        // Multipliers are mean-normalised: the total stays in the same
+        // ballpark as the unskewed range midpoint times the user count.
+        let total: usize = lens.iter().sum();
+        let (lo, hi) = c.events_per_user;
+        let expected = 40 * (lo + hi) / 2;
+        assert!(
+            total > expected / 2 && total < expected * 2,
+            "total {total} drifted from ~{expected}"
+        );
+        // Deterministic and strictly rank-monotone in expectation: the
+        // same config generates the same lengths again.
+        let again: Vec<usize> = generate(&c).iter().map(|(_, s)| s.len()).collect();
+        assert_eq!(lens, again);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! Point it at the JSON file a serving process refreshes (e.g.
 //! `loadgen --metrics-json /tmp/live.json`) and it renders the engine's
 //! request quantiles, per-shard per-stage latency breakdown, queue
-//! depths, and per-model-version online quality, redrawing every
-//! `--interval` ms:
+//! depths, user-state cache traffic (hit/miss/evict, resident footprint,
+//! spill/load latency), and per-model-version online quality, redrawing
+//! every `--interval` ms:
 //!
 //! ```text
 //! rrc-top /tmp/live.json              # live, redraw every 500 ms
@@ -83,6 +84,19 @@ fn series<'a>(
 
 fn gauge(doc: &Json, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
     series(doc, "gauges", name, labels).and_then(Json::as_i64)
+}
+
+/// Byte counts, humanized to a short cell.
+fn bytes(v: Option<f64>) -> String {
+    const KIB: f64 = 1024.0;
+    match v {
+        None => "-".to_string(),
+        Some(x) if x < 0.0 => "-".to_string(),
+        Some(x) if x < KIB => format!("{x:.0}B"),
+        Some(x) if x < KIB * KIB => format!("{:.1}KiB", x / KIB),
+        Some(x) if x < KIB * KIB * KIB => format!("{:.1}MiB", x / (KIB * KIB)),
+        Some(x) => format!("{:.2}GiB", x / (KIB * KIB * KIB)),
+    }
 }
 
 /// Percentage-style ratio cell.
@@ -181,6 +195,42 @@ fn render(doc: &Json) -> String {
                     ns(f("p99_ns")),
                 ));
             }
+        }
+    }
+
+    // User-state tier panel: only drawn once the cache has seen traffic,
+    // so unbounded runs without a tier workload stay uncluttered.
+    let ustate = doc.at("engine.ustate").filter(|u| !u.is_null());
+    if let Some(u) = ustate {
+        let f = |k: &str| u.at(k).and_then(Json::as_f64);
+        if f("cache.hit").unwrap_or(0.0) + f("cache.miss").unwrap_or(0.0) > 0.0 {
+            out.push_str(&format!(
+                "\n  {:<14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+                "cache", "hit", "miss", "evict", "hitrate", "resident", "spilled"
+            ));
+            out.push_str(&format!(
+                "  {:<14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+                "users",
+                count(f("cache.hit")),
+                count(f("cache.miss")),
+                count(f("cache.evict")),
+                f("cache.hit_rate").map_or("-".to_string(), |x| format!("{x:.3}")),
+                count(f("resident_users")),
+                count(f("spilled_users")),
+            ));
+            out.push_str(&format!(
+                "  resident {} · spill file {}",
+                bytes(f("resident_bytes")),
+                bytes(f("spill_file_bytes")),
+            ));
+            if let Some(b) = f("budget_bytes_per_shard") {
+                out.push_str(&format!(" · budget {}/shard", bytes(Some(b))));
+            }
+            out.push('\n');
+            out.push_str(&latency_row("spill", u.get("spill")));
+            out.push('\n');
+            out.push_str(&latency_row("load", u.get("load")));
+            out.push('\n');
         }
     }
 

@@ -179,6 +179,68 @@ impl WindowState {
         }
         w
     }
+
+    /// The full last-seen history as `(item, step)` pairs, sorted by item id.
+    ///
+    /// This is everything a serializer needs beyond [`events`](Self::events)
+    /// and [`time`](Self::time): the multiplicity map is derivable from the
+    /// window contents, but `last_seen` covers the *entire* pushed history.
+    pub fn last_seen_entries(&self) -> Vec<(ItemId, usize)> {
+        let mut out: Vec<(ItemId, usize)> = self
+            .last_seen
+            .iter()
+            .map(|(&item, &step)| (item, step))
+            .collect();
+        out.sort_unstable_by_key(|&(item, _)| item);
+        out
+    }
+
+    /// Rebuild a window from serialized parts: the capacity, the time step,
+    /// the window contents oldest-to-newest, and the full last-seen history.
+    /// The multiplicity map is reconstructed from `events`.
+    ///
+    /// The result is logically identical to the window the parts were taken
+    /// from: every query (`contains`, `count`, `last_seen`, `in_last`,
+    /// `eligible_candidates`, `familiarity`, …) answers the same.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`, if `events` is longer than `capacity`, or
+    /// if an event lies outside the pushed history (`t < events.len()`).
+    pub fn from_parts(
+        capacity: usize,
+        t: usize,
+        events: &[ItemId],
+        last_seen: &[(ItemId, usize)],
+    ) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        assert!(events.len() <= capacity, "more events than capacity");
+        assert!(t >= events.len(), "time precedes window contents");
+        let mut counts: HashMap<ItemId, u32> = HashMap::new();
+        for &item in events {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+        WindowState {
+            capacity,
+            buf: events.iter().copied().collect(),
+            counts,
+            last_seen: last_seen.iter().copied().collect(),
+            t,
+        }
+    }
+
+    /// A deterministic estimate of this window's resident heap footprint in
+    /// bytes. Used by byte-budgeted caches; intentionally an *estimate* (it
+    /// models allocator-rounded map/ring capacities, not `malloc` internals)
+    /// but stable for a given logical state, so budget accounting is
+    /// reproducible across runs.
+    pub fn approx_bytes(&self) -> usize {
+        const ENTRY_U32: usize = 4 + 4 + 8; // key + value + control overhead
+        const ENTRY_USIZE: usize = 4 + 8 + 8;
+        let ring = self.buf.capacity() * std::mem::size_of::<ItemId>();
+        let counts = self.counts.capacity() * ENTRY_U32;
+        let last_seen = self.last_seen.capacity() * ENTRY_USIZE;
+        std::mem::size_of::<Self>() + ring + counts + last_seen
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +372,33 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         WindowState::new(0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_all_queries() {
+        let mut w = WindowState::new(4);
+        push_all(&mut w, &[7, 1, 2, 1, 9, 2]); // 7 and the first 1 evicted
+        let events: Vec<ItemId> = w.events().collect();
+        let last_seen = w.last_seen_entries();
+        let r = WindowState::from_parts(w.capacity(), w.time(), &events, &last_seen);
+        assert_eq!(r.time(), w.time());
+        assert_eq!(r.len(), w.len());
+        assert_eq!(r.events().collect::<Vec<_>>(), events);
+        for item in [7u32, 1, 2, 9, 42] {
+            let item = ItemId(item);
+            assert_eq!(r.count(item), w.count(item));
+            assert_eq!(r.last_seen(item), w.last_seen(item));
+            assert_eq!(r.familiarity(item), w.familiarity(item));
+        }
+        for omega in 0..8 {
+            assert_eq!(r.eligible_candidates(omega), w.eligible_candidates(omega));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time precedes")]
+    fn from_parts_rejects_impossible_time() {
+        WindowState::from_parts(4, 1, &[ItemId(1), ItemId(2)], &[]);
     }
 
     #[test]

@@ -38,12 +38,12 @@ use rrc_datagen::GeneratorConfig;
 use rrc_features::{FeaturePipeline, TrainStats};
 use rrc_obs::{Json, RunReport};
 use rrc_sequence::{Dataset, ItemId, SplitDataset, UserId};
-use rrc_serve::{EngineOptions, QualityConfig, ServeEngine};
+use rrc_serve::{EngineOptions, QualityConfig, ServeEngine, UstateOptions};
+use rrc_ustate::EvictionPolicy;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const WINDOW: usize = 100;
 const OMEGA: usize = 10;
 
 struct Args {
@@ -81,6 +81,18 @@ struct Args {
     metrics_json: Option<String>,
     /// Refresh period for `--metrics-json`, in milliseconds.
     metrics_every_ms: u64,
+    /// Per-shard user-state byte budget; None = unbounded (classic).
+    memory_budget: Option<usize>,
+    /// Spill directory for bounded runs (temp dir when unset).
+    spill_dir: Option<String>,
+    /// Eviction policy for bounded runs.
+    evict: EvictionPolicy,
+    /// Zipf exponent of per-user activity skew in the generated stream.
+    user_skew: f64,
+    /// Latent dimension K of the served model.
+    k: usize,
+    /// Serving window capacity (events per user kept resident).
+    window: usize,
 }
 
 impl Default for Args {
@@ -108,6 +120,12 @@ impl Default for Args {
             overhead: false,
             metrics_json: None,
             metrics_every_ms: 500,
+            memory_budget: None,
+            spill_dir: None,
+            evict: EvictionPolicy::default(),
+            user_skew: 0.0,
+            k: 16,
+            window: 100,
         }
     }
 }
@@ -119,7 +137,9 @@ fn usage() -> ! {
          [--swap-every MILLIS] [--seed N] [--json PATH] [--load-model PATH] \
          [--save-model PATH] [--registry DIR] [--registry-poll MILLIS] \
          [--quality] [--no-tracing] [--overhead] \
-         [--metrics-json PATH] [--metrics-every MILLIS]"
+         [--metrics-json PATH] [--metrics-every MILLIS] \
+         [--memory-budget BYTES] [--spill-dir DIR] [--evict clock|lru] \
+         [--user-skew EXPONENT] [--k N] [--window N]"
     );
     std::process::exit(2);
 }
@@ -157,6 +177,23 @@ fn parse_args() -> Args {
             "--overhead" => args.overhead = true,
             "--metrics-json" => args.metrics_json = Some(it.next().unwrap_or_else(|| usage())),
             "--metrics-every" => args.metrics_every_ms = num(&mut it) as u64,
+            "--memory-budget" => args.memory_budget = Some(num(&mut it)),
+            "--spill-dir" => args.spill_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--evict" => {
+                args.evict = it
+                    .next()
+                    .and_then(|v| EvictionPolicy::parse(&v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--user-skew" => {
+                args.user_skew = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s: &f64| *s >= 0.0 && s.is_finite())
+                    .unwrap_or_else(|| usage());
+            }
+            "--k" => args.k = num(&mut it),
+            "--window" => args.window = num(&mut it),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -164,7 +201,13 @@ fn parse_args() -> Args {
             }
         }
     }
-    if args.shards == 0 || args.clients == 0 || args.events_lo > args.events_hi {
+    if args.shards == 0
+        || args.clients == 0
+        || args.events_lo > args.events_hi
+        || args.k == 0
+        || args.window == 0
+        || args.memory_budget == Some(0)
+    {
         usage();
     }
     args
@@ -173,7 +216,7 @@ fn parse_args() -> Args {
 /// Build the warmed online recommender (deterministic for a given seed,
 /// so `--overhead` can rebuild an identical one for each leg).
 fn build_online(args: &Args, data: &Dataset, split: &SplitDataset) -> OnlineTsPpr {
-    let stats = TrainStats::compute(&split.train, WINDOW);
+    let stats = TrainStats::compute(&split.train, args.window);
     let pipeline = FeaturePipeline::standard();
     let model = match &args.load_model {
         Some(path) => {
@@ -205,7 +248,7 @@ fn build_online(args: &Args, data: &Dataset, split: &SplitDataset) -> OnlineTsPp
                 &mut rng,
                 data.num_users(),
                 data.num_items(),
-                16,
+                args.k,
                 pipeline.len(),
                 0.1,
                 0.05,
@@ -217,7 +260,7 @@ fn build_online(args: &Args, data: &Dataset, split: &SplitDataset) -> OnlineTsPp
         pipeline,
         stats,
         OnlineConfig {
-            window: WINDOW,
+            window: args.window,
             omega: OMEGA,
             negatives_per_event: args.learn,
             seed: args.seed,
@@ -236,7 +279,9 @@ fn write_live_report(engine: &ServeEngine, args: &Args, path: &str) {
         .config("shards", args.shards)
         .config("clients", args.clients)
         .config("seed", args.seed);
-    run.add_section("engine", engine.metrics().to_json());
+    let report = engine.metrics();
+    run.add_section("ustate", ustate_section(&report, args));
+    run.add_section("engine", report.to_json());
     if let Some(q) = engine.quality_report() {
         run.add_section("quality", q.to_json());
     }
@@ -321,6 +366,41 @@ fn run_replay(
     replay_start.elapsed()
 }
 
+/// The ISSUE-shaped convenience block summarising the user-state tier:
+/// total users, resident footprint, and cache traffic. The full per-shard
+/// series are still in the `engine` section / registry snapshot.
+fn ustate_section(report: &rrc_serve::MetricsReport, args: &Args) -> Json {
+    let u = &report.ustate;
+    Json::obj([
+        ("users", Json::from(args.users)),
+        ("resident_users", Json::from(u.resident_users)),
+        ("spilled_users", Json::from(u.spilled_users)),
+        ("resident_bytes", Json::from(u.resident_bytes)),
+        (
+            "budget_bytes_per_shard",
+            u.budget_bytes.map_or(Json::Null, Json::from),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("hit", Json::from(u.hits)),
+                ("miss", Json::from(u.misses)),
+                ("evict", Json::from(u.evictions)),
+                ("hit_rate", Json::F64(u.hit_rate)),
+            ]),
+        ),
+    ])
+}
+
+/// The user-state tier options both engine legs share.
+fn ustate_options(args: &Args) -> UstateOptions {
+    UstateOptions {
+        budget_bytes: args.memory_budget,
+        policy: args.evict,
+        spill_dir: args.spill_dir.as_ref().map(std::path::PathBuf::from),
+    }
+}
+
 fn main() {
     let args = parse_args();
 
@@ -332,6 +412,7 @@ fn main() {
         .with_users(args.users)
         .with_items(args.items)
         .with_events_per_user(args.events_lo, args.events_hi)
+        .with_user_skew(args.user_skew)
         .with_seed(args.seed)
         .generate();
     let split = data.split(0.7);
@@ -355,6 +436,7 @@ fn main() {
             EngineOptions {
                 tracing: false,
                 quality: args.quality.then(QualityConfig::default),
+                ustate: ustate_options(&args),
                 ..EngineOptions::default()
             },
         ));
@@ -376,17 +458,23 @@ fn main() {
     let options = EngineOptions {
         tracing: args.overhead || !args.no_tracing,
         quality: args.quality.then(QualityConfig::default),
+        ustate: ustate_options(&args),
         ..EngineOptions::default()
     };
     let online = build_online(&args, &data, &split);
     eprintln!(
-        "starting engine: {} shards, {} clients, learn={}, tracing={}, quality={} \
-         ({} events to replay)",
+        "starting engine: {} shards, {} clients, learn={}, tracing={}, quality={}, \
+         budget={} ({} events to replay)",
         args.shards,
         args.clients,
         args.learn,
         options.tracing,
         options.quality.is_some(),
+        args.memory_budget
+            .map_or("unbounded".to_string(), |b| format!(
+                "{b}B/shard ({})",
+                args.evict
+            )),
         total_events
     );
     let engine = Arc::new(ServeEngine::start_with(online, args.shards, options));
@@ -451,8 +539,15 @@ fn main() {
             .config("learn", args.learn)
             .config("swap_every_ms", args.swap_every_ms)
             .config("seed", args.seed)
-            .config("window", WINDOW)
+            .config("window", args.window)
+            .config("k", args.k)
             .config("omega", OMEGA)
+            .config("user_skew", args.user_skew)
+            .config(
+                "memory_budget",
+                args.memory_budget.map_or(Json::Null, Json::from),
+            )
+            .config("evict", args.evict.to_string())
             .config("tracing", args.overhead || !args.no_tracing)
             .config("quality", args.quality);
         let mut results = vec![
@@ -468,6 +563,7 @@ fn main() {
             results.push(("tracing_on_over_off", Json::F64(ratio)));
         }
         run.add_section("results", Json::obj(results));
+        run.add_section("ustate", ustate_section(&report, &args));
         // Request quantiles, per-stage breakdown + per-shard counters (the
         // acceptance surface), then the raw registry snapshot for
         // everything else.

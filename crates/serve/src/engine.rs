@@ -7,12 +7,17 @@
 //! [`shard_for(user, N)`](crate::routing::shard_for). Each shard owns,
 //! exclusively and without locks:
 //!
-//! * the [`WindowState`] of every user routed to it,
+//! * a [`UserStateTier`] holding every routed user's [`WindowState`] and
+//!   materialised factor rows — unbounded by default, or capped at a
+//!   per-shard byte budget with cold users spilled to a CRC-checked
+//!   segment file and reloaded bit-exactly on their next request,
 //! * a deterministic [`StdRng`] for online negative sampling
 //!   (seed = `config.seed + shard_id`, so shard 0 of a 1-shard engine
 //!   draws the exact stream [`OnlineTsPpr`] would), and
 //! * a [`ModelOverlay`] — copy-on-write SGD deltas over the shared
-//!   immutable `Arc<TsPprModel>` snapshot.
+//!   immutable `Arc<TsPprModel>` snapshot. With the tier in place the
+//!   overlay carries *item*-side deltas only; user rows (`u`, `A_u`)
+//!   live in the tier so they can be evicted with their window.
 //!
 //! Requests reach shards over per-shard FIFO channels; replies come back
 //! on per-request rendezvous channels. Because *every* message for a user
@@ -47,14 +52,33 @@ use rrc_core::{
 use rrc_features::{FeatureContext, FeaturePipeline, TrainStats};
 use rrc_obs::WindowSpec;
 use rrc_sequence::{ConsumptionKind, ItemId, UserId, WindowState};
-use std::collections::HashMap;
+use rrc_ustate::{EvictionPolicy, TierConfig, TierParams, UserStateTier};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// User-state tier sizing, chosen at [`ServeEngine::start_with`] time.
+///
+/// The default is the classic unbounded engine: every user's state stays
+/// resident forever and nothing touches disk. Setting `budget_bytes`
+/// bounds each shard's resident footprint; cold users spill to a
+/// per-shard segment file under `spill_dir` (a process-private temp
+/// directory when unset) and reload bit-exactly on their next request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UstateOptions {
+    /// Per-shard resident byte budget. `None` = unbounded.
+    pub budget_bytes: Option<usize>,
+    /// Eviction policy for cold users (CLOCK by default).
+    pub policy: EvictionPolicy,
+    /// Directory for the per-shard spill segments (`shard-<id>.useg`).
+    /// Ignored when unbounded; defaults to a temp directory.
+    pub spill_dir: Option<PathBuf>,
+}
+
 /// Optional engine subsystems, chosen at [`ServeEngine::start_with`] time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineOptions {
     /// Request-scoped tracing: per-stage latency histograms plus
     /// queue-depth / in-flight gauges. Cheap (a few atomic ops per
@@ -67,6 +91,8 @@ pub struct EngineOptions {
     pub quality: Option<QualityConfig>,
     /// Rolling window for the tracing subsystem's windowed series.
     pub window: WindowSpec,
+    /// User-state tier sizing (unbounded by default).
+    pub ustate: UstateOptions,
 }
 
 impl Default for EngineOptions {
@@ -75,6 +101,7 @@ impl Default for EngineOptions {
             tracing: true,
             quality: None,
             window: WindowSpec::default(),
+            ustate: UstateOptions::default(),
         }
     }
 }
@@ -137,7 +164,8 @@ struct Shard {
     pipeline: Arc<FeaturePipeline>,
     stats: Arc<TrainStats>,
     config: OnlineConfig,
-    windows: HashMap<u32, WindowState>,
+    /// Every routed user's window + factor rows, bounded or not.
+    tier: UserStateTier,
     rng: StdRng,
     metrics: Arc<EngineMetrics>,
     /// Model version currently installed (0 = the start snapshot);
@@ -174,6 +202,25 @@ impl Shard {
         processed
     }
 
+    /// Re-account the touched user, enforce the byte budget, and drain
+    /// the tier's metrics delta (hits/misses/evictions, spill/load
+    /// latencies) plus footprint gauges into the engine registry.
+    fn settle_tier(&mut self, user: UserId) {
+        self.tier
+            .note_access(user)
+            .expect("user-state tier: spill evicted state");
+        let delta = self.tier.take_delta();
+        self.metrics.ustate.record(self.id, &delta);
+        self.metrics.ustate.set_footprint(
+            self.id,
+            self.tier.resident_bytes(),
+            self.tier.resident_users(),
+            self.tier.spilled_users(),
+            self.tier.spill_file_bytes(),
+            self.tier.budget_bytes(),
+        );
+    }
+
     fn run(mut self, rx: Receiver<Request>) {
         for req in rx.iter() {
             match req {
@@ -184,12 +231,14 @@ impl Shard {
                     reply,
                 } => {
                     let dequeued = self.dequeue_stamp(trace.as_ref());
-                    let window = self
-                        .windows
-                        .entry(user.0)
-                        .or_insert_with(|| WindowState::new(self.config.window));
+                    let base = self.tier.base().clone();
+                    let (window, factors) = self
+                        .tier
+                        .get_or_load(user)
+                        .expect("user-state tier: reload spilled state");
+                    let mut params = TierParams::new(user, factors, &base, &mut self.overlay);
                     let (kind, updates) = observe_single(
-                        &mut self.overlay,
+                        &mut params,
                         &self.pipeline,
                         &self.stats,
                         &self.config,
@@ -201,6 +250,7 @@ impl Shard {
                     if let Some(q) = &mut self.quality {
                         q.on_observe(user, item, kind);
                     }
+                    self.settle_tier(user);
                     let counters = &self.metrics.shards[self.id];
                     counters.observes.inc();
                     counters.online_updates.add(updates);
@@ -216,12 +266,14 @@ impl Shard {
                     reply,
                 } => {
                     let dequeued = self.dequeue_stamp(trace.as_ref());
-                    let window = self
-                        .windows
-                        .entry(user.0)
-                        .or_insert_with(|| WindowState::new(self.config.window));
+                    let base = self.tier.base().clone();
+                    let (window, factors) = self
+                        .tier
+                        .get_or_load(user)
+                        .expect("user-state tier: reload spilled state");
+                    let params = TierParams::new(user, factors, &base, &mut self.overlay);
                     let recs = recommend_single(
-                        &self.overlay,
+                        &params,
                         &self.pipeline,
                         &self.stats,
                         self.config.omega,
@@ -240,13 +292,11 @@ impl Shard {
                             self.pipeline.extract_into(&fctx, top, &mut self.fbuf);
                             let mean =
                                 self.fbuf.iter().sum::<f64>() / self.fbuf.len().max(1) as f64;
-                            (
-                                micro(self.overlay.score(user, top, &self.fbuf)),
-                                micro(mean),
-                            )
+                            (micro(params.score(user, top, &self.fbuf)), micro(mean))
                         });
                         q.on_recommend(user, &recs, self.version, sample);
                     }
+                    self.settle_tier(user);
                     self.metrics.shards[self.id].recommends.inc();
                     let processed = self.processed_stamp(trace.as_ref(), dequeued);
                     let _ = reply.send(RecommendReply {
@@ -258,22 +308,38 @@ impl Shard {
                     let _ = reply.send(());
                 }
                 Request::Harvest { reply } => {
-                    let _ = reply.send(self.overlay.harvest());
+                    // Item-side deltas come from the overlay; user-side
+                    // (`u` rows and transforms) from the tier, which also
+                    // folds in deltas sitting in spilled records — the
+                    // delta-merge-before-evict rule means no online
+                    // learning is lost to an eviction.
+                    let mut diff = self.overlay.harvest();
+                    let (users, transforms) =
+                        self.tier.harvest().expect("user-state tier: harvest");
+                    debug_assert!(
+                        diff.users.is_empty() && diff.transforms.is_empty(),
+                        "user-side writes route through the tier"
+                    );
+                    diff.users = users;
+                    diff.transforms = transforms;
+                    let _ = reply.send(diff);
                 }
                 Request::Install {
                     model,
                     version,
                     reply,
                 } => {
-                    self.overlay.install(model);
+                    self.overlay.install(model.clone());
+                    self.tier.install(model, version);
                     self.version = version;
                     self.metrics.shards[self.id].swaps.inc();
                     let _ = reply.send(());
                 }
                 Request::ExportWindows { reply } => {
-                    let mut out: Vec<(u32, WindowState)> =
-                        self.windows.iter().map(|(&u, w)| (u, w.clone())).collect();
-                    out.sort_by_key(|(u, _)| *u);
+                    let out = self
+                        .tier
+                        .export_windows()
+                        .expect("user-state tier: read spilled windows");
                     let _ = reply.send(out);
                 }
                 Request::ExportQuality { reply } => {
@@ -333,27 +399,71 @@ impl ServeEngine {
             options.tracing,
             options.window,
             options.quality,
+            options.ustate.budget_bytes,
         ));
 
-        // Partition per-user windows by the routing function.
-        let mut partitions: Vec<HashMap<u32, WindowState>> =
-            (0..shards).map(|_| HashMap::new()).collect();
+        // Partition per-user windows by the routing function, in user
+        // order — tier seeding (and thus the eviction scan order under a
+        // tight budget) stays deterministic across runs.
+        let mut partitions: Vec<Vec<(u32, WindowState)>> =
+            (0..shards).map(|_| Vec::new()).collect();
         for (idx, window) in windows.into_iter().enumerate() {
             let user = UserId(idx as u32);
-            partitions[shard_for(user, shards)].insert(user.0, window);
+            partitions[shard_for(user, shards)].push((user.0, window));
+        }
+
+        // Bounded engines need somewhere to spill; default to a
+        // process-private temp directory. Stale segments from a previous
+        // engine in the same directory are removed — spill files only
+        // make sense together with the in-memory tier that wrote them.
+        let spill_dir = options.ustate.spill_dir.clone().or_else(|| {
+            options.ustate.budget_bytes.map(|_| {
+                static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+                std::env::temp_dir().join(format!(
+                    "rrc-ustate-{}-{}",
+                    std::process::id(),
+                    SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+                ))
+            })
+        });
+        if let Some(dir) = &spill_dir {
+            std::fs::create_dir_all(dir).expect("create spill directory");
         }
 
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for (id, windows) in partitions.into_iter().enumerate() {
             let (tx, rx) = unbounded();
+            let spill_path = spill_dir
+                .as_ref()
+                .map(|d| d.join(format!("shard-{id}.useg")));
+            if let Some(p) = &spill_path {
+                std::fs::remove_file(p).ok();
+            }
+            let mut tier = UserStateTier::new(
+                TierConfig {
+                    window: config.window,
+                    budget_bytes: options.ustate.budget_bytes,
+                    policy: options.ustate.policy,
+                    spill_path,
+                    remove_spill_on_drop: true,
+                },
+                model.clone(),
+                0,
+            )
+            .expect("user-state tier: open spill segment");
+            for (u, w) in windows {
+                tier.seed_window(u, w);
+            }
+            tier.enforce_budget()
+                .expect("user-state tier: spill warm windows");
             let shard = Shard {
                 id,
                 overlay: ModelOverlay::new(model.clone()),
                 pipeline: pipeline.clone(),
                 stats: stats.clone(),
                 config,
-                windows,
+                tier,
                 // Shard 0 draws the stream OnlineTsPpr would, which makes a
                 // 1-shard engine's online learning byte-for-byte comparable.
                 rng: StdRng::seed_from_u64(config.seed.wrapping_add(id as u64)),
@@ -685,9 +795,10 @@ mod tests {
     use rrc_datagen::GeneratorConfig;
     use rrc_features::TrainStats;
 
-    fn engine_fixture(
+    fn engine_fixture_with(
         negatives_per_event: usize,
         shards: usize,
+        options: EngineOptions,
     ) -> (ServeEngine, Vec<Vec<ItemId>>) {
         let data = GeneratorConfig::tiny().with_seed(7).generate();
         let split = data.split(0.7);
@@ -716,7 +827,14 @@ mod tests {
         );
         online.warm_from(&split.train);
         let tests: Vec<Vec<ItemId>> = split.test.iter().map(|s| s.events().to_vec()).collect();
-        (ServeEngine::start(online, shards), tests)
+        (ServeEngine::start_with(online, shards, options), tests)
+    }
+
+    fn engine_fixture(
+        negatives_per_event: usize,
+        shards: usize,
+    ) -> (ServeEngine, Vec<Vec<ItemId>>) {
+        engine_fixture_with(negatives_per_event, shards, EngineOptions::default())
     }
 
     #[test]
@@ -1044,6 +1162,144 @@ mod tests {
     fn quality_disabled_reports_none() {
         let (engine, _) = engine_fixture(0, 2);
         assert!(engine.quality_report().is_none());
+        engine.shutdown();
+    }
+
+    /// Per-shard budget small enough that the tiny fixture's users are
+    /// constantly evicted and reloaded.
+    const TIGHT_BUDGET: usize = 4_000;
+
+    fn bounded_options(budget: usize) -> EngineOptions {
+        EngineOptions {
+            ustate: UstateOptions {
+                budget_bytes: Some(budget),
+                ..UstateOptions::default()
+            },
+            ..EngineOptions::default()
+        }
+    }
+
+    /// Drive a fixed request mix (observes, recommends, one mid-stream
+    /// hot swap, one final publish) and digest everything observable:
+    /// every recommendation list, every window, and the final published
+    /// model bit-for-bit.
+    type DriveOutcome = (
+        Vec<Vec<u32>>,
+        Vec<(u32, usize, Vec<u32>)>,
+        Vec<u64>,
+        MetricsReport,
+    );
+
+    fn drive(engine: ServeEngine, tests: &[Vec<ItemId>]) -> DriveOutcome {
+        let mut recs = Vec::new();
+        for round in 0..2 {
+            for (u, events) in tests.iter().enumerate() {
+                let user = UserId(u as u32);
+                let half = events.len() / 2;
+                let slice = if round == 0 {
+                    &events[..half]
+                } else {
+                    &events[half..]
+                };
+                for &item in slice {
+                    engine.observe(user, item);
+                }
+                recs.push(engine.recommend(user, 5).into_iter().map(|i| i.0).collect());
+            }
+            if round == 0 {
+                let base = engine.model();
+                engine.swap_model((*base).clone());
+            }
+        }
+        engine.flush();
+        let windows = engine
+            .export_windows()
+            .into_iter()
+            .map(|(u, w)| (u, w.time(), w.events().map(|i| i.0).collect()))
+            .collect();
+        let published = engine.publish();
+        let model_bits = published
+            .u_matrix()
+            .as_slice()
+            .iter()
+            .chain(published.v_matrix().as_slice())
+            .chain(published.transforms().iter().flat_map(|a| a.as_slice()))
+            .map(|x| x.to_bits())
+            .collect();
+        let report = engine.metrics();
+        engine.shutdown();
+        (recs, windows, model_bits, report)
+    }
+
+    #[test]
+    fn bounded_engine_matches_unbounded_bit_for_bit_frozen() {
+        let (unb_engine, tests) = engine_fixture(0, 2);
+        let unbounded = drive(unb_engine, &tests);
+        let (b_engine, tests2) = engine_fixture_with(0, 2, bounded_options(TIGHT_BUDGET));
+        let bounded = drive(b_engine, &tests2);
+        assert_eq!(unbounded.0, bounded.0, "recommendations diverged");
+        assert_eq!(unbounded.1, bounded.1, "windows diverged");
+        assert_eq!(unbounded.2, bounded.2, "published model diverged");
+        let u = &bounded.3.ustate;
+        assert!(u.evictions > 0, "tight budget must evict: {u:?}");
+        assert!(u.misses > 0, "evicted users must reload: {u:?}");
+        assert!(
+            u.resident_bytes <= 2 * TIGHT_BUDGET as u64,
+            "resident bytes {} exceed the engine-wide budget",
+            u.resident_bytes
+        );
+    }
+
+    #[test]
+    fn bounded_engine_matches_unbounded_bit_for_bit_learning() {
+        // Online SGD materialises factor rows; spills must carry the
+        // deltas (and the mid-stream swap must rebase spilled rows) for
+        // the published models to stay byte-equal.
+        let (unb_engine, tests) = engine_fixture(3, 2);
+        let unbounded = drive(unb_engine, &tests);
+        let (b_engine, tests2) = engine_fixture_with(3, 2, bounded_options(TIGHT_BUDGET));
+        let bounded = drive(b_engine, &tests2);
+        assert_eq!(unbounded.0, bounded.0, "recommendations diverged");
+        assert_eq!(unbounded.2, bounded.2, "published model diverged");
+        assert!(bounded.3.ustate.evictions > 0);
+        assert!(bounded.3.total_online_updates() > 0);
+    }
+
+    #[test]
+    fn bounded_engine_exposes_cache_series() {
+        let (engine, tests) = engine_fixture_with(0, 2, bounded_options(TIGHT_BUDGET));
+        for (u, events) in tests.iter().enumerate() {
+            for &item in events {
+                engine.observe_nowait(UserId(u as u32), item);
+            }
+        }
+        engine.flush();
+        let report = engine.metrics();
+        let u = &report.ustate;
+        assert!(u.hits > 0 && u.hits + u.misses > 0);
+        assert_eq!(u.budget_bytes, Some(TIGHT_BUDGET as u64));
+        assert!(u.resident_users > 0);
+        if u.evictions > 0 {
+            assert!(u.spill.count > 0, "evictions must time spills: {u:?}");
+        }
+        let text = engine.metrics_text();
+        assert!(
+            text.contains("ustate_cache_hits_total{shard=\"0\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ustate_resident_bytes{shard=\"1\"}"),
+            "{text}"
+        );
+        // JSON view carries the ustate block.
+        let doc = rrc_obs::Json::parse(&report.to_json().render()).unwrap();
+        assert!(
+            doc.at("ustate.cache.hit")
+                .and_then(rrc_obs::Json::as_u64)
+                .unwrap()
+                > 0
+        );
+        assert!(doc.at("ustate.cache.hit_rate").unwrap().as_f64().is_some());
         engine.shutdown();
     }
 }

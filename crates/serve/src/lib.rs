@@ -69,7 +69,7 @@ pub mod routing;
 pub mod trace;
 pub mod watcher;
 
-pub use engine::{EngineOptions, ServeEngine};
+pub use engine::{EngineOptions, ServeEngine, UstateOptions};
 pub use metrics::{
     LatencySummary, MetricsReport, ShardCountersSnapshot, StageSummary, WindowedThroughput,
 };

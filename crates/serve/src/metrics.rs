@@ -249,6 +249,116 @@ impl TracingMetrics {
     }
 }
 
+/// Per-shard user-state-tier instrumentation: cumulative *and*
+/// rolling-window cache counters (`ustate_cache_hits_total{shard=…}`,
+/// `ustate_cache_hits_window{shard=…}`, …), resident-footprint gauges,
+/// and spill/load latency histograms. Shards drain their tier's
+/// [`TierDelta`](rrc_ustate::TierDelta) into these handles after each
+/// request; the drain is a handful of wait-free adds when nothing
+/// spilled.
+#[derive(Debug)]
+pub(crate) struct UstateMetrics {
+    pub hits: Vec<Arc<Counter>>,
+    pub misses: Vec<Arc<Counter>>,
+    pub evictions: Vec<Arc<Counter>>,
+    pub hits_window: Vec<Arc<WindowedCounter>>,
+    pub misses_window: Vec<Arc<WindowedCounter>>,
+    pub evictions_window: Vec<Arc<WindowedCounter>>,
+    pub resident_bytes: Vec<Arc<Gauge>>,
+    pub resident_users: Vec<Arc<Gauge>>,
+    pub spilled_users: Vec<Arc<Gauge>>,
+    pub spill_file_bytes: Vec<Arc<Gauge>>,
+    pub budget_bytes: Vec<Arc<Gauge>>,
+    pub spill_ns: Vec<Arc<Histogram>>,
+    pub load_ns: Vec<Arc<Histogram>>,
+}
+
+impl UstateMetrics {
+    fn register(registry: &Registry, shards: usize, window: WindowSpec) -> Self {
+        let shard_label: Vec<String> = (0..shards).map(|s| s.to_string()).collect();
+        let counters = |name: &str| -> Vec<Arc<Counter>> {
+            shard_label
+                .iter()
+                .map(|s| registry.counter_with(name, &[("shard", s)]))
+                .collect()
+        };
+        let windowed = |name: &str| -> Vec<Arc<WindowedCounter>> {
+            shard_label
+                .iter()
+                .map(|s| registry.windowed_counter_with(name, &[("shard", s)], window))
+                .collect()
+        };
+        let gauges = |name: &str| -> Vec<Arc<Gauge>> {
+            shard_label
+                .iter()
+                .map(|s| registry.gauge_with(name, &[("shard", s)]))
+                .collect()
+        };
+        let hists = |name: &str| -> Vec<Arc<Histogram>> {
+            shard_label
+                .iter()
+                .map(|s| registry.histogram_with(name, &[("shard", s)]))
+                .collect()
+        };
+        UstateMetrics {
+            hits: counters("ustate_cache_hits_total"),
+            misses: counters("ustate_cache_misses_total"),
+            evictions: counters("ustate_cache_evictions_total"),
+            hits_window: windowed("ustate_cache_hits_window"),
+            misses_window: windowed("ustate_cache_misses_window"),
+            evictions_window: windowed("ustate_cache_evictions_window"),
+            resident_bytes: gauges("ustate_resident_bytes"),
+            resident_users: gauges("ustate_resident_users"),
+            spilled_users: gauges("ustate_spilled_users"),
+            spill_file_bytes: gauges("ustate_spill_file_bytes"),
+            budget_bytes: gauges("ustate_budget_bytes"),
+            spill_ns: hists("ustate_spill_ns"),
+            load_ns: hists("ustate_load_ns"),
+        }
+    }
+
+    /// Drain one shard's tier delta into the cumulative and windowed
+    /// series. Cheap when the delta is empty (the common, all-hit case).
+    pub fn record(&self, shard: usize, delta: &rrc_ustate::TierDelta) {
+        if delta.hits > 0 {
+            self.hits[shard].add(delta.hits);
+            self.hits_window[shard].add(delta.hits);
+        }
+        if delta.misses > 0 {
+            self.misses[shard].add(delta.misses);
+            self.misses_window[shard].add(delta.misses);
+        }
+        if delta.evictions > 0 {
+            self.evictions[shard].add(delta.evictions);
+            self.evictions_window[shard].add(delta.evictions);
+        }
+        for &ns in &delta.spill_ns {
+            self.spill_ns[shard].record(ns);
+        }
+        for &ns in &delta.load_ns {
+            self.load_ns[shard].record(ns);
+        }
+    }
+
+    /// Refresh one shard's footprint gauges from the live tier.
+    pub fn set_footprint(
+        &self,
+        shard: usize,
+        resident_bytes: usize,
+        resident_users: usize,
+        spilled_users: usize,
+        spill_file_bytes: usize,
+        budget: Option<usize>,
+    ) {
+        let clamp = |v: usize| v.min(i64::MAX as usize) as i64;
+        self.resident_bytes[shard].set(clamp(resident_bytes));
+        self.resident_users[shard].set(clamp(resident_users));
+        self.spilled_users[shard].set(clamp(spilled_users));
+        self.spill_file_bytes[shard].set(clamp(spill_file_bytes));
+        self.budget_bytes[shard].set(budget.map_or(0, clamp));
+    }
+}
+
 /// Online-quality metric state: the shared drift accumulator plus the
 /// exposition gauges it refreshes.
 #[derive(Debug)]
@@ -287,6 +397,9 @@ pub(crate) struct EngineMetrics {
     pub shards: Vec<ShardCounters>,
     pub tracing: Option<TracingMetrics>,
     pub quality: Option<QualityMetrics>,
+    pub ustate: UstateMetrics,
+    /// Per-shard tier budget (None = unbounded), echoed in the report.
+    ustate_budget: Option<usize>,
     model_version: Arc<Gauge>,
     model_fingerprint: Arc<Gauge>,
     uptime_ms: Arc<Gauge>,
@@ -298,6 +411,7 @@ impl EngineMetrics {
         tracing: bool,
         window: WindowSpec,
         quality: Option<QualityConfig>,
+        ustate_budget: Option<usize>,
     ) -> Self {
         let registry = Registry::new();
         registry.gauge("serve_shards").set(shards as i64);
@@ -309,6 +423,8 @@ impl EngineMetrics {
                 .collect(),
             tracing: tracing.then(|| TracingMetrics::register(&registry, shards, window)),
             quality: quality.map(|cfg| QualityMetrics::register(&registry, cfg)),
+            ustate: UstateMetrics::register(&registry, shards, window),
+            ustate_budget,
             model_version: registry.gauge("serve_model_version"),
             model_fingerprint: registry.gauge("serve_model_fingerprint"),
             uptime_ms: registry.gauge("serve_uptime_ms"),
@@ -384,6 +500,43 @@ impl EngineMetrics {
                 },
             }
         });
+        let sum_counters = |v: &[Arc<Counter>]| v.iter().map(|c| c.get()).sum::<u64>();
+        let sum_gauges = |v: &[Arc<Gauge>]| v.iter().map(|g| g.get().max(0) as u64).sum::<u64>();
+        let merge_hists = |v: &[Arc<Histogram>]| {
+            let mut total = LatencySummary::from(v[0].snapshot());
+            // Per-shard histograms share bucket boundaries; report the
+            // worst shard's tails and the summed count.
+            for h in &v[1..] {
+                let s = LatencySummary::from(h.snapshot());
+                total.count += s.count;
+                total.p50 = total.p50.max(s.p50);
+                total.p95 = total.p95.max(s.p95);
+                total.p99 = total.p99.max(s.p99);
+                total.mean = total.mean.max(s.mean);
+                total.max = total.max.max(s.max);
+            }
+            total
+        };
+        let u = &self.ustate;
+        let hits = sum_counters(&u.hits);
+        let misses = sum_counters(&u.misses);
+        let ustate = UstateReport {
+            hits,
+            misses,
+            evictions: sum_counters(&u.evictions),
+            hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+            resident_bytes: sum_gauges(&u.resident_bytes),
+            resident_users: sum_gauges(&u.resident_users),
+            spilled_users: sum_gauges(&u.spilled_users),
+            spill_file_bytes: sum_gauges(&u.spill_file_bytes),
+            budget_bytes: self.ustate_budget.map(|b| b as u64),
+            spill: merge_hists(&u.spill_ns),
+            load: merge_hists(&u.load_ns),
+        };
         MetricsReport {
             uptime,
             recommend_latency: LatencySummary::from(self.recommend_latency.snapshot()),
@@ -391,7 +544,50 @@ impl EngineMetrics {
             shards,
             stages,
             windowed,
+            ustate,
         }
+    }
+}
+
+/// Engine-wide view of the user-state tier: cumulative cache traffic,
+/// the aggregate resident footprint, and spill/load latency digests.
+/// `budget_bytes` is the *per-shard* budget (None when unbounded).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UstateReport {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// hits / (hits + misses); 0 before any traffic.
+    pub hit_rate: f64,
+    pub resident_bytes: u64,
+    pub resident_users: u64,
+    pub spilled_users: u64,
+    pub spill_file_bytes: u64,
+    pub budget_bytes: Option<u64>,
+    pub spill: LatencySummary,
+    pub load: LatencySummary,
+}
+
+impl UstateReport {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "cache",
+                Json::obj([
+                    ("hit", Json::U64(self.hits)),
+                    ("miss", Json::U64(self.misses)),
+                    ("evict", Json::U64(self.evictions)),
+                    ("hit_rate", Json::F64(self.hit_rate)),
+                ]),
+            ),
+            ("resident_bytes", Json::U64(self.resident_bytes)),
+            ("resident_users", Json::U64(self.resident_users)),
+            ("spilled_users", Json::U64(self.spilled_users)),
+            ("spill_file_bytes", Json::U64(self.spill_file_bytes)),
+            ("budget_bytes_per_shard", Json::from(self.budget_bytes)),
+            ("spill", self.spill.to_json()),
+            ("load", self.load.to_json()),
+        ])
     }
 }
 
@@ -528,6 +724,8 @@ pub struct MetricsReport {
     pub stages: Vec<StageSummary>,
     /// Rolling-window throughput (None when tracing is off).
     pub windowed: Option<WindowedThroughput>,
+    /// User-state tier traffic and footprint.
+    pub ustate: UstateReport,
 }
 
 impl MetricsReport {
@@ -603,6 +801,7 @@ impl MetricsReport {
                     .as_ref()
                     .map_or(Json::Null, WindowedThroughput::to_json),
             ),
+            ("ustate", self.ustate.to_json()),
         ])
     }
 }
@@ -631,6 +830,20 @@ impl std::fmt::Display for MetricsReport {
                 w.events, w.rate_per_sec, w.covered, w.over_cumulative
             )?;
         }
+        let u = &self.ustate;
+        if u.hits + u.misses > 0 {
+            writeln!(
+                f,
+                "ustate hit={} miss={} evict={} rate={:.3} resident={}B/{} users spilled={}",
+                u.hits,
+                u.misses,
+                u.evictions,
+                u.hit_rate,
+                u.resident_bytes,
+                u.resident_users,
+                u.spilled_users
+            )?;
+        }
         write!(
             f,
             "total observes={} ({:.0}/s) recommends={} online_updates={}",
@@ -647,7 +860,7 @@ mod tests {
     use super::*;
 
     fn plain(shards: usize) -> EngineMetrics {
-        EngineMetrics::new(shards, false, WindowSpec::default(), None)
+        EngineMetrics::new(shards, false, WindowSpec::default(), None, None)
     }
 
     #[test]
@@ -700,6 +913,49 @@ mod tests {
         assert!(text.contains("serve_observe_latency_ns_count 1"));
         assert!(text.contains("serve_shards 2"));
         assert!(text.contains("serve_uptime_ms 1500"));
+    }
+
+    #[test]
+    fn ustate_report_aggregates_shards() {
+        let m = EngineMetrics::new(2, false, WindowSpec::default(), None, Some(4096));
+        m.ustate.record(
+            0,
+            &rrc_ustate::TierDelta {
+                hits: 3,
+                misses: 1,
+                evictions: 2,
+                spill_ns: vec![1_000, 2_000],
+                load_ns: vec![500],
+            },
+        );
+        m.ustate.record(
+            1,
+            &rrc_ustate::TierDelta {
+                hits: 5,
+                misses: 1,
+                evictions: 0,
+                spill_ns: vec![],
+                load_ns: vec![],
+            },
+        );
+        m.ustate.set_footprint(0, 1_000, 4, 2, 600, Some(4096));
+        m.ustate.set_footprint(1, 900, 3, 1, 400, Some(4096));
+        let r = m.report(Duration::from_secs(1)).ustate;
+        assert_eq!((r.hits, r.misses, r.evictions), (8, 2, 2));
+        assert!((r.hit_rate - 0.8).abs() < 1e-9);
+        assert_eq!(r.resident_bytes, 1_900);
+        assert_eq!(r.resident_users, 7);
+        assert_eq!(r.spilled_users, 3);
+        assert_eq!(r.spill_file_bytes, 1_000);
+        assert_eq!(r.budget_bytes, Some(4096));
+        assert_eq!(r.spill.count, 2);
+        assert_eq!(r.load.count, 1);
+        let doc = Json::parse(&r.to_json().render()).unwrap();
+        assert_eq!(doc.at("cache.hit").and_then(Json::as_u64), Some(8));
+        assert_eq!(
+            doc.at("budget_bytes_per_shard").and_then(Json::as_u64),
+            Some(4096)
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   so a resumed run is bit-identical to an uninterrupted one.
 //! * [`registry`] — a manifest-backed directory of monotonically
 //!   versioned model files that `rrc-serve` watches for hot-swaps.
+//! * [`segment`] — the `USEG1` keyed record log backing the user-state
+//!   tier's cold spill: same framing and CRC discipline as [`format`],
+//!   but append-oriented with last-writer-wins keys and atomic compaction.
 //! * [`text`] — the legacy line-oriented text format, kept as a
 //!   human-readable debug export (moved here from `rrc-core`).
 //!
@@ -36,6 +39,7 @@ pub mod format;
 pub mod fpmc;
 pub mod model;
 pub mod registry;
+pub mod segment;
 pub mod text;
 
 pub use checkpoint::{load_checkpoint, save_checkpoint, Checkpointer};
@@ -45,3 +49,4 @@ pub use format::{StoreFile, Tag, Writer};
 pub use fpmc::{load_fpmc, save_fpmc};
 pub use model::{load_model, save_model, ModelView, META_FINGERPRINT};
 pub use registry::ModelRegistry;
+pub use segment::SegmentLog;

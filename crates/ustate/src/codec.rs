@@ -1,0 +1,307 @@
+//! The spill-record byte layout (`USEG1` record payloads).
+//!
+//! One record is one user's complete serving state:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     8  model version the record was written under (u64)
+//!      8     4  window capacity (u32)
+//!     12     4  flags (bit 0: factors present)
+//!     16     8  window time step `t` (u64)
+//!     24     4  window event count (u32)
+//!     28     4  last-seen entry count (u32)
+//!     32     4  latent dimension K (u32; 0 when no factors)
+//!     36     4  feature dimension F (u32; 0 when no factors)
+//!     40     …  window events, oldest→newest (u32 each), zero-pad to 8
+//!      …     …  last-seen item ids, sorted (u32 each), zero-pad to 8
+//!      …     …  last-seen steps, same order (u64 each)
+//!      …     …  factors when flagged: cur_u, base_u (K f64s each),
+//!               then cur_a, base_a (K·F f64s each, row-major)
+//! ```
+//!
+//! Factors are stored as **absolute** current *and* base rows (not the
+//! delta): a same-version reload restores them verbatim — bit-identical to
+//! never-evicted state — and a reload across one hot-swap rebases with the
+//! stored base exactly as a resident copy-on-write row would have.
+//! Floats round-trip through `to_le_bytes`/`from_le_bytes`, which is
+//! lossless for every bit pattern.
+//!
+//! Decoding validates every length and flag against the declared counts
+//! and the tier's expected dimensions; any mismatch is a typed
+//! [`StoreError`], never a partially-built state.
+
+use crate::entry::UserFactors;
+use rrc_linalg::DMatrix;
+use rrc_sequence::{ItemId, WindowState};
+use rrc_store::StoreError;
+
+const FIXED_LEN: usize = 40;
+const FLAG_FACTORS: u32 = 1;
+
+/// A decoded spill record.
+#[derive(Debug, Clone)]
+pub struct SpillRecord {
+    /// The shard model version the state was serialized under.
+    pub version: u64,
+    /// The reconstructed window (logically identical to the spilled one).
+    pub window: WindowState,
+    /// Materialised factors, when the user had taken online-SGD writes.
+    pub factors: Option<UserFactors>,
+}
+
+fn bad(detail: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        section: "USEG".to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Serialize one user's state.
+pub fn encode_record(version: u64, window: &WindowState, factors: Option<&UserFactors>) -> Vec<u8> {
+    let events: Vec<ItemId> = window.events().collect();
+    let last_seen = window.last_seen_entries();
+    let (k, f) = factors.map_or((0usize, 0usize), |fx| {
+        (fx.cur_u.len(), fx.cur_a.as_slice().len() / fx.cur_u.len())
+    });
+    let mut out =
+        Vec::with_capacity(FIXED_LEN + 4 * events.len() + 12 * last_seen.len() + 16 * (k + k * f));
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(window.capacity() as u32).to_le_bytes());
+    let flags = if factors.is_some() { FLAG_FACTORS } else { 0 };
+    out.extend_from_slice(&flags.to_le_bytes());
+    out.extend_from_slice(&(window.time() as u64).to_le_bytes());
+    out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(last_seen.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(k as u32).to_le_bytes());
+    out.extend_from_slice(&(f as u32).to_le_bytes());
+    for item in &events {
+        out.extend_from_slice(&item.0.to_le_bytes());
+    }
+    pad8(&mut out);
+    for (item, _) in &last_seen {
+        out.extend_from_slice(&item.0.to_le_bytes());
+    }
+    pad8(&mut out);
+    for (_, step) in &last_seen {
+        out.extend_from_slice(&(*step as u64).to_le_bytes());
+    }
+    if let Some(fx) = factors {
+        for row in [&fx.cur_u, &fx.base_u] {
+            for x in row {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        for mat in [&fx.cur_a, &fx.base_a] {
+            for x in mat.as_slice() {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Deserialize one user's state, validating the layout end to end.
+/// `expect_k`/`expect_f` are the serving model's dimensions; a record with
+/// factors of any other shape is rejected.
+pub fn decode_record(
+    data: &[u8],
+    expect_k: usize,
+    expect_f: usize,
+) -> Result<SpillRecord, StoreError> {
+    let mut r = Reader { data, off: 0 };
+    if data.len() < FIXED_LEN {
+        return Err(bad("record shorter than its fixed header"));
+    }
+    let version = r.u64()?;
+    let capacity = r.u32()? as usize;
+    let flags = r.u32()?;
+    if flags & !FLAG_FACTORS != 0 {
+        return Err(bad(format!("unsupported record flags {flags:#x}")));
+    }
+    let t = r.u64()? as usize;
+    let buf_len = r.u32()? as usize;
+    let ls_len = r.u32()? as usize;
+    let k = r.u32()? as usize;
+    let f = r.u32()? as usize;
+    if capacity == 0 {
+        return Err(bad("zero window capacity"));
+    }
+    if buf_len > capacity {
+        return Err(bad("more window events than capacity"));
+    }
+    if t < buf_len {
+        return Err(bad("time step precedes window contents"));
+    }
+    let mut events = Vec::with_capacity(buf_len);
+    for _ in 0..buf_len {
+        events.push(ItemId(r.u32()?));
+    }
+    r.pad8()?;
+    let mut items = Vec::with_capacity(ls_len);
+    for _ in 0..ls_len {
+        items.push(ItemId(r.u32()?));
+    }
+    r.pad8()?;
+    let mut last_seen = Vec::with_capacity(ls_len);
+    for item in items {
+        let step = r.u64()? as usize;
+        if step >= t {
+            return Err(bad("last-seen step at or past the current time"));
+        }
+        if let Some(&(prev, _)) = last_seen.last() {
+            if item <= prev {
+                return Err(bad("last-seen items not strictly sorted"));
+            }
+        }
+        last_seen.push((item, step));
+    }
+    let factors = if flags & FLAG_FACTORS != 0 {
+        if k != expect_k || f != expect_f {
+            return Err(bad(format!(
+                "factor dimensions {k}×{f} do not match the serving model {expect_k}×{expect_f}"
+            )));
+        }
+        let cur_u = r.f64s(k)?;
+        let base_u = r.f64s(k)?;
+        let cur_a = DMatrix::from_vec(k, f, r.f64s(k * f)?);
+        let base_a = DMatrix::from_vec(k, f, r.f64s(k * f)?);
+        Some(UserFactors::from_parts(cur_u, base_u, cur_a, base_a))
+    } else {
+        if k != 0 || f != 0 {
+            return Err(bad("factor dimensions declared without factors"));
+        }
+        None
+    };
+    if r.off != data.len() {
+        return Err(bad("trailing bytes after record"));
+    }
+    let window = WindowState::from_parts(capacity, t, &events, &last_seen);
+    Ok(SpillRecord {
+        version,
+        window,
+        factors,
+    })
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    off: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], StoreError> {
+        let end = self
+            .off
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| bad("truncated record"))?;
+        let s = &self.data[self.off..end];
+        self.off = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, StoreError> {
+        let bytes = self.take(8 * n)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn pad8(&mut self) -> Result<(), StoreError> {
+        let pad = self.off.next_multiple_of(8) - self.off;
+        if self.take(pad)?.iter().any(|&b| b != 0) {
+            return Err(bad("nonzero alignment padding"));
+        }
+        Ok(())
+    }
+}
+
+fn pad8(out: &mut Vec<u8>) {
+    let pad = out.len().next_multiple_of(8) - out.len();
+    out.extend(std::iter::repeat_n(0u8, pad));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_window() -> WindowState {
+        let mut w = WindowState::new(4);
+        for i in [7u32, 1, 2, 1, 9, 2] {
+            w.push(ItemId(i));
+        }
+        w
+    }
+
+    fn sample_factors(k: usize, f: usize) -> UserFactors {
+        let base_u: Vec<f64> = (0..k).map(|i| 0.1 * i as f64 - 0.3).collect();
+        let base_a = DMatrix::from_vec(k, f, (0..k * f).map(|i| 0.01 * i as f64).collect());
+        let mut fx = UserFactors::new(&base_u, &base_a);
+        fx.cur_u[0] += 0.5;
+        fx.cur_a.as_mut_slice()[1] -= 0.25;
+        fx
+    }
+
+    #[test]
+    fn window_only_round_trip() {
+        let w = sample_window();
+        let bytes = encode_record(3, &w, None);
+        let rec = decode_record(&bytes, 8, 4).unwrap();
+        assert_eq!(rec.version, 3);
+        assert!(rec.factors.is_none());
+        assert_eq!(rec.window.time(), w.time());
+        assert_eq!(
+            rec.window.events().collect::<Vec<_>>(),
+            w.events().collect::<Vec<_>>()
+        );
+        assert_eq!(rec.window.last_seen_entries(), w.last_seen_entries());
+    }
+
+    #[test]
+    fn factors_round_trip_bitwise() {
+        let w = sample_window();
+        let fx = sample_factors(8, 4);
+        let bytes = encode_record(11, &w, Some(&fx));
+        let rec = decode_record(&bytes, 8, 4).unwrap();
+        let got = rec.factors.unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got.cur_u), bits(&fx.cur_u));
+        assert_eq!(bits(&got.base_u), bits(&fx.base_u));
+        assert_eq!(bits(got.cur_a.as_slice()), bits(fx.cur_a.as_slice()));
+        assert_eq!(bits(got.base_a.as_slice()), bits(fx.base_a.as_slice()));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_typed_error() {
+        let w = sample_window();
+        let fx = sample_factors(8, 4);
+        let bytes = encode_record(0, &w, Some(&fx));
+        assert!(matches!(
+            decode_record(&bytes, 16, 4),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let w = sample_window();
+        let fx = sample_factors(4, 3);
+        let bytes = encode_record(9, &w, Some(&fx));
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_record(&bytes[..cut], 4, 3).is_err(),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! One resident user's cached state.
+
+use rrc_linalg::DMatrix;
+use rrc_sequence::WindowState;
+
+/// A user's materialised factor rows: current and base copies of the
+/// latent `u` row and the transform `A_u`, mirroring the shard overlay's
+/// copy-on-write discipline. `cur − base` is the accumulated online-SGD
+/// delta awaiting the next harvest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserFactors {
+    pub(crate) base_u: Vec<f64>,
+    pub(crate) cur_u: Vec<f64>,
+    pub(crate) base_a: DMatrix,
+    pub(crate) cur_a: DMatrix,
+}
+
+impl UserFactors {
+    /// Materialise from base rows (first SGD write touching this user).
+    pub fn new(base_u: &[f64], base_a: &DMatrix) -> Self {
+        UserFactors {
+            base_u: base_u.to_vec(),
+            cur_u: base_u.to_vec(),
+            base_a: base_a.clone(),
+            cur_a: base_a.clone(),
+        }
+    }
+
+    /// Rebuild from absolute spilled rows.
+    pub(crate) fn from_parts(
+        cur_u: Vec<f64>,
+        base_u: Vec<f64>,
+        cur_a: DMatrix,
+        base_a: DMatrix,
+    ) -> Self {
+        UserFactors {
+            base_u,
+            cur_u,
+            base_a,
+            cur_a,
+        }
+    }
+
+    /// The current `u` row.
+    pub fn u(&self) -> &[f64] {
+        &self.cur_u
+    }
+
+    /// The current transform `A_u`.
+    pub fn a(&self) -> &DMatrix {
+        &self.cur_a
+    }
+
+    /// `cur − base` for the `u` row.
+    pub(crate) fn diff_u(&self) -> Vec<f64> {
+        self.cur_u
+            .iter()
+            .zip(&self.base_u)
+            .map(|(c, b)| c - b)
+            .collect()
+    }
+
+    /// `cur − base` for `A_u`, flattened row-major.
+    pub(crate) fn diff_a(&self) -> Vec<f64> {
+        self.cur_a
+            .as_slice()
+            .iter()
+            .zip(self.base_a.as_slice())
+            .map(|(c, b)| c - b)
+            .collect()
+    }
+
+    /// Carry the accumulated delta onto fresh base rows — identical
+    /// arithmetic to the overlay's `CowRow::rebase`, which is what makes a
+    /// reloaded row byte-equal to one that stayed resident across a swap.
+    pub(crate) fn rebase(&mut self, new_u: &[f64], new_a: &DMatrix) {
+        for ((c, b), nb) in self.cur_u.iter_mut().zip(&mut self.base_u).zip(new_u) {
+            *c = *nb + (*c - *b);
+            *b = *nb;
+        }
+        let cur = self.cur_a.as_mut_slice();
+        let base = self.base_a.as_mut_slice();
+        for ((c, b), nb) in cur.iter_mut().zip(base.iter_mut()).zip(new_a.as_slice()) {
+            *c = *nb + (*c - *b);
+            *b = *nb;
+        }
+    }
+
+    /// Resident footprint of the four owned buffers.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + 8 * (self.cur_u.len() + self.base_u.len())
+            + 8 * (self.cur_a.as_slice().len() + self.base_a.as_slice().len())
+    }
+}
+
+/// One resident cache entry.
+#[derive(Debug)]
+pub(crate) struct UserEntry {
+    pub(crate) window: WindowState,
+    /// `None` until online SGD first writes this user (frozen serving
+    /// never materialises factors, so frozen spills are window-only).
+    pub(crate) factors: Option<UserFactors>,
+    /// CLOCK second-chance bit, set on every touch.
+    pub(crate) referenced: bool,
+    /// LRU recency stamp (tier-global monotonic tick).
+    pub(crate) tick: u64,
+    /// Cached cost from the last accounting pass.
+    pub(crate) bytes: usize,
+}
+
+impl UserEntry {
+    pub(crate) fn new(window: WindowState, factors: Option<UserFactors>) -> Self {
+        let mut e = UserEntry {
+            window,
+            factors,
+            referenced: true,
+            tick: 0,
+            bytes: 0,
+        };
+        e.bytes = e.cost();
+        e
+    }
+
+    /// Deterministic resident-bytes estimate: map-entry overhead plus the
+    /// window's and factors' owned buffers.
+    pub(crate) fn cost(&self) -> usize {
+        const MAP_ENTRY_OVERHEAD: usize = 48;
+        MAP_ENTRY_OVERHEAD
+            + self.window.approx_bytes()
+            + self.factors.as_ref().map_or(0, |f| f.approx_bytes())
+    }
+}
