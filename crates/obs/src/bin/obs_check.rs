@@ -7,11 +7,21 @@
 //!
 //! ```text
 //! obs-check REPORT.json [--require PATH]... [--min PATH VALUE]... [--max PATH VALUE]...
+//!           [--histogram-quantile 'name{labels}' pQQ MAX]... [--flight BUNDLE.jsonl]...
 //! ```
 //!
 //! * `--require a.b.c`  — the path must exist and not be `null`
 //! * `--min a.b.c 1.0`  — the path must be a finite number `>= VALUE`
 //! * `--max a.b.c 1.0`  — the path must be a finite number `<= VALUE`
+//! * `--histogram-quantile 'name{labels}' p99 MAX` — recompute the given
+//!   quantile from the exported bucket counts of every matching histogram
+//!   (cumulative *and* windowed; the name may contain `*` wildcards) and
+//!   require it `<= MAX`. Unlike `--max …p99`, this works for arbitrary
+//!   quantiles (`p99.9`) because it reads the raw buckets, and it fails
+//!   when no histogram matches — a regression gate that can't silently
+//!   pass because a series disappeared.
+//! * `--flight BUNDLE.jsonl` — validate a flight-recorder bundle: header
+//!   magic, event ordering, footer count, and CRC32 over the bytes.
 //!
 //! Path segments may contain `*` wildcards, which is how labeled metric
 //! series are addressed: registry snapshots key series Prometheus-style
@@ -36,7 +46,9 @@ use rrc_obs::Json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: obs-check REPORT.json [--require PATH]... [--min PATH VALUE]... [--max PATH VALUE]..."
+        "usage: obs-check REPORT.json [--require PATH]... [--min PATH VALUE]... \
+         [--max PATH VALUE]... [--histogram-quantile 'name{{labels}}' pQQ MAX]... \
+         [--flight BUNDLE.jsonl]..."
     );
     std::process::exit(2);
 }
@@ -132,11 +144,65 @@ enum Bound {
     Max(f64),
 }
 
+/// A `--histogram-quantile` assertion: `name{labels}` pattern, quantile
+/// in `[0, 1]`, allowed maximum.
+struct QuantileCheck {
+    pattern: String,
+    spec: String,
+    q: f64,
+    max: f64,
+}
+
+/// Parse `p99` / `p99.9` / `p50` into a quantile in `[0, 1]`.
+fn parse_quantile(spec: &str) -> Option<f64> {
+    let pct: f64 = spec.strip_prefix('p')?.parse().ok()?;
+    (0.0..=100.0).contains(&pct).then_some(pct / 100.0)
+}
+
+/// Recompute a quantile from an exported histogram object
+/// (`{"count":…, "max":…, "buckets":[[lower_bound, count],…]}`) using
+/// the same rank + geometric-bucket-midpoint rule as the live
+/// `HistogramSnapshot::quantile`.
+fn quantile_from_buckets(hist: &Json, q: f64) -> Option<f64> {
+    let count = hist.get("count").and_then(Json::as_u64)?;
+    if count == 0 {
+        return None;
+    }
+    let max = hist.get("max").and_then(Json::as_u64)?;
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    if rank == count {
+        return Some(max as f64);
+    }
+    let buckets = match hist.get("buckets") {
+        Some(Json::Arr(items)) => items,
+        _ => return None,
+    };
+    let mut seen = 0u64;
+    for entry in buckets {
+        let (lo, c) = match entry {
+            Json::Arr(pair) if pair.len() == 2 => (
+                pair[0].as_u64()?, //
+                pair[1].as_u64()?,
+            ),
+            _ => return None,
+        };
+        seen += c;
+        if seen >= rank {
+            // Geometric mean of the power-of-two bucket [lo, 2·lo).
+            let mid = lo as f64 * std::f64::consts::SQRT_2;
+            return Some(mid.min(max as f64));
+        }
+    }
+    None
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let path = match args.next() {
-        Some(p) if !p.starts_with("--") => p,
-        _ => usage(),
+    let mut args = std::env::args().skip(1).peekable();
+    // The report path is optional when only validating flight bundles
+    // (a crash run dies before it can write its report JSON).
+    let path = match args.peek() {
+        Some(p) if !p.starts_with("--") => args.next(),
+        _ => None,
     };
     let mut requires: Vec<String> = vec![
         "report".to_string(),
@@ -144,6 +210,8 @@ fn main() {
         "config".to_string(),
     ];
     let mut bounds: Vec<(String, Bound)> = Vec::new();
+    let mut quantiles: Vec<QuantileCheck> = Vec::new();
+    let mut flights: Vec<String> = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--require" => requires.push(args.next().unwrap_or_else(|| usage())),
@@ -162,6 +230,23 @@ fn main() {
                     },
                 ));
             }
+            "--histogram-quantile" => {
+                let pattern = args.next().unwrap_or_else(|| usage());
+                let spec = args.next().unwrap_or_else(|| usage());
+                let q = parse_quantile(&spec).unwrap_or_else(|| usage());
+                let max = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| v.is_finite())
+                    .unwrap_or_else(|| usage());
+                quantiles.push(QuantileCheck {
+                    pattern,
+                    spec,
+                    q,
+                    max,
+                });
+            }
+            "--flight" => flights.push(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -169,69 +254,127 @@ fn main() {
             }
         }
     }
-
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("obs-check: cannot read {path}: {e}");
-            std::process::exit(1);
-        }
-    };
-    let doc = match Json::parse(&text) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("obs-check: {path} is not valid JSON: {e}");
-            eprintln!("(note: NaN / Infinity are rejected by design)");
-            std::process::exit(1);
-        }
-    };
+    let report_checks = requires.len() > 3 || !bounds.is_empty() || !quantiles.is_empty();
+    if path.is_none() && (flights.is_empty() || report_checks) {
+        usage();
+    }
 
     let mut failures = Vec::new();
-    for p in &requires {
-        let matches = resolve(&doc, p);
-        if matches.is_empty() {
-            failures.push(format!("missing key: {p}"));
-        }
-        for (at, v) in matches {
-            if v.is_null() {
-                failures.push(format!("key is null: {at}"));
+    let mut checked = flights.len();
+    if let Some(path) = &path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obs-check: cannot read {path}: {e}");
+                std::process::exit(1);
             }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("obs-check: {path} is not valid JSON: {e}");
+                eprintln!("(note: NaN / Infinity are rejected by design)");
+                std::process::exit(1);
+            }
+        };
+
+        checked += requires.len() + bounds.len() + quantiles.len();
+        for p in &requires {
+            let matches = resolve(&doc, p);
+            if matches.is_empty() {
+                failures.push(format!("missing key: {p}"));
+            }
+            for (at, v) in matches {
+                if v.is_null() {
+                    failures.push(format!("key is null: {at}"));
+                }
+            }
+        }
+        for (p, bound) in &bounds {
+            let matches = resolve(&doc, p);
+            if matches.is_empty() {
+                failures.push(format!("missing key: {p}"));
+            }
+            for (at, v) in matches {
+                match v.as_f64() {
+                    None => failures.push(format!("non-numeric value at {at}")),
+                    Some(x) if !x.is_finite() => {
+                        failures.push(format!("non-finite value at {at}: {x}"))
+                    }
+                    Some(x) => match bound {
+                        Bound::Min(min) if x < *min => {
+                            failures.push(format!("{at} = {x} below required minimum {min}"))
+                        }
+                        Bound::Max(max) if x > *max => {
+                            failures.push(format!("{at} = {x} above allowed maximum {max}"))
+                        }
+                        _ => {}
+                    },
+                }
+            }
+        }
+        for check in &quantiles {
+            check_quantile(&doc, check, &mut failures);
+        }
+
+        if failures.is_empty() {
+            let name = doc.get("report").and_then(Json::as_str).unwrap_or("?");
+            println!("obs-check: {path} OK (report \"{name}\")");
         }
     }
-    for (p, bound) in &bounds {
-        let matches = resolve(&doc, p);
-        if matches.is_empty() {
-            failures.push(format!("missing key: {p}"));
-        }
-        for (at, v) in matches {
-            match v.as_f64() {
-                None => failures.push(format!("non-numeric value at {at}")),
-                Some(x) if !x.is_finite() => {
-                    failures.push(format!("non-finite value at {at}: {x}"))
-                }
-                Some(x) => match bound {
-                    Bound::Min(min) if x < *min => {
-                        failures.push(format!("{at} = {x} below required minimum {min}"))
-                    }
-                    Bound::Max(max) if x > *max => {
-                        failures.push(format!("{at} = {x} above allowed maximum {max}"))
-                    }
-                    _ => {}
-                },
-            }
+
+    for bundle in &flights {
+        match rrc_obs::validate_flight_bundle(std::path::Path::new(bundle)) {
+            Ok(stats) => println!(
+                "obs-check: flight bundle {bundle} OK ({} events, crc {:#010x})",
+                stats.events, stats.crc32
+            ),
+            Err(e) => failures.push(format!("flight bundle {bundle}: {e}")),
         }
     }
 
     if failures.is_empty() {
-        let name = doc.get("report").and_then(Json::as_str).unwrap_or("?");
-        println!(
-            "obs-check: {path} OK (report \"{name}\", {} requirement(s))",
-            requires.len() + bounds.len()
-        );
+        println!("obs-check: {checked} requirement(s) satisfied");
     } else {
         for f in &failures {
-            eprintln!("obs-check: {path}: {f}");
+            eprintln!("obs-check: {f}");
         }
         std::process::exit(1);
+    }
+}
+
+/// Run one `--histogram-quantile` assertion against the report's
+/// cumulative and windowed histogram sections.
+fn check_quantile(doc: &Json, check: &QuantileCheck, failures: &mut Vec<String>) {
+    let mut matched = 0usize;
+    for section in ["metrics.histograms", "metrics.windowed_histograms"] {
+        let hists = match doc.at(section) {
+            Some(Json::Obj(pairs)) => pairs,
+            _ => continue,
+        };
+        for (key, hist) in hists {
+            if !segment_matches(&check.pattern, key) {
+                continue;
+            }
+            matched += 1;
+            let at = format!("{section}.{key}");
+            match quantile_from_buckets(hist, check.q) {
+                None => failures.push(format!(
+                    "{at}: cannot compute {} (empty histogram or malformed buckets)",
+                    check.spec
+                )),
+                Some(x) if x > check.max => failures.push(format!(
+                    "{at} {} = {x} above allowed maximum {}",
+                    check.spec, check.max
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    if matched == 0 {
+        failures.push(format!(
+            "no histogram matches {} (for {} <= {})",
+            check.pattern, check.spec, check.max
+        ));
     }
 }

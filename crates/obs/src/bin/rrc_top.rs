@@ -4,8 +4,11 @@
 //! `loadgen --metrics-json /tmp/live.json`) and it renders the engine's
 //! request quantiles, per-shard per-stage latency breakdown, queue
 //! depths, user-state cache traffic (hit/miss/evict, resident footprint,
-//! spill/load latency), and per-model-version online quality, redrawing
-//! every `--interval` ms:
+//! spill/load latency), per-model-version online quality, SLO burn-rate
+//! verdicts, and the slowest exemplar traces on record, redrawing every
+//! `--interval` ms. Optional sections (ustate, quality, slo, forensics)
+//! degrade gracefully: an absent section is listed in a "not enabled"
+//! footer instead of crashing or rendering an empty panel:
 //!
 //! ```text
 //! rrc-top /tmp/live.json              # live, redraw every 500 ms
@@ -15,7 +18,10 @@
 //! The poller is deliberately tolerant: writers replace the file
 //! atomically (write-to-temp + rename), but if a frame is missing or
 //! unparsable the previous frame stays on screen and a staleness note is
-//! shown, so a dashboard never dies mid-run. `--once` is strict instead
+//! shown, so a dashboard never dies mid-run. A report whose mtime falls
+//! behind `--stale-after` seconds (default `max(6 × interval, 5s)`) gets
+//! a `*** STALE ***` banner — a dashboard full of plausible numbers from
+//! a dead writer is worse than no dashboard. `--once` is strict instead
 //! — a bad file is a non-zero exit, which is what CI wants.
 //!
 //! Everything is std-only (plus the workspace's own JSON parser); the
@@ -26,8 +32,18 @@ use rrc_obs::Json;
 use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: rrc-top REPORT.json [--interval MILLIS] [--once] [--no-clear]");
+    eprintln!(
+        "usage: rrc-top REPORT.json [--interval MILLIS] [--once] [--no-clear] \
+         [--stale-after SECS]"
+    );
     std::process::exit(2);
+}
+
+/// Seconds since the report file was last modified, when the filesystem
+/// can tell us.
+fn report_age(path: &str) -> Option<f64> {
+    let mtime = std::fs::metadata(path).ok()?.modified().ok()?;
+    Some(mtime.elapsed().ok()?.as_secs_f64())
 }
 
 /// Nanoseconds, humanized to a fixed 9-column cell.
@@ -273,6 +289,79 @@ fn render(doc: &Json) -> String {
             ));
         }
     }
+
+    // SLO panel: worst state up top (the thing an operator scans for),
+    // then per-objective burn rates.
+    if let Some(slo) = doc.at("engine.slo").filter(|s| !s.is_null()) {
+        let worst = slo.get("worst").and_then(Json::as_str).unwrap_or("?");
+        out.push_str(&format!(
+            "\n  {:<22} {:>7} {:>12} {:>7} {:>7} {:>6}   worst: {}\n",
+            "slo objective", "state", "target", "short", "long", "ticks", worst,
+        ));
+        if let Some(Json::Arr(objectives)) = slo.get("objectives") {
+            for o in objectives {
+                let s = |k: &str| o.get(k).and_then(Json::as_str).unwrap_or("?");
+                let f = |k: &str| o.get(k).and_then(Json::as_f64);
+                out.push_str(&format!(
+                    "  {:<22} {:>7} {:>12} {:>7.2} {:>7.2} {:>6}{}\n",
+                    s("name"),
+                    s("state"),
+                    format!("{} {}", s("cmp"), count(f("bound"))),
+                    f("short_burn").unwrap_or(0.0),
+                    f("long_burn").unwrap_or(0.0),
+                    count(f("ticks")),
+                    if o.get("breached_now").and_then(Json::as_bool) == Some(true) {
+                        "  BREACHED"
+                    } else {
+                        ""
+                    },
+                ));
+            }
+        }
+    }
+
+    // Forensics panel: the slowest exemplar traces on record — the ids
+    // an operator greps for in the trace sink.
+    if let Some(fx) = doc.at("engine.forensics").filter(|s| !s.is_null()) {
+        if let Some(Json::Arr(slowest)) = fx.get("slowest") {
+            if !slowest.is_empty() {
+                out.push_str(&format!(
+                    "\n  {:<14} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+                    "slow trace", "shard", "kind", "total", "wait", "score", "respond"
+                ));
+                for t in slowest.iter().take(3) {
+                    let f = |k: &str| t.get(k).and_then(Json::as_f64);
+                    out.push_str(&format!(
+                        "  id={:<11} {:>7} {:>10} {} {} {} {}\n",
+                        count(f("trace_id")),
+                        count(f("shard")),
+                        t.get("kind").and_then(Json::as_str).unwrap_or("?"),
+                        ns(f("total_ns")),
+                        ns(f("enqueue_wait_ns")),
+                        ns(f("score_ns")),
+                        ns(f("respond_ns")),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Optional-section footer: say which panels this report can't show,
+    // so a blank dashboard region reads as "not enabled" rather than
+    // "broken".
+    let absent: Vec<&str> = [
+        ("ustate", doc.at("engine.ustate")),
+        ("quality", doc.get("quality")),
+        ("slo", doc.at("engine.slo")),
+        ("forensics", doc.at("engine.forensics")),
+    ]
+    .into_iter()
+    .filter(|(_, v)| v.is_none_or(Json::is_null))
+    .map(|(k, _)| k)
+    .collect();
+    if !absent.is_empty() {
+        out.push_str(&format!("\n(not enabled: {})\n", absent.join(", ")));
+    }
     out
 }
 
@@ -281,6 +370,7 @@ fn main() {
     let mut interval = Duration::from_millis(500);
     let mut once = false;
     let mut clear = true;
+    let mut stale_after: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -293,6 +383,14 @@ fn main() {
             }
             "--once" => once = true,
             "--no-clear" => clear = false,
+            "--stale-after" => {
+                let secs: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .unwrap_or_else(|| usage());
+                stale_after = Some(secs);
+            }
             "--help" | "-h" => usage(),
             other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
             other => {
@@ -302,6 +400,9 @@ fn main() {
         }
     }
     let path = path.unwrap_or_else(|| usage());
+    // A report older than this many seconds means the writer stopped
+    // refreshing: visibly flag it even though the last frame still parses.
+    let stale_after = stale_after.unwrap_or((interval.as_secs_f64() * 6.0).max(5.0));
 
     let mut last_frame: Option<String> = None;
     let mut stale_for = 0u32;
@@ -321,9 +422,13 @@ fn main() {
             }
             None => stale_for += 1,
         }
+        let age = report_age(&path);
         if once {
             // One clean frame, no escape codes: CI logs and docs.
             print!("{}", last_frame.as_deref().unwrap_or(""));
+            if let Some(age) = age.filter(|&a| a > stale_after) {
+                println!("*** STALE: report is {age:.1}s old (threshold {stale_after:.0}s) ***");
+            }
             return;
         }
         if let Some(f) = &last_frame {
@@ -332,6 +437,14 @@ fn main() {
                 print!("\x1b[H\x1b[J");
             }
             print!("{f}");
+            match age {
+                Some(age) if age > stale_after => println!(
+                    "\n*** STALE: report is {age:.1}s old (threshold {stale_after:.0}s) — \
+                     is the writer alive? ***"
+                ),
+                Some(age) => println!("\nreport age {age:.1}s"),
+                None => {}
+            }
             if stale_for > 0 {
                 println!("(stale: {stale_for} failed poll(s) of {path})");
             }

@@ -1,0 +1,55 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`). Table-driven,
+//! built at compile time; hand-rolled because the workspace vendors its
+//! dependency set.
+//!
+//! Lives at the bottom of the workspace graph so every integrity-checked
+//! artifact shares one implementation: `rrc-store` section payloads
+//! re-export it, and the [`forensics`](crate::forensics) flight-recorder
+//! bundle footers use it directly.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 of `bytes` (same parameters as zlib's `crc32`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values from the zlib implementation.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+}

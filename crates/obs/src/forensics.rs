@@ -1,0 +1,741 @@
+//! Forensic observability: tail-sampled exemplar traces and the flight
+//! recorder.
+//!
+//! Aggregate histograms (PR-2/PR-5) answer "what is p99"; this module
+//! answers "why was *that* request slow" and "what happened just before
+//! the crash":
+//!
+//! * [`ExemplarTrace`] — one completed request's compact per-stage
+//!   timeline (enqueue wait / score / respond ns, shard, user hash,
+//!   model version, queue depth at dequeue).
+//! * [`TraceReservoir`] — per-shard tail-based sampler: keeps the K
+//!   slowest traces inside a rolling window plus the K most recent.
+//!   Admission to the slowest set *is* the sampling decision — callers
+//!   forward admitted traces to a JSONL sink, so the sink receives
+//!   exactly the tail that aggregate quantiles point at.
+//! * [`BucketExemplars`] — one trace id per histogram bucket, so a p99
+//!   bucket links to a concrete replayable trace.
+//! * [`FlightRecorder`] — a lock-light fixed-size ring of recent
+//!   structured events (requests, swaps, evictions, spills, shed
+//!   decisions). Slots are claimed by a wait-free `fetch_add` and a
+//!   newer sequence number always wins the slot, so overwrite order is
+//!   deterministic even when writers race across a wrap.
+//! * [`write_flight_bundle`] / [`validate_flight_bundle`] — dump the
+//!   rings to a CRC-checked JSONL bundle via tmp+fsync+rename (the same
+//!   atomic-commit idiom as `rrc-store`), and verify such a bundle.
+//! * [`install_flight_dump`] — a chaining panic hook so any crash
+//!   leaves a post-mortem bundle; [`signals`] adds a std-only SIGTERM
+//!   flag for cooperative dumps.
+
+use crate::crc32::crc32;
+use crate::json::Json;
+use crate::metrics::{bucket_index, BUCKETS};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// One completed request's compact timeline. Everything needed to replay
+/// the request (user hash + model version) and to explain its latency
+/// (per-stage nanos + queue depth at dequeue) in ~80 bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExemplarTrace {
+    /// Request trace id (unique per engine run).
+    pub id: u64,
+    /// `mix64` of the user id — stable join key that avoids shipping raw ids.
+    pub user_hash: u64,
+    /// Shard that processed the request.
+    pub shard: usize,
+    /// Model version installed when the request was scored.
+    pub version: u64,
+    /// `observe` or `recommend`.
+    pub kind: &'static str,
+    /// Queue depth observed when the shard dequeued the request.
+    pub queue_depth: u64,
+    /// Time spent waiting in the shard queue.
+    pub enqueue_wait_ns: u64,
+    /// Time spent scoring / applying the model.
+    pub score_ns: u64,
+    /// Time from shard completion to client receipt.
+    pub respond_ns: u64,
+}
+
+impl ExemplarTrace {
+    /// Total end-to-end latency.
+    pub fn total_ns(&self) -> u64 {
+        self.enqueue_wait_ns
+            .saturating_add(self.score_ns)
+            .saturating_add(self.respond_ns)
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("trace_id", Json::U64(self.id)),
+            ("user_hash", Json::U64(self.user_hash)),
+            ("shard", Json::U64(self.shard as u64)),
+            ("version", Json::U64(self.version)),
+            ("kind", Json::Str(self.kind.to_string())),
+            ("queue_depth", Json::U64(self.queue_depth)),
+            ("enqueue_wait_ns", Json::U64(self.enqueue_wait_ns)),
+            ("score_ns", Json::U64(self.score_ns)),
+            ("respond_ns", Json::U64(self.respond_ns)),
+            ("total_ns", Json::U64(self.total_ns())),
+        ])
+    }
+}
+
+struct ReservoirInner {
+    /// `(admitted_at_ns, trace)` — unordered; K is small, scans are linear.
+    slowest: Vec<(u64, ExemplarTrace)>,
+    recent: VecDeque<ExemplarTrace>,
+}
+
+/// Tail-based trace sampler: K slowest inside a rolling window + K most
+/// recent. One per shard; the mutex is shard-private on the hot path and
+/// only contended by report snapshots.
+///
+/// [`TraceReservoir::admission_floor`] lets callers skip the lock for
+/// the fast majority: a trace with `total_ns()` below the floor cannot
+/// enter the slowest set, so only candidate-tail requests (plus whatever
+/// sample the caller keeps for the recent ring) pay the mutex.
+pub struct TraceReservoir {
+    k: usize,
+    window_ns: u64,
+    /// Minimum `total_ns` that could currently be admitted to the
+    /// slowest set (0 until the set fills). Advisory fast-path bound;
+    /// the locked path re-checks.
+    floor: AtomicU64,
+    inner: Mutex<ReservoirInner>,
+}
+
+impl TraceReservoir {
+    /// `k` traces per class; slowest entries expire `window_ns` after
+    /// admission so a one-off ancient spike cannot squat the reservoir.
+    pub fn new(k: usize, window_ns: u64) -> TraceReservoir {
+        TraceReservoir {
+            k: k.max(1),
+            window_ns: window_ns.max(1),
+            floor: AtomicU64::new(0),
+            inner: Mutex::new(ReservoirInner {
+                slowest: Vec::new(),
+                recent: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Lock-free lower bound on admissible totals (see type docs).
+    pub fn admission_floor(&self) -> u64 {
+        self.floor.load(Ordering::Relaxed)
+    }
+
+    /// Offer a completed trace at monotonic time `now_ns` (caller's
+    /// epoch; only differences matter). Returns `true` iff the trace was
+    /// admitted to the slowest-K set — the tail-sampling decision.
+    pub fn offer(&self, trace: ExemplarTrace, now_ns: u64) -> bool {
+        let mut inner = self.inner.lock().expect("reservoir lock");
+        inner.recent.push_back(trace.clone());
+        while inner.recent.len() > self.k {
+            inner.recent.pop_front();
+        }
+        let horizon = now_ns.saturating_sub(self.window_ns);
+        inner.slowest.retain(|(at, _)| *at > horizon);
+        let admitted = if inner.slowest.len() < self.k {
+            inner.slowest.push((now_ns, trace));
+            true
+        } else {
+            let (min_idx, min_total) = inner
+                .slowest
+                .iter()
+                .enumerate()
+                .map(|(i, (_, t))| (i, t.total_ns()))
+                .min_by_key(|&(_, total)| total)
+                .expect("non-empty slowest");
+            if trace.total_ns() > min_total {
+                inner.slowest[min_idx] = (now_ns, trace);
+                true
+            } else {
+                false
+            }
+        };
+        let floor = if inner.slowest.len() < self.k {
+            0
+        } else {
+            inner
+                .slowest
+                .iter()
+                .map(|(_, t)| t.total_ns())
+                .min()
+                .unwrap_or(0)
+        };
+        self.floor.store(floor, Ordering::Relaxed);
+        admitted
+    }
+
+    /// Slowest admitted traces still inside the window, slowest first.
+    pub fn slowest(&self) -> Vec<ExemplarTrace> {
+        let inner = self.inner.lock().expect("reservoir lock");
+        let mut out: Vec<ExemplarTrace> = inner.slowest.iter().map(|(_, t)| t.clone()).collect();
+        out.sort_by(|a, b| b.total_ns().cmp(&a.total_ns()).then(a.id.cmp(&b.id)));
+        out
+    }
+
+    /// Most recent completed traces, oldest first.
+    pub fn recent(&self) -> Vec<ExemplarTrace> {
+        let inner = self.inner.lock().expect("reservoir lock");
+        inner.recent.iter().cloned().collect()
+    }
+}
+
+/// The `n` slowest traces across many reservoirs (slowest first) — used
+/// for the loadgen final-report "top slowest requests" table.
+pub fn top_slowest<'a>(
+    reservoirs: impl IntoIterator<Item = &'a TraceReservoir>,
+    n: usize,
+) -> Vec<ExemplarTrace> {
+    let mut all: Vec<ExemplarTrace> = reservoirs.into_iter().flat_map(|r| r.slowest()).collect();
+    all.sort_by(|a, b| b.total_ns().cmp(&a.total_ns()).then(a.id.cmp(&b.id)));
+    all.truncate(n);
+    all
+}
+
+/// One exemplar trace id per power-of-two histogram bucket. Stores
+/// `id + 1` so `0` means "no exemplar" without an `Option` in the array.
+/// Last writer wins — an exemplar is "a" representative, not "the max".
+pub struct BucketExemplars {
+    slots: [AtomicU64; BUCKETS],
+}
+
+impl Default for BucketExemplars {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BucketExemplars {
+    pub fn new() -> BucketExemplars {
+        BucketExemplars {
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Attach `trace_id` to the bucket that `value_ns` falls in.
+    pub fn record(&self, value_ns: u64, trace_id: u64) {
+        let i = bucket_index(value_ns);
+        self.slots[i].store(trace_id.wrapping_add(1), Ordering::Relaxed);
+    }
+
+    /// Exemplar for the bucket containing `value_ns`, walking down to
+    /// lower buckets if that exact bucket never saw a recorded trace
+    /// (quantiles interpolate, so the reported p99 value may land in a
+    /// bucket no sampled request hit).
+    pub fn exemplar_for_value(&self, value_ns: u64) -> Option<u64> {
+        let start = bucket_index(value_ns);
+        for i in (0..=start).rev() {
+            let raw = self.slots[i].load(Ordering::Relaxed);
+            if raw != 0 {
+                return Some(raw - 1);
+            }
+        }
+        None
+    }
+
+    /// `(bucket_lower_bound, trace_id)` for every populated bucket.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        (0..BUCKETS)
+            .filter_map(|i| {
+                let raw = self.slots[i].load(Ordering::Relaxed);
+                (raw != 0).then(|| (1u64 << i, raw - 1))
+            })
+            .collect()
+    }
+}
+
+/// One structured flight-recorder event. Field keys are static so hot
+/// paths allocate only the value vector.
+#[derive(Debug, Clone)]
+pub struct FlightEvent {
+    /// Ring-global sequence number (assigned by [`FlightRecorder::record`]).
+    pub seq: u64,
+    /// Wall-clock capture time.
+    pub ts_unix_ms: u64,
+    /// `request`, `swap`, `eviction`, `spill`, `shed`, ...
+    pub kind: &'static str,
+    pub fields: Vec<(&'static str, Json)>,
+}
+
+impl FlightEvent {
+    fn render_line(&self, shard_label: u64) -> String {
+        let mut line = String::with_capacity(96);
+        let _ = write!(
+            line,
+            "{{\"seq\":{},\"ts_unix_ms\":{},\"shard\":{},\"event\":{}",
+            self.seq,
+            self.ts_unix_ms,
+            shard_label,
+            Json::Str(self.kind.to_string()).render()
+        );
+        for (key, value) in &self.fields {
+            let _ = write!(
+                line,
+                ",{}:{}",
+                Json::Str(key.to_string()).render(),
+                value.render()
+            );
+        }
+        line.push('}');
+        line
+    }
+}
+
+/// Fixed-size ring of recent [`FlightEvent`]s.
+///
+/// Recording claims a sequence number with one `fetch_add`, then takes
+/// the per-slot mutex (`seq % capacity`) just long enough to store the
+/// event. A slot only accepts an event whose sequence number is higher
+/// than its current occupant's, so even when two writers race across a
+/// ring wrap the survivor set is exactly the `capacity` highest
+/// sequence numbers — deterministic overwrite order.
+pub struct FlightRecorder {
+    shard: u64,
+    head: AtomicU64,
+    slots: Vec<Mutex<Option<FlightEvent>>>,
+}
+
+impl FlightRecorder {
+    /// `shard` labels every dumped line; `capacity` is the ring size.
+    pub fn new(shard: usize, capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            shard: shard as u64,
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (not just retained).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Record one event; returns its sequence number.
+    pub fn record(&self, kind: &'static str, fields: Vec<(&'static str, Json)>) -> u64 {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let event = FlightEvent {
+            seq,
+            ts_unix_ms: unix_ms(),
+            kind,
+            fields,
+        };
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let mut guard = slot.lock().expect("flight slot lock");
+        match &*guard {
+            Some(existing) if existing.seq > seq => {} // a newer wrap already claimed the slot
+            _ => *guard = Some(event),
+        }
+        seq
+    }
+
+    /// Retained events, oldest first (ascending seq).
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let mut events: Vec<FlightEvent> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().expect("flight slot lock").clone())
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+}
+
+/// Summary of a written or validated flight bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightBundleStats {
+    pub events: usize,
+    pub crc32: u32,
+}
+
+/// Dump the recorders' retained events to `path` as a CRC-checked JSONL
+/// bundle: a header line, events sorted `(ts, shard, seq)`, and a footer
+/// carrying the event count and the CRC-32 of every preceding byte.
+/// Written tmp+fsync+rename so a crash mid-dump never leaves a torn file.
+pub fn write_flight_bundle(
+    path: &Path,
+    meta: &[(String, Json)],
+    recorders: &[Arc<FlightRecorder>],
+) -> std::io::Result<FlightBundleStats> {
+    let mut events: Vec<(u64, FlightEvent)> = recorders
+        .iter()
+        .flat_map(|r| r.snapshot().into_iter().map(|e| (r.shard, e)))
+        .collect();
+    events.sort_by(|(sa, a), (sb, b)| {
+        a.ts_unix_ms
+            .cmp(&b.ts_unix_ms)
+            .then(sa.cmp(sb))
+            .then(a.seq.cmp(&b.seq))
+    });
+
+    let mut body = String::with_capacity(64 + events.len() * 96);
+    let mut header = format!(
+        "{{\"bundle\":\"rrc-flight\",\"version\":1,\"created_unix_ms\":{}",
+        unix_ms()
+    );
+    for (key, value) in meta {
+        let _ = write!(
+            header,
+            ",{}:{}",
+            Json::Str(key.clone()).render(),
+            value.render()
+        );
+    }
+    header.push('}');
+    body.push_str(&header);
+    body.push('\n');
+    for (shard, event) in &events {
+        body.push_str(&event.render_line(*shard));
+        body.push('\n');
+    }
+    let crc = crc32(body.as_bytes());
+    let footer = format!(
+        "{{\"bundle_footer\":true,\"events\":{},\"crc32\":{}}}\n",
+        events.len(),
+        crc
+    );
+
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp: PathBuf = {
+        let mut name = path.as_os_str().to_owned();
+        name.push(".tmp");
+        PathBuf::from(name)
+    };
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(body.as_bytes())?;
+        file.write_all(footer.as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(FlightBundleStats {
+        events: events.len(),
+        crc32: crc,
+    })
+}
+
+/// Validate a flight bundle written by [`write_flight_bundle`]: header
+/// magic, every line parseable JSON, footer CRC and event count match.
+pub fn validate_flight_bundle(path: &Path) -> Result<FlightBundleStats, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let text = std::str::from_utf8(&bytes).map_err(|e| format!("not utf-8: {e}"))?;
+    let trimmed = text.strip_suffix('\n').unwrap_or(text);
+    let footer_start = match trimmed.rfind('\n') {
+        Some(i) => i + 1,
+        None => return Err("bundle has no footer line".to_string()),
+    };
+    let footer =
+        Json::parse(&trimmed[footer_start..]).map_err(|e| format!("footer not JSON: {e}"))?;
+    if footer.get("bundle_footer").and_then(Json::as_bool) != Some(true) {
+        return Err("last line is not a bundle footer".to_string());
+    }
+    let want_events = footer
+        .get("events")
+        .and_then(Json::as_u64)
+        .ok_or("footer missing events count")? as usize;
+    let want_crc = footer
+        .get("crc32")
+        .and_then(Json::as_u64)
+        .ok_or("footer missing crc32")? as u32;
+
+    let body = &text[..footer_start];
+    let got_crc = crc32(body.as_bytes());
+    if got_crc != want_crc {
+        return Err(format!(
+            "crc mismatch: footer {want_crc}, computed {got_crc}"
+        ));
+    }
+    let mut lines = body.lines();
+    let header_line = lines.next().ok_or("bundle has no header line")?;
+    let header = Json::parse(header_line).map_err(|e| format!("header not JSON: {e}"))?;
+    if header.get("bundle").and_then(Json::as_str) != Some("rrc-flight") {
+        return Err("header is not an rrc-flight bundle".to_string());
+    }
+    let mut events = 0usize;
+    let mut last: Option<(u64, u64, u64)> = None;
+    for (i, line) in lines.enumerate() {
+        let ev = Json::parse(line).map_err(|e| format!("event line {}: {e}", i + 1))?;
+        let key = (
+            ev.get("ts_unix_ms").and_then(Json::as_u64).unwrap_or(0),
+            ev.get("shard").and_then(Json::as_u64).unwrap_or(0),
+            ev.get("seq").and_then(Json::as_u64).unwrap_or(0),
+        );
+        if let Some(prev) = last {
+            if key < prev {
+                return Err(format!("event line {} out of order", i + 1));
+            }
+        }
+        last = Some(key);
+        events += 1;
+    }
+    if events != want_events {
+        return Err(format!(
+            "event count mismatch: footer {want_events}, counted {events}"
+        ));
+    }
+    Ok(FlightBundleStats {
+        events,
+        crc32: got_crc,
+    })
+}
+
+/// Where a crash dump should land: bundle path, extra header metadata,
+/// and the recorders to drain.
+pub struct FlightDumpTarget {
+    pub path: PathBuf,
+    pub meta: Vec<(String, Json)>,
+    pub recorders: Vec<Arc<FlightRecorder>>,
+}
+
+static DUMP_TARGET: Mutex<Option<FlightDumpTarget>> = Mutex::new(None);
+static HOOK_ONCE: Once = Once::new();
+
+/// Register `target` and (once per process) install a panic hook that
+/// dumps a flight bundle before chaining to the previous hook. Re-calls
+/// replace the target but never stack a second hook.
+pub fn install_flight_dump(target: FlightDumpTarget) {
+    *DUMP_TARGET.lock().expect("dump target lock") = Some(target);
+    HOOK_ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = dump_flight_now("panic");
+            prev(info);
+        }));
+    });
+}
+
+/// Deregister the dump target (the hook stays installed but becomes a
+/// no-op). Call before tearing the recorders down on a clean exit.
+pub fn clear_flight_dump() {
+    *DUMP_TARGET.lock().expect("dump target lock") = None;
+}
+
+/// Dump the registered target now, stamping `reason` into the header.
+/// Returns `None` when no target is registered.
+pub fn dump_flight_now(reason: &str) -> Option<std::io::Result<FlightBundleStats>> {
+    let guard = DUMP_TARGET.lock().expect("dump target lock");
+    let target = guard.as_ref()?;
+    let mut meta = target.meta.clone();
+    meta.push(("reason".to_string(), Json::Str(reason.to_string())));
+    Some(write_flight_bundle(&target.path, &meta, &target.recorders))
+}
+
+/// Std-only SIGTERM flag (no `libc` crate: the raw `signal(2)` binding
+/// only stores to an atomic, which is async-signal-safe). Poll
+/// [`signals::sigterm_received`] from a watchdog thread.
+#[cfg(unix)]
+pub mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGTERM: AtomicBool = AtomicBool::new(false);
+    const SIGTERM_NO: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_sigterm(_: i32) {
+        SIGTERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the flag-setting handler for SIGTERM.
+    pub fn install_sigterm_flag() {
+        unsafe {
+            signal(SIGTERM_NO, on_sigterm);
+        }
+    }
+
+    /// True once SIGTERM has been delivered.
+    pub fn sigterm_received() -> bool {
+        SIGTERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, total_ns: u64) -> ExemplarTrace {
+        ExemplarTrace {
+            id,
+            user_hash: id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            shard: 0,
+            version: 1,
+            kind: "observe",
+            queue_depth: 0,
+            enqueue_wait_ns: 0,
+            score_ns: total_ns,
+            respond_ns: 0,
+        }
+    }
+
+    #[test]
+    fn reservoir_keeps_k_slowest_and_k_recent() {
+        let res = TraceReservoir::new(3, u64::MAX / 2);
+        for (id, total) in [(0, 10), (1, 50), (2, 20), (3, 40), (4, 5), (5, 30)] {
+            res.offer(trace(id, total), 1_000 + id);
+        }
+        let slowest: Vec<u64> = res.slowest().iter().map(|t| t.id).collect();
+        assert_eq!(slowest, vec![1, 3, 5]); // totals 50, 40, 30
+        let recent: Vec<u64> = res.recent().iter().map(|t| t.id).collect();
+        assert_eq!(recent, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn reservoir_admission_is_the_sampling_decision() {
+        let res = TraceReservoir::new(2, u64::MAX / 2);
+        assert!(res.offer(trace(0, 100), 1)); // fills
+        assert!(res.offer(trace(1, 200), 2)); // fills
+        assert!(!res.offer(trace(2, 50), 3)); // faster than both: rejected
+        assert!(res.offer(trace(3, 150), 4)); // displaces id 0
+        let ids: Vec<u64> = res.slowest().iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn admission_floor_tracks_the_slowest_set() {
+        let res = TraceReservoir::new(2, u64::MAX / 2);
+        assert_eq!(res.admission_floor(), 0);
+        res.offer(trace(0, 100), 1);
+        assert_eq!(res.admission_floor(), 0); // set not yet full
+        res.offer(trace(1, 200), 2);
+        assert_eq!(res.admission_floor(), 100);
+        res.offer(trace(2, 300), 3);
+        assert_eq!(res.admission_floor(), 200);
+    }
+
+    #[test]
+    fn reservoir_ages_out_stale_slow_traces() {
+        let res = TraceReservoir::new(2, 100);
+        res.offer(trace(0, 1_000_000), 10);
+        res.offer(trace(1, 900_000), 20);
+        // Far past the window: the old giants expire, a modest trace admits.
+        assert!(res.offer(trace(2, 10), 10_000));
+        let ids: Vec<u64> = res.slowest().iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn top_slowest_merges_across_reservoirs() {
+        let a = TraceReservoir::new(4, u64::MAX / 2);
+        let b = TraceReservoir::new(4, u64::MAX / 2);
+        a.offer(trace(0, 10), 1);
+        a.offer(trace(1, 300), 2);
+        b.offer(trace(2, 200), 1);
+        b.offer(trace(3, 400), 2);
+        let top: Vec<u64> = top_slowest([&a, &b], 3).iter().map(|t| t.id).collect();
+        assert_eq!(top, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn bucket_exemplars_walk_down_to_nearest_populated() {
+        let ex = BucketExemplars::new();
+        ex.record(1_000, 7); // bucket 9 (512..1024)
+        assert_eq!(ex.exemplar_for_value(1_000), Some(7));
+        // A value in a higher, empty bucket falls back downward.
+        assert_eq!(ex.exemplar_for_value(1_000_000), Some(7));
+        // Lower buckets see nothing.
+        assert_eq!(ex.exemplar_for_value(2), None);
+        assert_eq!(ex.nonzero(), vec![(512, 7)]);
+    }
+
+    #[test]
+    fn bucket_exemplars_store_id_zero() {
+        let ex = BucketExemplars::new();
+        ex.record(100, 0); // id 0 must be distinguishable from "empty"
+        assert_eq!(ex.exemplar_for_value(100), Some(0));
+    }
+
+    #[test]
+    fn ring_retains_highest_seqs_after_wrap() {
+        let ring = FlightRecorder::new(0, 4);
+        for i in 0..10u64 {
+            ring.record("tick", vec![("i", Json::U64(i))]);
+        }
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn ring_is_deterministic_under_concurrent_writers() {
+        let ring = Arc::new(FlightRecorder::new(0, 16));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        ring.record("tick", vec![("t", Json::U64(t)), ("i", Json::U64(i))]);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
+        // Exactly the capacity highest sequence numbers survive.
+        assert_eq!(seqs, (800 - 16..800).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bundle_roundtrip_write_validate() {
+        let dir = std::env::temp_dir().join(format!("rrc-flight-test-{}", std::process::id()));
+        let path = dir.join("bundle.jsonl");
+        let ring = Arc::new(FlightRecorder::new(3, 8));
+        for i in 0..5u64 {
+            ring.record("request", vec![("trace_id", Json::U64(i))]);
+        }
+        let stats = write_flight_bundle(
+            &path,
+            &[("run".to_string(), Json::Str("unit".to_string()))],
+            &[ring],
+        )
+        .unwrap();
+        assert_eq!(stats.events, 5);
+        let validated = validate_flight_bundle(&path).unwrap();
+        assert_eq!(validated, stats);
+        // Corruption is detected.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        std::fs::write(&path, bytes).unwrap();
+        assert!(validate_flight_bundle(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bundle_of_empty_ring_is_valid() {
+        let dir = std::env::temp_dir().join(format!("rrc-flight-empty-{}", std::process::id()));
+        let path = dir.join("bundle.jsonl");
+        let ring = Arc::new(FlightRecorder::new(0, 8));
+        let stats = write_flight_bundle(&path, &[], &[ring]).unwrap();
+        assert_eq!(stats.events, 0);
+        assert!(validate_flight_bundle(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -31,6 +31,15 @@
 //!   (config, counters, quantiles, convergence trace) to a JSON file;
 //!   `reproduce --json` and `loadgen --json` emit them and the
 //!   `obs-check` binary validates them in CI.
+//! * **Forensics** ([`forensics`]) — tail-sampled [`ExemplarTrace`]
+//!   reservoirs (K slowest + K recent per window), per-bucket histogram
+//!   exemplars, and the [`FlightRecorder`]: a lock-light ring of recent
+//!   structured events dumped to a CRC-checked JSONL bundle on panic,
+//!   SIGTERM, or demand.
+//! * **SLOs** ([`slo`]) — declarative objectives judged tick-by-tick
+//!   with multi-window burn rates ([`SloEngine`]: ok → warn → page).
+//! * **CRC-32** ([`crc32`]) — the zlib-compatible checksum shared by
+//!   `rrc-store` sections and flight bundles.
 //!
 //! ```
 //! use rrc_obs::{Registry, Json};
@@ -52,13 +61,21 @@
 //! let _ = Json::parse(&reg.to_json().render()).unwrap();
 //! ```
 
+pub mod crc32;
+pub mod forensics;
 pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod report;
+pub mod slo;
 pub mod span;
 pub mod window;
 
+pub use forensics::{
+    dump_flight_now, install_flight_dump, top_slowest, validate_flight_bundle, write_flight_bundle,
+    BucketExemplars, ExemplarTrace, FlightBundleStats, FlightDumpTarget, FlightEvent,
+    FlightRecorder, TraceReservoir,
+};
 pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer, BUCKETS};
 pub use registry::{
@@ -66,5 +83,6 @@ pub use registry::{
     RegistrySnapshot, WindowedCounterValue,
 };
 pub use report::RunReport;
+pub use slo::{BurnConfig, Cmp, Objective, SloEngine, SloState, SloVerdict};
 pub use span::{JsonlSink, Span};
 pub use window::{WindowSpec, WindowedCounter, WindowedHistogram, WindowedSum};

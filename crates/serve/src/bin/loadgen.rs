@@ -28,6 +28,18 @@
 //! * `--metrics-json PATH` writes a live run report atomically every
 //!   `--metrics-every` ms during the replay; point `rrc-top` at it for a
 //!   terminal dashboard.
+//! * `--forensics` turns on tail-sampled exemplar traces and the
+//!   per-shard flight recorder; `--trace-out PATH` streams every
+//!   reservoir-admitted trace to a JSONL sink; `--dump-flight PATH`
+//!   dumps a CRC-checked flight bundle at exit — and the same path is
+//!   armed as a panic-hook / SIGTERM crash dump for the whole replay.
+//! * `--slo-observe-p99-us N` / `--slo-recommend-p99-us N` /
+//!   `--slo-quality-ratio F` declare SLO objectives; a background thread
+//!   evaluates them every `--slo-tick` ms with multi-window burn rates
+//!   and the final report carries per-objective verdicts.
+//! * `--inject-slow-user U` (with `--inject-slow-us`) stalls one user's
+//!   requests to manufacture a known-slow trace; `--inject-panic-after N`
+//!   panics a client mid-replay to exercise the crash dump (CI smoke).
 //!
 //! Defaults replay well over 10k events; `--users`/`--events` scale it.
 
@@ -36,11 +48,13 @@ use rand::SeedableRng;
 use rrc_core::{OnlineConfig, OnlineTsPpr, TsPprModel};
 use rrc_datagen::GeneratorConfig;
 use rrc_features::{FeaturePipeline, TrainStats};
-use rrc_obs::{Json, RunReport};
+use rrc_obs::{Json, JsonlSink, RunReport};
 use rrc_sequence::{Dataset, ItemId, SplitDataset, UserId};
-use rrc_serve::{EngineOptions, QualityConfig, ServeEngine, UstateOptions};
+use rrc_serve::{
+    EngineOptions, ForensicsOptions, QualityConfig, ServeEngine, SloOptions, UstateOptions,
+};
 use rrc_ustate::EvictionPolicy;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -93,6 +107,28 @@ struct Args {
     k: usize,
     /// Serving window capacity (events per user kept resident).
     window: usize,
+    /// Forensics: tail-sampled exemplar traces + flight recorder.
+    forensics: bool,
+    /// Stream reservoir-admitted traces to this JSONL file.
+    trace_out: Option<String>,
+    /// Flight-bundle path: dumped at exit, and armed as the panic/SIGTERM
+    /// crash-dump target for the whole replay.
+    dump_flight: Option<String>,
+    /// Panic a client thread after this many replayed events (CI smoke
+    /// for the crash-dump path).
+    inject_panic_after: Option<u64>,
+    /// Stall requests from this user id (see `--inject-slow-us`).
+    inject_slow_user: Option<u32>,
+    /// Stall duration for `--inject-slow-user`, in microseconds.
+    inject_slow_us: u64,
+    /// SLO: max windowed observe p99, in microseconds.
+    slo_observe_p99_us: Option<u64>,
+    /// SLO: max windowed recommend p99, in microseconds.
+    slo_recommend_p99_us: Option<u64>,
+    /// SLO: min windowed-over-cumulative hit@10 ratio (needs --quality).
+    slo_quality_ratio: Option<f64>,
+    /// SLO evaluation period, in milliseconds.
+    slo_tick_ms: u64,
 }
 
 impl Default for Args {
@@ -126,6 +162,49 @@ impl Default for Args {
             user_skew: 0.0,
             k: 16,
             window: 100,
+            forensics: false,
+            trace_out: None,
+            dump_flight: None,
+            inject_panic_after: None,
+            inject_slow_user: None,
+            inject_slow_us: 20_000,
+            slo_observe_p99_us: None,
+            slo_recommend_p99_us: None,
+            slo_quality_ratio: None,
+            slo_tick_ms: 200,
+        }
+    }
+}
+
+impl Args {
+    /// Forensics turns on when asked for directly or implied by any
+    /// forensic flag that needs its plumbing.
+    fn forensics_enabled(&self) -> bool {
+        self.forensics
+            || self.trace_out.is_some()
+            || self.dump_flight.is_some()
+            || self.inject_panic_after.is_some()
+            || self.inject_slow_user.is_some()
+    }
+
+    fn slo_options(&self) -> SloOptions {
+        SloOptions {
+            observe_p99_ns: self.slo_observe_p99_us.map(|us| us.saturating_mul(1_000)),
+            recommend_p99_ns: self.slo_recommend_p99_us.map(|us| us.saturating_mul(1_000)),
+            quality_ratio: self.slo_quality_ratio,
+            ..SloOptions::default()
+        }
+    }
+
+    fn forensics_options(&self, sink: Option<Arc<JsonlSink>>) -> ForensicsOptions {
+        ForensicsOptions {
+            enabled: self.forensics_enabled(),
+            trace_sink: sink,
+            slo: self.slo_options(),
+            inject_slow: self
+                .inject_slow_user
+                .map(|u| (u, Duration::from_micros(self.inject_slow_us))),
+            ..ForensicsOptions::default()
         }
     }
 }
@@ -139,7 +218,11 @@ fn usage() -> ! {
          [--quality] [--no-tracing] [--overhead] \
          [--metrics-json PATH] [--metrics-every MILLIS] \
          [--memory-budget BYTES] [--spill-dir DIR] [--evict clock|lru] \
-         [--user-skew EXPONENT] [--k N] [--window N]"
+         [--user-skew EXPONENT] [--k N] [--window N] \
+         [--forensics] [--trace-out PATH] [--dump-flight PATH] \
+         [--inject-panic-after N] [--inject-slow-user U] [--inject-slow-us MICROS] \
+         [--slo-observe-p99-us N] [--slo-recommend-p99-us N] \
+         [--slo-quality-ratio F] [--slo-tick MILLIS]"
     );
     std::process::exit(2);
 }
@@ -194,6 +277,22 @@ fn parse_args() -> Args {
             }
             "--k" => args.k = num(&mut it),
             "--window" => args.window = num(&mut it),
+            "--forensics" => args.forensics = true,
+            "--trace-out" => args.trace_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--dump-flight" => args.dump_flight = Some(it.next().unwrap_or_else(|| usage())),
+            "--inject-panic-after" => args.inject_panic_after = Some(num(&mut it) as u64),
+            "--inject-slow-user" => args.inject_slow_user = Some(num(&mut it) as u32),
+            "--inject-slow-us" => args.inject_slow_us = num(&mut it) as u64,
+            "--slo-observe-p99-us" => args.slo_observe_p99_us = Some(num(&mut it) as u64),
+            "--slo-recommend-p99-us" => args.slo_recommend_p99_us = Some(num(&mut it) as u64),
+            "--slo-quality-ratio" => {
+                args.slo_quality_ratio = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r: &f64| *r > 0.0 && r.is_finite())
+                    .or_else(|| usage());
+            }
+            "--slo-tick" => args.slo_tick_ms = num(&mut it) as u64,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -299,6 +398,7 @@ fn run_replay(
     engine: &Arc<ServeEngine>,
     replay: &[(UserId, Vec<ItemId>)],
     args: &Args,
+    panic_after: Option<u64>,
 ) -> Duration {
     // Round-robin users over client threads so each user's stream stays on
     // one client — cross-client FIFO for the same user is not defined.
@@ -311,7 +411,19 @@ fn run_replay(
     let engine_ref = &**engine;
     let done = AtomicBool::new(false);
     let done_ref = &done;
+    let replayed = AtomicU64::new(0);
+    let replayed_ref = &replayed;
     crossbeam::thread::scope(|scope| {
+        // SLO evaluation cadence (no-op without configured objectives).
+        if engine_ref.slo_tick().is_some() {
+            let period = Duration::from_millis(args.slo_tick_ms.max(10));
+            scope.spawn(move |_| {
+                while !done_ref.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    engine_ref.slo_tick();
+                }
+            });
+        }
         if args.swap_every_ms > 0 {
             scope.spawn(move |_| {
                 let period = Duration::from_millis(args.swap_every_ms);
@@ -344,6 +456,11 @@ fn run_replay(
                     for (user, events) in part {
                         for &item in events {
                             engine_ref.observe(*user, item);
+                            if let Some(n) = panic_after {
+                                if replayed_ref.fetch_add(1, Ordering::Relaxed) + 1 == n {
+                                    panic!("injected panic after {n} events");
+                                }
+                            }
                             if args.recommend_every > 0 {
                                 until_recommend -= 1;
                                 if until_recommend == 0 {
@@ -425,22 +542,33 @@ fn main() {
     let total_events: usize = replay.iter().map(|(_, e)| e.len()).sum();
     let rate = |elapsed: Duration| total_events as f64 / elapsed.as_secs_f64().max(1e-9);
 
-    // `--overhead` baseline leg: identical replay with tracing off, so
-    // the two rates differ only by the tracing instrumentation.
+    // `--overhead` baseline leg: identical replay with the measured
+    // subsystem off, so the two rates differ only by its cost. Plain
+    // `--overhead` measures tracing (baseline: everything off);
+    // `--overhead --forensics` measures forensics (baseline: tracing on,
+    // forensics off — the BENCH_serve.json forensics on/off pair).
+    let forensic_pair = args.overhead && args.forensics_enabled();
     let baseline = args.overhead.then(|| {
         let online = build_online(&args, &data, &split);
-        eprintln!("overhead baseline: tracing off");
+        eprintln!(
+            "overhead baseline: {}",
+            if forensic_pair {
+                "tracing on, forensics off"
+            } else {
+                "tracing off"
+            }
+        );
         let engine = Arc::new(ServeEngine::start_with(
             online,
             args.shards,
             EngineOptions {
-                tracing: false,
+                tracing: forensic_pair,
                 quality: args.quality.then(QualityConfig::default),
                 ustate: ustate_options(&args),
                 ..EngineOptions::default()
             },
         ));
-        let elapsed = run_replay(&engine, &replay, &args);
+        let elapsed = run_replay(&engine, &replay, &args, None);
         eprintln!(
             "overhead baseline: {} events in {:.2?} ({:.0}/s)",
             total_events,
@@ -455,10 +583,17 @@ fn main() {
     });
 
     // The measured engine. With `--overhead` this leg forces tracing on.
+    let trace_sink = args.trace_out.as_ref().map(|path| {
+        JsonlSink::to_file(path).unwrap_or_else(|e| {
+            eprintln!("failed to open trace sink {path}: {e}");
+            std::process::exit(1);
+        })
+    });
     let options = EngineOptions {
         tracing: args.overhead || !args.no_tracing,
         quality: args.quality.then(QualityConfig::default),
         ustate: ustate_options(&args),
+        forensics: args.forensics_options(trace_sink.clone()),
         ..EngineOptions::default()
     };
     let online = build_online(&args, &data, &split);
@@ -479,6 +614,36 @@ fn main() {
     );
     let engine = Arc::new(ServeEngine::start_with(online, args.shards, options));
 
+    // Arm the crash-dump path: a panic anywhere in the process (and
+    // SIGTERM, via a polling watchdog) dumps every shard's flight ring
+    // to a CRC-checked bundle before dying.
+    if let Some(path) = &args.dump_flight {
+        match engine.flight_dump_target(std::path::PathBuf::from(path)) {
+            Some(target) => {
+                rrc_obs::install_flight_dump(target);
+                eprintln!("flight recorder armed: crash dumps go to {path}");
+                #[cfg(unix)]
+                {
+                    rrc_obs::forensics::signals::install_sigterm_flag();
+                    std::thread::spawn(|| loop {
+                        std::thread::sleep(Duration::from_millis(100));
+                        if rrc_obs::forensics::signals::sigterm_received() {
+                            match rrc_obs::dump_flight_now("sigterm") {
+                                Some(Ok(stats)) => {
+                                    eprintln!("SIGTERM: dumped {} flight events", stats.events)
+                                }
+                                Some(Err(e)) => eprintln!("SIGTERM: flight dump failed: {e}"),
+                                None => {}
+                            }
+                            std::process::exit(143);
+                        }
+                    });
+                }
+            }
+            None => eprintln!("--dump-flight ignored: forensics needs tracing on"),
+        }
+    }
+
     // Deployment loop under load: install every version published into
     // the registry while the replay is running.
     let watcher = args.registry.as_ref().map(|dir| {
@@ -490,7 +655,7 @@ fn main() {
         )
     });
 
-    let elapsed = run_replay(&engine, &replay, &args);
+    let elapsed = run_replay(&engine, &replay, &args, args.inject_panic_after);
 
     let report = engine.metrics();
     println!("{report}");
@@ -518,13 +683,42 @@ fn main() {
     }
     let overhead = baseline.map(|base| {
         let ratio = rate(elapsed) / rate(base).max(1e-9);
+        let what = if forensic_pair {
+            "forensics overhead"
+        } else {
+            "tracing overhead"
+        };
         println!(
-            "tracing overhead: {:.0}/s off -> {:.0}/s on (ratio {ratio:.3})",
+            "{what}: {:.0}/s off -> {:.0}/s on (ratio {ratio:.3})",
             rate(base),
             rate(elapsed)
         );
         ratio
     });
+
+    // Drain the exemplar-trace sink and take the on-demand flight dump
+    // now that the replay is over.
+    if let Some(sink) = &trace_sink {
+        sink.flush();
+        eprintln!(
+            "wrote {} exemplar traces to {}",
+            sink.events_written(),
+            args.trace_out.as_deref().unwrap_or("?")
+        );
+    }
+    if let Some(path) = &args.dump_flight {
+        match engine.write_flight_bundle(std::path::Path::new(path), "on-demand") {
+            Some(Ok(stats)) => eprintln!(
+                "flight bundle: {} events, crc {:#010x} -> {path}",
+                stats.events, stats.crc32
+            ),
+            Some(Err(e)) => {
+                eprintln!("failed to write flight bundle {path}: {e}");
+                std::process::exit(1);
+            }
+            None => {}
+        }
+    }
 
     if let Some(path) = &args.json {
         let mut run = RunReport::new("loadgen")
@@ -549,7 +743,8 @@ fn main() {
             )
             .config("evict", args.evict.to_string())
             .config("tracing", args.overhead || !args.no_tracing)
-            .config("quality", args.quality);
+            .config("quality", args.quality)
+            .config("forensics", args.forensics_enabled());
         let mut results = vec![
             ("events", Json::from(total_events)),
             ("elapsed_s", Json::F64(elapsed.as_secs_f64())),
@@ -560,7 +755,14 @@ fn main() {
                 "baseline_events_per_sec",
                 Json::F64(rate(baseline.unwrap())),
             ));
-            results.push(("tracing_on_over_off", Json::F64(ratio)));
+            // With forensics on, the baseline leg already ran with tracing
+            // enabled, so the ratio isolates the forensics layer itself.
+            let key = if forensic_pair {
+                "forensics_on_over_off"
+            } else {
+                "tracing_on_over_off"
+            };
+            results.push((key, Json::F64(ratio)));
         }
         run.add_section("results", Json::obj(results));
         run.add_section("ustate", ustate_section(&report, &args));

@@ -42,22 +42,27 @@ use crate::metrics::{EngineMetrics, MetricsReport};
 use crate::overlay::{ModelDiff, ModelOverlay};
 use crate::quality::{self, micro, QualityConfig, QualityReport, ShardQuality, VersionQuality};
 use crate::routing::shard_for;
-use crate::trace::TraceCtx;
+use crate::trace::{ShardStamp, StageNanos, TraceCtx};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rrc_core::parallel::mix64;
 use rrc_core::{
     observe_single, recommend_single, ModelParams, OnlineConfig, OnlineTsPpr, TsPprModel,
 };
 use rrc_features::{FeatureContext, FeaturePipeline, TrainStats};
-use rrc_obs::WindowSpec;
+use rrc_obs::{
+    BurnConfig, FlightBundleStats, FlightDumpTarget, FlightRecorder, Json, JsonlSink, SloState,
+    WindowSpec,
+};
 use rrc_sequence::{ConsumptionKind, ItemId, UserId, WindowState};
 use rrc_ustate::{EvictionPolicy, TierConfig, TierParams, UserStateTier};
-use std::path::PathBuf;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// User-state tier sizing, chosen at [`ServeEngine::start_with`] time.
 ///
@@ -77,8 +82,81 @@ pub struct UstateOptions {
     pub spill_dir: Option<PathBuf>,
 }
 
+/// Declarative service-level objectives, evaluated by
+/// [`ServeEngine::slo_tick`] over the rolling windowed series with
+/// multi-window burn rates. Every objective is optional; with none set
+/// the SLO engine is not constructed at all.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloOptions {
+    /// Max acceptable windowed observe p99 (max across shards), in ns.
+    pub observe_p99_ns: Option<u64>,
+    /// Max acceptable windowed recommend p99 (max across shards), in ns.
+    pub recommend_p99_ns: Option<u64>,
+    /// Min acceptable windowed-over-cumulative hit@10 ratio (e.g. 0.95 =
+    /// "recent quality within 5% of since-install"). Needs quality
+    /// monitoring enabled; the objective freezes while idle.
+    pub quality_ratio: Option<f64>,
+    /// Burn-rate window shape shared by every objective.
+    pub burn: BurnConfig,
+}
+
+/// Forensic observability: tail-sampled exemplar traces, per-shard
+/// flight-recorder rings, and the SLO burn-rate engine. Off by default —
+/// and inert without `tracing`, which provides the stage stamps exemplar
+/// traces are made of.
+#[derive(Debug, Clone)]
+pub struct ForensicsOptions {
+    /// Master switch for reservoirs, exemplars, and flight rings.
+    pub enabled: bool,
+    /// Per-shard reservoir size: the K slowest and K most recent
+    /// completed traces are retained per rolling window.
+    pub reservoir_k: usize,
+    /// Per-shard flight-recorder ring capacity, in events.
+    pub flight_capacity: usize,
+    /// Sink receiving one JSONL `trace` event per reservoir admission
+    /// (tail-based sampling: admission *is* the sampling decision).
+    pub trace_sink: Option<Arc<JsonlSink>>,
+    /// SLO objectives; evaluated when [`ServeEngine::slo_tick`] is
+    /// called (independent of `enabled`, though latency objectives read
+    /// series only forensics populates).
+    pub slo: SloOptions,
+    /// Fault injection for tests and smoke runs: stall the owning shard
+    /// for the given duration whenever it scores a request from this
+    /// user id (the stall lands in the `score` stage).
+    pub inject_slow: Option<(u32, Duration)>,
+}
+
+impl Default for ForensicsOptions {
+    fn default() -> Self {
+        ForensicsOptions {
+            enabled: false,
+            reservoir_k: 8,
+            flight_capacity: 256,
+            trace_sink: None,
+            slo: SloOptions::default(),
+            inject_slow: None,
+        }
+    }
+}
+
+impl PartialEq for ForensicsOptions {
+    fn eq(&self, other: &Self) -> bool {
+        let sink_eq = match (&self.trace_sink, &other.trace_sink) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        };
+        sink_eq
+            && self.enabled == other.enabled
+            && self.reservoir_k == other.reservoir_k
+            && self.flight_capacity == other.flight_capacity
+            && self.slo == other.slo
+            && self.inject_slow == other.inject_slow
+    }
+}
+
 /// Optional engine subsystems, chosen at [`ServeEngine::start_with`] time.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineOptions {
     /// Request-scoped tracing: per-stage latency histograms plus
     /// queue-depth / in-flight gauges. Cheap (a few atomic ops per
@@ -93,6 +171,8 @@ pub struct EngineOptions {
     pub window: WindowSpec,
     /// User-state tier sizing (unbounded by default).
     pub ustate: UstateOptions,
+    /// Forensic observability (exemplar traces, flight recorder, SLOs).
+    pub forensics: ForensicsOptions,
 }
 
 impl Default for EngineOptions {
@@ -102,6 +182,7 @@ impl Default for EngineOptions {
             quality: None,
             window: WindowSpec::default(),
             ustate: UstateOptions::default(),
+            forensics: ForensicsOptions::default(),
         }
     }
 }
@@ -109,13 +190,13 @@ impl Default for EngineOptions {
 /// Reply to a synchronous [`Request::Observe`].
 struct ObserveReply {
     kind: ConsumptionKind,
-    processed: Option<Instant>,
+    stamp: Option<ShardStamp>,
 }
 
 /// Reply to a [`Request::Recommend`].
 struct RecommendReply {
     items: Vec<ItemId>,
-    processed: Option<Instant>,
+    stamp: Option<ShardStamp>,
 }
 
 /// A message to a shard. Every request for a user flows through the same
@@ -172,15 +253,18 @@ struct Shard {
     /// stamped onto served lists for quality attribution.
     version: u64,
     quality: Option<ShardQuality>,
+    /// Fault injection: stall this user's requests (see
+    /// [`ForensicsOptions::inject_slow`]).
+    inject_slow: Option<(u32, Duration)>,
     /// Scratch feature buffer for the drift top-1 sample.
     fbuf: Vec<f64>,
 }
 
 impl Shard {
-    /// Tracing hooks for one traced request: dequeue stamp now, processed
-    /// stamp when done. `None` when the request carries no trace or
-    /// tracing is disabled.
-    fn dequeue_stamp(&self, trace: Option<&TraceCtx>) -> Option<Instant> {
+    /// Tracing hooks for one traced request: dequeue stamp (plus the
+    /// observed queue depth) now, processed stamp when done. `None` when
+    /// the request carries no trace or tracing is disabled.
+    fn dequeue_stamp(&self, trace: Option<&TraceCtx>) -> Option<(Instant, u64)> {
         match (self.metrics.tracing.as_ref(), trace) {
             (Some(t), Some(tr)) => Some(t.on_dequeue(self.id, tr)),
             _ => None,
@@ -190,16 +274,41 @@ impl Shard {
     fn processed_stamp(
         &self,
         trace: Option<&TraceCtx>,
-        dequeued: Option<Instant>,
-    ) -> Option<Instant> {
-        let processed = match (self.metrics.tracing.as_ref(), trace, dequeued) {
-            (Some(t), Some(tr), Some(d)) => Some(t.on_processed(self.id, tr, d)),
+        dequeued: Option<(Instant, u64)>,
+        kind: &'static str,
+    ) -> Option<ShardStamp> {
+        let stamp = match (self.metrics.tracing.as_ref(), trace, dequeued) {
+            (Some(t), Some(tr), Some((d, depth))) => {
+                let (processed, stages) = t.on_processed(self.id, tr, d);
+                if let Some(fx) = &self.metrics.forensics {
+                    if crate::metrics::sampled(tr.id) {
+                        fx.on_processed_shard(self.id, tr, &stages, depth, kind, self.version);
+                    }
+                }
+                Some(ShardStamp {
+                    dequeued: d,
+                    processed,
+                    queue_depth: depth,
+                    version: self.version,
+                })
+            }
             _ => None,
         };
         if let (Some(t), Some(_)) = (self.metrics.tracing.as_ref(), trace) {
             t.on_complete(self.id);
         }
-        processed
+        stamp
+    }
+
+    /// Fault injection: stall scoring for the configured user so tests
+    /// can manufacture a known-slow request (lands in the `score` stage,
+    /// between the dequeue and processed stamps).
+    fn stall_if_injected(&self, user: UserId) {
+        if let Some((target, dur)) = self.inject_slow {
+            if user.0 == target {
+                std::thread::sleep(dur);
+            }
+        }
     }
 
     /// Re-account the touched user, enforce the byte budget, and drain
@@ -210,6 +319,16 @@ impl Shard {
             .note_access(user)
             .expect("user-state tier: spill evicted state");
         let delta = self.tier.take_delta();
+        if let Some(fx) = &self.metrics.forensics {
+            // Evictions and spills are rare, high-signal events — exactly
+            // what a post-incident flight dump should show.
+            for &u in &delta.evicted_users {
+                fx.flight[self.id].record("eviction", vec![("user", Json::U64(u as u64))]);
+            }
+            for &ns in &delta.spill_ns {
+                fx.flight[self.id].record("spill", vec![("spill_ns", Json::U64(ns))]);
+            }
+        }
         self.metrics.ustate.record(self.id, &delta);
         self.metrics.ustate.set_footprint(
             self.id,
@@ -231,6 +350,7 @@ impl Shard {
                     reply,
                 } => {
                     let dequeued = self.dequeue_stamp(trace.as_ref());
+                    self.stall_if_injected(user);
                     let base = self.tier.base().clone();
                     let (window, factors) = self
                         .tier
@@ -254,9 +374,9 @@ impl Shard {
                     let counters = &self.metrics.shards[self.id];
                     counters.observes.inc();
                     counters.online_updates.add(updates);
-                    let processed = self.processed_stamp(trace.as_ref(), dequeued);
+                    let stamp = self.processed_stamp(trace.as_ref(), dequeued, "observe");
                     if let Some(reply) = reply {
-                        let _ = reply.send(ObserveReply { kind, processed });
+                        let _ = reply.send(ObserveReply { kind, stamp });
                     }
                 }
                 Request::Recommend {
@@ -266,6 +386,7 @@ impl Shard {
                     reply,
                 } => {
                     let dequeued = self.dequeue_stamp(trace.as_ref());
+                    self.stall_if_injected(user);
                     let base = self.tier.base().clone();
                     let (window, factors) = self
                         .tier
@@ -298,11 +419,8 @@ impl Shard {
                     }
                     self.settle_tier(user);
                     self.metrics.shards[self.id].recommends.inc();
-                    let processed = self.processed_stamp(trace.as_ref(), dequeued);
-                    let _ = reply.send(RecommendReply {
-                        items: recs,
-                        processed,
-                    });
+                    let stamp = self.processed_stamp(trace.as_ref(), dequeued, "recommend");
+                    let _ = reply.send(RecommendReply { items: recs, stamp });
                 }
                 Request::Flush { reply } => {
                     let _ = reply.send(());
@@ -332,6 +450,9 @@ impl Shard {
                     self.overlay.install(model.clone());
                     self.tier.install(model, version);
                     self.version = version;
+                    if let Some(fx) = &self.metrics.forensics {
+                        fx.flight[self.id].record("swap", vec![("version", Json::U64(version))]);
+                    }
                     self.metrics.shards[self.id].swaps.inc();
                     let _ = reply.send(());
                 }
@@ -400,6 +521,7 @@ impl ServeEngine {
             options.window,
             options.quality,
             options.ustate.budget_bytes,
+            &options.forensics,
         ));
 
         // Partition per-user windows by the routing function, in user
@@ -473,6 +595,7 @@ impl ServeEngine {
                     .quality
                     .as_ref()
                     .map(|q| ShardQuality::new(metrics.registry.clone(), q.spec, q.drift.clone())),
+                inject_slow: options.forensics.inject_slow,
                 fbuf: Vec::with_capacity(pipeline.len()),
             };
             let handle = std::thread::Builder::new()
@@ -514,15 +637,30 @@ impl ServeEngine {
 
     /// Mint a trace context for a request bound for `shard` (bumping its
     /// queue-depth / in-flight gauges), or `None` with tracing off.
-    fn trace_for(&self, shard: usize) -> Option<TraceCtx> {
-        self.metrics.tracing.as_ref().map(|t| t.on_enqueue(shard))
+    fn trace_for(&self, shard: usize, user: UserId) -> Option<TraceCtx> {
+        self.metrics
+            .tracing
+            .as_ref()
+            .map(|t| t.on_enqueue(shard, mix64(user.0 as u64)))
     }
 
-    /// Close a traced request: the span since the shard's `processed`
-    /// stamp is the `respond` stage.
-    fn close_trace(&self, shard: usize, trace: Option<TraceCtx>, processed: Option<Instant>) {
-        if let (Some(t), Some(tr), Some(p)) = (self.metrics.tracing.as_ref(), trace, processed) {
-            t.on_respond(shard, &tr, p);
+    /// Close a traced request: decompose the four stamps into stages,
+    /// record the `respond` leg, and hand the completed timeline to
+    /// forensics (reservoir admission, exemplars, trace sink).
+    fn close_trace(
+        &self,
+        shard: usize,
+        kind: &'static str,
+        trace: Option<TraceCtx>,
+        stamp: Option<ShardStamp>,
+    ) {
+        let (Some(t), Some(tr), Some(st)) = (self.metrics.tracing.as_ref(), trace, stamp) else {
+            return;
+        };
+        let stages = StageNanos::from_instants(tr.enqueued, st.dequeued, st.processed);
+        t.on_respond(shard, &tr, &stages);
+        if let Some(fx) = &self.metrics.forensics {
+            fx.on_client_complete(shard, kind, &tr, &st, &stages);
         }
     }
 
@@ -531,7 +669,7 @@ impl ServeEngine {
     pub fn observe(&self, user: UserId, item: ItemId) -> ConsumptionKind {
         let start = Instant::now();
         let shard = shard_for(user, self.senders.len());
-        let trace = self.trace_for(shard);
+        let trace = self.trace_for(shard, user);
         let (reply_tx, reply_rx) = bounded(1);
         self.senders[shard]
             .send(Request::Observe {
@@ -542,7 +680,7 @@ impl ServeEngine {
             })
             .expect("shard thread alive");
         let reply = reply_rx.recv().expect("shard replies to observe");
-        self.close_trace(shard, trace, reply.processed);
+        self.close_trace(shard, "observe", trace, reply.stamp);
         self.metrics
             .observe_latency
             .record_duration(start.elapsed());
@@ -555,7 +693,7 @@ impl ServeEngine {
     /// `enqueue_wait` and `score`; there is no reply, so no `respond` leg.
     pub fn observe_nowait(&self, user: UserId, item: ItemId) {
         let shard = shard_for(user, self.senders.len());
-        let trace = self.trace_for(shard);
+        let trace = self.trace_for(shard, user);
         self.senders[shard]
             .send(Request::Observe {
                 user,
@@ -571,7 +709,7 @@ impl ServeEngine {
     pub fn recommend(&self, user: UserId, n: usize) -> Vec<ItemId> {
         let start = Instant::now();
         let shard = shard_for(user, self.senders.len());
-        let trace = self.trace_for(shard);
+        let trace = self.trace_for(shard, user);
         let (reply_tx, reply_rx) = bounded(1);
         self.senders[shard]
             .send(Request::Recommend {
@@ -582,7 +720,7 @@ impl ServeEngine {
             })
             .expect("shard thread alive");
         let reply = reply_rx.recv().expect("shard replies to recommend");
-        self.close_trace(shard, trace, reply.processed);
+        self.close_trace(shard, "recommend", trace, reply.stamp);
         self.metrics
             .recommend_latency
             .record_duration(start.elapsed());
@@ -746,6 +884,71 @@ impl ServeEngine {
     /// Point-in-time traffic and latency report.
     pub fn metrics(&self) -> MetricsReport {
         self.metrics.report(self.started.elapsed())
+    }
+
+    /// Advance the SLO burn-rate engine one evaluation tick and return
+    /// the worst objective state, or `None` when no objectives are
+    /// configured. Call at a steady cadence (the burn windows are
+    /// counted in ticks). When a quality objective is configured this
+    /// runs an in-band quality export to compute the windowed-over-
+    /// cumulative hit@10 ratio.
+    pub fn slo_tick(&self) -> Option<SloState> {
+        self.metrics.slo.as_ref()?;
+        let quality_ratio = if self.metrics.slo_wants_quality() {
+            self.quality_report()
+                .and_then(|r| r.windowed_over_cumulative_hit10())
+        } else {
+            None
+        };
+        self.metrics.slo_tick(quality_ratio)
+    }
+
+    /// The per-shard flight-recorder rings (empty when forensics is
+    /// off). Shared handles: loadgen clones them into a panic-hook dump
+    /// target so a crash can still dump the rings.
+    pub fn flight_recorders(&self) -> Vec<Arc<FlightRecorder>> {
+        self.metrics
+            .forensics
+            .as_ref()
+            .map(|fx| fx.flight.clone())
+            .unwrap_or_default()
+    }
+
+    /// Metadata lines stamped into flight-bundle headers. (`reason` is
+    /// added separately — [`rrc_obs::dump_flight_now`] stamps its own.)
+    fn flight_meta(&self) -> Vec<(String, Json)> {
+        vec![
+            ("shards".to_string(), Json::from(self.senders.len())),
+            ("model_version".to_string(), Json::U64(self.model_version())),
+            (
+                "uptime_ms".to_string(),
+                Json::U64(self.started.elapsed().as_millis().min(u64::MAX as u128) as u64),
+            ),
+        ]
+    }
+
+    /// Dump every shard's flight ring to a CRC-checked JSONL bundle at
+    /// `path` (atomic tmp+rename), or `None` when forensics is off.
+    pub fn write_flight_bundle(
+        &self,
+        path: &Path,
+        reason: &str,
+    ) -> Option<io::Result<FlightBundleStats>> {
+        let fx = self.metrics.forensics.as_ref()?;
+        let mut meta = self.flight_meta();
+        meta.push(("reason".to_string(), Json::Str(reason.to_string())));
+        Some(rrc_obs::write_flight_bundle(path, &meta, &fx.flight))
+    }
+
+    /// A [`FlightDumpTarget`] for `rrc_obs::install_flight_dump` — the
+    /// panic-hook / SIGTERM dump path — or `None` when forensics is off.
+    pub fn flight_dump_target(&self, path: PathBuf) -> Option<FlightDumpTarget> {
+        let fx = self.metrics.forensics.as_ref()?;
+        Some(FlightDumpTarget {
+            path,
+            meta: self.flight_meta(),
+            recorders: fx.flight.clone(),
+        })
     }
 
     /// Prometheus text exposition of the engine's metrics registry:
@@ -1300,6 +1503,139 @@ mod tests {
                 > 0
         );
         assert!(doc.at("ustate.cache.hit_rate").unwrap().as_f64().is_some());
+        engine.shutdown();
+    }
+
+    /// A `Write` that appends into a shared Vec for inspection.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// The PR's end-to-end acceptance path: a known-slow request is
+    /// recoverable after the fact — its trace id is the exemplar on the
+    /// p99 `score` bucket, its full per-stage timeline is in the trace
+    /// sink, it tops the slowest-trace reservoir, and the SLO engine
+    /// walks ok → warn → page on the sustained latency breach.
+    #[test]
+    fn injected_slow_request_is_recoverable_end_to_end() {
+        let buf = SharedBuf::default();
+        let sink = rrc_obs::JsonlSink::to_writer(Box::new(buf.clone()));
+        let slow_user = 1u32;
+        let options = EngineOptions {
+            forensics: ForensicsOptions {
+                enabled: true,
+                trace_sink: Some(sink.clone()),
+                slo: SloOptions {
+                    // Far below the injected 20ms stall: every tick
+                    // under traffic is a breach.
+                    observe_p99_ns: Some(100_000),
+                    ..SloOptions::default()
+                },
+                inject_slow: Some((slow_user, Duration::from_millis(20))),
+                ..ForensicsOptions::default()
+            },
+            ..EngineOptions::default()
+        };
+        let (engine, _) = engine_fixture_with(0, 2, options);
+
+        // The slow user's request goes first so it draws trace id 0 —
+        // inside the 1-in-4 sample, so its stage exemplars are pinned.
+        let _ = engine.observe(UserId(slow_user), ItemId(0));
+        for u in 0..8u32 {
+            if u != slow_user {
+                engine.observe(UserId(u), ItemId(0));
+            }
+        }
+        engine.flush();
+
+        // 1. The slow request's trace id is the exemplar on the p99
+        //    score bucket of its shard.
+        let report = engine.metrics();
+        let fx = report.forensics.as_ref().expect("forensics enabled");
+        let slow_shard = shard_for(UserId(slow_user), 2);
+        let score_exemplar = fx
+            .p99_exemplars
+            .iter()
+            .find(|e| e.shard == slow_shard && e.stage == "score")
+            .expect("score p99 exemplar on the slow shard");
+        assert_eq!(score_exemplar.trace_id, 0, "{fx:?}");
+        assert!(
+            score_exemplar.p99_ns >= 15_000_000,
+            "p99 must sit in the stalled bucket: {score_exemplar:?}"
+        );
+
+        // 2. The reservoir ranks it slowest engine-wide.
+        let slowest = fx.slowest.first().expect("reservoir has traces");
+        assert_eq!(slowest.id, 0);
+        assert_eq!(slowest.user_hash, mix64(slow_user as u64));
+        assert!(slowest.score_ns >= 15_000_000);
+
+        // 3. Its full per-stage timeline reached the trace sink.
+        sink.flush();
+        let lines = buf.0.lock().unwrap().clone();
+        let lines = String::from_utf8(lines).expect("sink is utf-8");
+        let slow_line = lines
+            .lines()
+            .map(|l| Json::parse(l).expect("sink lines parse"))
+            .find(|doc| {
+                doc.get("event").and_then(Json::as_str) == Some("trace")
+                    && doc.get("trace_id").and_then(Json::as_u64) == Some(0)
+            })
+            .expect("slow trace admitted to the sink");
+        assert!(slow_line.get("score_ns").and_then(Json::as_u64).unwrap() >= 15_000_000);
+        assert!(slow_line.get("enqueue_wait_ns").is_some());
+        assert!(slow_line.get("respond_ns").is_some());
+        assert_eq!(
+            slow_line.get("shard").and_then(Json::as_u64),
+            Some(slow_shard as u64)
+        );
+
+        // 4. Sustained breach: the burn-rate engine escalates
+        //    ok → warn → page, in order, without skipping warn.
+        let states: Vec<SloState> = (0..12).map(|_| engine.slo_tick().unwrap()).collect();
+        assert_eq!(states[0], SloState::Ok, "one breach tick cannot warn");
+        assert_eq!(*states.last().unwrap(), SloState::Page, "{states:?}");
+        let first_warn = states.iter().position(|s| *s == SloState::Warn);
+        let first_page = states.iter().position(|s| *s == SloState::Page);
+        assert!(
+            first_warn.unwrap() < first_page.unwrap(),
+            "must pass through warn before paging: {states:?}"
+        );
+
+        // 5. The flight rings saw the traffic and dump to a valid bundle.
+        let dir = std::env::temp_dir().join(format!("rrc-e2e-flight-{}", std::process::id()));
+        let path = dir.join("bundle.jsonl");
+        let stats = engine
+            .write_flight_bundle(&path, "test")
+            .expect("forensics on")
+            .expect("bundle writes");
+        assert!(stats.events > 0);
+        assert_eq!(rrc_obs::validate_flight_bundle(&path).unwrap(), stats);
+        std::fs::remove_dir_all(&dir).ok();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn forensics_off_reports_no_sections() {
+        let (engine, _) = engine_fixture(0, 2);
+        let _ = engine.recommend(UserId(0), 5);
+        let report = engine.metrics();
+        assert!(report.forensics.is_none());
+        assert!(report.slo.is_none());
+        assert!(engine.slo_tick().is_none());
+        assert!(engine.flight_recorders().is_empty());
+        assert!(engine
+            .write_flight_bundle(Path::new("/dev/null"), "x")
+            .is_none());
         engine.shutdown();
     }
 }

@@ -69,16 +69,17 @@ pub mod routing;
 pub mod trace;
 pub mod watcher;
 
-pub use engine::{EngineOptions, ServeEngine, UstateOptions};
+pub use engine::{EngineOptions, ForensicsOptions, ServeEngine, SloOptions, UstateOptions};
 pub use metrics::{
-    LatencySummary, MetricsReport, ShardCountersSnapshot, StageSummary, WindowedThroughput,
+    ForensicsReport, LatencySummary, MetricsReport, P99Exemplar, ShardCountersSnapshot, SloSection,
+    StageSummary, WindowedThroughput,
 };
 pub use overlay::{ModelDiff, ModelOverlay};
 pub use quality::{
     DriftValues, QualityConfig, QualityReport, VersionQuality, VersionQualityReport, QUALITY_AT,
 };
 pub use routing::shard_for;
-pub use trace::{StageNanos, TraceCtx};
+pub use trace::{ShardStamp, StageNanos, TraceCtx};
 pub use watcher::RegistryWatcher;
 // The latency histogram now lives in the workspace-wide observability
 // crate; re-exported here for serving-focused callers.

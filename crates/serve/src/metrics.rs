@@ -11,14 +11,16 @@
 //! [`ServeEngine::metrics_text`](crate::ServeEngine::metrics_text)
 //! exposes the same registry as Prometheus text.
 
+use crate::engine::ForensicsOptions;
 use crate::quality::{DriftAccum, QualityConfig};
-use crate::trace::{StageNanos, TraceCtx};
+use crate::trace::{ShardStamp, StageNanos, TraceCtx};
 use rrc_obs::{
-    Counter, Gauge, Histogram, HistogramSnapshot, Json, Registry, WindowSpec, WindowedCounter,
-    WindowedHistogram,
+    top_slowest, BucketExemplars, Counter, ExemplarTrace, FlightRecorder, Gauge, Histogram,
+    HistogramSnapshot, Json, JsonlSink, Registry, SloEngine, SloState, SloVerdict, TraceReservoir,
+    WindowSpec, WindowedCounter, WindowedHistogram,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Names of the three traced request stages, in pipeline order.
@@ -37,7 +39,7 @@ const WINDOW_SAMPLE_SHIFT: u32 = 2;
 
 /// True when this request id is in the 1-in-2^shift rolling sample.
 #[inline]
-fn sampled(id: u64) -> bool {
+pub(crate) fn sampled(id: u64) -> bool {
     id & ((1 << WINDOW_SAMPLE_SHIFT) - 1) == 0
 }
 
@@ -189,31 +191,40 @@ impl TracingMetrics {
 
     /// Client side, just before the request enters the shard channel:
     /// bump the queue-depth and in-flight gauges and mint the context.
-    pub fn on_enqueue(&self, shard: usize) -> TraceCtx {
+    pub fn on_enqueue(&self, shard: usize, user_hash: u64) -> TraceCtx {
         self.queue_depth[shard].add(1);
         self.inflight[shard].add(1);
         TraceCtx {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            user_hash,
             enqueued: Instant::now(),
         }
     }
 
     /// Shard side, right after pulling a traced request off the channel:
     /// drop the depth gauge and (for sampled requests) record the
-    /// remaining depth.
-    pub fn on_dequeue(&self, shard: usize, trace: &TraceCtx) -> Instant {
+    /// remaining depth. Returns the dequeue stamp and the observed depth
+    /// (for the reply's [`ShardStamp`]).
+    pub fn on_dequeue(&self, shard: usize, trace: &TraceCtx) -> (Instant, u64) {
         self.queue_depth[shard].add(-1);
+        let depth = self.queue_depth[shard].get().max(0) as u64;
         if sampled(trace.id) {
-            let depth = self.queue_depth[shard].get().max(0) as u64;
             self.queue_sampled[shard].record(depth);
         }
-        Instant::now()
+        (Instant::now(), depth)
     }
 
     /// Shard side, when processing finishes: record `enqueue_wait` and
     /// `score` (the `respond` leg is only observable by the client).
-    /// Returns the `processed` stamp to embed in the reply.
-    pub fn on_processed(&self, shard: usize, trace: &TraceCtx, dequeued: Instant) -> Instant {
+    /// Returns the `processed` stamp to embed in the reply plus the
+    /// stage decomposition so far (respond still zero), which forensic
+    /// hooks reuse without a second clock read.
+    pub fn on_processed(
+        &self,
+        shard: usize,
+        trace: &TraceCtx,
+        dequeued: Instant,
+    ) -> (Instant, StageNanos) {
         let processed = Instant::now();
         let stages = StageNanos::from_instants(trace.enqueued, dequeued, processed);
         self.stages[shard].enqueue_wait.record(stages.enqueue_wait);
@@ -225,7 +236,7 @@ impl TracingMetrics {
             w.score.record_at_instant(processed, stages.score);
         }
         self.events_window[shard].add_at_instant(processed, 1);
-        processed
+        (processed, stages)
     }
 
     /// Shard side, after the reply (if any) is sent: the request is no
@@ -234,17 +245,278 @@ impl TracingMetrics {
         self.inflight[shard].add(-1);
     }
 
-    /// Client side, after receiving a reply carrying the shard's
-    /// `processed` stamp: the remaining span is the `respond` stage.
-    pub fn on_respond(&self, shard: usize, trace: &TraceCtx, processed: Instant) {
-        let received = Instant::now();
-        let ns = received
-            .saturating_duration_since(processed)
-            .as_nanos()
-            .min(u64::MAX as u128) as u64;
-        self.stages[shard].respond.record(ns);
+    /// Client side, after receiving a reply: record the `respond` stage
+    /// from the client-computed stage decomposition.
+    pub fn on_respond(&self, shard: usize, trace: &TraceCtx, stages: &StageNanos) {
+        self.stages[shard].respond.record(stages.respond);
         if sampled(trace.id) {
-            self.windows[shard].respond.record_at_instant(received, ns);
+            self.windows[shard].respond.record(stages.respond);
+        }
+    }
+}
+
+/// One shard's per-stage bucket exemplars: a trace id pinned to every
+/// populated stage-histogram bucket, so a p99 bucket links to a concrete
+/// replayable trace.
+pub(crate) struct StageExemplars {
+    pub enqueue_wait: BucketExemplars,
+    pub score: BucketExemplars,
+    pub respond: BucketExemplars,
+}
+
+impl StageExemplars {
+    fn new() -> Self {
+        StageExemplars {
+            enqueue_wait: BucketExemplars::new(),
+            score: BucketExemplars::new(),
+            respond: BucketExemplars::new(),
+        }
+    }
+}
+
+/// Forensic state: per-shard tail-sampling reservoirs, stage bucket
+/// exemplars, flight-recorder rings, and per-shard rolling request
+/// latency histograms (`serve_request_latency_window_ns{shard,kind}`)
+/// that feed the SLO engine's latency objectives.
+///
+/// Hot-path cost discipline: exemplars and flight events are recorded
+/// only for sampled requests (the 1-in-4 id sample); the reservoir is
+/// consulted for every completed reply but takes its mutex only when the
+/// trace clears the lock-free [`TraceReservoir::admission_floor`] (i.e.
+/// is a tail candidate) or is in the sample.
+pub(crate) struct ForensicsMetrics {
+    pub reservoirs: Vec<Arc<TraceReservoir>>,
+    pub exemplars: Vec<StageExemplars>,
+    pub flight: Vec<Arc<FlightRecorder>>,
+    pub observe_window: Vec<Arc<WindowedHistogram>>,
+    pub recommend_window: Vec<Arc<WindowedHistogram>>,
+    pub sink: Option<Arc<JsonlSink>>,
+    /// Epoch for the reservoirs' monotonic aging clock.
+    origin: Instant,
+}
+
+impl std::fmt::Debug for ForensicsMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForensicsMetrics")
+            .field("shards", &self.flight.len())
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl ForensicsMetrics {
+    fn register(
+        registry: &Registry,
+        shards: usize,
+        window: WindowSpec,
+        opts: &ForensicsOptions,
+    ) -> Self {
+        let window_ns = window.window().as_nanos().min(u64::MAX as u128) as u64;
+        let shard_label: Vec<String> = (0..shards).map(|s| s.to_string()).collect();
+        let latency = |kind: &str| -> Vec<Arc<WindowedHistogram>> {
+            shard_label
+                .iter()
+                .map(|s| {
+                    registry.windowed_histogram_with(
+                        "serve_request_latency_window_ns",
+                        &[("shard", s), ("kind", kind)],
+                        window,
+                    )
+                })
+                .collect()
+        };
+        ForensicsMetrics {
+            reservoirs: (0..shards)
+                .map(|_| Arc::new(TraceReservoir::new(opts.reservoir_k, window_ns)))
+                .collect(),
+            exemplars: (0..shards).map(|_| StageExemplars::new()).collect(),
+            flight: (0..shards)
+                .map(|s| Arc::new(FlightRecorder::new(s, opts.flight_capacity)))
+                .collect(),
+            observe_window: latency("observe"),
+            recommend_window: latency("recommend"),
+            sink: opts.trace_sink.clone(),
+            origin: Instant::now(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Shard side, for *sampled* traced requests only: pin stage
+    /// exemplars for the shard-observable stages and drop a `request`
+    /// event into the shard's flight ring.
+    pub fn on_processed_shard(
+        &self,
+        shard: usize,
+        trace: &TraceCtx,
+        stages: &StageNanos,
+        queue_depth: u64,
+        kind: &'static str,
+        version: u64,
+    ) {
+        let e = &self.exemplars[shard];
+        e.enqueue_wait.record(stages.enqueue_wait, trace.id);
+        e.score.record(stages.score, trace.id);
+        self.flight[shard].record(
+            "request",
+            vec![
+                ("trace_id", Json::U64(trace.id)),
+                ("user_hash", Json::U64(trace.user_hash)),
+                ("kind", Json::Str(kind.to_string())),
+                ("queue_depth", Json::U64(queue_depth)),
+                ("enqueue_wait_ns", Json::U64(stages.enqueue_wait)),
+                ("score_ns", Json::U64(stages.score)),
+                ("version", Json::U64(version)),
+            ],
+        );
+    }
+
+    /// Client side, when a traced reply closes: finish the exemplar
+    /// trace, offer it to the shard's tail reservoir (admission = the
+    /// sampling decision → JSONL sink), and feed the rolling request
+    /// latency histogram behind the SLO latency objectives.
+    pub fn on_client_complete(
+        &self,
+        shard: usize,
+        kind: &'static str,
+        trace: &TraceCtx,
+        stamp: &ShardStamp,
+        stages: &StageNanos,
+    ) {
+        let total = stages.total();
+        let in_sample = sampled(trace.id);
+        if in_sample {
+            self.exemplars[shard]
+                .respond
+                .record(stages.respond, trace.id);
+            let w = if kind == "recommend" {
+                &self.recommend_window[shard]
+            } else {
+                &self.observe_window[shard]
+            };
+            w.record(total);
+        }
+        let reservoir = &self.reservoirs[shard];
+        if !in_sample && total < reservoir.admission_floor() {
+            return; // fast path: cannot be tail, not in the sample
+        }
+        let exemplar = ExemplarTrace {
+            id: trace.id,
+            user_hash: trace.user_hash,
+            shard,
+            version: stamp.version,
+            kind,
+            queue_depth: stamp.queue_depth,
+            enqueue_wait_ns: stages.enqueue_wait,
+            score_ns: stages.score,
+            respond_ns: stages.respond,
+        };
+        let admitted = reservoir.offer(exemplar, self.now_ns());
+        if admitted {
+            if let Some(sink) = &self.sink {
+                sink.event(
+                    "trace",
+                    &[
+                        ("trace_id", Json::U64(trace.id)),
+                        ("user_hash", Json::U64(trace.user_hash)),
+                        ("shard", Json::U64(shard as u64)),
+                        ("version", Json::U64(stamp.version)),
+                        ("kind", Json::Str(kind.to_string())),
+                        ("queue_depth", Json::U64(stamp.queue_depth)),
+                        ("enqueue_wait_ns", Json::U64(stages.enqueue_wait)),
+                        ("score_ns", Json::U64(stages.score)),
+                        ("respond_ns", Json::U64(stages.respond)),
+                        ("total_ns", Json::U64(total)),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+/// Which live measurement feeds each SLO objective, in objective order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SloValueKind {
+    /// Max across shards of the windowed observe-latency p99.
+    ObserveP99,
+    /// Max across shards of the windowed recommend-latency p99.
+    RecommendP99,
+    /// Windowed hit@10 over since-install hit@10 (needs quality
+    /// monitoring; `None` until both sides have opportunities).
+    QualityRatio,
+}
+
+/// The SLO burn-rate engine plus its exposition gauges
+/// (`slo_state{objective=…}`: 0 ok / 1 warn / 2 page, and `slo_worst`).
+pub(crate) struct SloMetrics {
+    engine: Mutex<SloEngine>,
+    wants: Vec<SloValueKind>,
+    state_gauges: Vec<Arc<Gauge>>,
+    worst_gauge: Arc<Gauge>,
+}
+
+impl std::fmt::Debug for SloMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloMetrics")
+            .field("objectives", &self.wants)
+            .finish()
+    }
+}
+
+impl SloMetrics {
+    fn register(registry: &Registry, opts: &crate::engine::SloOptions) -> Option<Self> {
+        let mut objectives = Vec::new();
+        let mut wants = Vec::new();
+        if let Some(ns) = opts.observe_p99_ns {
+            objectives.push(rrc_obs::Objective::le("observe_p99_ns", ns as f64));
+            wants.push(SloValueKind::ObserveP99);
+        }
+        if let Some(ns) = opts.recommend_p99_ns {
+            objectives.push(rrc_obs::Objective::le("recommend_p99_ns", ns as f64));
+            wants.push(SloValueKind::RecommendP99);
+        }
+        if let Some(r) = opts.quality_ratio {
+            objectives.push(rrc_obs::Objective::ge("quality_hit10_ratio", r));
+            wants.push(SloValueKind::QualityRatio);
+        }
+        if objectives.is_empty() {
+            return None;
+        }
+        let state_gauges = objectives
+            .iter()
+            .map(|o| registry.gauge_with("slo_state", &[("objective", &o.name)]))
+            .collect();
+        Some(SloMetrics {
+            engine: Mutex::new(SloEngine::new(objectives, opts.burn)),
+            wants,
+            state_gauges,
+            worst_gauge: registry.gauge("slo_worst"),
+        })
+    }
+
+    /// True when any objective needs an in-band quality report per tick.
+    pub fn wants_quality(&self) -> bool {
+        self.wants.contains(&SloValueKind::QualityRatio)
+    }
+
+    fn tick(&self, values: &[Option<f64>]) -> SloState {
+        let mut engine = self.engine.lock().expect("slo engine lock");
+        engine.tick(values);
+        for (gauge, verdict) in self.state_gauges.iter().zip(engine.verdicts()) {
+            gauge.set(verdict.state.as_gauge() as i64);
+        }
+        let worst = engine.worst();
+        self.worst_gauge.set(worst.as_gauge() as i64);
+        worst
+    }
+
+    fn section(&self) -> SloSection {
+        let engine = self.engine.lock().expect("slo engine lock");
+        SloSection {
+            worst: engine.worst(),
+            verdicts: engine.verdicts(),
         }
     }
 }
@@ -396,6 +668,8 @@ pub(crate) struct EngineMetrics {
     pub observe_latency: Arc<Histogram>,
     pub shards: Vec<ShardCounters>,
     pub tracing: Option<TracingMetrics>,
+    pub forensics: Option<ForensicsMetrics>,
+    pub slo: Option<SloMetrics>,
     pub quality: Option<QualityMetrics>,
     pub ustate: UstateMetrics,
     /// Per-shard tier budget (None = unbounded), echoed in the report.
@@ -412,6 +686,7 @@ impl EngineMetrics {
         window: WindowSpec,
         quality: Option<QualityConfig>,
         ustate_budget: Option<usize>,
+        forensics: &ForensicsOptions,
     ) -> Self {
         let registry = Registry::new();
         registry.gauge("serve_shards").set(shards as i64);
@@ -422,6 +697,11 @@ impl EngineMetrics {
                 .map(|id| ShardCounters::register(&registry, id))
                 .collect(),
             tracing: tracing.then(|| TracingMetrics::register(&registry, shards, window)),
+            // Forensics rides on tracing — without stage stamps there is
+            // nothing to put in an exemplar trace.
+            forensics: (forensics.enabled && tracing)
+                .then(|| ForensicsMetrics::register(&registry, shards, window, forensics)),
+            slo: SloMetrics::register(&registry, &forensics.slo),
             quality: quality.map(|cfg| QualityMetrics::register(&registry, cfg)),
             ustate: UstateMetrics::register(&registry, shards, window),
             ustate_budget,
@@ -444,6 +724,45 @@ impl EngineMetrics {
         if let Some(q) = &self.quality {
             q.drift.reset_baseline();
         }
+    }
+
+    /// True when the SLO engine has an objective fed by quality
+    /// monitoring (the caller must then supply `quality_ratio` to
+    /// [`EngineMetrics::slo_tick`]).
+    pub fn slo_wants_quality(&self) -> bool {
+        self.slo.as_ref().is_some_and(|s| s.wants_quality())
+    }
+
+    /// Advance the SLO burn-rate engine one evaluation tick against the
+    /// live windowed series; returns the worst objective state, or
+    /// `None` when no objectives are configured. Latency objectives read
+    /// the max-across-shards windowed p99; the quality objective takes
+    /// the caller-computed windowed/cumulative hit@10 ratio.
+    pub fn slo_tick(&self, quality_ratio: Option<f64>) -> Option<SloState> {
+        let slo = self.slo.as_ref()?;
+        let windowed_p99 = |windows: &[Arc<WindowedHistogram>]| -> Option<f64> {
+            windows
+                .iter()
+                .filter_map(|w| w.snapshot().quantile(0.99))
+                .max()
+                .map(|ns| ns as f64)
+        };
+        let values: Vec<Option<f64>> = slo
+            .wants
+            .iter()
+            .map(|kind| match kind {
+                SloValueKind::ObserveP99 => self
+                    .forensics
+                    .as_ref()
+                    .and_then(|fx| windowed_p99(&fx.observe_window)),
+                SloValueKind::RecommendP99 => self
+                    .forensics
+                    .as_ref()
+                    .and_then(|fx| windowed_p99(&fx.recommend_window)),
+                SloValueKind::QualityRatio => quality_ratio,
+            })
+            .collect();
+        Some(slo.tick(&values))
     }
 
     /// Refresh the uptime gauge (called at every exposition).
@@ -537,6 +856,37 @@ impl EngineMetrics {
             spill: merge_hists(&u.spill_ns),
             load: merge_hists(&u.load_ns),
         };
+        let forensics = self.forensics.as_ref().map(|fx| {
+            let mut p99_exemplars = Vec::new();
+            if let Some(t) = &self.tracing {
+                for (shard, hists) in t.stages.iter().enumerate() {
+                    let ex = &fx.exemplars[shard];
+                    let per_stage: [(&'static str, &Arc<Histogram>, &BucketExemplars); 3] = [
+                        ("enqueue_wait", &hists.enqueue_wait, &ex.enqueue_wait),
+                        ("score", &hists.score, &ex.score),
+                        ("respond", &hists.respond, &ex.respond),
+                    ];
+                    for (stage, hist, exemplars) in per_stage {
+                        let Some(p99) = hist.snapshot().quantile(0.99) else {
+                            continue;
+                        };
+                        if let Some(trace_id) = exemplars.exemplar_for_value(p99) {
+                            p99_exemplars.push(P99Exemplar {
+                                shard,
+                                stage,
+                                p99_ns: p99,
+                                trace_id,
+                            });
+                        }
+                    }
+                }
+            }
+            ForensicsReport {
+                slowest: top_slowest(fx.reservoirs.iter().map(|r| r.as_ref()), 10),
+                p99_exemplars,
+                flight_events: fx.flight.iter().map(|r| r.recorded()).sum(),
+            }
+        });
         MetricsReport {
             uptime,
             recommend_latency: LatencySummary::from(self.recommend_latency.snapshot()),
@@ -545,7 +895,87 @@ impl EngineMetrics {
             stages,
             windowed,
             ustate,
+            forensics,
+            slo: self.slo.as_ref().map(|s| s.section()),
         }
+    }
+}
+
+/// A stage-histogram p99 pinned to a concrete trace: the exemplar that
+/// turns "shard 2's score p99 regressed" into a replayable request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct P99Exemplar {
+    pub shard: usize,
+    /// One of [`STAGE_NAMES`].
+    pub stage: &'static str,
+    /// The stage's cumulative p99 at report time, in nanoseconds.
+    pub p99_ns: u64,
+    /// Trace id pinned to (or nearest below) the p99 bucket.
+    pub trace_id: u64,
+}
+
+impl P99Exemplar {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("shard", Json::from(self.shard)),
+            ("stage", Json::Str(self.stage.to_string())),
+            ("p99_ns", Json::U64(self.p99_ns)),
+            ("trace_id", Json::U64(self.trace_id)),
+        ])
+    }
+}
+
+/// Forensic digest inside a [`MetricsReport`]: the engine-wide slowest
+/// exemplar traces, the p99 bucket exemplars per shard × stage, and the
+/// lifetime flight-recorder event count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForensicsReport {
+    /// Slowest completed traces across all shard reservoirs, slowest
+    /// first (at most 10).
+    pub slowest: Vec<ExemplarTrace>,
+    pub p99_exemplars: Vec<P99Exemplar>,
+    /// Events ever recorded into flight rings (not just the survivors).
+    pub flight_events: u64,
+}
+
+impl ForensicsReport {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "slowest",
+                Json::Arr(self.slowest.iter().map(ExemplarTrace::to_json).collect()),
+            ),
+            (
+                "p99_exemplars",
+                Json::Arr(
+                    self.p99_exemplars
+                        .iter()
+                        .map(P99Exemplar::to_json)
+                        .collect(),
+                ),
+            ),
+            ("flight_events", Json::U64(self.flight_events)),
+        ])
+    }
+}
+
+/// SLO verdicts inside a [`MetricsReport`]: worst state plus the full
+/// per-objective burn-rate detail, machine-readable for `obs-check`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSection {
+    pub worst: SloState,
+    pub verdicts: Vec<SloVerdict>,
+}
+
+impl SloSection {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("worst", Json::Str(self.worst.as_str().to_string())),
+            (
+                "objectives",
+                Json::Arr(self.verdicts.iter().map(SloVerdict::to_json).collect()),
+            ),
+        ])
     }
 }
 
@@ -726,6 +1156,11 @@ pub struct MetricsReport {
     pub windowed: Option<WindowedThroughput>,
     /// User-state tier traffic and footprint.
     pub ustate: UstateReport,
+    /// Exemplar traces and flight-recorder digest (None when forensics
+    /// is off).
+    pub forensics: Option<ForensicsReport>,
+    /// SLO verdicts (None when no objectives are configured).
+    pub slo: Option<SloSection>,
 }
 
 impl MetricsReport {
@@ -802,6 +1237,16 @@ impl MetricsReport {
                     .map_or(Json::Null, WindowedThroughput::to_json),
             ),
             ("ustate", self.ustate.to_json()),
+            (
+                "forensics",
+                self.forensics
+                    .as_ref()
+                    .map_or(Json::Null, ForensicsReport::to_json),
+            ),
+            (
+                "slo",
+                self.slo.as_ref().map_or(Json::Null, SloSection::to_json),
+            ),
         ])
     }
 }
@@ -829,6 +1274,43 @@ impl std::fmt::Display for MetricsReport {
                 "windowed events={} rate={:.0}/s covered={:.1?} over_cumulative={:.3}",
                 w.events, w.rate_per_sec, w.covered, w.over_cumulative
             )?;
+        }
+        if let Some(fx) = &self.forensics {
+            for t in fx.slowest.iter().take(3) {
+                writeln!(
+                    f,
+                    "slow trace id={} shard={} kind={} total={}ns wait={}ns score={}ns respond={}ns depth={}",
+                    t.id,
+                    t.shard,
+                    t.kind,
+                    t.total_ns(),
+                    t.enqueue_wait_ns,
+                    t.score_ns,
+                    t.respond_ns,
+                    t.queue_depth
+                )?;
+            }
+            for e in &fx.p99_exemplars {
+                writeln!(
+                    f,
+                    "p99 exemplar shard={} stage={} p99={}ns trace={}",
+                    e.shard, e.stage, e.p99_ns, e.trace_id
+                )?;
+            }
+        }
+        if let Some(slo) = &self.slo {
+            for v in &slo.verdicts {
+                writeln!(
+                    f,
+                    "slo {} {} {:.0} state={} burn short={:.2} long={:.2}",
+                    v.name,
+                    v.cmp.as_str(),
+                    v.bound,
+                    v.state.as_str(),
+                    v.short_burn,
+                    v.long_burn
+                )?;
+            }
         }
         let u = &self.ustate;
         if u.hits + u.misses > 0 {
@@ -860,7 +1342,14 @@ mod tests {
     use super::*;
 
     fn plain(shards: usize) -> EngineMetrics {
-        EngineMetrics::new(shards, false, WindowSpec::default(), None, None)
+        EngineMetrics::new(
+            shards,
+            false,
+            WindowSpec::default(),
+            None,
+            None,
+            &ForensicsOptions::default(),
+        )
     }
 
     #[test]
@@ -917,13 +1406,21 @@ mod tests {
 
     #[test]
     fn ustate_report_aggregates_shards() {
-        let m = EngineMetrics::new(2, false, WindowSpec::default(), None, Some(4096));
+        let m = EngineMetrics::new(
+            2,
+            false,
+            WindowSpec::default(),
+            None,
+            Some(4096),
+            &ForensicsOptions::default(),
+        );
         m.ustate.record(
             0,
             &rrc_ustate::TierDelta {
                 hits: 3,
                 misses: 1,
                 evictions: 2,
+                evicted_users: vec![7, 9],
                 spill_ns: vec![1_000, 2_000],
                 load_ns: vec![500],
             },
@@ -934,6 +1431,7 @@ mod tests {
                 hits: 5,
                 misses: 1,
                 evictions: 0,
+                evicted_users: vec![],
                 spill_ns: vec![],
                 load_ns: vec![],
             },

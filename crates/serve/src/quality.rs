@@ -358,6 +358,23 @@ impl QualityReport {
         total
     }
 
+    /// Windowed hit@10 over since-install hit@10, folded across versions
+    /// — the SLO engine's quality-regression signal. `None` until both
+    /// the window and the cumulative ledger have opportunities (absence
+    /// of traffic is not a quality breach).
+    pub fn windowed_over_cumulative_hit10(&self) -> Option<f64> {
+        let cum_rate = self.overall().hit_rate_at(2);
+        if cum_rate <= 0.0 {
+            return None;
+        }
+        let w_opp: u64 = self.versions.iter().map(|v| v.windowed_opportunities).sum();
+        if w_opp == 0 {
+            return None;
+        }
+        let w_hits: u64 = self.versions.iter().map(|v| v.windowed_hits_at[2]).sum();
+        Some((w_hits as f64 / w_opp as f64) / cum_rate)
+    }
+
     pub fn to_json(&self) -> Json {
         let overall = self.overall();
         Json::obj([

@@ -27,8 +27,26 @@ use std::time::Instant;
 pub struct TraceCtx {
     /// Engine-unique request id (monotonically assigned at enqueue).
     pub id: u64,
+    /// `mix64` of the requesting user id — a stable join key carried
+    /// into exemplar traces without shipping the raw id.
+    pub user_hash: u64,
     /// When the client handed the request to the shard channel.
     pub enqueued: Instant,
+}
+
+/// Stamps a shard embeds in a traced reply so the client can close the
+/// trace: the dequeue/processed instants for the stage decomposition,
+/// plus the forensic context only the shard could observe.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStamp {
+    /// When the shard pulled the request off its channel.
+    pub dequeued: Instant,
+    /// When the shard finished processing (start of the respond leg).
+    pub processed: Instant,
+    /// Channel depth observed at dequeue.
+    pub queue_depth: u64,
+    /// Model version that served the request.
+    pub version: u64,
 }
 
 /// One traced request's stage durations, in nanoseconds.

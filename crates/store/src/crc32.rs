@@ -1,37 +1,10 @@
 //! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
-//! guarding every section payload. Table-driven, built at compile time;
-//! hand-rolled because the workspace vendors its dependency set.
+//! guarding every section payload. The implementation moved to
+//! [`rrc_obs::crc32`] when the forensics flight-recorder bundle adopted
+//! the same footer checksum; this module keeps the store-local path and
+//! the store's own regression vectors.
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-static TABLE: [u32; 256] = build_table();
-
-/// The CRC-32 of `bytes` (same parameters as zlib's `crc32`).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
-    }
-    !crc
-}
+pub use rrc_obs::crc32::crc32;
 
 #[cfg(test)]
 mod tests {

@@ -94,6 +94,9 @@ pub struct TierDelta {
     pub misses: u64,
     /// Entries pushed out under budget pressure.
     pub evictions: u64,
+    /// The user ids evicted, in eviction order — forensic hooks (flight
+    /// recorders) want *who* was pushed out, not just how many.
+    pub evicted_users: Vec<u32>,
     /// Nanoseconds per eviction spill (encode + segment append).
     pub spill_ns: Vec<u64>,
     /// Nanoseconds per cold reload (segment read + decode + rebase).
@@ -111,6 +114,7 @@ impl TierDelta {
         self.hits += other.hits;
         self.misses += other.misses;
         self.evictions += other.evictions;
+        self.evicted_users.extend(other.evicted_users);
         self.spill_ns.extend(other.spill_ns);
         self.load_ns.extend(other.load_ns);
     }
@@ -448,6 +452,7 @@ impl UserStateTier {
         seg.append(victim, &rec)?;
         self.delta.spill_ns.push(t0.elapsed().as_nanos() as u64);
         self.delta.evictions += 1;
+        self.delta.evicted_users.push(victim);
         Ok(())
     }
 }
