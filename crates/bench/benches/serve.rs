@@ -4,7 +4,9 @@
 //! Each iteration replays the full test stream through
 //! `ServeEngine::observe_nowait` and waits for a `flush` barrier, so the
 //! measured time covers routing, queueing, window maintenance, and (when
-//! learning) online SGD in the shards.
+//! learning) online SGD in the shards. A separate group pins the
+//! admission gate's per-request cost on its fast (admit) and saturated
+//! (shed) paths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -84,6 +86,32 @@ fn bench_observe_throughput(c: &mut Criterion) {
     }
 }
 
+/// The admission gate sits on every data request when a queue bound is
+/// configured, so its CAS loop must stay in the few-nanosecond range —
+/// this pins the per-request overhead of overload protection.
+fn bench_admission_gate(c: &mut Criterion) {
+    use rrc_serve::{AdmissionGate, RequestKind};
+    let mut group = c.benchmark_group("serve_admission_gate");
+    group.throughput(Throughput::Elements(1));
+    // Uncontended fast path: admit + release on an empty gate.
+    let gate = AdmissionGate::new(64, 48);
+    group.bench_function("admit_release", |b| {
+        b.iter(|| {
+            if gate.try_admit(RequestKind::Observe).is_ok() {
+                gate.release();
+            }
+        });
+    });
+    // Saturated path: the gate is full, every attempt sheds. This is the
+    // cost paid exactly when the engine can least afford extra work.
+    let full = AdmissionGate::new(4, 4);
+    while full.try_admit(RequestKind::Recommend).is_ok() {}
+    group.bench_function("shed_when_full", |b| {
+        b.iter(|| std::hint::black_box(full.try_admit(RequestKind::Observe).is_err()));
+    });
+    group.finish();
+}
+
 fn bench_recommend_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_recommend_top10");
     for shards in [1usize, 4] {
@@ -104,6 +132,6 @@ fn bench_recommend_latency(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_observe_throughput, bench_recommend_latency
+    targets = bench_observe_throughput, bench_recommend_latency, bench_admission_gate
 }
 criterion_main!(benches);

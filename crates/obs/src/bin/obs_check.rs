@@ -20,6 +20,12 @@
 //!   quantiles (`p99.9`) because it reads the raw buckets, and it fails
 //!   when no histogram matches — a regression gate that can't silently
 //!   pass because a series disappeared.
+//! * `--eq-sum TARGET A [B]...` — conservation-law gate: the value at
+//!   `TARGET` must equal the sum of the values at the addend paths
+//!   (within a tiny float tolerance). Addends are consumed until the
+//!   next `--flag`. Wildcarded addends sum over every match, so
+//!   `--eq-sum engine.overload.total.offered engine.overload.total.admitted
+//!   engine.overload.total.shed` asserts `offered == admitted + shed`.
 //! * `--flight BUNDLE.jsonl` — validate a flight-recorder bundle: header
 //!   magic, event ordering, footer count, and CRC32 over the bytes.
 //!
@@ -47,8 +53,8 @@ use rrc_obs::Json;
 fn usage() -> ! {
     eprintln!(
         "usage: obs-check REPORT.json [--require PATH]... [--min PATH VALUE]... \
-         [--max PATH VALUE]... [--histogram-quantile 'name{{labels}}' pQQ MAX]... \
-         [--flight BUNDLE.jsonl]..."
+         [--max PATH VALUE]... [--eq-sum TARGET ADDEND...]... \
+         [--histogram-quantile 'name{{labels}}' pQQ MAX]... [--flight BUNDLE.jsonl]..."
     );
     std::process::exit(2);
 }
@@ -153,6 +159,59 @@ struct QuantileCheck {
     max: f64,
 }
 
+/// An `--eq-sum` assertion: the target path must equal the sum of the
+/// addend paths. This is how CI states conservation laws
+/// (`offered == admitted + shed`) without a `jq` dependency.
+struct EqSumCheck {
+    target: String,
+    addends: Vec<String>,
+}
+
+/// Sum every numeric value a path resolves to; an empty or non-numeric
+/// resolution is an error, not a zero — a conservation gate must not
+/// silently pass because a counter disappeared.
+fn sum_path(doc: &Json, path: &str, failures: &mut Vec<String>) -> Option<f64> {
+    let matches = resolve(doc, path);
+    if matches.is_empty() {
+        failures.push(format!("missing key: {path}"));
+        return None;
+    }
+    let mut total = 0.0;
+    for (at, v) in matches {
+        match v.as_f64() {
+            Some(x) if x.is_finite() => total += x,
+            _ => {
+                failures.push(format!("non-numeric value at {at}"));
+                return None;
+            }
+        }
+    }
+    Some(total)
+}
+
+/// Run one `--eq-sum` assertion. Counters arrive as exact integers but
+/// travel as JSON numbers, so equality allows a relative 1e-9 slack.
+fn check_eq_sum(doc: &Json, check: &EqSumCheck, failures: &mut Vec<String>) {
+    let Some(target) = sum_path(doc, &check.target, failures) else {
+        return;
+    };
+    let mut sum = 0.0;
+    for addend in &check.addends {
+        match sum_path(doc, addend, failures) {
+            Some(x) => sum += x,
+            None => return,
+        }
+    }
+    let tolerance = 1e-9 * target.abs().max(sum.abs()).max(1.0);
+    if (target - sum).abs() > tolerance {
+        failures.push(format!(
+            "conservation violated: {} = {target} but {} sums to {sum}",
+            check.target,
+            check.addends.join(" + ")
+        ));
+    }
+}
+
 /// Parse `p99` / `p99.9` / `p50` into a quantile in `[0, 1]`.
 fn parse_quantile(spec: &str) -> Option<f64> {
     let pct: f64 = spec.strip_prefix('p')?.parse().ok()?;
@@ -211,6 +270,7 @@ fn main() {
     ];
     let mut bounds: Vec<(String, Bound)> = Vec::new();
     let mut quantiles: Vec<QuantileCheck> = Vec::new();
+    let mut eq_sums: Vec<EqSumCheck> = Vec::new();
     let mut flights: Vec<String> = Vec::new();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -246,6 +306,21 @@ fn main() {
                     max,
                 });
             }
+            "--eq-sum" => {
+                let target = args.next().unwrap_or_else(|| usage());
+                let mut addends = Vec::new();
+                // Addends run until the next `--flag` (or the end).
+                while let Some(next) = args.peek() {
+                    if next.starts_with("--") {
+                        break;
+                    }
+                    addends.push(args.next().unwrap());
+                }
+                if addends.is_empty() {
+                    usage();
+                }
+                eq_sums.push(EqSumCheck { target, addends });
+            }
             "--flight" => flights.push(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
@@ -254,7 +329,8 @@ fn main() {
             }
         }
     }
-    let report_checks = requires.len() > 3 || !bounds.is_empty() || !quantiles.is_empty();
+    let report_checks =
+        requires.len() > 3 || !bounds.is_empty() || !quantiles.is_empty() || !eq_sums.is_empty();
     if path.is_none() && (flights.is_empty() || report_checks) {
         usage();
     }
@@ -278,7 +354,7 @@ fn main() {
             }
         };
 
-        checked += requires.len() + bounds.len() + quantiles.len();
+        checked += requires.len() + bounds.len() + quantiles.len() + eq_sums.len();
         for p in &requires {
             let matches = resolve(&doc, p);
             if matches.is_empty() {
@@ -315,6 +391,9 @@ fn main() {
         }
         for check in &quantiles {
             check_quantile(&doc, check, &mut failures);
+        }
+        for check in &eq_sums {
+            check_eq_sum(&doc, check, &mut failures);
         }
 
         if failures.is_empty() {

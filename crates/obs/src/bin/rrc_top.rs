@@ -290,6 +290,39 @@ fn render(doc: &Json) -> String {
         }
     }
 
+    // Overload panel: the conservation-law books (offered = admitted +
+    // shed, split by kind and reason), queue bounds, and the windowed
+    // shed rate an operator watches during an incident.
+    if let Some(o) = doc.at("engine.overload").filter(|s| !s.is_null()) {
+        let f = |k: &str| o.at(k).and_then(Json::as_f64);
+        out.push_str(&format!(
+            "\n  {:<14} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "overload", "offered", "admitted", "shed", "queue", "deadline"
+        ));
+        for (label, kind) in [
+            ("observe", "observe"),
+            ("recommend", "recommend"),
+            ("total", "total"),
+        ] {
+            let g = |k: &str| f(&format!("{kind}.{k}"));
+            out.push_str(&format!(
+                "  {label:<14} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+                count(g("offered")),
+                count(g("admitted")),
+                count(g("shed")),
+                count(g("shed_queue")),
+                count(g("shed_deadline")),
+            ));
+        }
+        let cap = f("queue_cap").map_or("unbounded".to_string(), |c| format!("{c:.0}"));
+        let ocap = f("observe_cap").map_or("-".to_string(), |c| format!("{c:.0}"));
+        out.push_str(&format!(
+            "  cap {cap} (observe {ocap}) · peak depth {} · windowed shed rate {}\n",
+            count(f("peak_depth")),
+            f("window.shed_rate").map_or("-".to_string(), |r| format!("{r:.3}")),
+        ));
+    }
+
     // SLO panel: worst state up top (the thing an operator scans for),
     // then per-objective burn rates.
     if let Some(slo) = doc.at("engine.slo").filter(|s| !s.is_null()) {
@@ -352,6 +385,7 @@ fn render(doc: &Json) -> String {
     let absent: Vec<&str> = [
         ("ustate", doc.at("engine.ustate")),
         ("quality", doc.get("quality")),
+        ("overload", doc.at("engine.overload")),
         ("slo", doc.at("engine.slo")),
         ("forensics", doc.at("engine.forensics")),
     ]
@@ -452,5 +486,76 @@ fn main() {
             let _ = std::io::stdout().flush();
         }
         std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A report with no optional sections at all renders cleanly and
+    /// lists every missing panel — including overload — in the footer
+    /// instead of crashing or drawing an empty table.
+    #[test]
+    fn absent_optional_sections_land_in_the_footer() {
+        let doc = Json::parse(r#"{"report": "bare", "engine": {"uptime_ms": 12.5}}"#).unwrap();
+        let frame = render(&doc);
+        assert!(frame.contains("rrc-top · report \"bare\""));
+        assert!(
+            frame.contains("(not enabled: ustate, quality, overload, slo, forensics)"),
+            "footer must name every absent section, got:\n{frame}"
+        );
+        assert!(
+            !frame.contains("\n  overload"),
+            "no overload panel without the section"
+        );
+    }
+
+    /// An explicit `null` section (the writer's way of saying "feature
+    /// off") is treated exactly like a missing one.
+    #[test]
+    fn null_overload_section_counts_as_absent() {
+        let doc =
+            Json::parse(r#"{"report": "x", "engine": {"overload": null, "slo": null}}"#).unwrap();
+        let frame = render(&doc);
+        assert!(frame.contains("overload, slo"));
+        assert!(!frame.contains("windowed shed rate"));
+    }
+
+    /// With the section present, the panel shows the per-kind books and
+    /// the cap/peak/shed-rate summary line, and leaves the footer alone.
+    #[test]
+    fn overload_panel_renders_the_conservation_books() {
+        let doc = Json::parse(
+            r#"{
+                "report": "hot",
+                "engine": {
+                    "overload": {
+                        "queue_cap": 64,
+                        "observe_cap": 48,
+                        "peak_depth": 17,
+                        "observe": {"offered": 100, "admitted": 80, "shed": 20,
+                                    "shed_queue": 15, "shed_deadline": 5},
+                        "recommend": {"offered": 10, "admitted": 10, "shed": 0,
+                                      "shed_queue": 0, "shed_deadline": 0},
+                        "total": {"offered": 110, "admitted": 90, "shed": 20,
+                                  "shed_queue": 15, "shed_deadline": 5},
+                        "window": {"offered": 40, "shed": 10, "shed_rate": 0.25}
+                    }
+                }
+            }"#,
+        )
+        .unwrap();
+        let frame = render(&doc);
+        assert!(frame.contains("overload"));
+        assert!(frame.contains("cap 64 (observe 48)"));
+        assert!(frame.contains("peak depth 17"));
+        assert!(frame.contains("windowed shed rate 0.250"));
+        // The total row carries the full books.
+        assert!(frame.contains("110"), "total offered missing:\n{frame}");
+        assert!(
+            !frame.contains("overload, "),
+            "present section must not be listed absent:\n{frame}"
+        );
     }
 }

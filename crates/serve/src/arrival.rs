@@ -1,0 +1,283 @@
+//! Open-loop arrival processes for the `loadgen` replay harness.
+//!
+//! The historical loadgen is *closed-loop*: each client thread fires its
+//! next event the moment the previous reply lands, so the offered rate is
+//! whatever the engine can absorb and the queues never build. Real
+//! repeat-consumption traffic is open-loop — users do not wait for each
+//! other — and is bursty, hot-keyed, and diurnal (consumption timing is
+//! well modeled as a periodic/self-exciting point process; see
+//! PAPERS.md on Recurrent Poisson Factorization). This module turns a
+//! seeded RNG into a deterministic **arrival schedule**: a monotone list
+//! of nanosecond offsets from the run start, each tagged with what to do
+//! at that instant (replay the next recorded event, or aim a flash-crowd
+//! recommend at a hot user).
+//!
+//! All processes are sampled by thinning-free inversion on a piecewise
+//! rate: the wait to the next arrival at current rate `λ` is
+//! `-ln(1-u)/λ` with `u` uniform in `[0,1)`. The same seed always yields
+//! the byte-identical schedule ([`encode`] pins this down in a
+//! determinism test and a committed golden fixture).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Nanoseconds per second, as f64, for rate conversions.
+const NANOS_PER_SEC: f64 = 1_000_000_000.0;
+
+/// The arrival *process*: how inter-arrival gaps are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Closed-loop (historical behavior): no pacing, every arrival at
+    /// offset 0 — clients fire as fast as replies return.
+    Closed,
+    /// Open-loop Poisson at a constant target rate (events/second).
+    Poisson { rate: f64 },
+    /// Poisson at `rate`, with periodic burst trains at `burst_rate`:
+    /// every `period_ns`, the first `burst_ns` run at the burst rate.
+    Burst {
+        rate: f64,
+        burst_rate: f64,
+        period_ns: u64,
+        burst_ns: u64,
+    },
+    /// Sinusoidal diurnal ramp: rate `rate * (1 + amplitude * sin(2πt/period))`,
+    /// floored at a small positive rate so the schedule always advances.
+    Diurnal {
+        rate: f64,
+        period_ns: u64,
+        amplitude: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Instantaneous target rate (events/second) at offset `t_ns`.
+    fn rate_at(&self, t_ns: u64) -> f64 {
+        match *self {
+            ArrivalProcess::Closed => f64::INFINITY,
+            ArrivalProcess::Poisson { rate } => rate.max(1e-9),
+            ArrivalProcess::Burst {
+                rate,
+                burst_rate,
+                period_ns,
+                burst_ns,
+            } => {
+                let phase = t_ns % period_ns.max(1);
+                if phase < burst_ns {
+                    burst_rate.max(1e-9)
+                } else {
+                    rate.max(1e-9)
+                }
+            }
+            ArrivalProcess::Diurnal {
+                rate,
+                period_ns,
+                amplitude,
+            } => {
+                let phase = (t_ns % period_ns.max(1)) as f64 / period_ns.max(1) as f64;
+                let m = 1.0 + amplitude * (2.0 * std::f64::consts::PI * phase).sin();
+                (rate * m).max(rate * 0.01).max(1e-9)
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Closed => "closed",
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Burst { .. } => "burst",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+        }
+    }
+}
+
+/// What to do when an arrival fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalTarget {
+    /// Replay the next recorded event from the client's stream.
+    Replay,
+    /// Flash crowd: issue a recommend for hot-user slot `n` (the caller
+    /// maps slots onto real user ids).
+    Hot(u32),
+}
+
+/// One scheduled arrival: fire at `start + at_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Nanosecond offset from the schedule origin. Monotone
+    /// non-decreasing within a schedule.
+    pub at_ns: u64,
+    pub target: ArrivalTarget,
+}
+
+/// A full, seeded arrival specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalSpec {
+    pub process: ArrivalProcess,
+    pub seed: u64,
+    /// Number of distinct flash-crowd hot-user slots (0 disables the
+    /// overlay).
+    pub hot_users: u32,
+    /// Probability that any given arrival is a flash-crowd recommend
+    /// instead of a replay event.
+    pub hot_fraction: f64,
+}
+
+impl ArrivalSpec {
+    /// A plain closed-loop spec (no pacing, no flash crowd).
+    pub fn closed(seed: u64) -> Self {
+        ArrivalSpec {
+            process: ArrivalProcess::Closed,
+            seed,
+            hot_users: 0,
+            hot_fraction: 0.0,
+        }
+    }
+
+    /// `true` when the schedule actually paces (anything but `Closed`).
+    pub fn open_loop(&self) -> bool {
+        self.process != ArrivalProcess::Closed
+    }
+}
+
+/// Generate the deterministic schedule containing exactly
+/// `replay_events` [`ArrivalTarget::Replay`] entries, with flash-crowd
+/// arrivals interleaved per `hot_fraction`. `stream` salts the seed so
+/// each loadgen client draws an independent (but reproducible) schedule;
+/// pass 0 for a single-stream schedule.
+///
+/// The same `(spec, replay_events, stream)` triple always produces the
+/// byte-identical schedule (see [`encode`]).
+pub fn generate(spec: &ArrivalSpec, replay_events: usize, stream: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let hot = spec.hot_users > 0 && spec.hot_fraction > 0.0;
+    let mut out = Vec::with_capacity(replay_events + replay_events / 8);
+    let mut t_ns: u64 = 0;
+    let mut replays = 0usize;
+    while replays < replay_events {
+        if spec.open_loop() {
+            let rate = spec.process.rate_at(t_ns);
+            // Inversion sampling: exponential gap at the current rate.
+            // gen::<f64>() is uniform in [0,1), so 1-u is in (0,1] and
+            // the log is finite and <= 0.
+            let u: f64 = rng.gen();
+            let gap_s = -(1.0 - u).ln() / rate;
+            t_ns = t_ns.saturating_add((gap_s * NANOS_PER_SEC) as u64);
+        }
+        let target = if hot && rng.gen_bool(spec.hot_fraction.clamp(0.0, 1.0)) {
+            ArrivalTarget::Hot(rng.gen_range(0..spec.hot_users))
+        } else {
+            replays += 1;
+            ArrivalTarget::Replay
+        };
+        out.push(Arrival {
+            at_ns: t_ns,
+            target,
+        });
+    }
+    out
+}
+
+/// Canonical byte encoding of a schedule: little-endian `at_ns` followed
+/// by a little-endian `u32` target (`u32::MAX` for replay, the hot slot
+/// otherwise). Exists so determinism tests can assert *byte* identity
+/// and the golden fixture has a stable rendering to hash.
+pub fn encode(schedule: &[Arrival]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(schedule.len() * 12);
+    for a in schedule {
+        out.extend_from_slice(&a.at_ns.to_le_bytes());
+        let slot = match a.target {
+            ArrivalTarget::Replay => u32::MAX,
+            ArrivalTarget::Hot(n) => n,
+        };
+        out.extend_from_slice(&slot.to_le_bytes());
+    }
+    out
+}
+
+/// FNV-1a over the canonical encoding — a compact schedule fingerprint
+/// for golden fixtures and run reports.
+pub fn fingerprint(schedule: &[Arrival]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in encode(schedule) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_schedule_fires_everything_at_zero() {
+        let spec = ArrivalSpec::closed(7);
+        let s = generate(&spec, 5, 0);
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|a| a.at_ns == 0));
+        assert!(s.iter().all(|a| a.target == ArrivalTarget::Replay));
+    }
+
+    #[test]
+    fn poisson_schedule_is_monotone_and_counts_replays() {
+        let spec = ArrivalSpec {
+            process: ArrivalProcess::Poisson { rate: 50_000.0 },
+            seed: 42,
+            hot_users: 8,
+            hot_fraction: 0.2,
+        };
+        let s = generate(&spec, 1000, 0);
+        let replays = s
+            .iter()
+            .filter(|a| a.target == ArrivalTarget::Replay)
+            .count();
+        assert_eq!(replays, 1000);
+        assert!(s.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert!(s
+            .iter()
+            .any(|a| matches!(a.target, ArrivalTarget::Hot(n) if n < 8)));
+    }
+
+    #[test]
+    fn burst_phase_runs_hotter_than_base() {
+        let process = ArrivalProcess::Burst {
+            rate: 1_000.0,
+            burst_rate: 100_000.0,
+            period_ns: 1_000_000_000,
+            burst_ns: 100_000_000,
+        };
+        assert_eq!(process.rate_at(0), 100_000.0);
+        assert_eq!(process.rate_at(99_999_999), 100_000.0);
+        assert_eq!(process.rate_at(100_000_000), 1_000.0);
+        assert_eq!(process.rate_at(999_999_999), 1_000.0);
+        assert_eq!(process.rate_at(1_000_000_000), 100_000.0);
+    }
+
+    #[test]
+    fn diurnal_rate_stays_positive() {
+        let process = ArrivalProcess::Diurnal {
+            rate: 10_000.0,
+            period_ns: 1_000_000_000,
+            amplitude: 1.5, // over-modulated on purpose
+        };
+        for t in (0..2_000_000_000u64).step_by(50_000_000) {
+            assert!(process.rate_at(t) > 0.0, "rate collapsed at t={t}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_bytes_different_stream_differs() {
+        let spec = ArrivalSpec {
+            process: ArrivalProcess::Poisson { rate: 10_000.0 },
+            seed: 99,
+            hot_users: 4,
+            hot_fraction: 0.1,
+        };
+        let a = encode(&generate(&spec, 500, 3));
+        let b = encode(&generate(&spec, 500, 3));
+        assert_eq!(a, b);
+        let c = encode(&generate(&spec, 500, 4));
+        assert_ne!(a, c);
+    }
+}

@@ -41,6 +41,23 @@
 //!   requests to manufacture a known-slow trace; `--inject-panic-after N`
 //!   panics a client mid-replay to exercise the crash dump (CI smoke).
 //!
+//! Overload flags:
+//!
+//! * `--arrival poisson|burst|diurnal` switches the replay from the
+//!   historical closed loop to a seeded open-loop arrival schedule at
+//!   `--rate` events/second (burst trains via `--burst-rate` /
+//!   `--burst-every` / `--burst-ms`, diurnal ramps via
+//!   `--diurnal-period` / `--diurnal-amplitude`). `--hot-users` /
+//!   `--hot-frac` overlay a flash crowd of recommends aimed at a few
+//!   hot users. Open-loop clients never wait for replies.
+//! * `--queue-cap N` bounds each shard's admission queue: excess
+//!   requests get a typed `Shed` answer, observes shed strictly before
+//!   recommends (`--observe-frac`). `--deadline-us` sheds requests that
+//!   would be served past their deadline. The report gains an
+//!   `engine.overload` section whose counters obey the conservation law
+//!   `offered == admitted + shed`; `--slo-shed-rate` turns the windowed
+//!   shed fraction into an SLO objective.
+//!
 //! Defaults replay well over 10k events; `--users`/`--events` scale it.
 
 use rand::rngs::StdRng;
@@ -50,8 +67,10 @@ use rrc_datagen::GeneratorConfig;
 use rrc_features::{FeaturePipeline, TrainStats};
 use rrc_obs::{Json, JsonlSink, RunReport};
 use rrc_sequence::{Dataset, ItemId, SplitDataset, UserId};
+use rrc_serve::arrival::{self, ArrivalProcess, ArrivalSpec, ArrivalTarget};
 use rrc_serve::{
-    EngineOptions, ForensicsOptions, QualityConfig, ServeEngine, SloOptions, UstateOptions,
+    EngineOptions, ForensicsOptions, OverloadOptions, QualityConfig, ServeEngine, SloOptions,
+    UstateOptions,
 };
 use rrc_ustate::EvictionPolicy;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -129,6 +148,32 @@ struct Args {
     slo_quality_ratio: Option<f64>,
     /// SLO evaluation period, in milliseconds.
     slo_tick_ms: u64,
+    /// Arrival process: closed (historical), poisson, burst, diurnal.
+    arrival: String,
+    /// Open-loop target rate, events/second (all clients combined).
+    rate: f64,
+    /// Burst-phase rate for `--arrival burst`, events/second.
+    burst_rate: f64,
+    /// Burst period for `--arrival burst`, in milliseconds.
+    burst_every_ms: u64,
+    /// Burst duration within each period, in milliseconds.
+    burst_ms: u64,
+    /// Diurnal period for `--arrival diurnal`, in milliseconds.
+    diurnal_period_ms: u64,
+    /// Diurnal modulation amplitude (0 = flat, 1 = full swing).
+    diurnal_amplitude: f64,
+    /// Flash-crowd hot-user slots (0 disables the overlay).
+    hot_users: u32,
+    /// Probability an arrival is a flash-crowd recommend at a hot user.
+    hot_frac: f64,
+    /// Bounded per-shard admission queue; None = unbounded (classic).
+    queue_cap: Option<usize>,
+    /// Observe admission threshold as a fraction of `--queue-cap`.
+    observe_frac: f64,
+    /// Default per-request deadline for open-loop traffic, microseconds.
+    deadline_us: Option<u64>,
+    /// SLO: max windowed shed fraction (shed / offered).
+    slo_shed_rate: Option<f64>,
 }
 
 impl Default for Args {
@@ -172,6 +217,19 @@ impl Default for Args {
             slo_recommend_p99_us: None,
             slo_quality_ratio: None,
             slo_tick_ms: 200,
+            arrival: "closed".to_string(),
+            rate: 50_000.0,
+            burst_rate: 400_000.0,
+            burst_every_ms: 200,
+            burst_ms: 50,
+            diurnal_period_ms: 1_000,
+            diurnal_amplitude: 0.8,
+            hot_users: 0,
+            hot_frac: 0.1,
+            queue_cap: None,
+            observe_frac: 0.75,
+            deadline_us: None,
+            slo_shed_rate: None,
         }
     }
 }
@@ -192,7 +250,51 @@ impl Args {
             observe_p99_ns: self.slo_observe_p99_us.map(|us| us.saturating_mul(1_000)),
             recommend_p99_ns: self.slo_recommend_p99_us.map(|us| us.saturating_mul(1_000)),
             quality_ratio: self.slo_quality_ratio,
+            shed_rate: self.slo_shed_rate,
             ..SloOptions::default()
+        }
+    }
+
+    fn overload_options(&self) -> OverloadOptions {
+        OverloadOptions {
+            queue_cap: self.queue_cap,
+            observe_fraction: self.observe_frac,
+            deadline: self.deadline_us.map(Duration::from_micros),
+        }
+    }
+
+    /// The seeded arrival schedule spec shared by every client (each
+    /// client salts it with its own stream id).
+    fn arrival_spec(&self) -> ArrivalSpec {
+        let ms = |v: u64| v.max(1).saturating_mul(1_000_000);
+        let process = match self.arrival.as_str() {
+            "closed" => ArrivalProcess::Closed,
+            "poisson" => ArrivalProcess::Poisson { rate: self.rate },
+            "burst" => ArrivalProcess::Burst {
+                rate: self.rate,
+                burst_rate: self.burst_rate,
+                period_ns: ms(self.burst_every_ms),
+                burst_ns: ms(self.burst_ms),
+            },
+            "diurnal" => ArrivalProcess::Diurnal {
+                rate: self.rate,
+                period_ns: ms(self.diurnal_period_ms),
+                amplitude: self.diurnal_amplitude,
+            },
+            other => {
+                eprintln!("unknown arrival process: {other}");
+                usage();
+            }
+        };
+        ArrivalSpec {
+            process,
+            seed: self.seed ^ 0xa881,
+            hot_users: self.hot_users,
+            hot_fraction: if self.hot_users > 0 {
+                self.hot_frac
+            } else {
+                0.0
+            },
         }
     }
 
@@ -222,7 +324,13 @@ fn usage() -> ! {
          [--forensics] [--trace-out PATH] [--dump-flight PATH] \
          [--inject-panic-after N] [--inject-slow-user U] [--inject-slow-us MICROS] \
          [--slo-observe-p99-us N] [--slo-recommend-p99-us N] \
-         [--slo-quality-ratio F] [--slo-tick MILLIS]"
+         [--slo-quality-ratio F] [--slo-tick MILLIS] \
+         [--arrival closed|poisson|burst|diurnal] [--rate EV_PER_SEC] \
+         [--burst-rate EV_PER_SEC] [--burst-every MILLIS] [--burst-ms MILLIS] \
+         [--diurnal-period MILLIS] [--diurnal-amplitude F] \
+         [--hot-users N] [--hot-frac F] \
+         [--queue-cap N] [--observe-frac F] [--deadline-us MICROS] \
+         [--slo-shed-rate F]"
     );
     std::process::exit(2);
 }
@@ -234,6 +342,12 @@ fn parse_args() -> Args {
         let num = |it: &mut dyn Iterator<Item = String>| -> usize {
             it.next()
                 .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        let fnum = |it: &mut dyn Iterator<Item = String>| -> f64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .filter(|f: &f64| f.is_finite() && *f >= 0.0)
                 .unwrap_or_else(|| usage())
         };
         match flag.as_str() {
@@ -293,6 +407,19 @@ fn parse_args() -> Args {
                     .or_else(|| usage());
             }
             "--slo-tick" => args.slo_tick_ms = num(&mut it) as u64,
+            "--arrival" => args.arrival = it.next().unwrap_or_else(|| usage()),
+            "--rate" => args.rate = fnum(&mut it),
+            "--burst-rate" => args.burst_rate = fnum(&mut it),
+            "--burst-every" => args.burst_every_ms = num(&mut it) as u64,
+            "--burst-ms" => args.burst_ms = num(&mut it) as u64,
+            "--diurnal-period" => args.diurnal_period_ms = num(&mut it) as u64,
+            "--diurnal-amplitude" => args.diurnal_amplitude = fnum(&mut it),
+            "--hot-users" => args.hot_users = num(&mut it) as u32,
+            "--hot-frac" => args.hot_frac = fnum(&mut it),
+            "--queue-cap" => args.queue_cap = Some(num(&mut it)),
+            "--observe-frac" => args.observe_frac = fnum(&mut it),
+            "--deadline-us" => args.deadline_us = Some(num(&mut it) as u64),
+            "--slo-shed-rate" => args.slo_shed_rate = Some(fnum(&mut it)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -306,10 +433,56 @@ fn parse_args() -> Args {
         || args.k == 0
         || args.window == 0
         || args.memory_budget == Some(0)
+        || args.queue_cap == Some(0)
+        || args.deadline_us == Some(0)
+        || !(0.0..=1.0).contains(&args.hot_frac)
+        || !(0.0..=1.0).contains(&args.observe_frac)
+        || !matches!(
+            args.arrival.as_str(),
+            "closed" | "poisson" | "burst" | "diurnal"
+        )
+        || (args.arrival != "closed" && args.rate <= 0.0)
+        || (args.arrival == "burst" && args.burst_rate <= 0.0)
     {
         usage();
     }
     args
+}
+
+/// Scale an arrival spec down to a single client's share: each of `n`
+/// clients runs an independent process at `rate / n`, so the merged
+/// stream offers the full target rate (superposition of Poissons) while
+/// burst/diurnal phases stay aligned across clients.
+fn per_client_spec(spec: &ArrivalSpec, clients: usize) -> ArrivalSpec {
+    let f = 1.0 / clients.max(1) as f64;
+    let process = match spec.process {
+        ArrivalProcess::Closed => ArrivalProcess::Closed,
+        ArrivalProcess::Poisson { rate } => ArrivalProcess::Poisson { rate: rate * f },
+        ArrivalProcess::Burst {
+            rate,
+            burst_rate,
+            period_ns,
+            burst_ns,
+        } => ArrivalProcess::Burst {
+            rate: rate * f,
+            burst_rate: burst_rate * f,
+            period_ns,
+            burst_ns,
+        },
+        ArrivalProcess::Diurnal {
+            rate,
+            period_ns,
+            amplitude,
+        } => ArrivalProcess::Diurnal {
+            rate: rate * f,
+            period_ns,
+            amplitude,
+        },
+    };
+    ArrivalSpec {
+        process,
+        ..spec.clone()
+    }
 }
 
 /// Build the warmed online recommender (deterministic for a given seed,
@@ -407,6 +580,10 @@ fn run_replay(
         partitions[i % args.clients].push(entry);
     }
 
+    let spec = args.arrival_spec();
+    let open_loop = spec.open_loop();
+    let spec_ref = &spec;
+
     let replay_start = Instant::now();
     let engine_ref = &**engine;
     let done = AtomicBool::new(false);
@@ -448,25 +625,71 @@ fn run_replay(
                 write_live_report(engine_ref, args, path);
             });
         }
+        // One origin for every client so burst/diurnal phases line up.
+        let open_start = Instant::now();
         let handles: Vec<_> = partitions
             .iter()
-            .map(|part| {
+            .enumerate()
+            .map(|(client, part)| {
                 scope.spawn(move |_| {
                     let mut until_recommend = args.recommend_every;
-                    for (user, events) in part {
-                        for &item in events {
-                            engine_ref.observe(*user, item);
-                            if let Some(n) = panic_after {
-                                if replayed_ref.fetch_add(1, Ordering::Relaxed) + 1 == n {
-                                    panic!("injected panic after {n} events");
+                    if !open_loop {
+                        for (user, events) in part {
+                            for &item in events {
+                                engine_ref.observe(*user, item);
+                                if let Some(n) = panic_after {
+                                    if replayed_ref.fetch_add(1, Ordering::Relaxed) + 1 == n {
+                                        panic!("injected panic after {n} events");
+                                    }
+                                }
+                                if args.recommend_every > 0 {
+                                    until_recommend -= 1;
+                                    if until_recommend == 0 {
+                                        let _ = engine_ref.recommend(*user, args.topn);
+                                        until_recommend = args.recommend_every;
+                                    }
                                 }
                             }
-                            if args.recommend_every > 0 {
-                                until_recommend -= 1;
-                                if until_recommend == 0 {
-                                    let _ = engine_ref.recommend(*user, args.topn);
-                                    until_recommend = args.recommend_every;
+                        }
+                        return;
+                    }
+                    // Open loop: pace this client's recorded stream against
+                    // its own seeded schedule (stream = client index) and
+                    // never wait for replies — backpressure is the engine's
+                    // problem, which is exactly what we are measuring.
+                    let part_events: usize = part.iter().map(|(_, e)| e.len()).sum();
+                    let spec_c = per_client_spec(spec_ref, args.clients);
+                    let schedule = arrival::generate(&spec_c, part_events, client as u64);
+                    let mut events = part
+                        .iter()
+                        .flat_map(|(u, evs)| evs.iter().map(move |&i| (*u, i)));
+                    for a in &schedule {
+                        let fire_at = open_start + Duration::from_nanos(a.at_ns);
+                        let now = Instant::now();
+                        if fire_at > now {
+                            std::thread::sleep(fire_at - now);
+                        }
+                        match a.target {
+                            ArrivalTarget::Replay => {
+                                let (user, item) =
+                                    events.next().expect("schedule replay count matches stream");
+                                let _ = engine_ref.try_observe_nowait(user, item, None);
+                                if let Some(n) = panic_after {
+                                    if replayed_ref.fetch_add(1, Ordering::Relaxed) + 1 == n {
+                                        panic!("injected panic after {n} events");
+                                    }
                                 }
+                                if args.recommend_every > 0 {
+                                    until_recommend -= 1;
+                                    if until_recommend == 0 {
+                                        let _ = engine_ref.try_recommend(user, args.topn, None);
+                                        until_recommend = args.recommend_every;
+                                    }
+                                }
+                            }
+                            ArrivalTarget::Hot(slot) => {
+                                let user = UserId(slot % args.users.max(1) as u32);
+                                let _ = engine_ref.try_recommend(user, args.topn, None);
                             }
                         }
                     }
@@ -565,6 +788,7 @@ fn main() {
                 tracing: forensic_pair,
                 quality: args.quality.then(QualityConfig::default),
                 ustate: ustate_options(&args),
+                overload: args.overload_options(),
                 ..EngineOptions::default()
             },
         ));
@@ -594,12 +818,13 @@ fn main() {
         quality: args.quality.then(QualityConfig::default),
         ustate: ustate_options(&args),
         forensics: args.forensics_options(trace_sink.clone()),
+        overload: args.overload_options(),
         ..EngineOptions::default()
     };
     let online = build_online(&args, &data, &split);
     eprintln!(
         "starting engine: {} shards, {} clients, learn={}, tracing={}, quality={}, \
-         budget={} ({} events to replay)",
+         budget={}, arrival={}, queue={} ({} events to replay)",
         args.shards,
         args.clients,
         args.learn,
@@ -610,6 +835,9 @@ fn main() {
                 "{b}B/shard ({})",
                 args.evict
             )),
+        args.arrival,
+        args.queue_cap
+            .map_or("unbounded".to_string(), |c| format!("cap {c}")),
         total_events
     );
     let engine = Arc::new(ServeEngine::start_with(online, args.shards, options));
@@ -667,6 +895,18 @@ fn main() {
         args.clients,
         args.shards
     );
+    if let Some(o) = &report.overload {
+        let t = o.total();
+        println!(
+            "overload: offered {} = admitted {} + shed {} (queue {}, deadline {}), peak depth {}",
+            t.offered,
+            t.admitted,
+            t.shed(),
+            t.shed_queue,
+            t.shed_deadline,
+            o.peak_depth
+        );
+    }
     let quality = engine.quality_report();
     if let Some(q) = &quality {
         let overall = q.overall();
@@ -744,7 +984,17 @@ fn main() {
             .config("evict", args.evict.to_string())
             .config("tracing", args.overhead || !args.no_tracing)
             .config("quality", args.quality)
-            .config("forensics", args.forensics_enabled());
+            .config("forensics", args.forensics_enabled())
+            .config("arrival", args.arrival.clone())
+            .config("rate", args.rate)
+            .config("hot_users", args.hot_users as usize)
+            .config("hot_frac", args.hot_frac)
+            .config("queue_cap", args.queue_cap.map_or(Json::Null, Json::from))
+            .config(
+                "deadline_us",
+                args.deadline_us
+                    .map_or(Json::Null, |us| Json::from(us as usize)),
+            );
         let mut results = vec![
             ("events", Json::from(total_events)),
             ("elapsed_s", Json::F64(elapsed.as_secs_f64())),

@@ -40,6 +40,7 @@
 
 use crate::metrics::{EngineMetrics, MetricsReport};
 use crate::overlay::{ModelDiff, ModelOverlay};
+use crate::overload::{Admission, OverloadOptions, RequestKind, ShedReason};
 use crate::quality::{self, micro, QualityConfig, QualityReport, ShardQuality, VersionQuality};
 use crate::routing::shard_for;
 use crate::trace::{ShardStamp, StageNanos, TraceCtx};
@@ -96,6 +97,12 @@ pub struct SloOptions {
     /// "recent quality within 5% of since-install"). Needs quality
     /// monitoring enabled; the objective freezes while idle.
     pub quality_ratio: Option<f64>,
+    /// Max acceptable windowed shed fraction (shed / offered across all
+    /// shards and kinds, e.g. 0.05 = "shed at most 5% of recent
+    /// traffic"). Needs overload accounting enabled
+    /// ([`OverloadOptions::enabled`]); freezes while no traffic is
+    /// offered.
+    pub shed_rate: Option<f64>,
     /// Burn-rate window shape shared by every objective.
     pub burn: BurnConfig,
 }
@@ -173,6 +180,9 @@ pub struct EngineOptions {
     pub ustate: UstateOptions,
     /// Forensic observability (exemplar traces, flight recorder, SLOs).
     pub forensics: ForensicsOptions,
+    /// Overload policy: bounded per-shard queues with priority shedding
+    /// and per-request deadlines (unbounded / no shedding by default).
+    pub overload: OverloadOptions,
 }
 
 impl Default for EngineOptions {
@@ -183,19 +193,22 @@ impl Default for EngineOptions {
             window: WindowSpec::default(),
             ustate: UstateOptions::default(),
             forensics: ForensicsOptions::default(),
+            overload: OverloadOptions::default(),
         }
     }
 }
 
-/// Reply to a synchronous [`Request::Observe`].
+/// Reply to a synchronous [`Request::Observe`]. `Err` means the request
+/// was admitted but expired in the queue (deadline shed); requests
+/// without a deadline always come back `Ok`.
 struct ObserveReply {
-    kind: ConsumptionKind,
+    outcome: Result<ConsumptionKind, ShedReason>,
     stamp: Option<ShardStamp>,
 }
 
-/// Reply to a [`Request::Recommend`].
+/// Reply to a [`Request::Recommend`]; `Err` as for [`ObserveReply`].
 struct RecommendReply {
-    items: Vec<ItemId>,
+    items: Result<Vec<ItemId>, ShedReason>,
     stamp: Option<ShardStamp>,
 }
 
@@ -209,6 +222,8 @@ enum Request {
         item: ItemId,
         trace: Option<TraceCtx>,
         reply: Option<Sender<ObserveReply>>,
+        /// Shed (not served) if still queued past this instant.
+        deadline: Option<Instant>,
     },
     /// Top-N repeat recommendations for `user` right now.
     Recommend {
@@ -216,6 +231,8 @@ enum Request {
         n: usize,
         trace: Option<TraceCtx>,
         reply: Sender<RecommendReply>,
+        /// Shed (not served) if still queued past this instant.
+        deadline: Option<Instant>,
     },
     /// Barrier: reply once everything queued before this is processed.
     Flush { reply: Sender<()> },
@@ -300,6 +317,59 @@ impl Shard {
         stamp
     }
 
+    /// Give back the bounded-queue slot this data request held (no-op on
+    /// an ungated engine). Every enqueued data request — `try_*` or
+    /// legacy path — took exactly one slot, so this runs unconditionally
+    /// at dequeue, before the deadline check.
+    fn release_slot(&self) {
+        if let Some(om) = &self.metrics.overload {
+            if let Some(gate) = om.gate(self.id) {
+                gate.release();
+            }
+        }
+    }
+
+    /// True when the request sat in the queue past its deadline and must
+    /// be shed instead of served late.
+    fn expired(deadline: Option<Instant>) -> bool {
+        deadline.is_some_and(|d| Instant::now() > d)
+    }
+
+    /// Account a deadline shed and balance the tracing gauges for a
+    /// request that will never be processed: the dequeue drops the
+    /// queue-depth gauge, the completion drops in-flight. No stage
+    /// latencies are recorded — stage histograms describe *served*
+    /// requests only.
+    fn shed_at_dequeue(&self, kind: RequestKind, trace: Option<&TraceCtx>) {
+        if let Some(om) = &self.metrics.overload {
+            om.on_shed_deadline(self.id, kind);
+        }
+        if let Some(fx) = &self.metrics.forensics {
+            fx.flight[self.id].record(
+                "shed",
+                vec![
+                    ("kind", Json::Str(kind.as_str().to_string())),
+                    (
+                        "reason",
+                        Json::Str(ShedReason::Deadline.as_str().to_string()),
+                    ),
+                ],
+            );
+        }
+        if let (Some(t), Some(tr)) = (self.metrics.tracing.as_ref(), trace) {
+            let _ = t.on_dequeue(self.id, tr);
+            t.on_complete(self.id);
+        }
+    }
+
+    /// Count a data request that was actually served, closing its side of
+    /// the conservation law (`offered == admitted + shed`).
+    fn note_admitted(&self, kind: RequestKind) {
+        if let Some(om) = &self.metrics.overload {
+            om.on_admitted(self.id, kind);
+        }
+    }
+
     /// Fault injection: stall scoring for the configured user so tests
     /// can manufacture a known-slow request (lands in the `score` stage,
     /// between the dequeue and processed stamps).
@@ -348,7 +418,19 @@ impl Shard {
                     item,
                     trace,
                     reply,
+                    deadline,
                 } => {
+                    self.release_slot();
+                    if Self::expired(deadline) {
+                        self.shed_at_dequeue(RequestKind::Observe, trace.as_ref());
+                        if let Some(reply) = reply {
+                            let _ = reply.send(ObserveReply {
+                                outcome: Err(ShedReason::Deadline),
+                                stamp: None,
+                            });
+                        }
+                        continue;
+                    }
                     let dequeued = self.dequeue_stamp(trace.as_ref());
                     self.stall_if_injected(user);
                     let base = self.tier.base().clone();
@@ -374,9 +456,13 @@ impl Shard {
                     let counters = &self.metrics.shards[self.id];
                     counters.observes.inc();
                     counters.online_updates.add(updates);
+                    self.note_admitted(RequestKind::Observe);
                     let stamp = self.processed_stamp(trace.as_ref(), dequeued, "observe");
                     if let Some(reply) = reply {
-                        let _ = reply.send(ObserveReply { kind, stamp });
+                        let _ = reply.send(ObserveReply {
+                            outcome: Ok(kind),
+                            stamp,
+                        });
                     }
                 }
                 Request::Recommend {
@@ -384,7 +470,17 @@ impl Shard {
                     n,
                     trace,
                     reply,
+                    deadline,
                 } => {
+                    self.release_slot();
+                    if Self::expired(deadline) {
+                        self.shed_at_dequeue(RequestKind::Recommend, trace.as_ref());
+                        let _ = reply.send(RecommendReply {
+                            items: Err(ShedReason::Deadline),
+                            stamp: None,
+                        });
+                        continue;
+                    }
                     let dequeued = self.dequeue_stamp(trace.as_ref());
                     self.stall_if_injected(user);
                     let base = self.tier.base().clone();
@@ -419,8 +515,12 @@ impl Shard {
                     }
                     self.settle_tier(user);
                     self.metrics.shards[self.id].recommends.inc();
+                    self.note_admitted(RequestKind::Recommend);
                     let stamp = self.processed_stamp(trace.as_ref(), dequeued, "recommend");
-                    let _ = reply.send(RecommendReply { items: recs, stamp });
+                    let _ = reply.send(RecommendReply {
+                        items: Ok(recs),
+                        stamp,
+                    });
                 }
                 Request::Flush { reply } => {
                     let _ = reply.send(());
@@ -494,6 +594,9 @@ pub struct ServeEngine {
     /// version 0. Bumped under the model mutex.
     version: AtomicU64,
     config: OnlineConfig,
+    /// Default per-request deadline the `try_*` paths apply when the
+    /// caller passes none ([`OverloadOptions::deadline`]).
+    default_deadline: Option<Duration>,
     started: Instant,
 }
 
@@ -522,6 +625,7 @@ impl ServeEngine {
             options.quality,
             options.ustate.budget_bytes,
             &options.forensics,
+            &options.overload,
         ));
 
         // Partition per-user windows by the routing function, in user
@@ -613,6 +717,7 @@ impl ServeEngine {
             model: Mutex::new(model),
             version: AtomicU64::new(0),
             config,
+            default_deadline: options.overload.deadline,
             started: Instant::now(),
         }
     }
@@ -664,11 +769,55 @@ impl ServeEngine {
         }
     }
 
+    /// Account an offered data request and take a bounded-queue slot for
+    /// it. `Err` means the request was shed at enqueue (already counted)
+    /// and must not be sent. On an engine without overload accounting
+    /// this is free and always admits.
+    fn admit(&self, shard: usize, kind: RequestKind) -> Result<(), ShedReason> {
+        let Some(om) = &self.metrics.overload else {
+            return Ok(());
+        };
+        om.on_offered(shard, kind);
+        match om.gate(shard) {
+            Some(gate) => match gate.try_admit(kind) {
+                Ok(()) => Ok(()),
+                Err(reason) => {
+                    om.on_shed_queue(shard, kind);
+                    Err(reason)
+                }
+            },
+            None => Ok(()),
+        }
+    }
+
+    /// Slot accounting for the legacy (non-`try`) request paths, which
+    /// promise the caller no shedding: the request is counted as offered
+    /// and takes a slot unconditionally — it may transiently push the
+    /// depth past the cap, but the conservation law still holds since it
+    /// will be counted admitted when served. Bounded deployments should
+    /// prefer the `try_*` paths.
+    fn admit_forced(&self, shard: usize, kind: RequestKind) {
+        if let Some(om) = &self.metrics.overload {
+            om.on_offered(shard, kind);
+            if let Some(gate) = om.gate(shard) {
+                gate.force_admit();
+            }
+        }
+    }
+
+    /// Resolve the effective deadline for a `try_*` request: an explicit
+    /// per-request deadline wins; otherwise the engine-wide default from
+    /// [`OverloadOptions::deadline`] (measured from now) applies.
+    fn effective_deadline(&self, deadline: Option<Instant>) -> Option<Instant> {
+        deadline.or_else(|| self.default_deadline.map(|d| Instant::now() + d))
+    }
+
     /// Ingest one event and wait for its classification. Latency
     /// (queueing + processing + reply) lands in the observe histogram.
     pub fn observe(&self, user: UserId, item: ItemId) -> ConsumptionKind {
         let start = Instant::now();
         let shard = shard_for(user, self.senders.len());
+        self.admit_forced(shard, RequestKind::Observe);
         let trace = self.trace_for(shard, user);
         let (reply_tx, reply_rx) = bounded(1);
         self.senders[shard]
@@ -677,6 +826,7 @@ impl ServeEngine {
                 item,
                 trace,
                 reply: Some(reply_tx),
+                deadline: None,
             })
             .expect("shard thread alive");
         let reply = reply_rx.recv().expect("shard replies to observe");
@@ -684,7 +834,44 @@ impl ServeEngine {
         self.metrics
             .observe_latency
             .record_duration(start.elapsed());
-        reply.kind
+        reply.outcome.expect("deadline-free observe cannot be shed")
+    }
+
+    /// Overload-aware ingestion: take a bounded-queue slot (or return the
+    /// typed shed decision without enqueueing anything) and honor the
+    /// request deadline — `Err(Deadline)` means the event was admitted
+    /// but expired in the queue and was *not* applied. Only latencies of
+    /// served requests are recorded, so the observe histogram is an
+    /// admitted-request histogram under overload.
+    pub fn try_observe(
+        &self,
+        user: UserId,
+        item: ItemId,
+        deadline: Option<Instant>,
+    ) -> Result<ConsumptionKind, ShedReason> {
+        let start = Instant::now();
+        let shard = shard_for(user, self.senders.len());
+        self.admit(shard, RequestKind::Observe)?;
+        let deadline = self.effective_deadline(deadline);
+        let trace = self.trace_for(shard, user);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.senders[shard]
+            .send(Request::Observe {
+                user,
+                item,
+                trace,
+                reply: Some(reply_tx),
+                deadline,
+            })
+            .expect("shard thread alive");
+        let reply = reply_rx.recv().expect("shard replies to observe");
+        self.close_trace(shard, "observe", trace, reply.stamp);
+        if reply.outcome.is_ok() {
+            self.metrics
+                .observe_latency
+                .record_duration(start.elapsed());
+        }
+        reply.outcome
     }
 
     /// Fire-and-forget ingestion: enqueue the event and return
@@ -693,6 +880,7 @@ impl ServeEngine {
     /// `enqueue_wait` and `score`; there is no reply, so no `respond` leg.
     pub fn observe_nowait(&self, user: UserId, item: ItemId) {
         let shard = shard_for(user, self.senders.len());
+        self.admit_forced(shard, RequestKind::Observe);
         let trace = self.trace_for(shard, user);
         self.senders[shard]
             .send(Request::Observe {
@@ -700,8 +888,38 @@ impl ServeEngine {
                 item,
                 trace,
                 reply: None,
+                deadline: None,
             })
             .expect("shard thread alive");
+    }
+
+    /// Overload-aware fire-and-forget ingestion: the typed
+    /// [`Admission`] says whether the event entered the shard queue or
+    /// was refused at the gate. An admitted event carrying a deadline
+    /// may still be shed at dequeue (counted, but with no reply channel
+    /// the caller does not learn which events expired).
+    pub fn try_observe_nowait(
+        &self,
+        user: UserId,
+        item: ItemId,
+        deadline: Option<Instant>,
+    ) -> Admission {
+        let shard = shard_for(user, self.senders.len());
+        if let Err(reason) = self.admit(shard, RequestKind::Observe) {
+            return Admission::Shed(reason);
+        }
+        let deadline = self.effective_deadline(deadline);
+        let trace = self.trace_for(shard, user);
+        self.senders[shard]
+            .send(Request::Observe {
+                user,
+                item,
+                trace,
+                reply: None,
+                deadline,
+            })
+            .expect("shard thread alive");
+        Admission::Admitted
     }
 
     /// Top-N repeat recommendations for `user` right now. Latency lands
@@ -709,6 +927,7 @@ impl ServeEngine {
     pub fn recommend(&self, user: UserId, n: usize) -> Vec<ItemId> {
         let start = Instant::now();
         let shard = shard_for(user, self.senders.len());
+        self.admit_forced(shard, RequestKind::Recommend);
         let trace = self.trace_for(shard, user);
         let (reply_tx, reply_rx) = bounded(1);
         self.senders[shard]
@@ -717,6 +936,7 @@ impl ServeEngine {
                 n,
                 trace,
                 reply: reply_tx,
+                deadline: None,
             })
             .expect("shard thread alive");
         let reply = reply_rx.recv().expect("shard replies to recommend");
@@ -724,6 +944,43 @@ impl ServeEngine {
         self.metrics
             .recommend_latency
             .record_duration(start.elapsed());
+        reply.items.expect("deadline-free recommend cannot be shed")
+    }
+
+    /// Overload-aware top-N: `Err(QueueFull)` means the request was
+    /// refused at the gate (recommends are refused only once the queue
+    /// is at its *full* cap — observes shed first); `Err(Deadline)`
+    /// means it was admitted but expired in the queue. Only served
+    /// requests land in the recommend latency histogram, so under
+    /// overload it reads as the admitted-request p99.
+    pub fn try_recommend(
+        &self,
+        user: UserId,
+        n: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<ItemId>, ShedReason> {
+        let start = Instant::now();
+        let shard = shard_for(user, self.senders.len());
+        self.admit(shard, RequestKind::Recommend)?;
+        let deadline = self.effective_deadline(deadline);
+        let trace = self.trace_for(shard, user);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.senders[shard]
+            .send(Request::Recommend {
+                user,
+                n,
+                trace,
+                reply: reply_tx,
+                deadline,
+            })
+            .expect("shard thread alive");
+        let reply = reply_rx.recv().expect("shard replies to recommend");
+        self.close_trace(shard, "recommend", trace, reply.stamp);
+        if reply.items.is_ok() {
+            self.metrics
+                .recommend_latency
+                .record_duration(start.elapsed());
+        }
         reply.items
     }
 

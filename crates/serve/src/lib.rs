@@ -30,6 +30,15 @@
 //!   enqueue-wait / score / respond stage durations land in per-shard
 //!   histograms, next to queue-depth and in-flight gauges and rolling
 //!   windowed counterparts.
+//! * **Overload** ([`overload`]) — opt-in
+//!   ([`EngineOptions::overload`]): bounded per-shard admission gates
+//!   with a typed `Admit`/`Shed` decision at enqueue, priority shedding
+//!   (observes shed strictly before recommends), per-request deadlines
+//!   enforced at dequeue (late requests are shed, not served late), and
+//!   conservation-law accounting `offered == admitted + shed` per shard
+//!   and kind, surfaced as an `engine.overload` report section. The
+//!   [`arrival`] module gives `loadgen` matching open-loop arrival
+//!   processes (Poisson, burst trains, flash crowds, diurnal ramps).
 //! * **Online quality** ([`quality`]) — opt-in
 //!   ([`EngineOptions::quality`]): each served top-N is scored against
 //!   the user's next eligible repeat, attributed to the **model version
@@ -61,20 +70,25 @@
 //! The `loadgen` binary replays an `rrc-datagen` stream against the
 //! engine at configurable concurrency and prints the metrics report.
 
+pub mod arrival;
 pub mod engine;
 pub mod metrics;
 pub mod overlay;
+pub mod overload;
 pub mod quality;
 pub mod routing;
 pub mod trace;
 pub mod watcher;
 
+pub use arrival::{Arrival, ArrivalProcess, ArrivalSpec, ArrivalTarget};
 pub use engine::{EngineOptions, ForensicsOptions, ServeEngine, SloOptions, UstateOptions};
 pub use metrics::{
-    ForensicsReport, LatencySummary, MetricsReport, P99Exemplar, ShardCountersSnapshot, SloSection,
-    StageSummary, WindowedThroughput,
+    ForensicsReport, LatencySummary, MetricsReport, OverloadKindStats, OverloadReport,
+    OverloadShardStats, P99Exemplar, ShardCountersSnapshot, SloSection, StageSummary,
+    WindowedThroughput,
 };
 pub use overlay::{ModelDiff, ModelOverlay};
+pub use overload::{Admission, AdmissionGate, OverloadOptions, RequestKind, ShedReason};
 pub use quality::{
     DriftValues, QualityConfig, QualityReport, VersionQuality, VersionQualityReport, QUALITY_AT,
 };

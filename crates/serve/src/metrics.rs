@@ -12,6 +12,7 @@
 //! exposes the same registry as Prometheus text.
 
 use crate::engine::ForensicsOptions;
+use crate::overload::{AdmissionGate, OverloadOptions, RequestKind};
 use crate::quality::{DriftAccum, QualityConfig};
 use crate::trace::{ShardStamp, StageNanos, TraceCtx};
 use rrc_obs::{
@@ -446,6 +447,9 @@ pub(crate) enum SloValueKind {
     /// Windowed hit@10 over since-install hit@10 (needs quality
     /// monitoring; `None` until both sides have opportunities).
     QualityRatio,
+    /// Windowed shed / offered fraction across all shards and kinds
+    /// (needs overload accounting; `None` while nothing is offered).
+    ShedRate,
 }
 
 /// The SLO burn-rate engine plus its exposition gauges
@@ -480,6 +484,10 @@ impl SloMetrics {
         if let Some(r) = opts.quality_ratio {
             objectives.push(rrc_obs::Objective::ge("quality_hit10_ratio", r));
             wants.push(SloValueKind::QualityRatio);
+        }
+        if let Some(r) = opts.shed_rate {
+            objectives.push(rrc_obs::Objective::le("shed_rate", r));
+            wants.push(SloValueKind::ShedRate);
         }
         if objectives.is_empty() {
             return None;
@@ -631,6 +639,238 @@ impl UstateMetrics {
     }
 }
 
+/// One request kind's per-shard overload accounting series. Offered and
+/// shed have rolling-window twins (the SLO shed-rate objective and
+/// `rrc-top` read recent behavior, not lifetime totals); admitted is
+/// derivable inside a window only at quiescence, so only its cumulative
+/// form exists.
+#[derive(Debug)]
+pub(crate) struct OverloadKindSeries {
+    pub offered: Vec<Arc<Counter>>,
+    pub admitted: Vec<Arc<Counter>>,
+    pub shed_queue: Vec<Arc<Counter>>,
+    pub shed_deadline: Vec<Arc<Counter>>,
+    pub deadline_miss: Vec<Arc<Counter>>,
+    pub offered_window: Vec<Arc<WindowedCounter>>,
+    pub shed_queue_window: Vec<Arc<WindowedCounter>>,
+    pub shed_deadline_window: Vec<Arc<WindowedCounter>>,
+}
+
+impl OverloadKindSeries {
+    fn register(registry: &Registry, shards: usize, window: WindowSpec, kind: &str) -> Self {
+        let shard_label: Vec<String> = (0..shards).map(|s| s.to_string()).collect();
+        let counters = |name: &str| -> Vec<Arc<Counter>> {
+            shard_label
+                .iter()
+                .map(|s| registry.counter_with(name, &[("shard", s), ("kind", kind)]))
+                .collect()
+        };
+        let shed = |name: &str, reason: &str| -> Vec<Arc<Counter>> {
+            shard_label
+                .iter()
+                .map(|s| {
+                    registry.counter_with(name, &[("shard", s), ("kind", kind), ("reason", reason)])
+                })
+                .collect()
+        };
+        let shed_window = |reason: &str| -> Vec<Arc<WindowedCounter>> {
+            shard_label
+                .iter()
+                .map(|s| {
+                    registry.windowed_counter_with(
+                        "serve_shed_window",
+                        &[("shard", s), ("kind", kind), ("reason", reason)],
+                        window,
+                    )
+                })
+                .collect()
+        };
+        OverloadKindSeries {
+            offered: counters("serve_offered_total"),
+            admitted: counters("serve_admitted_total"),
+            shed_queue: shed("serve_shed_total", "queue"),
+            shed_deadline: shed("serve_shed_total", "deadline"),
+            deadline_miss: counters("serve_deadline_miss_total"),
+            offered_window: shard_label
+                .iter()
+                .map(|s| {
+                    registry.windowed_counter_with(
+                        "serve_offered_window",
+                        &[("shard", s), ("kind", kind)],
+                        window,
+                    )
+                })
+                .collect(),
+            shed_queue_window: shed_window("queue"),
+            shed_deadline_window: shed_window("deadline"),
+        }
+    }
+
+    fn shard_stats(&self, shard: usize) -> OverloadKindStats {
+        OverloadKindStats {
+            offered: self.offered[shard].get(),
+            admitted: self.admitted[shard].get(),
+            shed_queue: self.shed_queue[shard].get(),
+            shed_deadline: self.shed_deadline[shard].get(),
+        }
+    }
+}
+
+/// Overload accounting shared by the engine handle (offered / enqueue
+/// sheds) and the shards (admitted / deadline sheds), plus the per-shard
+/// admission gates themselves when the queue is bounded. Present only
+/// when [`OverloadOptions::enabled`]; a default engine pays nothing.
+#[derive(Debug)]
+pub(crate) struct OverloadMetrics {
+    gates: Option<Vec<Arc<AdmissionGate>>>,
+    observe: OverloadKindSeries,
+    recommend: OverloadKindSeries,
+    queue_peak: Vec<Arc<Gauge>>,
+    queue_cap: Option<u64>,
+    observe_cap: Option<u64>,
+}
+
+impl OverloadMetrics {
+    fn register(
+        registry: &Registry,
+        shards: usize,
+        window: WindowSpec,
+        opts: &OverloadOptions,
+    ) -> Option<Self> {
+        if !opts.enabled() {
+            return None;
+        }
+        let observe_cap = opts.observe_cap();
+        let gates = opts.queue_cap.map(|cap| {
+            let ocap = observe_cap.unwrap_or(cap);
+            (0..shards)
+                .map(|_| Arc::new(AdmissionGate::new(cap, ocap)))
+                .collect::<Vec<_>>()
+        });
+        registry.gauge("serve_queue_cap").set(
+            opts.queue_cap
+                .map_or(0, |c| c.min(i64::MAX as usize) as i64),
+        );
+        registry
+            .gauge("serve_queue_observe_cap")
+            .set(observe_cap.map_or(0, |c| c.min(i64::MAX as usize) as i64));
+        Some(OverloadMetrics {
+            gates,
+            observe: OverloadKindSeries::register(registry, shards, window, "observe"),
+            recommend: OverloadKindSeries::register(registry, shards, window, "recommend"),
+            queue_peak: (0..shards)
+                .map(|s| registry.gauge_with("serve_queue_peak", &[("shard", &s.to_string())]))
+                .collect(),
+            queue_cap: opts.queue_cap.map(|c| c as u64),
+            observe_cap: observe_cap.map(|c| c as u64),
+        })
+    }
+
+    fn series(&self, kind: RequestKind) -> &OverloadKindSeries {
+        match kind {
+            RequestKind::Observe => &self.observe,
+            RequestKind::Recommend => &self.recommend,
+        }
+    }
+
+    /// The shard's admission gate, or `None` when only deadlines (no
+    /// queue bound) are configured.
+    pub fn gate(&self, shard: usize) -> Option<&Arc<AdmissionGate>> {
+        self.gates.as_ref().map(|g| &g[shard])
+    }
+
+    /// Client side, on every data request before the gate decision.
+    pub fn on_offered(&self, shard: usize, kind: RequestKind) {
+        let s = self.series(kind);
+        s.offered[shard].inc();
+        s.offered_window[shard].add(1);
+    }
+
+    /// Client side, when the gate refuses a request (never enqueued).
+    pub fn on_shed_queue(&self, shard: usize, kind: RequestKind) {
+        let s = self.series(kind);
+        s.shed_queue[shard].inc();
+        s.shed_queue_window[shard].add(1);
+    }
+
+    /// Shard side, when an admitted request is actually served.
+    pub fn on_admitted(&self, shard: usize, kind: RequestKind) {
+        self.series(kind).admitted[shard].inc();
+    }
+
+    /// Shard side, when an admitted request expires at dequeue.
+    pub fn on_shed_deadline(&self, shard: usize, kind: RequestKind) {
+        let s = self.series(kind);
+        s.shed_deadline[shard].inc();
+        s.shed_deadline_window[shard].add(1);
+        s.deadline_miss[shard].inc();
+    }
+
+    /// Windowed shed fraction (all kinds, all shards): shed / offered
+    /// over the rolling window, or `None` while nothing was offered —
+    /// the SLO shed-rate objective freezes rather than paging on idle.
+    pub fn shed_rate_window(&self) -> Option<f64> {
+        let sum = |v: &[Arc<WindowedCounter>]| v.iter().map(|c| c.window_total()).sum::<u64>();
+        let offered = sum(&self.observe.offered_window) + sum(&self.recommend.offered_window);
+        if offered == 0 {
+            return None;
+        }
+        let shed = sum(&self.observe.shed_queue_window)
+            + sum(&self.observe.shed_deadline_window)
+            + sum(&self.recommend.shed_queue_window)
+            + sum(&self.recommend.shed_deadline_window);
+        Some(shed as f64 / offered as f64)
+    }
+
+    /// Snapshot the overload section, refreshing the per-shard peak
+    /// gauges from the live gates on the way.
+    fn section(&self) -> OverloadReport {
+        let shards = self.queue_peak.len();
+        let mut per_shard = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let peak = self
+                .gates
+                .as_ref()
+                .map_or(0, |g| g[shard].peak().min(i64::MAX as u64));
+            self.queue_peak[shard].set(peak as i64);
+            per_shard.push(OverloadShardStats {
+                shard,
+                peak_depth: peak,
+                observe: self.observe.shard_stats(shard),
+                recommend: self.recommend.shard_stats(shard),
+            });
+        }
+        let fold = |pick: fn(&OverloadShardStats) -> OverloadKindStats| -> OverloadKindStats {
+            per_shard.iter().fold(OverloadKindStats::default(), |a, s| {
+                let k = pick(s);
+                OverloadKindStats {
+                    offered: a.offered + k.offered,
+                    admitted: a.admitted + k.admitted,
+                    shed_queue: a.shed_queue + k.shed_queue,
+                    shed_deadline: a.shed_deadline + k.shed_deadline,
+                }
+            })
+        };
+        let sum_w = |v: &[Arc<WindowedCounter>]| v.iter().map(|c| c.window_total()).sum::<u64>();
+        let offered_window =
+            sum_w(&self.observe.offered_window) + sum_w(&self.recommend.offered_window);
+        let shed_window = sum_w(&self.observe.shed_queue_window)
+            + sum_w(&self.observe.shed_deadline_window)
+            + sum_w(&self.recommend.shed_queue_window)
+            + sum_w(&self.recommend.shed_deadline_window);
+        OverloadReport {
+            queue_cap: self.queue_cap,
+            observe_cap: self.observe_cap,
+            peak_depth: per_shard.iter().map(|s| s.peak_depth).max().unwrap_or(0),
+            observe: fold(|s| s.observe),
+            recommend: fold(|s| s.recommend),
+            offered_window,
+            shed_window,
+            shards: per_shard,
+        }
+    }
+}
+
 /// Online-quality metric state: the shared drift accumulator plus the
 /// exposition gauges it refreshes.
 #[derive(Debug)]
@@ -672,6 +912,7 @@ pub(crate) struct EngineMetrics {
     pub slo: Option<SloMetrics>,
     pub quality: Option<QualityMetrics>,
     pub ustate: UstateMetrics,
+    pub overload: Option<OverloadMetrics>,
     /// Per-shard tier budget (None = unbounded), echoed in the report.
     ustate_budget: Option<usize>,
     model_version: Arc<Gauge>,
@@ -687,6 +928,7 @@ impl EngineMetrics {
         quality: Option<QualityConfig>,
         ustate_budget: Option<usize>,
         forensics: &ForensicsOptions,
+        overload: &OverloadOptions,
     ) -> Self {
         let registry = Registry::new();
         registry.gauge("serve_shards").set(shards as i64);
@@ -704,6 +946,7 @@ impl EngineMetrics {
             slo: SloMetrics::register(&registry, &forensics.slo),
             quality: quality.map(|cfg| QualityMetrics::register(&registry, cfg)),
             ustate: UstateMetrics::register(&registry, shards, window),
+            overload: OverloadMetrics::register(&registry, shards, window, overload),
             ustate_budget,
             model_version: registry.gauge("serve_model_version"),
             model_fingerprint: registry.gauge("serve_model_fingerprint"),
@@ -760,6 +1003,7 @@ impl EngineMetrics {
                     .as_ref()
                     .and_then(|fx| windowed_p99(&fx.recommend_window)),
                 SloValueKind::QualityRatio => quality_ratio,
+                SloValueKind::ShedRate => self.overload.as_ref().and_then(|o| o.shed_rate_window()),
             })
             .collect();
         Some(slo.tick(&values))
@@ -896,6 +1140,7 @@ impl EngineMetrics {
             windowed,
             ustate,
             forensics,
+            overload: self.overload.as_ref().map(|o| o.section()),
             slo: self.slo.as_ref().map(|s| s.section()),
         }
     }
@@ -955,6 +1200,138 @@ impl ForensicsReport {
                 ),
             ),
             ("flight_events", Json::U64(self.flight_events)),
+        ])
+    }
+}
+
+/// One request kind's overload accounting (per shard, or summed across
+/// shards). The conservation law every quiescent engine satisfies:
+/// `offered == admitted + shed_queue + shed_deadline`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverloadKindStats {
+    /// Data requests presented to the engine (before any gate decision).
+    pub offered: u64,
+    /// Requests actually served to completion.
+    pub admitted: u64,
+    /// Requests refused at enqueue (bounded queue at threshold).
+    pub shed_queue: u64,
+    /// Requests admitted but expired in the queue (shed at dequeue).
+    pub shed_deadline: u64,
+}
+
+impl OverloadKindStats {
+    /// Total sheds, both reasons.
+    pub fn shed(&self) -> u64 {
+        self.shed_queue + self.shed_deadline
+    }
+
+    /// `offered == admitted + shed` — true at quiescence (after a
+    /// flush, with no clients mid-request).
+    pub fn conserved(&self) -> bool {
+        self.offered == self.admitted + self.shed()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("offered", Json::U64(self.offered)),
+            ("admitted", Json::U64(self.admitted)),
+            ("shed", Json::U64(self.shed())),
+            ("shed_queue", Json::U64(self.shed_queue)),
+            ("shed_deadline", Json::U64(self.shed_deadline)),
+        ])
+    }
+}
+
+/// One shard's overload accounting, split by request kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadShardStats {
+    pub shard: usize,
+    /// High-water mark of the shard's gated queue depth (0 without a
+    /// queue bound).
+    pub peak_depth: u64,
+    pub observe: OverloadKindStats,
+    pub recommend: OverloadKindStats,
+}
+
+impl OverloadShardStats {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("shard", Json::from(self.shard)),
+            ("peak_depth", Json::U64(self.peak_depth)),
+            ("observe", self.observe.to_json()),
+            ("recommend", self.recommend.to_json()),
+        ])
+    }
+}
+
+/// Overload digest inside a [`MetricsReport`]: queue bounds, engine-wide
+/// per-kind conservation counters, the rolling-window shed rate, and the
+/// per-shard breakdown. Present only when the engine was started with
+/// overload accounting ([`crate::OverloadOptions::enabled`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadReport {
+    /// Per-shard bounded queue capacity (`None` = deadline-only mode).
+    pub queue_cap: Option<u64>,
+    /// Observe admission threshold (`None` = deadline-only mode).
+    pub observe_cap: Option<u64>,
+    /// Max queue-depth high-water mark across shards.
+    pub peak_depth: u64,
+    /// Engine-wide observe accounting (sum over shards).
+    pub observe: OverloadKindStats,
+    /// Engine-wide recommend accounting (sum over shards).
+    pub recommend: OverloadKindStats,
+    /// Requests offered inside the rolling window (all kinds).
+    pub offered_window: u64,
+    /// Requests shed inside the rolling window (all kinds, all reasons).
+    pub shed_window: u64,
+    pub shards: Vec<OverloadShardStats>,
+}
+
+impl OverloadReport {
+    /// Engine-wide totals across both kinds.
+    pub fn total(&self) -> OverloadKindStats {
+        OverloadKindStats {
+            offered: self.observe.offered + self.recommend.offered,
+            admitted: self.observe.admitted + self.recommend.admitted,
+            shed_queue: self.observe.shed_queue + self.recommend.shed_queue,
+            shed_deadline: self.observe.shed_deadline + self.recommend.shed_deadline,
+        }
+    }
+
+    /// Windowed shed / offered fraction (0 while idle).
+    pub fn shed_rate_window(&self) -> f64 {
+        if self.offered_window == 0 {
+            0.0
+        } else {
+            self.shed_window as f64 / self.offered_window as f64
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("queue_cap", Json::from(self.queue_cap)),
+            ("observe_cap", Json::from(self.observe_cap)),
+            ("peak_depth", Json::U64(self.peak_depth)),
+            ("observe", self.observe.to_json()),
+            ("recommend", self.recommend.to_json()),
+            ("total", self.total().to_json()),
+            (
+                "window",
+                Json::obj([
+                    ("offered", Json::U64(self.offered_window)),
+                    ("shed", Json::U64(self.shed_window)),
+                    ("shed_rate", Json::F64(self.shed_rate_window())),
+                ]),
+            ),
+            (
+                "shards",
+                Json::Arr(
+                    self.shards
+                        .iter()
+                        .map(OverloadShardStats::to_json)
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -1159,6 +1536,8 @@ pub struct MetricsReport {
     /// Exemplar traces and flight-recorder digest (None when forensics
     /// is off).
     pub forensics: Option<ForensicsReport>,
+    /// Overload accounting (None when overload is not configured).
+    pub overload: Option<OverloadReport>,
     /// SLO verdicts (None when no objectives are configured).
     pub slo: Option<SloSection>,
 }
@@ -1244,6 +1623,12 @@ impl MetricsReport {
                     .map_or(Json::Null, ForensicsReport::to_json),
             ),
             (
+                "overload",
+                self.overload
+                    .as_ref()
+                    .map_or(Json::Null, OverloadReport::to_json),
+            ),
+            (
                 "slo",
                 self.slo.as_ref().map_or(Json::Null, SloSection::to_json),
             ),
@@ -1312,6 +1697,24 @@ impl std::fmt::Display for MetricsReport {
                 )?;
             }
         }
+        if let Some(o) = &self.overload {
+            let cap = |c: Option<u64>| c.map_or("-".to_string(), |v| v.to_string());
+            writeln!(
+                f,
+                "overload cap={} observe_cap={} peak_depth={} window_shed_rate={:.3}",
+                cap(o.queue_cap),
+                cap(o.observe_cap),
+                o.peak_depth,
+                o.shed_rate_window()
+            )?;
+            for (kind, k) in [("observe", &o.observe), ("recommend", &o.recommend)] {
+                writeln!(
+                    f,
+                    "overload {kind:<9} offered={} admitted={} shed_queue={} shed_deadline={}",
+                    k.offered, k.admitted, k.shed_queue, k.shed_deadline
+                )?;
+            }
+        }
         let u = &self.ustate;
         if u.hits + u.misses > 0 {
             writeln!(
@@ -1349,6 +1752,7 @@ mod tests {
             None,
             None,
             &ForensicsOptions::default(),
+            &OverloadOptions::default(),
         )
     }
 
@@ -1413,6 +1817,7 @@ mod tests {
             None,
             Some(4096),
             &ForensicsOptions::default(),
+            &OverloadOptions::default(),
         );
         m.ustate.record(
             0,
@@ -1454,6 +1859,79 @@ mod tests {
             doc.at("budget_bytes_per_shard").and_then(Json::as_u64),
             Some(4096)
         );
+    }
+
+    #[test]
+    fn overload_section_absent_by_default_present_when_enabled() {
+        let m = plain(1);
+        assert!(m.overload.is_none());
+        let r = m.report(Duration::from_secs(1));
+        assert!(r.overload.is_none());
+        let doc = Json::parse(&r.to_json().render()).unwrap();
+        assert!(doc.get("overload").is_some_and(Json::is_null));
+
+        let bounded = EngineMetrics::new(
+            2,
+            false,
+            WindowSpec::default(),
+            None,
+            None,
+            &ForensicsOptions::default(),
+            &OverloadOptions {
+                queue_cap: Some(8),
+                observe_fraction: 0.75,
+                deadline: None,
+            },
+        );
+        let om = bounded.overload.as_ref().unwrap();
+        // Simulate: 3 observes offered on shard 0 (2 served, 1 queue
+        // shed), 2 recommends on shard 1 (1 served, 1 deadline shed).
+        for _ in 0..3 {
+            om.on_offered(0, RequestKind::Observe);
+        }
+        om.on_admitted(0, RequestKind::Observe);
+        om.on_admitted(0, RequestKind::Observe);
+        om.on_shed_queue(0, RequestKind::Observe);
+        om.on_offered(1, RequestKind::Recommend);
+        om.on_offered(1, RequestKind::Recommend);
+        om.on_admitted(1, RequestKind::Recommend);
+        om.on_shed_deadline(1, RequestKind::Recommend);
+        let r = bounded.report(Duration::from_secs(1));
+        let o = r.overload.as_ref().unwrap();
+        assert_eq!(o.queue_cap, Some(8));
+        assert_eq!(o.observe_cap, Some(6));
+        assert!(o.observe.conserved(), "{:?}", o.observe);
+        assert!(o.recommend.conserved(), "{:?}", o.recommend);
+        assert_eq!(o.total().offered, 5);
+        assert_eq!(o.total().shed(), 2);
+        assert_eq!(o.observe.shed_queue, 1);
+        assert_eq!(o.recommend.shed_deadline, 1);
+        // Window saw 5 offered, 2 shed.
+        assert!((o.shed_rate_window() - 0.4).abs() < 1e-9);
+        assert_eq!(om.shed_rate_window(), Some(0.4));
+        let doc = Json::parse(&r.to_json().render()).unwrap();
+        assert_eq!(
+            doc.at("overload.total.offered").and_then(Json::as_u64),
+            Some(5)
+        );
+        assert_eq!(
+            doc.at("overload.observe.shed_queue").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            doc.at("overload.shards.1.recommend.shed_deadline")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        // Prometheus exposition carries the labelled shed series.
+        let text = bounded.registry.prometheus_text();
+        assert!(
+            text.contains("serve_shed_total{kind=\"observe\",reason=\"queue\",shard=\"0\"} 1")
+                || text
+                    .contains("serve_shed_total{shard=\"0\",kind=\"observe\",reason=\"queue\"} 1"),
+            "{text}"
+        );
+        let _ = r.to_string();
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! The arrival scheduler's contract: schedules are *deterministic*
+//! (same seed → byte-identical, pinned by a committed golden fixture),
+//! *monotone* (time never runs backwards), and *rate-faithful* (the
+//! empirical Poisson rate lands within a few percent of the target).
+//!
+//! Regenerate the golden fixture after an *intentional* change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p rrc-serve --test arrival_schedule
+//! ```
+
+use proptest::prelude::*;
+use rrc_serve::arrival::{self, ArrivalProcess, ArrivalSpec, ArrivalTarget};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("arrival_schedule.txt")
+}
+
+/// The fixture covers one spec per open-loop process, each with a flash
+/// crowd overlay, rendered compactly: a fingerprint of the full byte
+/// encoding plus the first few arrivals verbatim.
+fn fixture_specs() -> Vec<(&'static str, ArrivalSpec)> {
+    vec![
+        (
+            "poisson",
+            ArrivalSpec {
+                process: ArrivalProcess::Poisson { rate: 25_000.0 },
+                seed: 2024,
+                hot_users: 8,
+                hot_fraction: 0.1,
+            },
+        ),
+        (
+            "burst",
+            ArrivalSpec {
+                process: ArrivalProcess::Burst {
+                    rate: 5_000.0,
+                    burst_rate: 200_000.0,
+                    period_ns: 50_000_000,
+                    burst_ns: 10_000_000,
+                },
+                seed: 2024,
+                hot_users: 8,
+                hot_fraction: 0.1,
+            },
+        ),
+        (
+            "diurnal",
+            ArrivalSpec {
+                process: ArrivalProcess::Diurnal {
+                    rate: 20_000.0,
+                    period_ns: 100_000_000,
+                    amplitude: 0.8,
+                },
+                seed: 2024,
+                hot_users: 8,
+                hot_fraction: 0.1,
+            },
+        ),
+    ]
+}
+
+fn render() -> String {
+    let mut out = String::new();
+    out.push_str("# Golden arrival schedules. Regenerate intentionally with:\n");
+    out.push_str("#   UPDATE_GOLDEN=1 cargo test -p rrc-serve --test arrival_schedule\n");
+    for (name, spec) in fixture_specs() {
+        let schedule = arrival::generate(&spec, 200, 0);
+        writeln!(out, "process {name}").unwrap();
+        writeln!(out, "arrivals {}", schedule.len()).unwrap();
+        writeln!(out, "fingerprint {:#018x}", arrival::fingerprint(&schedule)).unwrap();
+        for a in schedule.iter().take(8) {
+            let slot = match a.target {
+                ArrivalTarget::Replay => "replay".to_string(),
+                ArrivalTarget::Hot(n) => format!("hot:{n}"),
+            };
+            writeln!(out, "  at_ns {} {slot}", a.at_ns).unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_schedules_are_stable() {
+    let rendered = render();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "arrival schedules drifted from the committed golden fixture; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn same_seed_is_byte_identical_across_generations() {
+    for (_, spec) in fixture_specs() {
+        let a = arrival::encode(&arrival::generate(&spec, 2_000, 5));
+        let b = arrival::encode(&arrival::generate(&spec, 2_000, 5));
+        assert_eq!(a, b, "same (spec, events, stream) must be byte-identical");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Inter-arrival gaps are non-negative (time is monotone) and the
+    /// schedule carries exactly the requested number of replay events,
+    /// for every process shape.
+    #[test]
+    fn schedules_are_monotone_with_exact_replay_counts(
+        seed in any::<u64>(),
+        rate in 1_000.0f64..500_000.0,
+        hot_users in 0u32..16,
+        hot_fraction in 0.0f64..0.5,
+        events in 1usize..2_000,
+        process_kind in 0u8..3,
+    ) {
+        let process = match process_kind {
+            0 => ArrivalProcess::Poisson { rate },
+            1 => ArrivalProcess::Burst {
+                rate,
+                burst_rate: rate * 8.0,
+                period_ns: 10_000_000,
+                burst_ns: 2_000_000,
+            },
+            _ => ArrivalProcess::Diurnal {
+                rate,
+                period_ns: 20_000_000,
+                amplitude: 0.9,
+            },
+        };
+        let spec = ArrivalSpec { process, seed, hot_users, hot_fraction };
+        let schedule = arrival::generate(&spec, events, seed % 7);
+        let replays = schedule
+            .iter()
+            .filter(|a| a.target == ArrivalTarget::Replay)
+            .count();
+        prop_assert_eq!(replays, events, "replay count must be exact");
+        prop_assert!(
+            schedule.windows(2).all(|w| w[0].at_ns <= w[1].at_ns),
+            "arrival times must be monotone non-decreasing"
+        );
+        if hot_users == 0 || hot_fraction == 0.0 {
+            prop_assert_eq!(schedule.len(), events, "no hot overlay when disabled");
+        }
+        for a in &schedule {
+            if let ArrivalTarget::Hot(n) = a.target {
+                prop_assert!(n < hot_users, "hot slot {} out of range", n);
+            }
+        }
+    }
+
+    /// The empirical rate of a large Poisson schedule is within 5% of the
+    /// target — the inversion sampler is calibrated, not just monotone.
+    #[test]
+    fn poisson_empirical_rate_is_within_five_percent(
+        seed in any::<u64>(),
+        rate in 5_000.0f64..200_000.0,
+    ) {
+        const N: usize = 20_000;
+        let spec = ArrivalSpec {
+            process: ArrivalProcess::Poisson { rate },
+            seed,
+            hot_users: 0,
+            hot_fraction: 0.0,
+        };
+        let schedule = arrival::generate(&spec, N, 0);
+        let span_s = schedule.last().unwrap().at_ns as f64 / 1e9;
+        prop_assert!(span_s > 0.0);
+        let empirical = (N - 1) as f64 / span_s;
+        let err = (empirical - rate).abs() / rate;
+        prop_assert!(
+            err < 0.05,
+            "empirical rate {empirical:.0}/s vs target {rate:.0}/s (err {:.1}%)",
+            err * 100.0
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared helpers for the serve integration tests.
+//!
+//! `cargo` compiles every top-level `tests/*.rs` file as its own crate;
+//! subdirectories are not test roots, so this module is shared by an
+//! explicit `mod common;` from each test file that wants it.
+
+use std::time::{Duration, Instant};
+
+/// Poll `cond` with exponential backoff until it holds or `timeout`
+/// elapses; returns whether it held. Bound every cross-thread wait on a
+/// *condition*, never a fixed sleep: slow CI machines wait longer
+/// instead of flaking, fast ones barely wait at all.
+pub fn poll_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    let mut backoff = Duration::from_micros(50);
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            // One last look: the condition may have turned true while we
+            // were sleeping right up against the deadline.
+            return cond();
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(Duration::from_millis(5));
+    }
+}

@@ -13,7 +13,9 @@ use rrc_serve::ServeEngine;
 use rrc_store::ModelRegistry;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+mod common;
 
 const USERS: usize = 12;
 const ITEMS: usize = 40;
@@ -148,14 +150,10 @@ fn background_watcher_hot_swaps_after_publish() {
     let published = fresh_model(99);
     registry.publish(&published, &[]).unwrap();
 
-    let deadline = Instant::now() + Duration::from_secs(10);
-    while *engine.model() != published {
-        assert!(
-            Instant::now() < deadline,
-            "watcher never installed the publish"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    }
+    assert!(
+        common::poll_until(Duration::from_secs(10), || *engine.model() == published),
+        "watcher never installed the publish"
+    );
     watcher.stop();
 
     let Ok(engine) = Arc::try_unwrap(engine) else {
