@@ -9,10 +9,10 @@
 
 use crate::model::TsPprModel;
 use crate::params::ModelParams;
+use crate::train::{sgd_step, SgdConsts, SgdScratch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rrc_features::{FeatureContext, FeaturePipeline, RecContext, TrainStats};
-use rrc_linalg::sigmoid;
+use rrc_features::{FeatureContext, FeaturePipeline, Quadruple, RecContext, TrainStats};
 use rrc_sequence::{classify, ConsumptionKind, Dataset, ItemId, UserId, WindowState};
 
 /// Online-update settings.
@@ -111,8 +111,11 @@ pub fn observe_single<M: ModelParams + ?Sized>(
 
 /// One online learning round for an observed eligible repeat: pairwise SGD
 /// against `cfg.negatives_per_event` negatives sampled from the live
-/// window (the online continuation of Algorithm 1). Returns the number of
-/// SGD updates taken.
+/// window (the online continuation of Algorithm 1). Every update goes
+/// through the crate's single [`sgd_step`](crate::train) kernel — the same
+/// code path as the serial and sharded offline trainers, so the
+/// incremental stream trainer inherits their bit-for-bit determinism.
+/// Returns the number of SGD updates taken.
 #[allow(clippy::too_many_arguments)]
 pub fn online_step_single<M: ModelParams + ?Sized>(
     model: &mut M,
@@ -141,52 +144,20 @@ pub fn online_step_single<M: ModelParams + ?Sized>(
         negatives.push((neg, pipeline.extract(&fctx, neg)));
     }
 
-    let kdim = model.k();
-    let fdim = model.f_dim();
-    let decay_factor = 1.0 - cfg.alpha * cfg.gamma;
-    let decay_transform = 1.0 - cfg.alpha * cfg.lambda;
+    let consts = SgdConsts::for_online(cfg, model.k());
+    let mut scratch = SgdScratch::new(model.k(), model.f_dim());
+    let t = window.time();
     let mut updates = 0;
     for (neg, f_neg) in negatives {
-        let margin = model.margin(user, pos, neg, &f_pos, &f_neg);
-        let coef = cfg.alpha * (1.0 - sigmoid(margin));
-        let mut df = vec![0.0; fdim];
-        for c in 0..fdim {
-            df[c] = f_pos[c] - f_neg[c];
-        }
-        let mut grad_u = vec![0.0; kdim];
-        {
-            let a = model.transform(user);
-            let vi = model.item_factor(pos);
-            let vj = model.item_factor(neg);
-            for r in 0..kdim {
-                let adf: f64 = a.row(r).iter().zip(&df).map(|(x, y)| x * y).sum();
-                grad_u[r] = vi[r] - vj[r] + adf;
-            }
-        }
-        let u_old = model.user_factor(user).to_vec();
-        {
-            let u = model.user_factor_mut(user);
-            for r in 0..kdim {
-                u[r] = decay_factor * u[r] + coef * grad_u[r];
-            }
-        }
-        {
-            let vi = model.item_factor_mut(pos);
-            for r in 0..kdim {
-                vi[r] = decay_factor * vi[r] + coef * u_old[r];
-            }
-        }
-        {
-            let vj = model.item_factor_mut(neg);
-            for r in 0..kdim {
-                vj[r] = decay_factor * vj[r] - coef * u_old[r];
-            }
-        }
-        {
-            let a = model.transform_mut(user);
-            a.scale(decay_transform);
-            a.rank1_update(coef, &u_old, &df);
-        }
+        let q = Quadruple {
+            user,
+            pos,
+            neg,
+            t,
+            f_pos: &f_pos,
+            f_neg: &f_neg,
+        };
+        sgd_step(model, &q, &consts, &mut scratch);
         updates += 1;
     }
     updates

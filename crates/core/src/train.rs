@@ -264,6 +264,19 @@ impl SgdConsts {
             identity_transform: cfg.identity_transform,
         }
     }
+
+    /// The same constants derived from an online-serving configuration:
+    /// the incremental (per-event) trainers take exactly the offline step,
+    /// just with the online learning rate and regularisers.
+    pub(crate) fn for_online(cfg: &crate::online::OnlineConfig, k: usize) -> Self {
+        SgdConsts {
+            k,
+            alpha: cfg.alpha,
+            decay_factor: 1.0 - cfg.alpha * cfg.gamma,
+            decay_transform: 1.0 - cfg.alpha * cfg.lambda,
+            identity_transform: false,
+        }
+    }
 }
 
 /// One SGD step of Algorithm 1 (lines 5–9, Eqs. 12–15) against any

@@ -60,6 +60,22 @@ pub struct GeneratorConfig {
     /// dominate the traffic — the regime that stresses a bounded
     /// user-state cache with a realistic hot set.
     pub user_skew: f64,
+    /// Concept-drift magnitude in `[0, 1]`. `0.0` (the default) disables
+    /// drift and is byte-identical to the historical generator. Positive
+    /// values install a piecewise changepoint at the `drift_at` fraction
+    /// of every user's sequence: from that event on, the item-popularity
+    /// head rotates by a seed-derived shift (novel draws land on a
+    /// different slice of the catalog, and with it the quality /
+    /// reconsumability signals move), personal-pool favourites migrate to
+    /// the rotated items, and the repeat probability stretches so
+    /// inter-consumption gaps lengthen. Everything stays a pure function
+    /// of the seed — two runs of the same config are identical — which is
+    /// exactly the "something to chase" a continuous trainer needs while
+    /// a frozen model goes stale.
+    pub drift: f64,
+    /// Where the drift changepoint sits, as a fraction of each user's
+    /// sequence length. Ignored when `drift == 0`.
+    pub drift_at: f64,
     /// RNG seed — generation is fully deterministic given this.
     pub seed: u64,
 }
@@ -101,6 +117,8 @@ impl GeneratorConfig {
                 global_novel_prob: 0.25,
             },
             user_skew: 0.0,
+            drift: 0.0,
+            drift_at: 0.5,
             seed: 0x9077a11a,
         }
     }
@@ -135,6 +153,8 @@ impl GeneratorConfig {
                 global_novel_prob: 0.25,
             },
             user_skew: 0.0,
+            drift: 0.0,
+            drift_at: 0.5,
             seed: 0x1a57f3,
         }
     }
@@ -161,6 +181,8 @@ impl GeneratorConfig {
                 global_novel_prob: 0.4,
             },
             user_skew: 0.0,
+            drift: 0.0,
+            drift_at: 0.5,
             seed: 42,
         }
     }
@@ -187,6 +209,28 @@ impl GeneratorConfig {
     pub fn with_events_per_user(mut self, lo: usize, hi: usize) -> Self {
         assert!(lo <= hi, "event range must satisfy lo <= hi");
         self.events_per_user = (lo, hi);
+        self
+    }
+
+    /// Replace the drift magnitude (builder style). `0.0` disables drift;
+    /// see [`GeneratorConfig::drift`].
+    pub fn with_drift(mut self, drift: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drift),
+            "drift magnitude must be in [0, 1]"
+        );
+        self.drift = drift;
+        self
+    }
+
+    /// Replace the drift changepoint fraction (builder style); see
+    /// [`GeneratorConfig::drift_at`].
+    pub fn with_drift_at(mut self, drift_at: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&drift_at),
+            "drift changepoint must be a fraction in [0, 1)"
+        );
+        self.drift_at = drift_at;
         self
     }
 

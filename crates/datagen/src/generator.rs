@@ -38,6 +38,48 @@ fn reconsumability(item: usize, master_seed: u64) -> f64 {
     (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// The post-changepoint regime of a drifting stream: a seed-derived
+/// rotation of the item catalog plus a stretch of inter-consumption gaps.
+/// Pure function of the config — no RNG draws — so a `drift == 0` run
+/// stays byte-identical to the historical generator.
+#[derive(Debug, Clone, Copy)]
+struct DriftRegime {
+    /// Catalog rotation applied to novel/pool draws after the changepoint.
+    shift: usize,
+    /// Multiplier on the user's repeat probability after the changepoint
+    /// (< 1: repeats thin out, inter-consumption gaps lengthen).
+    repeat_stretch: f64,
+}
+
+impl DriftRegime {
+    fn from_config(config: &GeneratorConfig) -> Option<DriftRegime> {
+        if config.drift <= 0.0 || config.num_items < 2 {
+            return None;
+        }
+        // Derive the rotation from the seed so different seeds drift to
+        // different corners of the catalog; scale it with the magnitude so
+        // small drifts move the popularity head only slightly.
+        let mixed = user_seed(config.seed ^ 0xD21F7, config.num_items);
+        let base = 1 + (mixed as usize % (config.num_items - 1));
+        let shift = ((base as f64 * config.drift).round() as usize).clamp(1, config.num_items - 1);
+        Some(DriftRegime {
+            shift,
+            repeat_stretch: 1.0 - 0.35 * config.drift,
+        })
+    }
+
+    /// Rotate an item into the post-changepoint catalog.
+    fn rotate(&self, item: usize, num_items: usize) -> usize {
+        (item + self.shift) % num_items
+    }
+
+    /// Invert [`DriftRegime::rotate`] (for affinity lookups: a rotated
+    /// pool favourite keeps its pre-drift affinity).
+    fn unrotate(&self, item: usize, num_items: usize) -> usize {
+        (item + num_items - self.shift % num_items) % num_items
+    }
+}
+
 /// Generate one user's consumption sequence.
 fn generate_user(
     rng: &mut StdRng,
@@ -46,6 +88,7 @@ fn generate_user(
     zipf: &Zipf,
     pool_zipf: &Zipf,
     len_scale: f64,
+    regime: Option<DriftRegime>,
 ) -> Sequence {
     let (lo, hi) = config.events_per_user;
     // The length draw stays the FIRST draw from the user's RNG, and the
@@ -85,8 +128,22 @@ fn generate_user(
     let mut candidates: Vec<ItemId> = Vec::new();
     let mut weights: Vec<f64> = Vec::new();
 
-    for _ in 0..len {
-        let is_repeat = window.len() >= MIN_WINDOW_FILL && rng.gen::<f64>() < profile.repeat_prob;
+    // Every drift effect is gated on `drifted`, and the pre-changepoint
+    // prefix takes exactly the historical draw sequence — so a drifting
+    // stream agrees byte-for-byte with its undrifted twin until the
+    // changepoint, and `drift == 0` agrees everywhere.
+    let changepoint = match regime {
+        Some(_) => (len as f64 * config.drift_at) as usize,
+        None => usize::MAX,
+    };
+
+    for step in 0..len {
+        let drifted = step >= changepoint;
+        let repeat_prob = match regime {
+            Some(r) if drifted => (profile.repeat_prob * r.repeat_stretch).clamp(0.0, 1.0),
+            _ => profile.repeat_prob,
+        };
+        let is_repeat = window.len() >= MIN_WINDOW_FILL && rng.gen::<f64>() < repeat_prob;
         let item = if is_repeat {
             candidates.clear();
             candidates.extend(window.distinct_items());
@@ -97,11 +154,24 @@ fn generate_user(
             for &v in &candidates {
                 let last = window.last_seen(v).expect("candidate is in window") as f64;
                 let gap = (t - last).max(1.0);
+                // A rotated pool favourite keeps its pre-drift affinity:
+                // post-changepoint the user's taste has *moved*, not
+                // vanished, so the repeat dynamics stay strong but point
+                // at different items than any pre-drift model learned.
+                let affinity = match regime {
+                    Some(r) if drifted => affinities.get(&v.0).copied().unwrap_or(0.0).max(
+                        affinities
+                            .get(&(r.unrotate(v.index(), config.num_items) as u32))
+                            .copied()
+                            .unwrap_or(0.0),
+                    ),
+                    _ => affinities.get(&v.0).copied().unwrap_or(0.0),
+                };
                 let score = profile.recency_weight / gap
                     + profile.quality_weight * intrinsic_quality(v.index(), config.num_items)
                     + profile.familiarity_weight * window.familiarity(v)
                     + profile.recon_weight * reconsumability(v.index(), config.seed)
-                    + affinities.get(&v.0).copied().unwrap_or(0.0);
+                    + affinity;
                 let s = score / profile.temperature;
                 weights.push(s);
                 max_score = max_score.max(s);
@@ -123,9 +193,17 @@ fn generate_user(
             }
             chosen
         } else if rng.gen::<f64>() < profile.global_novel_prob {
-            ItemId(zipf.sample(rng) as u32)
+            let raw = zipf.sample(rng);
+            match regime {
+                Some(r) if drifted => ItemId(r.rotate(raw, config.num_items) as u32),
+                _ => ItemId(raw as u32),
+            }
         } else {
-            ItemId(pool[rng.gen_range(0..pool.len())] as u32)
+            let raw = pool[rng.gen_range(0..pool.len())];
+            match regime {
+                Some(r) if drifted => ItemId(r.rotate(raw, config.num_items) as u32),
+                _ => ItemId(raw as u32),
+            }
         };
         window.push(item);
         events.push(item);
@@ -162,16 +240,25 @@ fn skew_multipliers(config: &GeneratorConfig) -> Option<Vec<f64>> {
 pub fn generate(config: &GeneratorConfig) -> Dataset {
     assert!(config.num_users > 0, "need at least one user");
     assert!(config.num_items > 0, "need at least one item");
+    assert!(
+        (0.0..=1.0).contains(&config.drift),
+        "drift magnitude must be in [0, 1]"
+    );
+    assert!(
+        (0.0..1.0).contains(&config.drift_at),
+        "drift changepoint must be a fraction in [0, 1)"
+    );
     let zipf = Zipf::new(config.num_items, config.zipf_exponent);
     let pool_zipf = Zipf::new(config.num_items, config.pool_zipf_exponent);
     let scales = skew_multipliers(config);
+    let regime = DriftRegime::from_config(config);
     let mut sequences = Vec::with_capacity(config.num_users);
     for u in 0..config.num_users {
         let mut rng = StdRng::seed_from_u64(user_seed(config.seed, u));
         let profile = config.profiles.sample(&mut rng);
         let len_scale = scales.as_ref().map_or(1.0, |s| s[u]);
         sequences.push(generate_user(
-            &mut rng, &profile, config, &zipf, &pool_zipf, len_scale,
+            &mut rng, &profile, config, &zipf, &pool_zipf, len_scale, regime,
         ));
     }
     Dataset::new(sequences, config.num_items)
@@ -299,6 +386,70 @@ mod tests {
         // same config generates the same lengths again.
         let again: Vec<usize> = generate(&c).iter().map(|(_, s)| s.len()).collect();
         assert_eq!(lens, again);
+    }
+
+    #[test]
+    fn zero_drift_is_byte_identical_to_the_undrifted_generator() {
+        // `with_drift(0.0)` must not perturb a single draw.
+        let plain = GeneratorConfig::tiny().generate();
+        let drift_off = GeneratorConfig::tiny().with_drift(0.0).generate();
+        for (u, seq) in plain.iter() {
+            assert_eq!(seq.events(), drift_off.sequence(u).events());
+        }
+    }
+
+    #[test]
+    fn drift_is_deterministic_and_prefix_preserving() {
+        let c = GeneratorConfig::tiny().with_drift(0.8).with_drift_at(0.5);
+        let a = generate(&c);
+        let b = generate(&c);
+        let plain = GeneratorConfig::tiny().generate();
+        let mut diverged = false;
+        for (u, seq) in a.iter() {
+            // Same config twice: identical streams.
+            assert_eq!(seq.events(), b.sequence(u).events());
+            // The pre-changepoint prefix agrees byte-for-byte with the
+            // undrifted twin; the suffix is where drift lives.
+            let undrifted = plain.sequence(u).events();
+            let cp = (seq.len() as f64 * c.drift_at) as usize;
+            assert_eq!(&seq.events()[..cp.min(undrifted.len())], &undrifted[..cp]);
+            if seq.events()[cp..] != undrifted[cp..] {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "drift changed nothing after the changepoint");
+    }
+
+    #[test]
+    fn drift_shifts_the_consumed_item_distribution() {
+        // Post-changepoint the popularity head rotates: the sets of items
+        // consumed before and after the changepoint should overlap far
+        // less than in an undrifted stream.
+        let overlap = |d: &Dataset, at: f64| -> f64 {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (_, seq) in d.iter() {
+                let cp = (seq.len() as f64 * at) as usize;
+                let pre: std::collections::HashSet<_> = seq.events()[..cp].iter().collect();
+                let post: std::collections::HashSet<_> = seq.events()[cp..].iter().collect();
+                num += pre.intersection(&post).count() as f64;
+                den += post.len() as f64;
+            }
+            num / den.max(1.0)
+        };
+        let plain = GeneratorConfig::tiny().with_seed(11).generate();
+        let drifted = GeneratorConfig::tiny()
+            .with_seed(11)
+            .with_drift(0.9)
+            .with_drift_at(0.5)
+            .generate();
+        let plain_overlap = overlap(&plain, 0.5);
+        let drift_overlap = overlap(&drifted, 0.5);
+        assert!(
+            drift_overlap < 0.6 * plain_overlap,
+            "drifted pre/post overlap {drift_overlap:.3} not clearly below \
+             undrifted {plain_overlap:.3}"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::ids::ItemId;
 use std::collections::{HashMap, VecDeque};
 
 /// An incrementally-maintained time window over a consumption stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowState {
     capacity: usize,
     buf: VecDeque<ItemId>,

@@ -58,6 +58,19 @@
 //!   `offered == admitted + shed`; `--slo-shed-rate` turns the windowed
 //!   shed fraction into an SLO objective.
 //!
+//! Continuous learning (`--continuous`):
+//!
+//! * Runs the replay twice on the same (optionally `--drift`-ing)
+//!   stream. Leg 1 serves a *frozen* model — the decay baseline. Leg 2
+//!   taps every observed event into an `rrc-stream` trainer thread that
+//!   learns incrementally and publishes to a model registry every
+//!   `--publish-every` events, while a registry watcher hot-swaps each
+//!   version into the serving engine under load. Both legs score online
+//!   quality; the report's `continuous` section carries frozen vs.
+//!   stream-trained hit@10, the publish → swap freshness lag, and the
+//!   trainer's prequential metrics. `--stream-checkpoint PATH` (with
+//!   `--checkpoint-every N`) makes the trainer durable as it goes.
+//!
 //! Defaults replay well over 10k events; `--users`/`--events` scale it.
 
 use rand::rngs::StdRng;
@@ -69,13 +82,18 @@ use rrc_obs::{Json, JsonlSink, RunReport};
 use rrc_sequence::{Dataset, ItemId, SplitDataset, UserId};
 use rrc_serve::arrival::{self, ArrivalProcess, ArrivalSpec, ArrivalTarget};
 use rrc_serve::{
-    EngineOptions, ForensicsOptions, OverloadOptions, QualityConfig, ServeEngine, SloOptions,
-    UstateOptions,
+    EngineOptions, ForensicsOptions, OverloadOptions, QualityConfig, RegistryWatcher, ServeEngine,
+    SloOptions, SwapLog, UstateOptions,
 };
+use rrc_store::ModelRegistry;
+use rrc_stream::{ChannelSource, StreamConfig, StreamEvent, StreamTrainer};
 use rrc_ustate::EvictionPolicy;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The tap through which a replay feeds the continuous trainer.
+type EventTap = crossbeam::channel::Sender<StreamEvent>;
 
 const OMEGA: usize = 10;
 
@@ -174,6 +192,21 @@ struct Args {
     deadline_us: Option<u64>,
     /// SLO: max windowed shed fraction (shed / offered).
     slo_shed_rate: Option<f64>,
+    /// Two-leg continuous-learning run: frozen baseline, then serve +
+    /// stream-train + publish + hot-swap on the same stream.
+    continuous: bool,
+    /// Distribution drift magnitude of the generated stream (0..=1).
+    drift: f64,
+    /// Per-user changepoint position for `--drift`, as a fraction of the
+    /// sequence (default lands inside the replayed test suffix).
+    drift_at: f64,
+    /// Continuous trainer: publish to the registry every N events.
+    publish_every: u64,
+    /// Continuous trainer: durable checkpoint path.
+    stream_checkpoint: Option<String>,
+    /// Continuous trainer: checkpoint every N events (0 = only the flag
+    /// path's final write).
+    checkpoint_every: u64,
 }
 
 impl Default for Args {
@@ -230,6 +263,12 @@ impl Default for Args {
             observe_frac: 0.75,
             deadline_us: None,
             slo_shed_rate: None,
+            continuous: false,
+            drift: 0.0,
+            drift_at: 0.75,
+            publish_every: 2_000,
+            stream_checkpoint: None,
+            checkpoint_every: 0,
         }
     }
 }
@@ -330,7 +369,9 @@ fn usage() -> ! {
          [--diurnal-period MILLIS] [--diurnal-amplitude F] \
          [--hot-users N] [--hot-frac F] \
          [--queue-cap N] [--observe-frac F] [--deadline-us MICROS] \
-         [--slo-shed-rate F]"
+         [--slo-shed-rate F] \
+         [--continuous] [--drift F] [--drift-at F] [--publish-every N] \
+         [--stream-checkpoint PATH] [--checkpoint-every N]"
     );
     std::process::exit(2);
 }
@@ -420,6 +461,14 @@ fn parse_args() -> Args {
             "--observe-frac" => args.observe_frac = fnum(&mut it),
             "--deadline-us" => args.deadline_us = Some(num(&mut it) as u64),
             "--slo-shed-rate" => args.slo_shed_rate = Some(fnum(&mut it)),
+            "--continuous" => args.continuous = true,
+            "--drift" => args.drift = fnum(&mut it),
+            "--drift-at" => args.drift_at = fnum(&mut it),
+            "--publish-every" => args.publish_every = num(&mut it) as u64,
+            "--stream-checkpoint" => {
+                args.stream_checkpoint = Some(it.next().unwrap_or_else(|| usage()))
+            }
+            "--checkpoint-every" => args.checkpoint_every = num(&mut it) as u64,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -443,6 +492,10 @@ fn parse_args() -> Args {
         )
         || (args.arrival != "closed" && args.rate <= 0.0)
         || (args.arrival == "burst" && args.burst_rate <= 0.0)
+        || !(0.0..=1.0).contains(&args.drift)
+        || !(0.0..1.0).contains(&args.drift_at)
+        || (args.continuous && args.publish_every == 0)
+        || (args.continuous && args.overhead)
     {
         usage();
     }
@@ -486,8 +539,11 @@ fn per_client_spec(spec: &ArrivalSpec, clients: usize) -> ArrivalSpec {
 }
 
 /// Build the warmed online recommender (deterministic for a given seed,
-/// so `--overhead` can rebuild an identical one for each leg).
-fn build_online(args: &Args, data: &Dataset, split: &SplitDataset) -> OnlineTsPpr {
+/// so `--overhead` and `--continuous` can rebuild an identical one for
+/// each leg). `learn` is the negatives-per-event of the *engine's* own
+/// online updates — the continuous legs pass 0 so the served model only
+/// changes via hot-swap.
+fn build_online(args: &Args, data: &Dataset, split: &SplitDataset, learn: usize) -> OnlineTsPpr {
     let stats = TrainStats::compute(&split.train, args.window);
     let pipeline = FeaturePipeline::standard();
     let model = match &args.load_model {
@@ -534,7 +590,7 @@ fn build_online(args: &Args, data: &Dataset, split: &SplitDataset) -> OnlineTsPp
         OnlineConfig {
             window: args.window,
             omega: OMEGA,
-            negatives_per_event: args.learn,
+            negatives_per_event: learn,
             seed: args.seed,
             ..OnlineConfig::default()
         },
@@ -572,6 +628,7 @@ fn run_replay(
     replay: &[(UserId, Vec<ItemId>)],
     args: &Args,
     panic_after: Option<u64>,
+    tap: Option<&EventTap>,
 ) -> Duration {
     // Round-robin users over client threads so each user's stream stays on
     // one client — cross-client FIFO for the same user is not defined.
@@ -637,6 +694,9 @@ fn run_replay(
                         for (user, events) in part {
                             for &item in events {
                                 engine_ref.observe(*user, item);
+                                if let Some(tap) = tap {
+                                    let _ = tap.send(StreamEvent { user: *user, item });
+                                }
                                 if let Some(n) = panic_after {
                                     if replayed_ref.fetch_add(1, Ordering::Relaxed) + 1 == n {
                                         panic!("injected panic after {n} events");
@@ -674,6 +734,9 @@ fn run_replay(
                                 let (user, item) =
                                     events.next().expect("schedule replay count matches stream");
                                 let _ = engine_ref.try_observe_nowait(user, item, None);
+                                if let Some(tap) = tap {
+                                    let _ = tap.send(StreamEvent { user, item });
+                                }
                                 if let Some(n) = panic_after {
                                     if replayed_ref.fetch_add(1, Ordering::Relaxed) + 1 == n {
                                         panic!("injected panic after {n} events");
@@ -741,6 +804,347 @@ fn ustate_options(args: &Args) -> UstateOptions {
     }
 }
 
+/// Tear down an engine whose only other handle-holders have exited.
+fn shutdown_engine(engine: Arc<ServeEngine>) {
+    match Arc::try_unwrap(engine) {
+        Ok(engine) => engine.shutdown(),
+        Err(_) => unreachable!("no other engine handles exist"),
+    }
+}
+
+/// One continuous-experiment leg's online-quality summary.
+struct LegQuality {
+    hit10: f64,
+    mrr: f64,
+    opportunities: u64,
+}
+
+impl LegQuality {
+    fn of(engine: &ServeEngine) -> LegQuality {
+        let overall = engine
+            .quality_report()
+            .expect("continuous legs run with quality on")
+            .overall();
+        LegQuality {
+            hit10: overall.hit_rate_at(2),
+            mrr: overall.ranking.mrr(),
+            opportunities: overall.ranking.opportunities,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("hit10", Json::F64(self.hit10)),
+            ("mrr", Json::F64(self.mrr)),
+            ("opportunities", Json::from(self.opportunities)),
+        ])
+    }
+}
+
+/// An engine for a continuous leg: frozen online core (`learn = 0` — the
+/// served model changes *only* through registry hot-swaps, so the quality
+/// delta is attributable to the pipeline) with quality monitoring forced
+/// on.
+fn continuous_engine(args: &Args, data: &Dataset, split: &SplitDataset) -> Arc<ServeEngine> {
+    Arc::new(ServeEngine::start_with(
+        build_online(args, data, split, 0),
+        args.shards,
+        EngineOptions {
+            tracing: !args.no_tracing,
+            quality: Some(QualityConfig::default()),
+            ustate: ustate_options(args),
+            overload: args.overload_options(),
+            ..EngineOptions::default()
+        },
+    ))
+}
+
+/// Run a [`StreamTrainer`] on its own thread until its source ends.
+fn spawn_trainer(
+    trainer: StreamTrainer,
+    mut source: ChannelSource,
+    name: &str,
+) -> std::thread::JoinHandle<StreamTrainer> {
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || {
+            let mut trainer = trainer;
+            match trainer.run(&mut source) {
+                Ok(_) => trainer,
+                Err(e) => {
+                    eprintln!("stream trainer failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        })
+        .expect("spawn stream trainer")
+}
+
+/// The continuous trainer's shared shape: the serving engine's online
+/// config at `learn` negatives per eligible repeat, `--publish-every` /
+/// `--checkpoint-every` cadences.
+fn stream_config(args: &Args, learn: usize) -> StreamConfig {
+    StreamConfig {
+        online: OnlineConfig {
+            window: args.window,
+            omega: OMEGA,
+            negatives_per_event: learn,
+            seed: args.seed,
+            ..OnlineConfig::default()
+        },
+        shards: args.shards,
+        eval_n: args.topn.max(10),
+        publish_every: args.publish_every,
+        checkpoint_every: args.checkpoint_every,
+        ..StreamConfig::default()
+    }
+}
+
+/// The `--continuous` experiment: replay the same (drifting) stream
+/// twice. Leg 1 serves a frozen model with a frozen prequential
+/// *evaluator* on the tap — how quality decays when nobody retrains,
+/// measured on every eligible repeat. Leg 2 taps the same events into a
+/// learning `rrc-stream` trainer; the trainer publishes on cadence, a
+/// registry watcher hot-swaps each version into the live engine, and the
+/// per-version quality monitor attributes the recovery. The headline
+/// `preq_gain_hit10` compares the two trainers' full-coverage
+/// prequential hit@10 on identical streams — learning is the only
+/// difference between them.
+fn run_continuous(args: &Args, data: &Dataset, split: &SplitDataset) {
+    let replay: Vec<(UserId, Vec<ItemId>)> = split
+        .test
+        .iter()
+        .enumerate()
+        .map(|(u, s)| (UserId(u as u32), s.events().to_vec()))
+        .collect();
+    let total_events: usize = replay.iter().map(|(_, e)| e.len()).sum();
+    let rate = |elapsed: Duration| total_events as f64 / elapsed.as_secs_f64().max(1e-9);
+    // The trainer always learns; `--learn` tunes how hard.
+    let trainer_learn = if args.learn == 0 { 3 } else { args.learn };
+
+    // Leg 1: the decay baseline — frozen serving, frozen evaluation.
+    eprintln!(
+        "continuous leg 1/2: frozen baseline ({} events, drift {})",
+        total_events, args.drift
+    );
+    let engine = continuous_engine(args, data, split);
+    let (model, pipeline, stats, _, _) = build_online(args, data, split, 0).into_parts();
+    let mut evaluator = StreamTrainer::new(model, pipeline, stats, stream_config(args, 0));
+    evaluator.warm_from(&split.train);
+    evaluator.bind_metrics(engine.metrics_registry());
+    let (tx, source) = ChannelSource::unbounded();
+    let evaluator_thread = spawn_trainer(evaluator, source, "stream-evaluator");
+    let baseline_elapsed = run_replay(&engine, &replay, args, None, Some(&tx));
+    drop(tx);
+    let evaluator = evaluator_thread.join().expect("stream evaluator thread");
+    let baseline = LegQuality::of(&engine);
+    shutdown_engine(engine);
+
+    // Leg 2: stream-train + publish + hot-swap on the same stream.
+    let registry_dir = args.registry.clone().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("loadgen_registry_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    let registry = ModelRegistry::create(&registry_dir, 4).unwrap_or_else(|e| {
+        eprintln!("failed to create registry at {registry_dir}: {e}");
+        std::process::exit(1);
+    });
+    let (model, pipeline, stats, _, _) = build_online(args, data, split, 0).into_parts();
+    let mut trainer =
+        StreamTrainer::new(model, pipeline, stats, stream_config(args, trainer_learn));
+    trainer.warm_from(&split.train);
+    trainer.set_registry(registry);
+    if let Some(path) = &args.stream_checkpoint {
+        trainer.set_checkpoint_path(path);
+    }
+
+    let engine = continuous_engine(args, data, split);
+    // One metrics registry for both sides of the loop: the report's
+    // `metrics` section carries `stream_*` next to `serve_*`.
+    trainer.bind_metrics(engine.metrics_registry());
+    let swap_log = SwapLog::new();
+    let watcher = RegistryWatcher::spawn_logged(
+        engine.clone(),
+        &registry_dir,
+        Duration::from_millis(args.registry_poll_ms.max(1)),
+        Some(swap_log.clone()),
+    );
+    eprintln!(
+        "continuous leg 2/2: trainer publishes every {} events to {registry_dir}, \
+         watcher polls every {}ms",
+        args.publish_every, args.registry_poll_ms
+    );
+    let (tx, source) = ChannelSource::unbounded();
+    let trainer_thread = spawn_trainer(trainer, source, "stream-trainer");
+
+    let stream_elapsed = run_replay(&engine, &replay, args, None, Some(&tx));
+    drop(tx); // stream over: the trainer drains its backlog and returns
+    let mut trainer = trainer_thread.join().expect("stream trainer thread");
+    watcher.stop();
+    let stream = LegQuality::of(&engine);
+    let report = engine.metrics();
+
+    if let Some(path) = &args.stream_checkpoint {
+        // Final durable state, even without a `--checkpoint-every` cadence.
+        if let Err(e) = trainer.checkpoint_now() {
+            eprintln!("failed to write stream checkpoint {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "stream checkpoint at {path} ({} events)",
+            trainer.events_processed()
+        );
+    }
+
+    // Publish → install freshness: join the trainer's publish instants
+    // with the watcher's install instants by registry version.
+    let swaps = swap_log.entries();
+    let lags: Vec<Duration> = swaps
+        .iter()
+        .filter_map(|(version, installed)| {
+            trainer
+                .publish_log()
+                .iter()
+                .find(|(v, _)| v == version)
+                .map(|(_, published)| installed.duration_since(*published))
+        })
+        .collect();
+    let mean_ms = if lags.is_empty() {
+        0.0
+    } else {
+        lags.iter().map(|d| d.as_secs_f64() * 1e3).sum::<f64>() / lags.len() as f64
+    };
+    let max_ms = lags
+        .iter()
+        .map(|d| d.as_secs_f64() * 1e3)
+        .fold(0.0, f64::max);
+
+    let quality = engine
+        .quality_report()
+        .expect("continuous legs run with quality on");
+    let versions_with_traffic = quality
+        .versions
+        .iter()
+        .filter(|v| v.quality.ranking.opportunities > 0)
+        .count();
+    let gain = stream.hit10 - baseline.hit10;
+    // The headline comparison: both trainers scored *every* eligible
+    // repeat prequentially on identical streams; learning is the only
+    // difference, and the sample is the full stream, not the sparse
+    // served-recommend subset.
+    let preq_gain = trainer.hit_rate(2) - evaluator.hit_rate(2);
+    let preq_gain_windowed = trainer.windowed_hit_rate(2) - evaluator.windowed_hit_rate(2);
+    let trainer_rate = trainer.events_processed() as f64 / stream_elapsed.as_secs_f64().max(1e-9);
+
+    println!("{report}");
+    println!(
+        "continuous: prequential hit@10 frozen {:.3} -> stream-trained {:.3} \
+         (gain {:+.3}, windowed {:+.3}) over {} opportunities (drift {})",
+        evaluator.hit_rate(2),
+        trainer.hit_rate(2),
+        preq_gain,
+        preq_gain_windowed,
+        trainer.preq().opportunities,
+        args.drift
+    );
+    println!(
+        "continuous: served hit@10 frozen {:.3} -> stream-trained {:.3} (gain {:+.3}) \
+         over {} scored recommends",
+        baseline.hit10, stream.hit10, gain, stream.opportunities
+    );
+    println!(
+        "continuous: {} publishes -> {} hot-swaps under load, {} versions served traffic, \
+         publish->swap mean {:.0}ms max {:.0}ms",
+        trainer.publishes(),
+        swaps.len(),
+        versions_with_traffic,
+        mean_ms,
+        max_ms
+    );
+    println!(
+        "continuous: trainer ingested {} events ({} trained, {} SGD updates) at {:.0}/s; \
+         windowed prequential hit@10 {:.3}",
+        trainer.events_processed(),
+        trainer.events_trained(),
+        trainer.updates(),
+        trainer_rate,
+        trainer.windowed_hit_rate(2)
+    );
+
+    if let Some(path) = &args.json {
+        let mut run = RunReport::new("loadgen-continuous")
+            .config("users", args.users)
+            .config("items", args.items)
+            .config("events_lo", args.events_lo)
+            .config("events_hi", args.events_hi)
+            .config("shards", args.shards)
+            .config("clients", args.clients)
+            .config("topn", args.topn)
+            .config("recommend_every", args.recommend_every)
+            .config("learn", trainer_learn)
+            .config("seed", args.seed)
+            .config("window", args.window)
+            .config("k", args.k)
+            .config("omega", OMEGA)
+            .config("drift", args.drift)
+            .config("drift_at", args.drift_at)
+            .config("publish_every", Json::from(args.publish_every))
+            .config("registry_poll_ms", Json::from(args.registry_poll_ms))
+            .config("arrival", args.arrival.clone())
+            .config("rate", args.rate);
+        run.add_section(
+            "results",
+            Json::obj(vec![
+                ("events", Json::from(total_events)),
+                ("elapsed_s", Json::F64(stream_elapsed.as_secs_f64())),
+                ("events_per_sec", Json::F64(rate(stream_elapsed))),
+                (
+                    "baseline_elapsed_s",
+                    Json::F64(baseline_elapsed.as_secs_f64()),
+                ),
+            ]),
+        );
+        run.add_section(
+            "continuous",
+            Json::obj(vec![
+                ("baseline", baseline.to_json()),
+                ("stream", stream.to_json()),
+                ("gain_hit10", Json::F64(gain)),
+                ("frozen_preq", evaluator.report()),
+                ("preq_gain_hit10", Json::F64(preq_gain)),
+                ("preq_gain_hit10_windowed", Json::F64(preq_gain_windowed)),
+                ("publishes", Json::from(trainer.publishes())),
+                ("swaps", Json::from(swaps.len())),
+                ("versions_with_traffic", Json::from(versions_with_traffic)),
+                (
+                    "freshness_ms",
+                    Json::obj([
+                        ("joined", Json::from(lags.len())),
+                        ("mean", Json::F64(mean_ms)),
+                        ("max", Json::F64(max_ms)),
+                    ]),
+                ),
+                ("trainer_events_per_sec", Json::F64(trainer_rate)),
+                ("trainer", trainer.report()),
+            ]),
+        );
+        run.add_section("ustate", ustate_section(&report, args));
+        run.add_section("engine", report.to_json());
+        run.add_section("quality", quality.to_json());
+        run.add_metrics(engine.metrics_registry());
+        match run.write_to(path) {
+            Ok(()) => eprintln!("wrote run report to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    shutdown_engine(engine);
+}
+
 fn main() {
     let args = parse_args();
 
@@ -753,9 +1157,15 @@ fn main() {
         .with_items(args.items)
         .with_events_per_user(args.events_lo, args.events_hi)
         .with_user_skew(args.user_skew)
+        .with_drift(args.drift)
+        .with_drift_at(args.drift_at)
         .with_seed(args.seed)
         .generate();
     let split = data.split(0.7);
+    if args.continuous {
+        run_continuous(&args, &data, &split);
+        return;
+    }
     let replay: Vec<(UserId, Vec<ItemId>)> = split
         .test
         .iter()
@@ -772,7 +1182,7 @@ fn main() {
     // forensics off — the BENCH_serve.json forensics on/off pair).
     let forensic_pair = args.overhead && args.forensics_enabled();
     let baseline = args.overhead.then(|| {
-        let online = build_online(&args, &data, &split);
+        let online = build_online(&args, &data, &split, args.learn);
         eprintln!(
             "overhead baseline: {}",
             if forensic_pair {
@@ -792,7 +1202,7 @@ fn main() {
                 ..EngineOptions::default()
             },
         ));
-        let elapsed = run_replay(&engine, &replay, &args, None);
+        let elapsed = run_replay(&engine, &replay, &args, None, None);
         eprintln!(
             "overhead baseline: {} events in {:.2?} ({:.0}/s)",
             total_events,
@@ -821,7 +1231,7 @@ fn main() {
         overload: args.overload_options(),
         ..EngineOptions::default()
     };
-    let online = build_online(&args, &data, &split);
+    let online = build_online(&args, &data, &split, args.learn);
     eprintln!(
         "starting engine: {} shards, {} clients, learn={}, tracing={}, quality={}, \
          budget={}, arrival={}, queue={} ({} events to replay)",
@@ -883,7 +1293,7 @@ fn main() {
         )
     });
 
-    let elapsed = run_replay(&engine, &replay, &args, args.inject_panic_after);
+    let elapsed = run_replay(&engine, &replay, &args, args.inject_panic_after, None);
 
     let report = engine.metrics();
     println!("{report}");

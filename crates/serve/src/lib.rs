@@ -94,7 +94,7 @@ pub use quality::{
 };
 pub use routing::shard_for;
 pub use trace::{ShardStamp, StageNanos, TraceCtx};
-pub use watcher::RegistryWatcher;
+pub use watcher::{RegistryWatcher, SwapLog};
 // The latency histogram now lives in the workspace-wide observability
 // crate; re-exported here for serving-focused callers.
 pub use rrc_obs::{Histogram, HistogramSnapshot, WindowSpec};

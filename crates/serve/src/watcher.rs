@@ -15,9 +15,39 @@ use crate::engine::ServeEngine;
 use rrc_store::{ModelRegistry, ModelView};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// A shared log of completed hot-swaps: `(registry version, install
+/// instant)` per installed model. A publisher that records its own
+/// publish instants can join the two series to measure publish-to-swap
+/// freshness latency — the continuous pipeline's end-to-end deployment
+/// lag.
+#[derive(Debug, Default)]
+pub struct SwapLog {
+    entries: Mutex<Vec<(u64, Instant)>>,
+}
+
+impl SwapLog {
+    /// A fresh, empty log.
+    pub fn new() -> Arc<SwapLog> {
+        Arc::new(SwapLog::default())
+    }
+
+    /// Record one installed version.
+    pub fn record(&self, version: u64, at: Instant) {
+        self.entries
+            .lock()
+            .expect("swap log lock")
+            .push((version, at));
+    }
+
+    /// Snapshot of everything recorded so far, in install order.
+    pub fn entries(&self) -> Vec<(u64, Instant)> {
+        self.entries.lock().expect("swap log lock").clone()
+    }
+}
 
 /// One poll of the registry against an engine. Returns the version that
 /// was installed, if any. This is the watcher's whole step, factored out
@@ -71,6 +101,18 @@ impl RegistryWatcher {
         dir: impl Into<PathBuf>,
         interval: Duration,
     ) -> RegistryWatcher {
+        RegistryWatcher::spawn_logged(engine, dir, interval, None)
+    }
+
+    /// [`RegistryWatcher::spawn`], additionally recording every completed
+    /// install into `log` (registry version + instant) so callers can
+    /// measure publish-to-swap freshness.
+    pub fn spawn_logged(
+        engine: Arc<ServeEngine>,
+        dir: impl Into<PathBuf>,
+        interval: Duration,
+        log: Option<Arc<SwapLog>>,
+    ) -> RegistryWatcher {
         let dir = dir.into();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = stop.clone();
@@ -90,7 +132,12 @@ impl RegistryWatcher {
                 while !stop_flag.load(Ordering::Relaxed) {
                     polls.inc();
                     match poll_once(&engine, &dir, &mut last_seen) {
-                        Ok(Some(_)) => swaps.inc(),
+                        Ok(Some(version)) => {
+                            swaps.inc();
+                            if let Some(log) = &log {
+                                log.record(version, Instant::now());
+                            }
+                        }
                         Ok(None) => {}
                         Err(_) => errors.inc(),
                     }

@@ -15,7 +15,13 @@
 //!   model, per-shard RNG streams, step counter and convergence history,
 //!   so a resumed run is bit-identical to an uninterrupted one.
 //! * [`registry`] — a manifest-backed directory of monotonically
-//!   versioned model files that `rrc-serve` watches for hot-swaps.
+//!   versioned model files that `rrc-serve` watches for hot-swaps;
+//!   pruned files linger past a grace period so a watcher's in-flight
+//!   load never races a high-frequency publisher.
+//! * [`stream`] — serialization for the continuous trainer's
+//!   [`StreamCheckpoint`]: model, per-shard RNG streams, *and* every
+//!   user's live window, so a killed stream trainer resumes
+//!   bit-identically.
 //! * [`segment`] — the `USEG1` keyed record log backing the user-state
 //!   tier's cold spill: same framing and CRC discipline as [`format`],
 //!   but append-oriented with last-writer-wins keys and atomic compaction.
@@ -40,6 +46,7 @@ pub mod fpmc;
 pub mod model;
 pub mod registry;
 pub mod segment;
+pub mod stream;
 pub mod text;
 
 pub use checkpoint::{load_checkpoint, save_checkpoint, Checkpointer};
@@ -50,3 +57,7 @@ pub use fpmc::{load_fpmc, save_fpmc};
 pub use model::{load_model, save_model, ModelView, META_FINGERPRINT};
 pub use registry::ModelRegistry;
 pub use segment::SegmentLog;
+pub use stream::{
+    encode_stream_checkpoint, load_stream_checkpoint, save_stream_checkpoint, PrequentialCounters,
+    StreamCheckpoint,
+};

@@ -24,9 +24,19 @@ use rrc_core::TsPprModel;
 use rrc_obs::global;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 const MANIFEST: &str = "MANIFEST";
 const MANIFEST_HEADER: &str = "rrc-model-registry v1";
+
+/// Default grace period before an unreferenced model file is deleted.
+///
+/// A watcher that read the previous manifest may still be mid-load of a
+/// file the next publish just pruned; under a continuous trainer's
+/// publish cadence that race goes from theoretical to routine. Files are
+/// dropped from the manifest immediately but stay on disk until they have
+/// been unreferenced for this long — far longer than any model load takes.
+pub const DEFAULT_PRUNE_GRACE: Duration = Duration::from_secs(5);
 
 /// One published version.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,11 +53,18 @@ pub struct ModelRegistry {
     dir: PathBuf,
     keep: usize,
     entries: Vec<RegistryEntry>,
+    prune_grace: Duration,
+    /// Files the manifest no longer names, awaiting deletion once their
+    /// grace period expires (newest publish first sweeps, then appends).
+    pending_prune: Vec<(String, Instant)>,
 }
 
 impl ModelRegistry {
     /// Create the directory (and an empty manifest) if needed, retaining
     /// the last `keep` versions on publish. `keep` is clamped to ≥ 1.
+    /// Stale model files a previous run unreferenced but never deleted
+    /// are swept immediately (they have been unreferenced for at least a
+    /// whole process lifetime).
     pub fn create(dir: impl Into<PathBuf>, keep: usize) -> Result<ModelRegistry, StoreError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
@@ -58,12 +75,22 @@ impl ModelRegistry {
                 dir,
                 keep: 1,
                 entries: Vec::new(),
+                prune_grace: DEFAULT_PRUNE_GRACE,
+                pending_prune: Vec::new(),
             };
             reg.write_manifest()?;
             reg
         };
         reg.keep = keep.max(1);
+        reg.sweep_stale_files();
         Ok(reg)
+    }
+
+    /// Replace the prune grace period (builder style). `Duration::ZERO`
+    /// restores the historical delete-on-publish behavior.
+    pub fn with_prune_grace(mut self, grace: Duration) -> Self {
+        self.prune_grace = grace;
+        self
     }
 
     /// Open an existing registry (read + parse the manifest).
@@ -118,6 +145,8 @@ impl ModelRegistry {
             dir,
             keep: entries.len().max(1),
             entries,
+            prune_grace: DEFAULT_PRUNE_GRACE,
+            pending_prune: Vec::new(),
         })
     }
 
@@ -167,13 +196,59 @@ impl ModelRegistry {
             Vec::new()
         };
         self.write_manifest()?;
-        // Only unreferenced files are deleted, and only best-effort: a
-        // reader that grabbed the old manifest may still be mid-load.
+        // Dropped from the manifest now, deleted from disk only after the
+        // grace period: a watcher that read the previous manifest may
+        // still be mid-load of exactly these files, and under a
+        // continuous publish cadence that window is hit routinely.
+        let now = Instant::now();
         for old in pruned {
-            fs::remove_file(self.dir.join(&old.filename)).ok();
+            self.pending_prune.push((old.filename, now));
         }
+        self.sweep_expired();
         global().counter("store_models_published_total").inc();
         Ok(version)
+    }
+
+    /// Files dropped from the manifest but still on disk awaiting their
+    /// grace period (oldest first).
+    pub fn pending_prune(&self) -> Vec<&str> {
+        self.pending_prune.iter().map(|(f, _)| f.as_str()).collect()
+    }
+
+    /// Delete pending files whose grace period has expired (best-effort:
+    /// a missing file is simply forgotten).
+    pub fn sweep_expired(&mut self) {
+        let grace = self.prune_grace;
+        let dir = self.dir.clone();
+        self.pending_prune.retain(|(filename, since)| {
+            if since.elapsed() < grace {
+                return true;
+            }
+            fs::remove_file(dir.join(filename)).ok();
+            false
+        });
+    }
+
+    /// Delete every model file in the directory the manifest does not
+    /// name — leftovers from a previous process that exited before its
+    /// grace timers fired. Only called from [`ModelRegistry::create`]
+    /// (the publisher side), where "unreferenced" means unreferenced for
+    /// at least a process lifetime.
+    fn sweep_stale_files(&self) {
+        let Ok(listing) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in listing.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !(name.starts_with("model-") && name.ends_with(".rrcm")) {
+                continue;
+            }
+            if self.entries.iter().any(|e| e.filename == name) {
+                continue;
+            }
+            fs::remove_file(entry.path()).ok();
+        }
     }
 
     fn write_manifest(&self) -> Result<(), StoreError> {
@@ -207,7 +282,9 @@ mod tests {
     #[test]
     fn publish_assigns_monotone_versions_and_prunes() {
         let dir = temp_dir("prune");
-        let mut reg = ModelRegistry::create(&dir, 2).unwrap();
+        let mut reg = ModelRegistry::create(&dir, 2)
+            .unwrap()
+            .with_prune_grace(Duration::ZERO);
         for seed in 0..4 {
             reg.publish(&model(seed), &[]).unwrap();
         }
@@ -266,6 +343,52 @@ mod tests {
         .unwrap();
         let err = ModelRegistry::open(&dir).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_defers_within_grace_so_inflight_loads_survive() {
+        // A watcher that read the old manifest must be able to finish
+        // loading the file it points at even while a publish storm prunes
+        // far past it.
+        let dir = temp_dir("grace");
+        let mut reg = ModelRegistry::create(&dir, 1).unwrap(); // default grace
+        reg.publish(&model(0), &[]).unwrap();
+        let (v1, old_path) = reg.latest().unwrap();
+        assert_eq!(v1, 1);
+        // Simulated in-flight reader: grabbed the manifest, not yet loaded.
+        for seed in 1..6 {
+            reg.publish(&model(seed), &[]).unwrap();
+        }
+        // The manifest no longer names version 1...
+        assert!(reg.entries().iter().all(|e| e.version != 1));
+        assert_eq!(reg.pending_prune().len(), 5);
+        // ...but its file is still loadable: the late reader wins.
+        assert_eq!(load_model(&old_path).unwrap(), model(0));
+
+        // With the grace collapsed to zero the next sweep deletes it.
+        let mut reg = reg.with_prune_grace(Duration::ZERO);
+        reg.sweep_expired();
+        assert!(reg.pending_prune().is_empty());
+        assert!(!old_path.exists(), "expired file swept");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_sweeps_files_a_previous_run_left_behind() {
+        let dir = temp_dir("stalesweep");
+        let mut reg = ModelRegistry::create(&dir, 1).unwrap();
+        reg.publish(&model(0), &[]).unwrap();
+        reg.publish(&model(1), &[]).unwrap();
+        drop(reg); // exits before the grace timer fires
+        assert!(dir.join("model-000001.rrcm").exists(), "still on disk");
+        let reg = ModelRegistry::create(&dir, 1).unwrap();
+        assert!(
+            !dir.join("model-000001.rrcm").exists(),
+            "stale unreferenced file swept at create"
+        );
+        assert!(dir.join("model-000002.rrcm").exists(), "live file kept");
+        assert_eq!(reg.latest().unwrap().0, 2);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,454 @@
+//! On-disk encoding of a continuous-trainer checkpoint (`rrc-stream`).
+//!
+//! A stream checkpoint is a model file (`META`/`DIMS`/`UMAT`/`VMAT`/
+//! `AMAT`) plus `RNGS` (the per-shard negative-sampling RNG streams,
+//! `shards × 4` words) and `WNDS` — every user's live window, the part of
+//! the trainer's state the batch checkpoint never needed. Together they
+//! pin the *entire* deterministic state of the incremental trainer:
+//! resuming from a checkpoint and replaying the remaining stream yields a
+//! model bit-identical to the uninterrupted run, exactly as
+//! [`crate::checkpoint`] established for batch training.
+//!
+//! `WNDS` layout (u64 words): `[users]`, then per user
+//! `[t, buf_len, ls_len]`, `buf_len` item ids (the window contents,
+//! oldest first), and `ls_len` `(item, step)` pairs — the full last-seen
+//! history, sorted by item id so the encoding is canonical.
+
+use crate::error::{corrupt, schema, StoreError};
+use crate::format::{commit, encode_meta, StoreFile, Tag, Writer};
+use crate::model::{check_matrix_len, model_dims, push_model_sections};
+use rrc_core::TsPprModel;
+use rrc_linalg::DMatrix;
+use rrc_obs::global;
+use rrc_sequence::{ItemId, WindowState};
+use std::path::Path;
+
+/// `META` kind for stream-checkpoint files.
+pub const KIND_STREAM: &str = "tsppr-stream-checkpoint";
+
+/// Cumulative prequential counters, checkpointed so a resumed trainer
+/// reports the same evaluation totals as an uninterrupted one.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PrequentialCounters {
+    /// Eligible repeats that were scored before being learned from.
+    pub opportunities: u64,
+    /// Hits at the cutoffs `[1, 5, 10]`.
+    pub hits: [u64; 3],
+    /// Sum of reciprocal ranks over all opportunities.
+    pub rr_sum: f64,
+}
+
+/// The full deterministic state of an incremental stream trainer at an
+/// event boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamCheckpoint {
+    /// Shard count the trainer ran with (fixes the RNG stream layout).
+    pub shards: usize,
+    /// Events consumed from the stream so far; a resumed trainer must be
+    /// fed the stream starting at exactly this offset.
+    pub events_processed: u64,
+    /// Events that triggered SGD learning (eligible repeats).
+    pub events_trained: u64,
+    /// Individual SGD updates taken.
+    pub updates: u64,
+    /// Models published to the registry so far.
+    pub publishes: u64,
+    /// Cumulative prequential evaluation state.
+    pub preq: PrequentialCounters,
+    /// Per-shard negative-sampling RNG streams.
+    pub rng_states: Vec<[u64; 4]>,
+    /// The incrementally-trained model.
+    pub model: TsPprModel,
+    /// Every user's live window, indexed by user id.
+    pub windows: Vec<WindowState>,
+    /// Trainer-configuration fingerprint (mismatched resume is refused by
+    /// the trainer, not silently accepted).
+    pub fingerprint: u64,
+}
+
+/// Serialize a stream checkpoint into container bytes.
+pub fn encode_stream_checkpoint(ck: &StreamCheckpoint) -> Vec<u8> {
+    let capacity = ck.windows.first().map_or(0, WindowState::capacity);
+    debug_assert!(
+        ck.windows.iter().all(|w| w.capacity() == capacity),
+        "stream trainer windows share one capacity"
+    );
+    let meta = vec![
+        ("kind".to_string(), KIND_STREAM.to_string()),
+        ("shards".to_string(), ck.shards.to_string()),
+        ("events".to_string(), ck.events_processed.to_string()),
+        ("trained".to_string(), ck.events_trained.to_string()),
+        ("updates".to_string(), ck.updates.to_string()),
+        ("publishes".to_string(), ck.publishes.to_string()),
+        (
+            "preq_opportunities".to_string(),
+            ck.preq.opportunities.to_string(),
+        ),
+        ("preq_hits1".to_string(), ck.preq.hits[0].to_string()),
+        ("preq_hits5".to_string(), ck.preq.hits[1].to_string()),
+        ("preq_hits10".to_string(), ck.preq.hits[2].to_string()),
+        (
+            "preq_rr_bits".to_string(),
+            format!("{:016x}", ck.preq.rr_sum.to_bits()),
+        ),
+        ("window".to_string(), capacity.to_string()),
+        (
+            "fingerprint".to_string(),
+            format!("{:016x}", ck.fingerprint),
+        ),
+    ];
+    let mut w = Writer::new();
+    w.section(Tag::META, &encode_meta(&meta));
+    push_model_sections(&mut w, &ck.model);
+    w.begin(Tag::RNGS);
+    for state in &ck.rng_states {
+        w.push_u64s(state);
+    }
+    w.end();
+    w.begin(Tag::WNDS);
+    w.push_u64s(&[ck.windows.len() as u64]);
+    for window in &ck.windows {
+        let events: Vec<ItemId> = window.events().collect();
+        let last_seen = window.last_seen_entries();
+        w.push_u64s(&[
+            window.time() as u64,
+            events.len() as u64,
+            last_seen.len() as u64,
+        ]);
+        for item in &events {
+            w.push_u64s(&[item.0 as u64]);
+        }
+        for (item, step) in &last_seen {
+            w.push_u64s(&[item.0 as u64, *step as u64]);
+        }
+    }
+    w.end();
+    w.finish()
+}
+
+/// Atomically write a stream checkpoint. Returns the file size in bytes.
+pub fn save_stream_checkpoint(
+    ck: &StreamCheckpoint,
+    path: impl AsRef<Path>,
+) -> Result<u64, StoreError> {
+    let bytes = encode_stream_checkpoint(ck);
+    commit(path, &bytes)?;
+    global().counter("store_stream_checkpoints_total").inc();
+    Ok(bytes.len() as u64)
+}
+
+/// Load and fully validate a stream checkpoint.
+pub fn load_stream_checkpoint(path: impl AsRef<Path>) -> Result<StreamCheckpoint, StoreError> {
+    decode_stream_checkpoint(&StoreFile::open(path)?)
+}
+
+fn meta_field(file: &StoreFile, key: &str) -> Result<String, StoreError> {
+    file.meta_value(key)?.ok_or_else(|| {
+        schema(format!(
+            "stream checkpoint is missing the {key:?} metadata field"
+        ))
+    })
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, StoreError> {
+    value
+        .parse::<u64>()
+        .map_err(|_| schema(format!("bad {key} value {value:?}")))
+}
+
+/// Decode a parsed container as a stream checkpoint.
+pub fn decode_stream_checkpoint(file: &StoreFile) -> Result<StreamCheckpoint, StoreError> {
+    match file.meta_value("kind")? {
+        Some(kind) if kind == KIND_STREAM => {}
+        Some(kind) => {
+            return Err(schema(format!(
+                "expected a {KIND_STREAM} file, found {kind:?}"
+            )))
+        }
+        None => return Err(schema(format!("no kind metadata; expected {KIND_STREAM}"))),
+    }
+    let shards = parse_u64("shards", &meta_field(file, "shards")?)? as usize;
+    if shards == 0 {
+        return Err(schema("stream checkpoint declares zero shards".to_string()));
+    }
+    let events_processed = parse_u64("events", &meta_field(file, "events")?)?;
+    let events_trained = parse_u64("trained", &meta_field(file, "trained")?)?;
+    let updates = parse_u64("updates", &meta_field(file, "updates")?)?;
+    let publishes = parse_u64("publishes", &meta_field(file, "publishes")?)?;
+    let preq = PrequentialCounters {
+        opportunities: parse_u64(
+            "preq_opportunities",
+            &meta_field(file, "preq_opportunities")?,
+        )?,
+        hits: [
+            parse_u64("preq_hits1", &meta_field(file, "preq_hits1")?)?,
+            parse_u64("preq_hits5", &meta_field(file, "preq_hits5")?)?,
+            parse_u64("preq_hits10", &meta_field(file, "preq_hits10")?)?,
+        ],
+        rr_sum: {
+            let hex = meta_field(file, "preq_rr_bits")?;
+            f64::from_bits(
+                u64::from_str_radix(&hex, 16)
+                    .map_err(|_| schema(format!("bad preq_rr_bits value {hex:?}")))?,
+            )
+        },
+    };
+    let capacity = parse_u64("window", &meta_field(file, "window")?)? as usize;
+    let fp_hex = meta_field(file, "fingerprint")?;
+    let fingerprint = u64::from_str_radix(&fp_hex, 16)
+        .map_err(|_| schema(format!("bad fingerprint value {fp_hex:?}")))?;
+
+    // Model sections, validated exactly like a model file.
+    let (k, f_dim, users, items) = model_dims(file)?;
+    check_matrix_len(file, Tag::UMAT, users, k)?;
+    check_matrix_len(file, Tag::VMAT, items, k)?;
+    check_matrix_len(file, Tag::AMAT, users * k, f_dim)?;
+    let u = file.f64_section(Tag::UMAT)?;
+    let v = file.f64_section(Tag::VMAT)?;
+    let a = file.f64_section(Tag::AMAT)?;
+    let stride = k * f_dim;
+    let model = TsPprModel::from_parts(
+        k,
+        f_dim,
+        DMatrix::from_vec(users, k, u.to_vec()),
+        DMatrix::from_vec(items, k, v.to_vec()),
+        (0..users)
+            .map(|i| DMatrix::from_vec(k, f_dim, a[i * stride..(i + 1) * stride].to_vec()))
+            .collect(),
+    );
+
+    let rngs = file.u64_section(Tag::RNGS)?;
+    if rngs.len() != shards * 4 {
+        return Err(corrupt(
+            Tag::RNGS.name(),
+            format!(
+                "expected {} RNG words for {shards} shard(s), found {}",
+                shards * 4,
+                rngs.len()
+            ),
+        ));
+    }
+    let rng_states: Vec<[u64; 4]> = rngs
+        .chunks_exact(4)
+        .map(|c| {
+            let state = [c[0], c[1], c[2], c[3]];
+            if state == [0; 4] {
+                return Err(corrupt(
+                    Tag::RNGS.name(),
+                    "all-zero xoshiro state is unreachable",
+                ));
+            }
+            Ok(state)
+        })
+        .collect::<Result<_, _>>()?;
+
+    let windows = decode_windows(file, users, capacity)?;
+
+    Ok(StreamCheckpoint {
+        shards,
+        events_processed,
+        events_trained,
+        updates,
+        publishes,
+        preq,
+        rng_states,
+        model,
+        windows,
+        fingerprint,
+    })
+}
+
+fn decode_windows(
+    file: &StoreFile,
+    users: usize,
+    capacity: usize,
+) -> Result<Vec<WindowState>, StoreError> {
+    let bad = |msg: String| corrupt(Tag::WNDS.name(), msg);
+    let words = file.u64_section(Tag::WNDS)?;
+    let mut at = 0usize;
+    let mut next = |n: usize| -> Result<&[u64], StoreError> {
+        let slice = words
+            .get(at..at + n)
+            .ok_or_else(|| bad("window section truncated".to_string()))?;
+        at += n;
+        Ok(slice)
+    };
+    let declared = next(1)?[0] as usize;
+    if declared != users {
+        return Err(bad(format!(
+            "checkpoint covers {declared} users, model has {users}"
+        )));
+    }
+    if capacity == 0 && users > 0 {
+        return Err(bad("zero window capacity".to_string()));
+    }
+    let mut windows = Vec::with_capacity(users);
+    for user in 0..users {
+        let header = next(3)?;
+        let (t, buf_len, ls_len) = (header[0] as usize, header[1] as usize, header[2] as usize);
+        if buf_len > capacity || t < buf_len {
+            return Err(bad(format!(
+                "user {user}: {buf_len} events in a capacity-{capacity} window at time {t}"
+            )));
+        }
+        let events: Vec<ItemId> = next(buf_len)?
+            .iter()
+            .map(|&w| {
+                u32::try_from(w)
+                    .map(ItemId)
+                    .map_err(|_| bad(format!("user {user}: item id {w} overflows u32")))
+            })
+            .collect::<Result<_, _>>()?;
+        let pairs = next(ls_len * 2)?;
+        let mut last_seen = Vec::with_capacity(ls_len);
+        let mut prev: Option<u64> = None;
+        for pair in pairs.chunks_exact(2) {
+            let (item, step) = (pair[0], pair[1] as usize);
+            if prev.is_some_and(|p| item <= p) {
+                return Err(bad(format!(
+                    "user {user}: last-seen entries not strictly sorted by item"
+                )));
+            }
+            if step >= t {
+                return Err(bad(format!(
+                    "user {user}: last-seen step {step} not before time {t}"
+                )));
+            }
+            prev = Some(item);
+            let item = u32::try_from(item)
+                .map(ItemId)
+                .map_err(|_| bad(format!("user {user}: item id {item} overflows u32")))?;
+            last_seen.push((item, step));
+        }
+        windows.push(WindowState::from_parts(capacity, t, &events, &last_seen));
+    }
+    if at != words.len() {
+        return Err(bad(format!(
+            "{} trailing words after the last window",
+            words.len() - at
+        )));
+    }
+    Ok(windows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn checkpoint() -> StreamCheckpoint {
+        let model = TsPprModel::init(&mut StdRng::seed_from_u64(3), 4, 6, 2, 2, 0.1, 0.1);
+        let mut windows: Vec<WindowState> = (0..4).map(|_| WindowState::new(5)).collect();
+        for (u, w) in windows.iter_mut().enumerate() {
+            for i in 0..(u * 3 + 2) {
+                w.push(ItemId(((i * 7 + u) % 6) as u32));
+            }
+        }
+        StreamCheckpoint {
+            shards: 2,
+            events_processed: 321,
+            events_trained: 57,
+            updates: 171,
+            publishes: 3,
+            preq: PrequentialCounters {
+                opportunities: 57,
+                hits: [9, 21, 30],
+                rr_sum: 17.25,
+            },
+            rng_states: vec![[1, 2, 3, 4], [5, 6, 7, 8]],
+            model,
+            windows,
+            fingerprint: 0x0123_4567_89AB_CDEF,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field_bitwise() {
+        let ck = checkpoint();
+        let bytes = encode_stream_checkpoint(&ck);
+        let back = decode_stream_checkpoint(&StoreFile::from_bytes(&bytes).unwrap()).unwrap();
+        assert_eq!(back.shards, ck.shards);
+        assert_eq!(back.events_processed, ck.events_processed);
+        assert_eq!(back.events_trained, ck.events_trained);
+        assert_eq!(back.updates, ck.updates);
+        assert_eq!(back.publishes, ck.publishes);
+        assert_eq!(back.preq.opportunities, ck.preq.opportunities);
+        assert_eq!(back.preq.hits, ck.preq.hits);
+        assert_eq!(back.preq.rr_sum.to_bits(), ck.preq.rr_sum.to_bits());
+        assert_eq!(back.rng_states, ck.rng_states);
+        assert_eq!(back.model, ck.model);
+        assert_eq!(back.fingerprint, ck.fingerprint);
+        assert_eq!(back.windows.len(), ck.windows.len());
+        for (a, b) in back.windows.iter().zip(&ck.windows) {
+            assert_eq!(a.time(), b.time());
+            assert_eq!(a.capacity(), b.capacity());
+            assert_eq!(
+                a.events().collect::<Vec<_>>(),
+                b.events().collect::<Vec<_>>()
+            );
+            assert_eq!(a.last_seen_entries(), b.last_seen_entries());
+        }
+    }
+
+    #[test]
+    fn model_file_is_rejected_as_stream_checkpoint() {
+        let bytes = crate::model::encode_model(&checkpoint().model, &[]);
+        let err = decode_stream_checkpoint(&StoreFile::from_bytes(&bytes).unwrap()).unwrap_err();
+        assert!(matches!(err, StoreError::Schema { .. }), "{err}");
+    }
+
+    #[test]
+    fn window_count_must_match_model_users() {
+        let mut ck = checkpoint();
+        ck.windows.pop();
+        let bytes = encode_stream_checkpoint(&ck);
+        let err = decode_stream_checkpoint(&StoreFile::from_bytes(&bytes).unwrap()).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Corrupt { ref section, .. } if section == "WNDS"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_window_section_is_rejected() {
+        // Rebuild the container with one word shaved off WNDS: every other
+        // section is intact, so the failure must come from window parsing.
+        let ck = checkpoint();
+        let clean = encode_stream_checkpoint(&ck);
+        let file = StoreFile::from_bytes(&clean).unwrap();
+        let words = file.u64_section(Tag::WNDS).unwrap();
+        assert!(words.len() > 4);
+        let mut writer = Writer::new();
+        for tag in [
+            Tag::META,
+            Tag::DIMS,
+            Tag::UMAT,
+            Tag::VMAT,
+            Tag::AMAT,
+            Tag::RNGS,
+        ] {
+            writer.section(tag, file.section(tag).unwrap());
+        }
+        writer.begin(Tag::WNDS);
+        writer.push_u64s(&words[..words.len() - 1]);
+        writer.end();
+        let err = decode_stream_checkpoint(&StoreFile::from_bytes(&writer.finish()).unwrap())
+            .unwrap_err();
+        assert!(
+            matches!(err, StoreError::Corrupt { ref section, .. } if section == "WNDS"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn save_and_load_through_a_file() {
+        let dir = std::env::temp_dir().join(format!("rrc_store_stream_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.ckpt");
+        let ck = checkpoint();
+        save_stream_checkpoint(&ck, &path).unwrap();
+        assert_eq!(load_stream_checkpoint(&path).unwrap(), ck);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

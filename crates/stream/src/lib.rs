@@ -1,0 +1,43 @@
+//! **rrc-stream** — the continuous-learning pipeline for TS-PPR.
+//!
+//! The paper trains once and serves forever; real repeat-consumption
+//! traffic drifts (playlists rotate, habits shift), so a deployed model
+//! decays. This crate closes the loop: an incremental trainer tails the
+//! live event stream and keeps a *fresh* model flowing back into serving.
+//!
+//! * [`source`] — [`EventSource`]: the stream behind a non-blocking
+//!   poll. [`FileFollowSource`] tails a JSONL event log another process
+//!   appends to (torn trailing lines are held back, never mis-parsed);
+//!   [`ChannelSource`] drains an in-process channel tapped off a live
+//!   workload (`loadgen --continuous`).
+//! * [`trainer`] — [`StreamTrainer`]: per event, classify against the
+//!   user's live window; if it is an eligible repeat, **score it against
+//!   the current model first** (the prequential evaluate-then-learn
+//!   protocol — every event is a test example exactly once, before the
+//!   model has seen it, so online hit@{1,5,10}/MRR are honest), then
+//!   take pairwise SGD steps through the workspace's single `sgd_step`
+//!   kernel, then advance the window. On cadence it publishes versioned
+//!   models to an [`rrc_store::ModelRegistry`] (which `rrc-serve`'s
+//!   `RegistryWatcher` hot-swaps into a running engine) and writes
+//!   durable [`rrc_store::StreamCheckpoint`]s.
+//!
+//! Determinism is inherited, not re-proven: the SGD kernel, the
+//! negative-sampling draw order, and the shard-seed layout (shard 0 on
+//! the seed itself, shard `s` on `shard_stream_seed(seed, s)`) are the
+//! PR-3 batch trainer's, so same seed + same stream ⇒ bit-identical
+//! model, and a trainer killed and resumed from its checkpoint finishes
+//! bit-identical to one that never died (`tests/continuous.rs`).
+//!
+//! Metrics (`stream_events_total`, `stream_events_trained_total`,
+//! `stream_publishes_total`, `stream_preq_*`) report into any
+//! [`rrc_obs::Registry`] via [`StreamTrainer::bind_metrics`] — the
+//! continuous loadgen hands over the serving engine's registry so one
+//! report covers both sides of the loop.
+
+pub mod source;
+pub mod trainer;
+
+pub use source::{
+    write_event_line, ChannelSource, EventSource, FileFollowSource, Poll, StreamEvent,
+};
+pub use trainer::{EventOutcome, StreamConfig, StreamError, StreamTrainer, PREQ_CUTOFFS};
