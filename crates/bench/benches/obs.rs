@@ -68,6 +68,26 @@ fn bench_obs(c: &mut Criterion) {
             v = v.wrapping_mul(6364136223846793005).wrapping_add(1) >> 33;
         });
     });
+    // Profiler guard cost, both switch positions: disabled must be a
+    // single relaxed load (the "always-on" claim — instrumentation left
+    // compiled into every hot path), enabled adds an intern-cache hit
+    // plus two relaxed stores.
+    rrc_obs::profile::disable();
+    group.bench_function("prof_guard_disabled", |b| {
+        b.iter(|| {
+            let g = rrc_obs::ProfGuard::enter("bench_frame");
+            std::hint::black_box(&g);
+        });
+    });
+    rrc_obs::profile::enable();
+    group.bench_function("prof_guard_enabled", |b| {
+        b.iter(|| {
+            let g = rrc_obs::ProfGuard::enter("bench_frame");
+            std::hint::black_box(&g);
+        });
+    });
+    rrc_obs::profile::disable();
+    rrc_obs::profile::reset();
     group.finish();
 
     // Snapshot cost (cold path, but bounded): quantiles off a snapshot must

@@ -211,6 +211,7 @@ pub(super) fn train(
 ) -> (TsPprModel, TrainReport) {
     let obs = rrc_obs::global();
     let _train_span = obs.span("tsppr.train.hogwild");
+    let _train_prof = rrc_obs::ProfGuard::enter("train");
     let block_hist = obs.span_histogram("tsppr.train.worker_block");
     let check_hist = obs.span_histogram("tsppr.train.check");
     let steps_total = obs.counter("tsppr_train_steps_total");
@@ -282,6 +283,7 @@ pub(super) fn train(
                     return;
                 }
                 let _block_timer = block_hist.timer();
+                let _prof = rrc_obs::ProfGuard::enter_path(&["train", "block"]);
                 for _ in 0..n {
                     let q = training
                         .sample(&mut wk.rng)
@@ -294,6 +296,7 @@ pub(super) fn train(
         report.steps = step;
 
         if step.is_multiple_of(check_interval) {
+            let _prof = rrc_obs::ProfGuard::enter("check");
             let snapshot = arena.to_model();
             let (r_tilde, nll) = {
                 let _check_timer = check_hist.timer();

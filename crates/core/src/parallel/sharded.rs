@@ -205,6 +205,7 @@ pub(super) fn train_with(
 ) -> (TsPprModel, TrainReport) {
     let obs = rrc_obs::global();
     let _train_span = obs.span("tsppr.train.sharded");
+    let _train_prof = rrc_obs::ProfGuard::enter("train");
     let block_hist = obs.span_histogram("tsppr.train.worker_block");
     let check_hist = obs.span_histogram("tsppr.train.check");
     let steps_total = obs.counter("tsppr_train_steps_total");
@@ -352,6 +353,9 @@ pub(super) fn train_with(
                     return;
                 }
                 let _block_timer = block_hist.timer();
+                // Workers are their own threads: the path restarts at
+                // train/block rather than nesting under the caller.
+                let _prof = rrc_obs::ProfGuard::enter_path(&["train", "block"]);
                 st.epoch += 1;
                 st.touched.clear();
                 let mut params = ShardParams {
@@ -382,6 +386,7 @@ pub(super) fn train_with(
         // Row-sparse merge. Invariant entering the block: every non-empty
         // shard's local `v` is a bitwise copy of the global `v`, so the
         // global row pre-merge is exactly what each shard started from.
+        let merge_prof = rrc_obs::ProfGuard::enter("merge");
         let actives: Vec<usize> = (0..shards).filter(|&s| alloc[s] > 0).collect();
         dirty_epoch += 1;
         dirty.clear();
@@ -424,10 +429,12 @@ pub(super) fn train_with(
                 }
             }
         }
+        drop(merge_prof);
         step += block;
         report.steps = step;
 
         if step.is_multiple_of(check_interval) {
+            let _prof = rrc_obs::ProfGuard::enter("check");
             let view = MergedView {
                 k,
                 f_dim,

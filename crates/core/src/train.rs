@@ -100,6 +100,7 @@ impl TsPprTrainer {
         // pre-registered so the SGD loop stays lock-free).
         let obs = rrc_obs::global();
         let _train_span = obs.span("tsppr.train");
+        let _train_prof = rrc_obs::ProfGuard::enter("train");
         let sweep_hist = obs.span_histogram("tsppr.train.sweep");
         let check_hist = obs.span_histogram("tsppr.train.check");
         let steps_total = obs.counter("tsppr_train_steps_total");
@@ -166,10 +167,13 @@ impl TsPprTrainer {
         let mut sweep_started = Instant::now();
 
         'sgd: for step in (start_step + 1)..=max_steps {
-            let q = training
-                .sample(&mut rng)
-                .expect("non-empty training set always samples");
-            sgd_step(&mut model, &q, &consts, &mut scratch);
+            {
+                let _p = rrc_obs::ProfGuard::enter("sweep");
+                let q = training
+                    .sample(&mut rng)
+                    .expect("non-empty training set always samples");
+                sgd_step(&mut model, &q, &consts, &mut scratch);
+            }
 
             report.steps = step;
             if step % d == 0 {
@@ -177,6 +181,7 @@ impl TsPprTrainer {
                 sweep_started = Instant::now();
             }
             if step % check_interval == 0 {
+                let _prof = rrc_obs::ProfGuard::enter("check");
                 let (r_tilde, nll) = {
                     let _check_timer = check_hist.timer();
                     batch_statistics(&model, &small_batch)

@@ -1,0 +1,262 @@
+//! `rrc-prof`: inspect and compare profiles from the rrc-obs sampling
+//! profiler.
+//!
+//! Reads either output form the profiler emits — collapsed-stack text
+//! (`serve;shard;score 1234` lines, the flamegraph.pl/inferno input
+//! format) or a JSON run report carrying a `profile` section — and
+//! answers the two questions every perf PR gets asked:
+//!
+//! * `rrc-prof top FILE` — where do cycles (and allocations) go *now*?
+//! * `rrc-prof diff A B` — what moved between two runs? Per-path
+//!   self-share deltas in percentage points over the union of paths,
+//!   with `--fail-on-grow PATTERN PCT` turning any growth beyond `PCT`
+//!   points on matching paths into a non-zero exit — the CI regression
+//!   gate.
+//!
+//! ```text
+//! rrc-prof top serve.collapsed -n 10
+//! rrc-prof diff base.collapsed pr.collapsed --fail-on-grow '*' 2
+//! rrc-prof diff base.json pr.json --fail-on-grow 'serve/shard/score*' 1.5
+//! ```
+//!
+//! Exit status: 0 clean, 1 a `--fail-on-grow` gate fired, 2 usage or
+//! input error.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use rrc_obs::profile::{glob_match, parse_profile_text, ProfileEntry};
+
+fn usage() -> String {
+    [
+        "usage: rrc-prof <command> [args]",
+        "",
+        "commands:",
+        "  top FILE [-n N]",
+        "      Show the N hottest paths by self share (default 20), with",
+        "      total shares and allocation attribution when the input is",
+        "      a JSON report (collapsed text carries samples only).",
+        "",
+        "  diff BASE NEW [-n N] [--fail-on-grow PATTERN PCT]...",
+        "      Compare two profiles: per-path self-share delta in",
+        "      percentage points (NEW - BASE) over the union of paths",
+        "      (a path absent from one side counts as 0). Shows the N",
+        "      largest movers (default 20). Each --fail-on-grow gate",
+        "      fails the run (exit 1) when any path matching PATTERN",
+        "      (two-pointer `*` glob) grew by more than PCT points.",
+        "",
+        "inputs: collapsed-stack text (`a;b;c N` lines) or a JSON run",
+        "report with a `profile.shares` section (bare section also ok).",
+    ]
+    .join("\n")
+}
+
+fn load(path: &str) -> Result<Vec<ProfileEntry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_profile_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn fmt_share(share: f64) -> String {
+    format!("{:6.2}%", share * 100.0)
+}
+
+fn fmt_bytes(b: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.1} {}", UNITS[u])
+    }
+}
+
+fn cmd_top(file: &str, n: usize) -> Result<(), String> {
+    let entries = load(file)?;
+    if entries.is_empty() {
+        println!("(empty profile: no sampled paths in {file})");
+        return Ok(());
+    }
+    let has_alloc = entries.iter().any(|e| e.alloc_count > 0);
+    println!("{:>8} {:>8} {:>10}  path", "self", "total", "samples");
+    for e in entries.iter().take(n) {
+        let alloc = if has_alloc && e.alloc_count > 0 {
+            format!("  [{} allocs, {}]", e.alloc_count, fmt_bytes(e.alloc_bytes))
+        } else {
+            String::new()
+        };
+        println!(
+            "{:>8} {:>8} {:>10}  {}{}",
+            fmt_share(e.self_share),
+            fmt_share(e.total_share),
+            e.samples,
+            e.path,
+            alloc
+        );
+    }
+    if entries.len() > n {
+        println!("  … {} more paths (-n to widen)", entries.len() - n);
+    }
+    Ok(())
+}
+
+/// One `--fail-on-grow PATTERN PCT` gate.
+struct GrowGate {
+    pattern: String,
+    max_growth_pp: f64,
+}
+
+fn cmd_diff(base: &str, new: &str, n: usize, gates: &[GrowGate]) -> Result<bool, String> {
+    let base_entries = load(base)?;
+    let new_entries = load(new)?;
+    // Union of paths; absent side contributes zero share.
+    let mut deltas: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
+    for e in &base_entries {
+        deltas.entry(&e.path).or_insert((0.0, 0.0)).0 = e.self_share;
+    }
+    for e in &new_entries {
+        deltas.entry(&e.path).or_insert((0.0, 0.0)).1 = e.self_share;
+    }
+    let mut rows: Vec<(&str, f64, f64, f64)> = deltas
+        .iter()
+        .map(|(path, &(a, b))| (*path, a, b, (b - a) * 100.0))
+        .collect();
+    rows.sort_by(|x, y| {
+        y.3.abs()
+            .partial_cmp(&x.3.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(x.0.cmp(y.0))
+    });
+
+    println!("profile diff: {base} -> {new} ({} paths)", rows.len());
+    println!("{:>8} {:>8} {:>9}  path", "base", "new", "delta");
+    for (path, a, b, d) in rows.iter().take(n) {
+        println!(
+            "{:>8} {:>8} {:>8.2}p  {}",
+            fmt_share(*a),
+            fmt_share(*b),
+            d,
+            path
+        );
+    }
+    if rows.len() > n {
+        println!("  … {} more paths (-n to widen)", rows.len() - n);
+    }
+
+    let mut breached = false;
+    for gate in gates {
+        let mut matched = false;
+        for (path, _, _, d) in &rows {
+            if !glob_match(&gate.pattern, path) {
+                continue;
+            }
+            matched = true;
+            if *d > gate.max_growth_pp {
+                breached = true;
+                println!(
+                    "FAIL --fail-on-grow {:?} {}: {} grew {:.2}pp (limit {:.2}pp)",
+                    gate.pattern, gate.max_growth_pp, path, d, gate.max_growth_pp
+                );
+            }
+        }
+        if !matched {
+            println!(
+                "note: --fail-on-grow {:?} matched no path in either profile",
+                gate.pattern
+            );
+        }
+    }
+    if breached {
+        println!("rrc-prof: FAIL ({} gate(s) configured)", gates.len());
+    } else if !gates.is_empty() {
+        println!("rrc-prof: OK (all {} gate(s) within limits)", gates.len());
+    }
+    Ok(breached)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "top" => {
+            let mut file = None;
+            let mut n = 20usize;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "-n" => {
+                        n = it
+                            .next()
+                            .ok_or("-n needs a value")?
+                            .parse()
+                            .map_err(|e| format!("-n: {e}"))?;
+                    }
+                    _ if file.is_none() => file = Some(a.clone()),
+                    other => return Err(format!("unexpected argument {other:?}\n\n{}", usage())),
+                }
+            }
+            let file = file.ok_or_else(|| format!("top: missing FILE\n\n{}", usage()))?;
+            cmd_top(&file, n.max(1))?;
+            Ok(false)
+        }
+        "diff" => {
+            let mut files: Vec<String> = Vec::new();
+            let mut n = 20usize;
+            let mut gates: Vec<GrowGate> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "-n" => {
+                        n = it
+                            .next()
+                            .ok_or("-n needs a value")?
+                            .parse()
+                            .map_err(|e| format!("-n: {e}"))?;
+                    }
+                    "--fail-on-grow" => {
+                        let pattern = it
+                            .next()
+                            .ok_or("--fail-on-grow needs PATTERN and PCT")?
+                            .clone();
+                        let pct: f64 = it
+                            .next()
+                            .ok_or("--fail-on-grow needs PCT after PATTERN")?
+                            .parse()
+                            .map_err(|e| format!("--fail-on-grow PCT: {e}"))?;
+                        gates.push(GrowGate {
+                            pattern,
+                            max_growth_pp: pct,
+                        });
+                    }
+                    _ if files.len() < 2 => files.push(a.clone()),
+                    other => return Err(format!("unexpected argument {other:?}\n\n{}", usage())),
+                }
+            }
+            if files.len() != 2 {
+                return Err(format!("diff: need BASE and NEW\n\n{}", usage()));
+            }
+            cmd_diff(&files[0], &files[1], n.max(1), &gates)
+        }
+        "-h" | "--help" | "help" => {
+            println!("{}", usage());
+            Ok(false)
+        }
+        "" => Err(usage()),
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("rrc-prof: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

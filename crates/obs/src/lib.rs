@@ -38,6 +38,11 @@
 //!   SIGTERM, or demand.
 //! * **SLOs** ([`slo`]) — declarative objectives judged tick-by-tick
 //!   with multi-window burn rates ([`SloEngine`]: ok → warn → page).
+//! * **Profiling** ([`profile`]) — the cooperative sampling profiler:
+//!   scoped [`ProfGuard`] path frames, a ~1 kHz sampler over per-thread
+//!   slots, allocation attribution via the opt-in [`CountingAlloc`]
+//!   global allocator, collapsed-stack + JSON export, and the
+//!   `rrc-prof` differential CLI (`top` / `diff --fail-on-grow`).
 //! * **CRC-32** ([`crc32`]) — the zlib-compatible checksum shared by
 //!   `rrc-store` sections and flight bundles.
 //!
@@ -65,6 +70,7 @@ pub mod crc32;
 pub mod forensics;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
 pub mod report;
 pub mod slo;
@@ -78,6 +84,7 @@ pub use forensics::{
 };
 pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer, BUCKETS};
+pub use profile::{CountingAlloc, ProfGuard, ProfileEntry, ProfileSnapshot, Profiler};
 pub use registry::{
     global, histogram_to_json, snapshot_to_json, Metric, MetricId, MetricValue, Registry,
     RegistrySnapshot, WindowedCounterValue,

@@ -14,14 +14,18 @@
 //! {
 //!   "report": "loadgen",
 //!   "created_unix_ms": 1738000000123,
+//!   "host": { "threads": 1, "os": "linux" },
 //!   "config": { "shards": 4, "clients": 2 },
 //!   "results": { "events_per_sec": 95805.0 },
 //!   "metrics": { "counters": {}, "gauges": {}, "histograms": {} }
 //! }
 //! ```
 //!
-//! (`config` is always present; every other section is whatever the
-//! producer added, rendered in insertion order.)
+//! (`host` and `config` are always present; every other section is
+//! whatever the producer added, rendered in insertion order. `host`
+//! makes perf numbers self-describing — the committed `BENCH_*.json`
+//! baselines come from a 1-thread CI container, and that caveat should
+//! travel with the file, not live in tribal knowledge.)
 
 use crate::json::Json;
 use crate::registry::{snapshot_to_json, Registry};
@@ -68,7 +72,7 @@ impl RunReport {
     /// key — every section must have one unambiguous meaning.
     pub fn add_section(&mut self, key: &str, value: impl Into<Json>) {
         assert!(
-            !matches!(key, "report" | "created_unix_ms" | "config"),
+            !matches!(key, "report" | "created_unix_ms" | "host" | "config"),
             "section key {key:?} is reserved"
         );
         assert!(
@@ -83,6 +87,18 @@ impl RunReport {
         self.add_section("metrics", snapshot_to_json(&registry.snapshot()));
     }
 
+    /// The machine this process is running on, as every report's `host`
+    /// block: logical thread count and OS.
+    pub fn host_json() -> Json {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Json::obj([
+            ("threads", Json::from(threads)),
+            ("os", Json::from(std::env::consts::OS)),
+        ])
+    }
+
     /// The full report as a [`Json`] document.
     pub fn to_json(&self) -> Json {
         let mut pairs = vec![
@@ -91,6 +107,7 @@ impl RunReport {
                 "created_unix_ms".to_string(),
                 Json::U64(self.created_unix_ms),
             ),
+            ("host".to_string(), Self::host_json()),
             ("config".to_string(), Json::Obj(self.config.clone())),
         ];
         pairs.extend(self.sections.iter().cloned());
@@ -145,6 +162,11 @@ mod tests {
         let doc = Json::parse(&text).unwrap();
         assert_eq!(doc.get("report").and_then(Json::as_str), Some("unit"));
         assert!(doc.get("created_unix_ms").and_then(Json::as_u64).is_some());
+        assert!(doc.at("host.threads").and_then(Json::as_u64).unwrap_or(0) >= 1);
+        assert_eq!(
+            doc.at("host.os").and_then(Json::as_str),
+            Some(std::env::consts::OS)
+        );
         assert_eq!(doc.at("config.shards").and_then(Json::as_u64), Some(4));
         assert_eq!(
             doc.at("results.events_per_sec").and_then(|v| v.as_f64()),

@@ -1,0 +1,248 @@
+//! Integration tests for the cooperative sampling profiler.
+//!
+//! Covers the three properties the module-level design claims:
+//!
+//! 1. **Path correctness under arbitrary guard lifetimes** — nesting
+//!    builds `/`-joined paths, and early or out-of-order drops rewind to
+//!    the dropped guard's entry point instead of corrupting the path.
+//! 2. **No torn paths** — a property test runs mutator threads churning
+//!    through nested guards while a sampler thread walks them
+//!    concurrently; every sampled path must be a prefix of a path some
+//!    mutator actually pushed (a torn read would surface as an
+//!    impossible path like `a/c` from a thread that pushed `a/b/c`).
+//! 3. **Deterministic export** — a synthetic-sample run renders to a
+//!    committed collapsed-stack golden fixture, byte for byte.
+//!    Regenerate after an intentional format change with:
+//!
+//!    ```text
+//!    UPDATE_GOLDEN=1 cargo test -p rrc-obs --test profile
+//!    ```
+
+use proptest::prelude::*;
+use rrc_obs::profile::{self, ProfGuard, Profiler};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
+
+/// Profiler state is process-global; tests take this gate so their
+/// enable/reset/sample cycles can't interleave.
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    match GATE.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[test]
+fn nested_guards_expose_the_full_slash_path() {
+    let _gate = gate();
+    profile::enable();
+    {
+        let _a = ProfGuard::enter("alpha");
+        assert_eq!(profile::current_path().as_deref(), Some("alpha"));
+        {
+            let _b = ProfGuard::enter_path(&["beta", "gamma"]);
+            assert_eq!(profile::current_path().as_deref(), Some("alpha/beta/gamma"));
+        }
+        assert_eq!(profile::current_path().as_deref(), Some("alpha"));
+    }
+    assert_eq!(profile::current_path(), None);
+    profile::disable();
+}
+
+#[test]
+fn early_and_out_of_order_drops_rewind_to_entry() {
+    let _gate = gate();
+    profile::enable();
+    let outer = ProfGuard::enter("outer");
+    let inner = ProfGuard::enter("inner");
+    assert_eq!(profile::current_path().as_deref(), Some("outer/inner"));
+    // Drop the OUTER guard first: its entry point was root, so the path
+    // rewinds all the way out even though `inner` is still alive.
+    drop(outer);
+    assert_eq!(profile::current_path(), None);
+    // Dropping the survivor rewinds to *its* entry point (`outer`): a
+    // stale but valid interned path — never a torn or invalid one.
+    drop(inner);
+    assert_eq!(profile::current_path().as_deref(), Some("outer"));
+    // A fresh scope repairs the thread state.
+    {
+        let _fix = ProfGuard::enter("fix");
+        assert_eq!(profile::current_path().as_deref(), Some("outer/fix"));
+    }
+    profile::disable();
+    // Disabled guards leave the (stale) path untouched but stop pushing.
+    let _dead = ProfGuard::enter("dead");
+    assert_eq!(profile::current_path().as_deref(), Some("outer"));
+}
+
+/// Segment alphabet for the concurrency property test. `&'static` names
+/// keep the interner's leak-per-unique-name bounded.
+const SEGMENTS: [&str; 6] = ["sa", "sb", "sc", "sd", "se", "sf"];
+
+/// Every `/`-joined prefix of `chain`, e.g. `[a, b]` -> `["a", "a/b"]`.
+fn prefixes(chain: &[&'static str]) -> Vec<String> {
+    (1..=chain.len()).map(|n| chain[..n].join("/")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Mutator threads churn nested guards while a sampler thread walks
+    /// them concurrently. Any path the sampler observes must be a prefix
+    /// of some thread's pushed chain — a torn read (part of one frame,
+    /// part of another) would produce a path outside that set.
+    #[test]
+    fn concurrent_sampling_never_observes_torn_paths(
+        chains in prop::collection::vec(
+            prop::collection::vec(0usize..SEGMENTS.len(), 1..5),
+            1..4,
+        ),
+        rounds in 50usize..200,
+    ) {
+        let _gate = gate();
+        let chains: Vec<Vec<&'static str>> = chains
+            .into_iter()
+            .map(|c| c.into_iter().map(|i| SEGMENTS[i]).collect())
+            .collect();
+        profile::disable();
+        profile::reset();
+        profile::enable();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let start = Arc::new(Barrier::new(chains.len() + 1));
+        let mut mutators = Vec::new();
+        for chain in chains.clone() {
+            let stop = stop.clone();
+            let start = start.clone();
+            mutators.push(std::thread::spawn(move || {
+                start.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    // Push the chain one nested guard at a time, then
+                    // unwind; the sampler may fire at any point in
+                    // between.
+                    let mut guards = Vec::with_capacity(chain.len());
+                    for seg in &chain {
+                        guards.push(ProfGuard::enter(seg));
+                    }
+                    while guards.pop().is_some() {}
+                }
+            }));
+        }
+
+        start.wait();
+        for _ in 0..rounds {
+            profile::sample_once();
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for m in mutators {
+            m.join().expect("mutator thread");
+        }
+        profile::disable();
+
+        let valid: std::collections::HashSet<String> =
+            chains.iter().flat_map(|c| prefixes(c)).collect();
+        let snap = profile::snapshot();
+        for entry in &snap.entries {
+            prop_assert!(
+                valid.contains(&entry.path),
+                "sampled path {:?} is not a prefix of any pushed chain {:?}",
+                entry.path,
+                chains,
+            );
+        }
+        // Conservation: every tick sampled each active thread exactly
+        // once, so work + idle = ticks * threads-walked can't be
+        // exceeded by work alone.
+        prop_assert!(snap.work_samples <= snap.ticks * chains.len() as u64 + snap.idle_samples);
+    }
+}
+
+/// The background sampler attributes samples to the path a thread holds
+/// while it works, and stops counting once the profiler is stopped.
+#[test]
+fn background_sampler_attributes_busy_threads() {
+    let _gate = gate();
+    profile::disable();
+    profile::reset();
+    let profiler = Profiler::start(4000.0);
+    let stop = Arc::new(AtomicBool::new(false));
+    let worker = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let _g = ProfGuard::enter_path(&["itest", "busy"]);
+            let mut x = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                std::hint::black_box(x);
+            }
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    stop.store(true, Ordering::Relaxed);
+    worker.join().expect("worker");
+    let snap = profiler.stop();
+    let busy = snap.entry("itest/busy").expect("itest/busy sampled");
+    assert!(busy.samples > 0, "busy loop must accumulate samples");
+    assert!(
+        busy.self_share > 0.5,
+        "the only working thread should dominate work shares, got {}",
+        busy.self_share
+    );
+    let parent = snap.entry("itest").expect("parent path present");
+    assert!(
+        parent.total_samples >= busy.samples,
+        "rollup: parent total ({}) must cover child self ({})",
+        parent.total_samples,
+        busy.samples
+    );
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("profile_collapsed.txt")
+}
+
+/// Deterministic synthetic profile -> committed collapsed-stack fixture.
+/// Pins the export format (semicolon-joined frames, space, self count,
+/// sorted lines) that `flamegraph.pl` / inferno and `rrc-prof` consume.
+#[test]
+fn collapsed_export_matches_golden_fixture() {
+    let _gate = gate();
+    profile::disable();
+    profile::reset();
+    profile::record_synthetic(&["serve", "shard", "score"], 700);
+    profile::record_synthetic(&["serve", "shard", "respond"], 200);
+    profile::record_synthetic(&["serve", "enqueue"], 100);
+    profile::record_synthetic(&["train", "block"], 400);
+    profile::record_synthetic(&["train", "merge"], 50);
+    profile::record_synthetic(&["store_save"], 25);
+    let got = profile::snapshot().collapsed();
+
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, &got).expect("write golden");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden fixture {} ({e}); regenerate with \
+             UPDATE_GOLDEN=1 cargo test -p rrc-obs --test profile",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "collapsed export drifted from the committed fixture; if the \
+         change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}

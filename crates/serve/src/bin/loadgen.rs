@@ -40,6 +40,18 @@
 //! * `--inject-slow-user U` (with `--inject-slow-us`) stalls one user's
 //!   requests to manufacture a known-slow trace; `--inject-panic-after N`
 //!   panics a client mid-replay to exercise the crash dump (CI smoke).
+//! * `--profile-out PATH` turns on the cooperative sampling profiler for
+//!   the measured replay and writes the collapsed-stack file there
+//!   (flamegraph.pl/inferno input, `rrc-prof top/diff` input); the JSON
+//!   report gains a `profile` section with per-path self/total shares
+//!   and allocation attribution. `--profile-hz N` sets the sampling rate
+//!   (default ~997 Hz — deliberately co-prime with common periodic work).
+//!   Combined with `--overhead`, the baseline leg runs with the profiler
+//!   off and the ratio is reported as `profiler_on_over_off` — the
+//!   BENCH_serve.json `profile_overhead` pair. `--overhead-reps N` runs
+//!   every overhead side N times (fresh engine per leg) and compares
+//!   best-of-N, the standard defense against scheduler noise on busy
+//!   hosts.
 //!
 //! Overload flags:
 //!
@@ -97,6 +109,13 @@ type EventTap = crossbeam::channel::Sender<StreamEvent>;
 
 const OMEGA: usize = 10;
 
+/// Opt in to allocation attribution: every allocation this process makes
+/// is (while profiling is enabled) credited to the allocating thread's
+/// innermost profile frame. Pass-through to the system allocator, one
+/// relaxed atomic load of cost, when profiling is off.
+#[global_allocator]
+static ALLOC: rrc_obs::CountingAlloc = rrc_obs::CountingAlloc::new();
+
 struct Args {
     users: usize,
     items: usize,
@@ -128,6 +147,10 @@ struct Args {
     no_tracing: bool,
     /// Replay twice — observability off then on — and report the ratio.
     overhead: bool,
+    /// Legs per overhead side; the ratio compares best-of-N, so one
+    /// noisy leg (scheduler hiccup on a loaded host) can't masquerade
+    /// as subsystem cost.
+    overhead_reps: usize,
     /// Live dashboard file, refreshed during the replay.
     metrics_json: Option<String>,
     /// Refresh period for `--metrics-json`, in milliseconds.
@@ -207,6 +230,11 @@ struct Args {
     /// Continuous trainer: checkpoint every N events (0 = only the flag
     /// path's final write).
     checkpoint_every: u64,
+    /// Enable the sampling profiler and write the collapsed-stack file
+    /// here after the measured replay.
+    profile_out: Option<String>,
+    /// Profiler sampling rate in walks/second.
+    profile_hz: f64,
 }
 
 impl Default for Args {
@@ -232,6 +260,7 @@ impl Default for Args {
             quality: false,
             no_tracing: false,
             overhead: false,
+            overhead_reps: 1,
             metrics_json: None,
             metrics_every_ms: 500,
             memory_budget: None,
@@ -269,6 +298,10 @@ impl Default for Args {
             publish_every: 2_000,
             stream_checkpoint: None,
             checkpoint_every: 0,
+            profile_out: None,
+            // Not a round number on purpose: co-prime with millisecond
+            // periodic work, so samples don't phase-lock to timers.
+            profile_hz: 997.0,
         }
     }
 }
@@ -276,6 +309,10 @@ impl Default for Args {
 impl Args {
     /// Forensics turns on when asked for directly or implied by any
     /// forensic flag that needs its plumbing.
+    fn profile_enabled(&self) -> bool {
+        self.profile_out.is_some()
+    }
+
     fn forensics_enabled(&self) -> bool {
         self.forensics
             || self.trace_out.is_some()
@@ -356,7 +393,7 @@ fn usage() -> ! {
          [--clients N] [--topn N] [--recommend-every N] [--learn NEGATIVES] \
          [--swap-every MILLIS] [--seed N] [--json PATH] [--load-model PATH] \
          [--save-model PATH] [--registry DIR] [--registry-poll MILLIS] \
-         [--quality] [--no-tracing] [--overhead] \
+         [--quality] [--no-tracing] [--overhead] [--overhead-reps N] \
          [--metrics-json PATH] [--metrics-every MILLIS] \
          [--memory-budget BYTES] [--spill-dir DIR] [--evict clock|lru] \
          [--user-skew EXPONENT] [--k N] [--window N] \
@@ -371,7 +408,8 @@ fn usage() -> ! {
          [--queue-cap N] [--observe-frac F] [--deadline-us MICROS] \
          [--slo-shed-rate F] \
          [--continuous] [--drift F] [--drift-at F] [--publish-every N] \
-         [--stream-checkpoint PATH] [--checkpoint-every N]"
+         [--stream-checkpoint PATH] [--checkpoint-every N] \
+         [--profile-out PATH] [--profile-hz N]"
     );
     std::process::exit(2);
 }
@@ -413,6 +451,7 @@ fn parse_args() -> Args {
             "--quality" => args.quality = true,
             "--no-tracing" => args.no_tracing = true,
             "--overhead" => args.overhead = true,
+            "--overhead-reps" => args.overhead_reps = num(&mut it),
             "--metrics-json" => args.metrics_json = Some(it.next().unwrap_or_else(|| usage())),
             "--metrics-every" => args.metrics_every_ms = num(&mut it) as u64,
             "--memory-budget" => args.memory_budget = Some(num(&mut it)),
@@ -469,6 +508,8 @@ fn parse_args() -> Args {
                 args.stream_checkpoint = Some(it.next().unwrap_or_else(|| usage()))
             }
             "--checkpoint-every" => args.checkpoint_every = num(&mut it) as u64,
+            "--profile-out" => args.profile_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--profile-hz" => args.profile_hz = fnum(&mut it),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -496,6 +537,8 @@ fn parse_args() -> Args {
         || !(0.0..1.0).contains(&args.drift_at)
         || (args.continuous && args.publish_every == 0)
         || (args.continuous && args.overhead)
+        || !(1..=20).contains(&args.overhead_reps)
+        || (args.profile_enabled() && args.profile_hz <= 0.0)
     {
         usage();
     }
@@ -979,9 +1022,15 @@ fn run_continuous(args: &Args, data: &Dataset, split: &SplitDataset) {
     let (tx, source) = ChannelSource::unbounded();
     let trainer_thread = spawn_trainer(trainer, source, "stream-trainer");
 
+    // Profile the stream-trained leg: serving shards *and* the trainer
+    // thread's evaluate/learn/publish phases land in one profile.
+    let profiler = args
+        .profile_enabled()
+        .then(|| rrc_obs::Profiler::start(args.profile_hz));
     let stream_elapsed = run_replay(&engine, &replay, args, None, Some(&tx));
     drop(tx); // stream over: the trainer drains its backlog and returns
     let mut trainer = trainer_thread.join().expect("stream trainer thread");
+    let profile_snap = profiler.map(rrc_obs::Profiler::stop);
     watcher.stop();
     let stream = LegQuality::of(&engine);
     let report = engine.metrics();
@@ -1130,6 +1179,9 @@ fn run_continuous(args: &Args, data: &Dataset, split: &SplitDataset) {
                 ("trainer", trainer.report()),
             ]),
         );
+        if let Some(snap) = &profile_snap {
+            run.add_section("profile", snap.to_json(10));
+        }
         run.add_section("ustate", ustate_section(&report, args));
         run.add_section("engine", report.to_json());
         run.add_section("quality", quality.to_json());
@@ -1138,6 +1190,19 @@ fn run_continuous(args: &Args, data: &Dataset, split: &SplitDataset) {
             Ok(()) => eprintln!("wrote run report to {path}"),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let (Some(path), Some(snap)) = (&args.profile_out, &profile_snap) {
+        match std::fs::write(path, snap.collapsed()) {
+            Ok(()) => eprintln!(
+                "profile: {} work samples over {} paths -> {path}",
+                snap.work_samples,
+                snap.entries.len()
+            ),
+            Err(e) => {
+                eprintln!("failed to write profile {path}: {e}");
                 std::process::exit(1);
             }
         }
@@ -1179,42 +1244,106 @@ fn main() {
     // subsystem off, so the two rates differ only by its cost. Plain
     // `--overhead` measures tracing (baseline: everything off);
     // `--overhead --forensics` measures forensics (baseline: tracing on,
-    // forensics off — the BENCH_serve.json forensics on/off pair).
-    let forensic_pair = args.overhead && args.forensics_enabled();
+    // forensics off — the BENCH_serve.json forensics on/off pair);
+    // `--overhead --profile-out` measures the sampling profiler
+    // (baseline: everything the measured leg has, profiler off — the
+    // BENCH_serve.json profile_overhead pair).
+    let profile_pair = args.overhead && args.profile_enabled();
+    let forensic_pair = !profile_pair && args.overhead && args.forensics_enabled();
     let baseline = args.overhead.then(|| {
-        let online = build_online(&args, &data, &split, args.learn);
         eprintln!(
             "overhead baseline: {}",
-            if forensic_pair {
+            if profile_pair {
+                "everything on, profiler off"
+            } else if forensic_pair {
                 "tracing on, forensics off"
             } else {
                 "tracing off"
             }
         );
-        let engine = Arc::new(ServeEngine::start_with(
-            online,
-            args.shards,
-            EngineOptions {
-                tracing: forensic_pair,
-                quality: args.quality.then(QualityConfig::default),
-                ustate: ustate_options(&args),
-                overload: args.overload_options(),
-                ..EngineOptions::default()
-            },
-        ));
-        let elapsed = run_replay(&engine, &replay, &args, None, None);
-        eprintln!(
-            "overhead baseline: {} events in {:.2?} ({:.0}/s)",
-            total_events,
-            elapsed,
-            rate(elapsed)
-        );
-        match Arc::try_unwrap(engine) {
-            Ok(engine) => engine.shutdown(),
-            Err(_) => unreachable!("no other engine handles exist"),
+        // Best-of-N: each leg gets a fresh engine (identical seed and
+        // stream), and only the fastest leg counts — a one-off slow leg
+        // is scheduler noise, not subsystem cost.
+        let mut best: Option<Duration> = None;
+        for leg in 1..=args.overhead_reps {
+            let online = build_online(&args, &data, &split, args.learn);
+            let engine = Arc::new(ServeEngine::start_with(
+                online,
+                args.shards,
+                EngineOptions {
+                    tracing: forensic_pair || profile_pair,
+                    quality: args.quality.then(QualityConfig::default),
+                    ustate: ustate_options(&args),
+                    overload: args.overload_options(),
+                    forensics: if profile_pair {
+                        args.forensics_options(None)
+                    } else {
+                        ForensicsOptions::default()
+                    },
+                    ..EngineOptions::default()
+                },
+            ));
+            let elapsed = run_replay(&engine, &replay, &args, None, None);
+            eprintln!(
+                "overhead baseline leg {leg}/{}: {} events in {:.2?} ({:.0}/s)",
+                args.overhead_reps,
+                total_events,
+                elapsed,
+                rate(elapsed)
+            );
+            match Arc::try_unwrap(engine) {
+                Ok(engine) => engine.shutdown(),
+                Err(_) => unreachable!("no other engine handles exist"),
+            }
+            best = Some(best.map_or(elapsed, |b: Duration| b.min(elapsed)));
         }
-        elapsed
+        best.expect("at least one baseline leg")
     });
+
+    // The measured side's extra legs (reps beyond the first): throwaway
+    // engines with the measured leg's exact options, folded into the
+    // best-of-N time. The *last* leg below stays the one that produces
+    // the report, the profile snapshot, and every side artifact.
+    let mut measured_best: Option<Duration> = None;
+    if args.overhead && args.overhead_reps > 1 {
+        for leg in 1..args.overhead_reps {
+            let online = build_online(&args, &data, &split, args.learn);
+            let engine = Arc::new(ServeEngine::start_with(
+                online,
+                args.shards,
+                EngineOptions {
+                    tracing: args.overhead || !args.no_tracing,
+                    quality: args.quality.then(QualityConfig::default),
+                    ustate: ustate_options(&args),
+                    forensics: args.forensics_options(None),
+                    overload: args.overload_options(),
+                    ..EngineOptions::default()
+                },
+            ));
+            let profiler = args
+                .profile_enabled()
+                .then(|| rrc_obs::Profiler::start(args.profile_hz));
+            let elapsed = run_replay(&engine, &replay, &args, None, None);
+            if let Some(p) = profiler {
+                let _ = p.stop();
+            }
+            // Discard the throwaway leg's samples so the published
+            // profile describes only the final leg.
+            rrc_obs::profile::reset();
+            eprintln!(
+                "overhead measured leg {leg}/{}: {} events in {:.2?} ({:.0}/s)",
+                args.overhead_reps,
+                total_events,
+                elapsed,
+                rate(elapsed)
+            );
+            match Arc::try_unwrap(engine) {
+                Ok(engine) => engine.shutdown(),
+                Err(_) => unreachable!("no other engine handles exist"),
+            }
+            measured_best = Some(measured_best.map_or(elapsed, |b: Duration| b.min(elapsed)));
+        }
+    }
 
     // The measured engine. With `--overhead` this leg forces tracing on.
     let trace_sink = args.trace_out.as_ref().map(|path| {
@@ -1293,8 +1422,18 @@ fn main() {
         )
     });
 
+    // Profile only the replay itself: the sampler starts after warmup
+    // and engine spin-up, so shares describe serving work.
+    let profiler = args
+        .profile_enabled()
+        .then(|| rrc_obs::Profiler::start(args.profile_hz));
+    if let Some(p) = &profiler {
+        eprintln!("profiler on: sampling every thread at {:.0} Hz", p.hz());
+    }
+
     let elapsed = run_replay(&engine, &replay, &args, args.inject_panic_after, None);
 
+    let profile_snap = profiler.map(rrc_obs::Profiler::stop);
     let report = engine.metrics();
     println!("{report}");
     println!(
@@ -1332,19 +1471,46 @@ fn main() {
         );
     }
     let overhead = baseline.map(|base| {
-        let ratio = rate(elapsed) / rate(base).max(1e-9);
-        let what = if forensic_pair {
+        let measured = measured_best.map_or(elapsed, |b| b.min(elapsed));
+        let ratio = rate(measured) / rate(base).max(1e-9);
+        let what = if profile_pair {
+            "profiler overhead"
+        } else if forensic_pair {
             "forensics overhead"
         } else {
             "tracing overhead"
         };
         println!(
-            "{what}: {:.0}/s off -> {:.0}/s on (ratio {ratio:.3})",
+            "{what}: {:.0}/s off -> {:.0}/s on (ratio {ratio:.3}, best of {} leg(s)/side)",
             rate(base),
-            rate(elapsed)
+            rate(measured),
+            args.overhead_reps
         );
         ratio
     });
+
+    if let (Some(path), Some(snap)) = (&args.profile_out, &profile_snap) {
+        match std::fs::write(path, snap.collapsed()) {
+            Ok(()) => eprintln!(
+                "profile: {} work samples over {} paths ({} idle) -> {path}",
+                snap.work_samples,
+                snap.entries.len(),
+                snap.idle_samples
+            ),
+            Err(e) => {
+                eprintln!("failed to write profile {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(top) = snap.entries.first() {
+            eprintln!(
+                "profile: hottest path {} (self {:.1}%, {} allocs)",
+                top.path,
+                top.self_share * 100.0,
+                top.alloc_count
+            );
+        }
+    }
 
     // Drain the exemplar-trace sink and take the on-demand flight dump
     // now that the replay is over.
@@ -1395,6 +1561,8 @@ fn main() {
             .config("tracing", args.overhead || !args.no_tracing)
             .config("quality", args.quality)
             .config("forensics", args.forensics_enabled())
+            .config("profile", args.profile_enabled())
+            .config("profile_hz", args.profile_hz)
             .config("arrival", args.arrival.clone())
             .config("rate", args.rate)
             .config("hot_users", args.hot_users as usize)
@@ -1415,9 +1583,12 @@ fn main() {
                 "baseline_events_per_sec",
                 Json::F64(rate(baseline.unwrap())),
             ));
-            // With forensics on, the baseline leg already ran with tracing
-            // enabled, so the ratio isolates the forensics layer itself.
-            let key = if forensic_pair {
+            // Each pair's baseline leg already ran with everything
+            // *below* the measured layer enabled, so the ratio isolates
+            // that one layer.
+            let key = if profile_pair {
+                "profiler_on_over_off"
+            } else if forensic_pair {
                 "forensics_on_over_off"
             } else {
                 "tracing_on_over_off"
@@ -1425,6 +1596,9 @@ fn main() {
             results.push((key, Json::F64(ratio)));
         }
         run.add_section("results", Json::obj(results));
+        if let Some(snap) = &profile_snap {
+            run.add_section("profile", snap.to_json(10));
+        }
         run.add_section("ustate", ustate_section(&report, &args));
         // Request quantiles, per-stage breakdown + per-shard counters (the
         // acceptance surface), then the raw registry snapshot for

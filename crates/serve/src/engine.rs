@@ -53,8 +53,8 @@ use rrc_core::{
 };
 use rrc_features::{FeatureContext, FeaturePipeline, TrainStats};
 use rrc_obs::{
-    BurnConfig, FlightBundleStats, FlightDumpTarget, FlightRecorder, Json, JsonlSink, SloState,
-    WindowSpec,
+    BurnConfig, FlightBundleStats, FlightDumpTarget, FlightRecorder, Json, JsonlSink, ProfGuard,
+    SloState, WindowSpec,
 };
 use rrc_sequence::{ConsumptionKind, ItemId, UserId, WindowState};
 use rrc_ustate::{EvictionPolicy, TierConfig, TierParams, UserStateTier};
@@ -376,6 +376,10 @@ impl Shard {
     fn stall_if_injected(&self, user: UserId) {
         if let Some((target, dur)) = self.inject_slow {
             if user.0 == target {
+                // Deliberately profiled: the stall shows up as its own
+                // path under `score`, so `rrc-prof diff --fail-on-grow`
+                // can prove it catches an injected regression.
+                let _p = ProfGuard::enter("inject_stall");
                 std::thread::sleep(dur);
             }
         }
@@ -420,39 +424,51 @@ impl Shard {
                     reply,
                     deadline,
                 } => {
-                    self.release_slot();
-                    if Self::expired(deadline) {
-                        self.shed_at_dequeue(RequestKind::Observe, trace.as_ref());
-                        if let Some(reply) = reply {
-                            let _ = reply.send(ObserveReply {
-                                outcome: Err(ShedReason::Deadline),
-                                stamp: None,
-                            });
+                    // Profile frames cover only the *active* request body:
+                    // the blocking `rx.iter()` wait above reads as idle, so
+                    // shares measure work, not queue time.
+                    let _shard = ProfGuard::enter_path(&["serve", "shard", "observe"]);
+                    let dequeued = {
+                        let _p = ProfGuard::enter("dequeue");
+                        self.release_slot();
+                        if Self::expired(deadline) {
+                            self.shed_at_dequeue(RequestKind::Observe, trace.as_ref());
+                            if let Some(reply) = reply {
+                                let _ = reply.send(ObserveReply {
+                                    outcome: Err(ShedReason::Deadline),
+                                    stamp: None,
+                                });
+                            }
+                            continue;
                         }
-                        continue;
-                    }
-                    let dequeued = self.dequeue_stamp(trace.as_ref());
-                    self.stall_if_injected(user);
-                    let base = self.tier.base().clone();
-                    let (window, factors) = self
-                        .tier
-                        .get_or_load(user)
-                        .expect("user-state tier: reload spilled state");
-                    let mut params = TierParams::new(user, factors, &base, &mut self.overlay);
-                    let (kind, updates) = observe_single(
-                        &mut params,
-                        &self.pipeline,
-                        &self.stats,
-                        &self.config,
-                        user,
-                        window,
-                        &mut self.rng,
-                        item,
-                    );
-                    if let Some(q) = &mut self.quality {
-                        q.on_observe(user, item, kind);
-                    }
-                    self.settle_tier(user);
+                        self.dequeue_stamp(trace.as_ref())
+                    };
+                    let (kind, updates) = {
+                        let _p = ProfGuard::enter("score");
+                        self.stall_if_injected(user);
+                        let base = self.tier.base().clone();
+                        let (window, factors) = self
+                            .tier
+                            .get_or_load(user)
+                            .expect("user-state tier: reload spilled state");
+                        let mut params = TierParams::new(user, factors, &base, &mut self.overlay);
+                        let out = observe_single(
+                            &mut params,
+                            &self.pipeline,
+                            &self.stats,
+                            &self.config,
+                            user,
+                            window,
+                            &mut self.rng,
+                            item,
+                        );
+                        if let Some(q) = &mut self.quality {
+                            q.on_observe(user, item, out.0);
+                        }
+                        self.settle_tier(user);
+                        out
+                    };
+                    let _p = ProfGuard::enter("respond");
                     let counters = &self.metrics.shards[self.id];
                     counters.observes.inc();
                     counters.online_updates.add(updates);
@@ -472,48 +488,57 @@ impl Shard {
                     reply,
                     deadline,
                 } => {
-                    self.release_slot();
-                    if Self::expired(deadline) {
-                        self.shed_at_dequeue(RequestKind::Recommend, trace.as_ref());
-                        let _ = reply.send(RecommendReply {
-                            items: Err(ShedReason::Deadline),
-                            stamp: None,
-                        });
-                        continue;
-                    }
-                    let dequeued = self.dequeue_stamp(trace.as_ref());
-                    self.stall_if_injected(user);
-                    let base = self.tier.base().clone();
-                    let (window, factors) = self
-                        .tier
-                        .get_or_load(user)
-                        .expect("user-state tier: reload spilled state");
-                    let params = TierParams::new(user, factors, &base, &mut self.overlay);
-                    let recs = recommend_single(
-                        &params,
-                        &self.pipeline,
-                        &self.stats,
-                        self.config.omega,
-                        user,
-                        window,
-                        n,
-                    );
-                    if let Some(q) = &mut self.quality {
-                        // Drift sample: the top-1 item's predicted score and
-                        // feature mean, under the model that just served it.
-                        let sample = recs.first().map(|&top| {
-                            let fctx = FeatureContext {
-                                window,
-                                stats: &self.stats,
-                            };
-                            self.pipeline.extract_into(&fctx, top, &mut self.fbuf);
-                            let mean =
-                                self.fbuf.iter().sum::<f64>() / self.fbuf.len().max(1) as f64;
-                            (micro(params.score(user, top, &self.fbuf)), micro(mean))
-                        });
-                        q.on_recommend(user, &recs, self.version, sample);
-                    }
-                    self.settle_tier(user);
+                    let _shard = ProfGuard::enter_path(&["serve", "shard", "recommend"]);
+                    let dequeued = {
+                        let _p = ProfGuard::enter("dequeue");
+                        self.release_slot();
+                        if Self::expired(deadline) {
+                            self.shed_at_dequeue(RequestKind::Recommend, trace.as_ref());
+                            let _ = reply.send(RecommendReply {
+                                items: Err(ShedReason::Deadline),
+                                stamp: None,
+                            });
+                            continue;
+                        }
+                        self.dequeue_stamp(trace.as_ref())
+                    };
+                    let recs = {
+                        let _p = ProfGuard::enter("score");
+                        self.stall_if_injected(user);
+                        let base = self.tier.base().clone();
+                        let (window, factors) = self
+                            .tier
+                            .get_or_load(user)
+                            .expect("user-state tier: reload spilled state");
+                        let params = TierParams::new(user, factors, &base, &mut self.overlay);
+                        let recs = recommend_single(
+                            &params,
+                            &self.pipeline,
+                            &self.stats,
+                            self.config.omega,
+                            user,
+                            window,
+                            n,
+                        );
+                        if let Some(q) = &mut self.quality {
+                            // Drift sample: the top-1 item's predicted score and
+                            // feature mean, under the model that just served it.
+                            let sample = recs.first().map(|&top| {
+                                let fctx = FeatureContext {
+                                    window,
+                                    stats: &self.stats,
+                                };
+                                self.pipeline.extract_into(&fctx, top, &mut self.fbuf);
+                                let mean =
+                                    self.fbuf.iter().sum::<f64>() / self.fbuf.len().max(1) as f64;
+                                (micro(params.score(user, top, &self.fbuf)), micro(mean))
+                            });
+                            q.on_recommend(user, &recs, self.version, sample);
+                        }
+                        self.settle_tier(user);
+                        recs
+                    };
+                    let _p = ProfGuard::enter("respond");
                     self.metrics.shards[self.id].recommends.inc();
                     self.note_admitted(RequestKind::Recommend);
                     let stamp = self.processed_stamp(trace.as_ref(), dequeued, "recommend");
@@ -817,18 +842,25 @@ impl ServeEngine {
     pub fn observe(&self, user: UserId, item: ItemId) -> ConsumptionKind {
         let start = Instant::now();
         let shard = shard_for(user, self.senders.len());
-        self.admit_forced(shard, RequestKind::Observe);
-        let trace = self.trace_for(shard, user);
         let (reply_tx, reply_rx) = bounded(1);
-        self.senders[shard]
-            .send(Request::Observe {
-                user,
-                item,
-                trace,
-                reply: Some(reply_tx),
-                deadline: None,
-            })
-            .expect("shard thread alive");
+        let trace = {
+            // The enqueue frame covers routing + admission + send only;
+            // the blocking reply wait below is deliberately unprofiled
+            // (it is the *shard's* work, sampled on the shard thread).
+            let _p = ProfGuard::enter_path(&["serve", "enqueue"]);
+            self.admit_forced(shard, RequestKind::Observe);
+            let trace = self.trace_for(shard, user);
+            self.senders[shard]
+                .send(Request::Observe {
+                    user,
+                    item,
+                    trace,
+                    reply: Some(reply_tx),
+                    deadline: None,
+                })
+                .expect("shard thread alive");
+            trace
+        };
         let reply = reply_rx.recv().expect("shard replies to observe");
         self.close_trace(shard, "observe", trace, reply.stamp);
         self.metrics
@@ -851,19 +883,23 @@ impl ServeEngine {
     ) -> Result<ConsumptionKind, ShedReason> {
         let start = Instant::now();
         let shard = shard_for(user, self.senders.len());
-        self.admit(shard, RequestKind::Observe)?;
-        let deadline = self.effective_deadline(deadline);
-        let trace = self.trace_for(shard, user);
         let (reply_tx, reply_rx) = bounded(1);
-        self.senders[shard]
-            .send(Request::Observe {
-                user,
-                item,
-                trace,
-                reply: Some(reply_tx),
-                deadline,
-            })
-            .expect("shard thread alive");
+        let trace = {
+            let _p = ProfGuard::enter_path(&["serve", "enqueue"]);
+            self.admit(shard, RequestKind::Observe)?;
+            let deadline = self.effective_deadline(deadline);
+            let trace = self.trace_for(shard, user);
+            self.senders[shard]
+                .send(Request::Observe {
+                    user,
+                    item,
+                    trace,
+                    reply: Some(reply_tx),
+                    deadline,
+                })
+                .expect("shard thread alive");
+            trace
+        };
         let reply = reply_rx.recv().expect("shard replies to observe");
         self.close_trace(shard, "observe", trace, reply.stamp);
         if reply.outcome.is_ok() {
@@ -880,6 +916,7 @@ impl ServeEngine {
     /// `enqueue_wait` and `score`; there is no reply, so no `respond` leg.
     pub fn observe_nowait(&self, user: UserId, item: ItemId) {
         let shard = shard_for(user, self.senders.len());
+        let _p = ProfGuard::enter_path(&["serve", "enqueue"]);
         self.admit_forced(shard, RequestKind::Observe);
         let trace = self.trace_for(shard, user);
         self.senders[shard]
@@ -905,6 +942,7 @@ impl ServeEngine {
         deadline: Option<Instant>,
     ) -> Admission {
         let shard = shard_for(user, self.senders.len());
+        let _p = ProfGuard::enter_path(&["serve", "enqueue"]);
         if let Err(reason) = self.admit(shard, RequestKind::Observe) {
             return Admission::Shed(reason);
         }
@@ -927,18 +965,22 @@ impl ServeEngine {
     pub fn recommend(&self, user: UserId, n: usize) -> Vec<ItemId> {
         let start = Instant::now();
         let shard = shard_for(user, self.senders.len());
-        self.admit_forced(shard, RequestKind::Recommend);
-        let trace = self.trace_for(shard, user);
         let (reply_tx, reply_rx) = bounded(1);
-        self.senders[shard]
-            .send(Request::Recommend {
-                user,
-                n,
-                trace,
-                reply: reply_tx,
-                deadline: None,
-            })
-            .expect("shard thread alive");
+        let trace = {
+            let _p = ProfGuard::enter_path(&["serve", "enqueue"]);
+            self.admit_forced(shard, RequestKind::Recommend);
+            let trace = self.trace_for(shard, user);
+            self.senders[shard]
+                .send(Request::Recommend {
+                    user,
+                    n,
+                    trace,
+                    reply: reply_tx,
+                    deadline: None,
+                })
+                .expect("shard thread alive");
+            trace
+        };
         let reply = reply_rx.recv().expect("shard replies to recommend");
         self.close_trace(shard, "recommend", trace, reply.stamp);
         self.metrics
@@ -961,19 +1003,23 @@ impl ServeEngine {
     ) -> Result<Vec<ItemId>, ShedReason> {
         let start = Instant::now();
         let shard = shard_for(user, self.senders.len());
-        self.admit(shard, RequestKind::Recommend)?;
-        let deadline = self.effective_deadline(deadline);
-        let trace = self.trace_for(shard, user);
         let (reply_tx, reply_rx) = bounded(1);
-        self.senders[shard]
-            .send(Request::Recommend {
-                user,
-                n,
-                trace,
-                reply: reply_tx,
-                deadline,
-            })
-            .expect("shard thread alive");
+        let trace = {
+            let _p = ProfGuard::enter_path(&["serve", "enqueue"]);
+            self.admit(shard, RequestKind::Recommend)?;
+            let deadline = self.effective_deadline(deadline);
+            let trace = self.trace_for(shard, user);
+            self.senders[shard]
+                .send(Request::Recommend {
+                    user,
+                    n,
+                    trace,
+                    reply: reply_tx,
+                    deadline,
+                })
+                .expect("shard thread alive");
+            trace
+        };
         let reply = reply_rx.recv().expect("shard replies to recommend");
         self.close_trace(shard, "recommend", trace, reply.stamp);
         if reply.items.is_ok() {

@@ -399,6 +399,7 @@ impl UserStateTier {
         let Some(data) = seg.get(id)? else {
             return Ok(None);
         };
+        let _prof = rrc_obs::ProfGuard::enter("reload");
         let t0 = Instant::now();
         let rec = decode_record(&data, self.base.k(), self.base.f_dim())?;
         let mut factors = rec.factors;
@@ -447,6 +448,7 @@ impl UserStateTier {
             .segment
             .as_mut()
             .expect("bounded tier always has a segment");
+        let _prof = rrc_obs::ProfGuard::enter("spill");
         let t0 = Instant::now();
         let rec = encode_record(self.version, &entry.window, entry.factors.as_ref());
         seg.append(victim, &rec)?;
